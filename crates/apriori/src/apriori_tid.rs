@@ -1,0 +1,282 @@
+//! **AprioriTid** (Agrawal & Srikant, VLDB '94 — the second algorithm of
+//! the paper the whole candidate framework comes from): after the first
+//! pass, the raw database is never read again. Instead a per-transaction
+//! *candidate-id list* `C̄_k` carries which large k-itemsets each
+//! transaction contains; a (k+1)-candidate `c = p ∪ q` (with `p, q` the
+//! large k-itemsets that joined into it) is contained in a transaction
+//! exactly when both `p` and `q` appear in its `C̄_k` entry. Transactions
+//! whose entry empties drop out entirely, so `C̄` shrinks as `k` grows —
+//! the algorithm gets *faster* per level while plain Apriori keeps paying
+//! full scans.
+//!
+//! Flat (taxonomy-less) mining, as in the original; the generalized miners
+//! live in [`crate::basic`] / [`crate::cumulate`] / [`crate::est_merge`].
+
+use crate::itemset::{Itemset, LargeItemsets};
+use crate::MinSupport;
+use negassoc_taxonomy::fxhash::{FxHashMap, FxHashSet};
+use negassoc_taxonomy::ItemId;
+use negassoc_txdb::TransactionSource;
+use std::io;
+
+/// A candidate with the two large (k−1)-itemset ids that joined into it.
+struct TidCandidate {
+    itemset: Itemset,
+    gen_a: u32,
+    gen_b: u32,
+    count: u64,
+}
+
+/// Mine all large itemsets with AprioriTid. One database pass total.
+///
+/// ```
+/// use negassoc_apriori::{apriori_tid::apriori_tid, MinSupport};
+/// use negassoc_taxonomy::ItemId;
+/// use negassoc_txdb::TransactionDbBuilder;
+///
+/// let mut db = TransactionDbBuilder::new();
+/// db.add([ItemId(1), ItemId(2)]);
+/// db.add([ItemId(1), ItemId(2)]);
+/// db.add([ItemId(2)]);
+/// let large = apriori_tid(&db.build(), MinSupport::Count(2)).unwrap();
+/// assert_eq!(large.support_of(&[ItemId(1), ItemId(2)]), Some(2));
+/// ```
+pub fn apriori_tid<S: TransactionSource + ?Sized>(
+    source: &S,
+    min_support: MinSupport,
+) -> io::Result<LargeItemsets> {
+    // Pass 1: item counts + the initial candidate-id lists. We need the
+    // large items before we can encode lists, so the single pass buffers
+    // raw transactions' item ids compactly and encodes afterwards. (The
+    // original reads the database twice for this; buffering is equivalent
+    // and keeps the "one pass" property for disk sources.)
+    let mut counts: Vec<u64> = Vec::new();
+    let mut buffered: Vec<Vec<ItemId>> = Vec::new();
+    source.pass(&mut |t| {
+        for &it in t.items() {
+            let idx = it.index();
+            if idx >= counts.len() {
+                counts.resize(idx + 1, 0);
+            }
+            counts[idx] += 1;
+        }
+        buffered.push(t.items().to_vec());
+    })?;
+    let num_transactions = buffered.len() as u64;
+    let minsup = min_support.to_count(num_transactions);
+    let mut large = LargeItemsets::new(num_transactions, minsup);
+
+    // L1 and the id space for level 1.
+    let mut large_1: Vec<ItemId> = Vec::new();
+    let mut item_id_of: FxHashMap<ItemId, u32> = FxHashMap::default();
+    for (idx, &c) in counts.iter().enumerate() {
+        if c >= minsup {
+            let item = ItemId(idx as u32);
+            item_id_of.insert(item, large_1.len() as u32);
+            large_1.push(item);
+            large.insert(Itemset::singleton(item), c);
+        }
+    }
+
+    // C̄_1: per transaction, the sorted ids of large items it contains.
+    // Empty transactions drop out immediately.
+    let mut cbar: Vec<Vec<u32>> = buffered
+        .into_iter()
+        .filter_map(|items| {
+            let entry: Vec<u32> = items
+                .iter()
+                .filter_map(|it| item_id_of.get(it).copied())
+                .collect();
+            (entry.len() >= 2).then_some(entry)
+        })
+        .collect();
+
+    // Current level's large itemsets, indexed by their dense ids.
+    let mut current: Vec<Itemset> = large_1.iter().map(|&i| Itemset::singleton(i)).collect();
+
+    let mut k = 2;
+    while !current.is_empty() && !cbar.is_empty() {
+        let mut candidates = generate_with_generators(&current, k);
+        if candidates.is_empty() {
+            break;
+        }
+        // Lookup from generator-id pair to candidate index.
+        let by_pair: FxHashMap<(u32, u32), usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.gen_a, c.gen_b), i))
+            .collect();
+
+        // Count over C̄, building C̄_{k+1} in candidate-index space.
+        let mut next_cbar: Vec<Vec<u32>> = Vec::with_capacity(cbar.len());
+        let mut entry_scratch: Vec<u32> = Vec::new();
+        for entry in &cbar {
+            entry_scratch.clear();
+            for (i, &a) in entry.iter().enumerate() {
+                for &b in &entry[i + 1..] {
+                    if let Some(&ci) = by_pair.get(&(a, b)) {
+                        candidates[ci].count += 1;
+                        entry_scratch.push(ci as u32);
+                    }
+                }
+            }
+            if !entry_scratch.is_empty() {
+                entry_scratch.sort_unstable();
+                next_cbar.push(entry_scratch.clone());
+            }
+        }
+
+        // Filter large; remap candidate indices to the next level's dense
+        // id space.
+        let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut next_current: Vec<Itemset> = Vec::new();
+        for (i, c) in candidates.iter().enumerate() {
+            if c.count >= minsup {
+                remap.insert(i as u32, next_current.len() as u32);
+                next_current.push(c.itemset.clone());
+                large.insert(c.itemset.clone(), c.count);
+            }
+        }
+        if next_current.is_empty() {
+            break;
+        }
+        cbar = next_cbar
+            .into_iter()
+            .filter_map(|entry| {
+                let mapped: Vec<u32> = entry
+                    .iter()
+                    .filter_map(|ci| remap.get(ci).copied())
+                    .collect();
+                (mapped.len() >= 2).then_some(mapped)
+            })
+            .collect();
+        current = next_current;
+        k += 1;
+    }
+    Ok(large)
+}
+
+/// `apriori-gen` that also records which two level-k members joined into
+/// each candidate (their dense indices in `current`).
+fn generate_with_generators(current: &[Itemset], k: usize) -> Vec<TidCandidate> {
+    if current.is_empty() {
+        return Vec::new();
+    }
+    if k == 2 {
+        // All pairs of singletons; generator ids are the singleton indices.
+        let mut out = Vec::new();
+        for a in 0..current.len() {
+            for b in (a + 1)..current.len() {
+                out.push(TidCandidate {
+                    itemset: current[a].union(&current[b]),
+                    gen_a: a as u32,
+                    gen_b: b as u32,
+                    count: 0,
+                });
+            }
+        }
+        return out;
+    }
+    // Join: members sharing their first k-2 items. Sort an index so the
+    // dense generator ids stay those of `current`.
+    let mut order: Vec<u32> = (0..current.len() as u32).collect();
+    order.sort_by(|&a, &b| current[a as usize].cmp(&current[b as usize]));
+    let lookup: FxHashSet<&Itemset> = current.iter().collect();
+    let prefix = k - 2;
+    let mut out = Vec::new();
+    for (oi, &ai) in order.iter().enumerate() {
+        let a = &current[ai as usize];
+        for &bi in &order[oi + 1..] {
+            let b = &current[bi as usize];
+            if a.items()[..prefix] != b.items()[..prefix] {
+                break;
+            }
+            let joined = a.union(b);
+            if joined.len() != k {
+                continue;
+            }
+            // Downward-closure prune.
+            if joined
+                .one_smaller_subsets()
+                .all(|sub| lookup.contains(&sub))
+            {
+                // Normalize generator order so (a, b) pairs match the
+                // entry-scan order (entries are sorted ascending by id).
+                let (ga, gb) = if ai < bi { (ai, bi) } else { (bi, ai) };
+                out.push(TidCandidate {
+                    itemset: joined,
+                    gen_a: ga,
+                    gen_b: gb,
+                    count: 0,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::count::CountingBackend;
+    use negassoc_txdb::{PassCounter, TransactionDbBuilder};
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    fn textbook_db() -> negassoc_txdb::TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        b.add(ids(&[1, 3, 4]));
+        b.add(ids(&[2, 3, 5]));
+        b.add(ids(&[1, 2, 3, 5]));
+        b.add(ids(&[2, 5]));
+        b.build()
+    }
+
+    #[test]
+    fn matches_apriori_on_textbook_db() {
+        let db = textbook_db();
+        for ms in [1u64, 2, 3, 4] {
+            let reference =
+                apriori(&db, MinSupport::Count(ms), CountingBackend::HashTree).unwrap();
+            let got = apriori_tid(&db, MinSupport::Count(ms)).unwrap();
+            assert_eq!(got.total(), reference.total(), "minsup {ms}");
+            for (set, sup) in reference.iter() {
+                assert_eq!(got.support_of_set(set), Some(sup), "minsup {ms}, {set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_database_pass() {
+        let pc = PassCounter::new(textbook_db());
+        apriori_tid(&pc, MinSupport::Count(2)).unwrap();
+        assert_eq!(pc.passes(), 1);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = TransactionDbBuilder::new().build();
+        let large = apriori_tid(&db, MinSupport::Fraction(0.5)).unwrap();
+        assert_eq!(large.total(), 0);
+    }
+
+    #[test]
+    fn deep_itemsets() {
+        // One dominant 4-itemset: levels must reach 4.
+        let mut b = TransactionDbBuilder::new();
+        for _ in 0..5 {
+            b.add(ids(&[1, 2, 3, 4]));
+        }
+        b.add(ids(&[1, 2]));
+        b.add(ids(&[5]));
+        let db = b.build();
+        let large = apriori_tid(&db, MinSupport::Count(3)).unwrap();
+        assert_eq!(large.support_of(&ids(&[1, 2, 3, 4])), Some(5));
+        assert_eq!(large.max_level(), 4);
+        assert_eq!(large.support_of(&ids(&[5])), None);
+        assert_eq!(large.support_of(&ids(&[1, 2])), Some(6));
+    }
+}

@@ -1,0 +1,371 @@
+//! The classic hash tree of Agrawal & Srikant (VLDB '94) for counting which
+//! candidate k-itemsets are contained in each transaction.
+//!
+//! Interior nodes hash on the candidate's item at the node's depth; leaves
+//! hold candidate/count pairs and split when they overflow (unless the tree
+//! is already `k` deep). Counting a transaction walks every combination of
+//! transaction items that can still reach a candidate, instead of
+//! enumerating all `C(|t|, k)` subsets.
+
+use crate::itemset::{is_sorted_subset, Itemset};
+use negassoc_taxonomy::ItemId;
+
+const DEFAULT_BRANCH: usize = 8;
+const DEFAULT_LEAF_CAP: usize = 16;
+
+enum Node {
+    Interior(Vec<Node>),
+    Leaf {
+        entries: Vec<(Itemset, u64)>,
+        /// Tick of the last transaction that visited this leaf. A leaf can
+        /// be reached through several hash paths within one transaction
+        /// (hash collisions on different item subsequences); the stamp
+        /// makes each transaction count a leaf's candidates at most once.
+        last_visit: u64,
+    },
+}
+
+/// A hash tree over candidate itemsets of one fixed size `k`.
+pub struct HashTree {
+    k: usize,
+    branch: usize,
+    leaf_cap: usize,
+    root: Node,
+    len: usize,
+    tick: u64,
+}
+
+impl HashTree {
+    /// An empty tree for candidates of size `k` with default parameters.
+    pub fn new(k: usize) -> Self {
+        Self::with_params(k, DEFAULT_BRANCH, DEFAULT_LEAF_CAP)
+    }
+
+    /// An empty tree with explicit branching factor and leaf capacity.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `branch == 0`.
+    pub fn with_params(k: usize, branch: usize, leaf_cap: usize) -> Self {
+        assert!(k > 0, "hash tree requires k >= 1");
+        assert!(branch > 0, "branching factor must be positive");
+        Self {
+            k,
+            branch,
+            leaf_cap: leaf_cap.max(1),
+            root: Node::Leaf {
+                entries: Vec::new(),
+                last_visit: 0,
+            },
+            len: 0,
+            tick: 0,
+        }
+    }
+
+    /// Build a tree holding all `candidates` (each of size `k`) with zeroed
+    /// counts.
+    pub fn build(k: usize, candidates: impl IntoIterator<Item = Itemset>) -> Self {
+        let candidates: Vec<Itemset> = candidates.into_iter().collect();
+        // A k-deep tree has at most branch^k leaves; with the default
+        // branching a large candidate set (e.g. tens of thousands of
+        // pairs) would degenerate into a few enormous leaves that every
+        // transaction scans linearly. Size the branching so leaves stay
+        // near the target capacity.
+        let want_leaves = candidates.len().div_ceil(DEFAULT_LEAF_CAP).max(1);
+        let branch = (want_leaves as f64)
+            .powf(1.0 / k as f64)
+            .ceil() as usize;
+        let branch = branch.clamp(DEFAULT_BRANCH, 4096);
+        let mut t = Self::with_params(k, branch, DEFAULT_LEAF_CAP);
+        for c in candidates {
+            t.insert(c);
+        }
+        t
+    }
+
+    /// Number of candidates stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no candidates are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The candidate size this tree was built for.
+    #[inline]
+    pub fn candidate_len(&self) -> usize {
+        self.k
+    }
+
+    /// Insert a candidate with a zero count.
+    ///
+    /// # Panics
+    /// Panics when the candidate's size differs from `k`.
+    pub fn insert(&mut self, candidate: Itemset) {
+        assert_eq!(candidate.len(), self.k, "candidate size mismatch");
+        self.len += 1;
+        // Manual descent (no recursion) so splitting can borrow freely.
+        let mut node = &mut self.root;
+        let mut depth = 0;
+        loop {
+            match node {
+                Node::Interior(children) => {
+                    let b = candidate.items()[depth].0 as usize % self.branch;
+                    node = &mut children[b];
+                    depth += 1;
+                }
+                Node::Leaf { entries, .. } => {
+                    entries.push((candidate, 0));
+                    if entries.len() > self.leaf_cap && depth < self.k {
+                        // Split: redistribute by the item at `depth`.
+                        let moved = std::mem::take(entries);
+                        let mut children: Vec<Node> = (0..self.branch)
+                            .map(|_| Node::Leaf {
+                                entries: Vec::new(),
+                                last_visit: 0,
+                            })
+                            .collect();
+                        for (set, count) in moved {
+                            let b = set.items()[depth].0 as usize % self.branch;
+                            match &mut children[b] {
+                                Node::Leaf { entries: v, .. } => v.push((set, count)),
+                                Node::Interior(_) => unreachable!(),
+                            }
+                        }
+                        *node = Node::Interior(children);
+                        // Note: a freshly split child may itself exceed the
+                        // cap when many candidates share a hash path; it
+                        // will split lazily on the next insert that lands
+                        // there, or stay oversized at max depth.
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Increment the count of every stored candidate contained in
+    /// `transaction` (strictly ascending item ids).
+    pub fn count_transaction(&mut self, transaction: &[ItemId]) {
+        if transaction.len() < self.k {
+            return;
+        }
+        self.tick += 1;
+        count_rec(
+            &mut self.root,
+            transaction,
+            0,
+            0,
+            self.k,
+            self.branch,
+            self.tick,
+        );
+    }
+
+    /// Iterate all `(candidate, count)` pairs, in unspecified order.
+    pub fn counts(&self) -> Counts<'_> {
+        Counts {
+            stack: vec![(&self.root, 0)],
+        }
+    }
+
+    /// Consume the tree into a vector of `(candidate, count)` pairs.
+    pub fn into_counts(self) -> Vec<(Itemset, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        collect(self.root, &mut out);
+        out
+    }
+}
+
+fn collect(node: Node, out: &mut Vec<(Itemset, u64)>) {
+    match node {
+        Node::Leaf { entries, .. } => out.extend(entries),
+        Node::Interior(children) => {
+            for c in children {
+                collect(c, out);
+            }
+        }
+    }
+}
+
+fn count_rec(
+    node: &mut Node,
+    transaction: &[ItemId],
+    start: usize,
+    depth: usize,
+    k: usize,
+    branch: usize,
+    tick: u64,
+) {
+    match node {
+        Node::Leaf {
+            entries,
+            last_visit,
+        } => {
+            if *last_visit == tick {
+                return; // already handled for this transaction
+            }
+            *last_visit = tick;
+            for (set, count) in entries {
+                if is_sorted_subset(set.items(), transaction) {
+                    *count += 1;
+                }
+            }
+        }
+        Node::Interior(children) => {
+            // Items still needed below this node: k - depth. Stop early when
+            // the remaining transaction suffix is too short.
+            let remaining_needed = k - depth;
+            if transaction.len() - start < remaining_needed {
+                return;
+            }
+            let last = transaction.len() - remaining_needed;
+            for i in start..=last {
+                let b = transaction[i].0 as usize % branch;
+                count_rec(
+                    &mut children[b],
+                    transaction,
+                    i + 1,
+                    depth + 1,
+                    k,
+                    branch,
+                    tick,
+                );
+            }
+        }
+    }
+}
+
+/// Iterator over `(candidate, count)` pairs. See [`HashTree::counts`].
+pub struct Counts<'a> {
+    stack: Vec<(&'a Node, usize)>,
+}
+
+impl<'a> Iterator for Counts<'a> {
+    type Item = (&'a Itemset, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, idx) = self.stack.pop()?;
+            match node {
+                Node::Leaf { entries, .. } => {
+                    if let Some((set, count)) = entries.get(idx) {
+                        self.stack.push((node, idx + 1));
+                        return Some((set, *count));
+                    }
+                }
+                Node::Interior(children) => {
+                    if idx < children.len() {
+                        self.stack.push((node, idx + 1));
+                        self.stack.push((&children[idx], 0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> Itemset {
+        Itemset::from_unsorted(v.iter().map(|&i| ItemId(i)).collect())
+    }
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn counts_simple_pairs() {
+        let mut t = HashTree::build(2, vec![set(&[1, 2]), set(&[1, 3]), set(&[2, 3])]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.candidate_len(), 2);
+        t.count_transaction(&ids(&[1, 2, 3])); // contains all three
+        t.count_transaction(&ids(&[1, 2])); // contains {1,2}
+        t.count_transaction(&ids(&[3])); // too short, contains none
+        let mut got: Vec<(Itemset, u64)> = t.into_counts();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(set(&[1, 2]), 2), (set(&[1, 3]), 1), (set(&[2, 3]), 1)]
+        );
+    }
+
+    #[test]
+    fn splitting_preserves_counts() {
+        // Small leaf capacity forces splits; verify against brute force.
+        let candidates: Vec<Itemset> = (0..20u32)
+            .flat_map(|a| ((a + 1)..20).map(move |b| set(&[a, b])))
+            .collect();
+        let mut t = HashTree::with_params(2, 4, 2);
+        for c in candidates.clone() {
+            t.insert(c);
+        }
+        assert_eq!(t.len(), candidates.len());
+
+        let transactions = [
+            ids(&[0, 1, 2, 3]),
+            ids(&[5, 9, 13, 17]),
+            ids(&[2, 4, 6, 8, 10, 12]),
+        ];
+        for tx in &transactions {
+            t.count_transaction(tx);
+        }
+        for (cand, count) in t.counts() {
+            let brute = transactions
+                .iter()
+                .filter(|tx| is_sorted_subset(cand.items(), tx))
+                .count() as u64;
+            assert_eq!(count, brute, "candidate {cand:?}");
+        }
+    }
+
+    #[test]
+    fn triples_with_deep_tree() {
+        let mut t = HashTree::with_params(3, 2, 1);
+        t.insert(set(&[1, 2, 3]));
+        t.insert(set(&[1, 2, 4]));
+        t.insert(set(&[2, 3, 4]));
+        t.insert(set(&[1, 3, 5]));
+        t.count_transaction(&ids(&[1, 2, 3, 4, 5]));
+        t.count_transaction(&ids(&[1, 2, 4]));
+        let mut got = t.into_counts();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (set(&[1, 2, 3]), 1),
+                (set(&[1, 2, 4]), 2),
+                (set(&[1, 3, 5]), 1),
+                (set(&[2, 3, 4]), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_tree_and_short_transactions() {
+        let mut t = HashTree::new(2);
+        assert!(t.is_empty());
+        t.count_transaction(&ids(&[1, 2, 3]));
+        assert_eq!(t.counts().count(), 0);
+        assert!(t.into_counts().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate size mismatch")]
+    fn wrong_size_candidate_panics() {
+        let mut t = HashTree::new(2);
+        t.insert(set(&[1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let _ = HashTree::new(0);
+    }
+}

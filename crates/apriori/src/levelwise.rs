@@ -1,0 +1,221 @@
+//! Level-by-level driver for generalized mining.
+//!
+//! The paper's *naive* negative-association algorithm interleaves work per
+//! level: iteration `k` first mines the generalized large k-itemsets (one
+//! pass) and then counts that level's negative candidates (a second pass).
+//! [`GenLevelMiner`] exposes exactly that stepping; [`crate::basic`] and
+//! [`crate::cumulate`] are thin run-to-completion wrappers around it.
+
+use crate::count::{count_candidates, CountingBackend};
+use crate::gen::{apriori_gen, pairs_of};
+use crate::generalized::{
+    extend_filtered, extend_full, items_of_candidates, prune_ancestor_pairs, AncestorTable,
+};
+use crate::itemset::{Itemset, LargeItemsets};
+use crate::MinSupport;
+use negassoc_taxonomy::{ItemId, Taxonomy};
+use negassoc_txdb::TransactionSource;
+use std::io;
+
+/// Which transaction-extension strategy a [`GenLevelMiner`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GenStrategy {
+    /// Extend every transaction with all ancestors (the Basic algorithm).
+    Basic,
+    /// Filter extension to items used by current candidates (Cumulate).
+    #[default]
+    Cumulate,
+}
+
+/// Step-wise generalized large-itemset miner.
+pub struct GenLevelMiner<'a, S: TransactionSource + ?Sized> {
+    source: &'a S,
+    ancestors: AncestorTable,
+    strategy: GenStrategy,
+    backend: CountingBackend,
+    minsup: u64,
+    large: LargeItemsets,
+    large_1: Vec<ItemId>,
+    frontier: Vec<Itemset>,
+    next_k: usize,
+    done: bool,
+}
+
+impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
+    /// Mine level 1 (one pass) and prepare for stepping.
+    pub fn new(
+        source: &'a S,
+        tax: &Taxonomy,
+        min_support: MinSupport,
+        strategy: GenStrategy,
+        backend: CountingBackend,
+    ) -> io::Result<Self> {
+        let ancestors = AncestorTable::new(tax);
+        let mut counts: Vec<u64> = vec![0; tax.len()];
+        let mut num_transactions = 0u64;
+        let mut buf: Vec<ItemId> = Vec::new();
+        source.pass(&mut |t| {
+            num_transactions += 1;
+            extend_full(t.items(), &ancestors, &mut buf);
+            for &it in &buf {
+                if let Some(c) = counts.get_mut(it.index()) {
+                    *c += 1;
+                }
+            }
+        })?;
+        let minsup = min_support.to_count(num_transactions);
+        let mut large = LargeItemsets::new(num_transactions, minsup);
+        let mut large_1 = Vec::new();
+        for (idx, &c) in counts.iter().enumerate() {
+            if c >= minsup {
+                let item = ItemId(idx as u32);
+                large_1.push(item);
+                large.insert(Itemset::singleton(item), c);
+            }
+        }
+        let done = large_1.is_empty();
+        Ok(Self {
+            source,
+            ancestors,
+            strategy,
+            backend,
+            minsup,
+            large,
+            large_1,
+            frontier: Vec::new(),
+            next_k: 2,
+            done,
+        })
+    }
+
+    /// The level that [`Self::mine_next_level`] would mine next.
+    pub fn next_level(&self) -> usize {
+        self.next_k
+    }
+
+    /// `true` once no further level can contain large itemsets.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Results mined so far.
+    pub fn large(&self) -> &LargeItemsets {
+        &self.large
+    }
+
+    /// The precomputed ancestor table (shared with negative candidate
+    /// generation, which needs the same relation).
+    pub fn ancestors(&self) -> &AncestorTable {
+        &self.ancestors
+    }
+
+    /// Mine one more level (one database pass). Returns the number of large
+    /// itemsets found at that level, or `None` when mining has finished.
+    pub fn mine_next_level(&mut self) -> io::Result<Option<usize>> {
+        if self.done {
+            return Ok(None);
+        }
+        let k = self.next_k;
+        let candidates = if k == 2 {
+            prune_ancestor_pairs(pairs_of(&self.large_1), &self.ancestors)
+        } else {
+            apriori_gen(&self.frontier)
+        };
+        if candidates.is_empty() {
+            self.done = true;
+            return Ok(None);
+        }
+        let counted = match self.strategy {
+            GenStrategy::Basic => {
+                let ancestors = &self.ancestors;
+                let mut mapper =
+                    |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, ancestors, out);
+                count_candidates(self.source, candidates, self.backend, &mut mapper)?
+            }
+            GenStrategy::Cumulate => {
+                let needed = items_of_candidates(&candidates);
+                let ancestors = &self.ancestors;
+                let mut mapper = |items: &[ItemId], out: &mut Vec<ItemId>| {
+                    extend_filtered(items, ancestors, &needed, out)
+                };
+                count_candidates(self.source, candidates, self.backend, &mut mapper)?
+            }
+        };
+        self.frontier.clear();
+        for (set, count) in counted {
+            if count >= self.minsup {
+                self.frontier.push(set.clone());
+                self.large.insert(set, count);
+            }
+        }
+        let found = self.frontier.len();
+        if found == 0 {
+            self.done = true;
+        } else {
+            self.next_k += 1;
+        }
+        Ok(Some(found))
+    }
+
+    /// Run every remaining level and return the complete result.
+    pub fn run_to_completion(mut self) -> io::Result<LargeItemsets> {
+        while self.mine_next_level()?.is_some() {}
+        Ok(self.large)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::tests::sa95;
+
+    #[test]
+    fn stepping_matches_run_to_completion() {
+        let (tax, db, _) = sa95();
+        let stepped = {
+            let mut m = GenLevelMiner::new(
+                &db,
+                &tax,
+                MinSupport::Count(2),
+                GenStrategy::Cumulate,
+                CountingBackend::HashTree,
+            )
+            .unwrap();
+            let mut per_level = Vec::new();
+            while let Some(found) = m.mine_next_level().unwrap() {
+                per_level.push(found);
+            }
+            assert!(m.is_done());
+            assert_eq!(m.mine_next_level().unwrap(), None);
+            (per_level, m.large().total())
+        };
+        let full = GenLevelMiner::new(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            GenStrategy::Cumulate,
+            CountingBackend::HashTree,
+        )
+        .unwrap()
+        .run_to_completion()
+        .unwrap();
+        assert_eq!(stepped.1, full.total());
+        assert_eq!(stepped.0, vec![2]); // two large 2-itemsets, then done
+    }
+
+    #[test]
+    fn no_large_singletons_finishes_immediately() {
+        let (tax, db, _) = sa95();
+        let m = GenLevelMiner::new(
+            &db,
+            &tax,
+            MinSupport::Count(100),
+            GenStrategy::Basic,
+            CountingBackend::HashTree,
+        )
+        .unwrap();
+        assert!(m.is_done());
+        assert_eq!(m.large().total(), 0);
+        let _ = db;
+    }
+}

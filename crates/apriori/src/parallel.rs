@@ -1,0 +1,209 @@
+//! Multi-threaded support counting over an in-memory database.
+//!
+//! The pass-based miners stream any [`negassoc_txdb::TransactionSource`];
+//! when the database is in memory it can instead be split into horizontal
+//! partitions (à la Savasere et al.'s Partition algorithm) and counted on
+//! one thread each, merging per-candidate counts at the end. Counts are
+//! exact — partition counting is additive. Uses `std::thread::scope`, no
+//! extra dependencies.
+
+use crate::count::CountingBackend;
+use crate::hash_tree::HashTree;
+use crate::itemset::Itemset;
+use negassoc_taxonomy::fxhash::FxHashMap;
+use negassoc_taxonomy::ItemId;
+use negassoc_txdb::partition::partitions;
+use negassoc_txdb::{TransactionDb, TransactionSource};
+
+/// Count mixed-size `candidates` over `db` using `threads` worker threads.
+///
+/// The `mapper` transforms each transaction before counting (e.g. taxonomy
+/// extension); it must be `Sync` because all workers share it.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn count_mixed_parallel(
+    db: &TransactionDb,
+    candidates: Vec<Itemset>,
+    backend: CountingBackend,
+    mapper: &(dyn Fn(&[ItemId], &mut Vec<ItemId>) + Sync),
+    threads: usize,
+) -> Vec<(Itemset, u64)> {
+    assert!(threads > 0, "need at least one thread");
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || db.len() < 2 {
+        return count_part(&db, &candidates, backend, mapper);
+    }
+    let parts = partitions(db, threads);
+    let mut merged: FxHashMap<Itemset, u64> =
+        candidates.iter().cloned().map(|c| (c, 0)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|part| {
+                let cands = &candidates;
+                scope.spawn(move || count_part(part, cands, backend, mapper))
+            })
+            .collect();
+        for handle in handles {
+            for (set, count) in handle.join().expect("counting worker panicked") {
+                *merged.get_mut(&set).expect("worker returned unknown candidate") += count;
+            }
+        }
+    });
+    merged.into_iter().collect()
+}
+
+/// Count one partition sequentially (single allocation set per worker).
+fn count_part<S: TransactionSource + ?Sized>(
+    source: &S,
+    candidates: &[Itemset],
+    backend: CountingBackend,
+    mapper: &(dyn Fn(&[ItemId], &mut Vec<ItemId>) + Sync),
+) -> Vec<(Itemset, u64)> {
+    // Group by size; reuse the hash tree / map machinery directly.
+    let mut by_size: FxHashMap<usize, Vec<Itemset>> = FxHashMap::default();
+    for c in candidates {
+        by_size.entry(c.len()).or_default().push(c.clone());
+    }
+    enum C {
+        Tree(HashTree),
+        Map { k: usize, map: FxHashMap<Itemset, u64> },
+    }
+    let mut counters: Vec<C> = by_size
+        .into_iter()
+        .filter(|(k, _)| *k > 0)
+        .map(|(k, cands)| match backend {
+            CountingBackend::HashTree => C::Tree(HashTree::build(k, cands)),
+            CountingBackend::SubsetHashMap => C::Map {
+                k,
+                map: cands.into_iter().map(|c| (c, 0)).collect(),
+            },
+        })
+        .collect();
+    let mut buf: Vec<ItemId> = Vec::new();
+    source
+        .pass(&mut |t| {
+            mapper(t.items(), &mut buf);
+            for c in &mut counters {
+                match c {
+                    C::Tree(tree) => tree.count_transaction(&buf),
+                    C::Map { k, map } => {
+                        // Reuse the adaptive probing through the sequential
+                        // API by checking containment per candidate (maps
+                        // here are small; the tree backend is the fast
+                        // path).
+                        if buf.len() >= *k {
+                            for (cand, count) in map.iter_mut() {
+                                if crate::itemset::is_sorted_subset(cand.items(), &buf) {
+                                    *count += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("in-memory pass cannot fail");
+    counters
+        .into_iter()
+        .flat_map(|c| match c {
+            C::Tree(t) => t.into_counts(),
+            C::Map { map, .. } => map.into_iter().collect::<Vec<_>>(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use negassoc_txdb::TransactionDbBuilder;
+
+    fn set(v: &[u32]) -> Itemset {
+        Itemset::from_unsorted(v.iter().map(|&i| ItemId(i)).collect())
+    }
+
+    fn sample_db(n: usize) -> TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        for i in 0..n {
+            let a = (i % 7) as u32;
+            let c = (i % 5 + 7) as u32;
+            let d = (i % 3 + 12) as u32;
+            b.add([ItemId(a), ItemId(c), ItemId(d)]);
+        }
+        b.build()
+    }
+
+    fn identity(items: &[ItemId], buf: &mut Vec<ItemId>) {
+        buf.clear();
+        buf.extend_from_slice(items);
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        let db = sample_db(500);
+        let candidates: Vec<Itemset> = vec![
+            set(&[0, 7]),
+            set(&[1, 8, 12]),
+            set(&[3]),
+            set(&[6, 11, 14]),
+            set(&[2, 9]),
+        ];
+        let mut sequential = crate::count::count_mixed(
+            &db,
+            candidates.clone(),
+            CountingBackend::HashTree,
+            &mut crate::count::identity_mapper,
+        )
+        .unwrap();
+        sequential.sort();
+        for threads in [1, 2, 4, 7] {
+            for backend in [CountingBackend::HashTree, CountingBackend::SubsetHashMap] {
+                let mut parallel = count_mixed_parallel(
+                    &db,
+                    candidates.clone(),
+                    backend,
+                    &identity,
+                    threads,
+                );
+                parallel.sort();
+                assert_eq!(parallel, sequential, "threads {threads} {backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let db = sample_db(10);
+        assert!(count_mixed_parallel(
+            &db,
+            Vec::new(),
+            CountingBackend::HashTree,
+            &identity,
+            4
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_transactions() {
+        let db = sample_db(3);
+        let out = count_mixed_parallel(
+            &db,
+            vec![set(&[0])],
+            CountingBackend::HashTree,
+            &identity,
+            16,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let db = sample_db(3);
+        count_mixed_parallel(&db, vec![set(&[0])], CountingBackend::HashTree, &identity, 0);
+    }
+}

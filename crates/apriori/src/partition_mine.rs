@@ -1,0 +1,238 @@
+//! The **Partition** algorithm (Savasere, Omiecinski & Navathe, VLDB '95 —
+//! the negative-association paper's reference [11] and its authors' own
+//! prior work): mine each horizontal partition *in memory* for its locally
+//! large itemsets, union them into a global candidate set, then verify the
+//! candidates with exact counts in one final pass. Two logical reads of
+//! the database in total, independent of the deepest itemset level.
+//!
+//! Correctness: a globally large itemset must be locally large (at the
+//! same support *fraction*) in at least one partition — otherwise its
+//! total count would be below the threshold — so the union of local
+//! results is a superset of the answer and the verification pass makes the
+//! result exact.
+//!
+//! Local mining uses per-partition TID-list intersection
+//! ([`negassoc_txdb::vertical`]), as in the original; with a taxonomy the
+//! index is generalized, so the same machinery mines generalized itemsets
+//! (candidates containing an item and its ancestor are pruned as in
+//! [`crate::cumulate`]).
+
+use crate::count::{count_mixed, CountingBackend};
+use crate::gen::{apriori_gen, pairs_of};
+use crate::generalized::{extend_filtered, items_of_candidates, prune_ancestor_pairs, AncestorTable};
+use crate::itemset::{Itemset, LargeItemsets};
+use crate::MinSupport;
+use negassoc_taxonomy::fxhash::FxHashSet;
+use negassoc_taxonomy::{ItemId, Taxonomy};
+use negassoc_txdb::partition::partitions;
+use negassoc_txdb::vertical::TidListIndex;
+use negassoc_txdb::TransactionDb;
+use std::io;
+
+/// Mine all (generalized, when `tax` is given) large itemsets with the
+/// Partition algorithm over `num_partitions` partitions.
+///
+/// # Panics
+/// Panics when `num_partitions == 0`.
+pub fn partition_mine(
+    db: &TransactionDb,
+    tax: Option<&Taxonomy>,
+    min_support: MinSupport,
+    num_partitions: usize,
+    backend: CountingBackend,
+) -> io::Result<LargeItemsets> {
+    assert!(num_partitions > 0, "need at least one partition");
+    let total = db.len() as u64;
+    let global_minsup = min_support.to_count(total);
+    // The support *fraction* drives the local thresholds (see module docs).
+    let frac = if total == 0 {
+        1.0
+    } else {
+        global_minsup as f64 / total as f64
+    };
+    let ancestors = tax.map(AncestorTable::new);
+
+    // Phase 1: locally large itemsets, unioned.
+    let mut global_candidates: FxHashSet<Itemset> = FxHashSet::default();
+    for part in partitions(db, num_partitions) {
+        let index = match tax {
+            Some(t) => TidListIndex::build_generalized(&part, t)?,
+            None => TidListIndex::build(&part)?,
+        };
+        let local_minsup = ((frac * part.len() as f64).ceil() as u64).max(1);
+        local_mine(&index, local_minsup, ancestors.as_ref(), &mut global_candidates);
+    }
+
+    // Phase 2: one exact counting pass over the whole database.
+    let mut large = LargeItemsets::new(total, global_minsup);
+    if global_candidates.is_empty() {
+        return Ok(large);
+    }
+    let candidates: Vec<Itemset> = global_candidates.into_iter().collect();
+    let counted = match &ancestors {
+        Some(anc) => {
+            let needed = items_of_candidates(&candidates);
+            let mut mapper = |items: &[ItemId], out: &mut Vec<ItemId>| {
+                extend_filtered(items, anc, &needed, out)
+            };
+            count_mixed(db, candidates, backend, &mut mapper)?
+        }
+        None => count_mixed(db, candidates, backend, &mut crate::count::identity_mapper)?,
+    };
+    for (set, count) in counted {
+        if count >= global_minsup {
+            large.insert(set, count);
+        }
+    }
+    Ok(large)
+}
+
+/// Levelwise local mining against a partition's TID-list index.
+fn local_mine(
+    index: &TidListIndex,
+    local_minsup: u64,
+    ancestors: Option<&AncestorTable>,
+    out: &mut FxHashSet<Itemset>,
+) {
+    // Local L1.
+    let mut large_1: Vec<ItemId> = Vec::new();
+    for raw in 0..index.max_item_bound() {
+        let item = ItemId(raw);
+        if index.support_1(item) >= local_minsup {
+            large_1.push(item);
+            out.insert(Itemset::singleton(item));
+        }
+    }
+    // Levels >= 2 by intersection.
+    let mut frontier: Vec<Itemset> = Vec::new();
+    let mut k = 2;
+    loop {
+        let candidates = if k == 2 {
+            let pairs = pairs_of(&large_1);
+            match ancestors {
+                Some(anc) => prune_ancestor_pairs(pairs, anc),
+                None => pairs,
+            }
+        } else {
+            apriori_gen(&frontier)
+        };
+        if candidates.is_empty() {
+            return;
+        }
+        frontier.clear();
+        for cand in candidates {
+            if index.support(cand.items()) >= local_minsup {
+                out.insert(cand.clone());
+                frontier.push(cand);
+            }
+        }
+        if frontier.is_empty() {
+            return;
+        }
+        k += 1;
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::basic::tests::sa95;
+    use crate::cumulate::cumulate;
+    use negassoc_txdb::TransactionDbBuilder;
+
+    fn textbook_db() -> TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        b.add([ItemId(1), ItemId(3), ItemId(4)]);
+        b.add([ItemId(2), ItemId(3), ItemId(5)]);
+        b.add([ItemId(1), ItemId(2), ItemId(3), ItemId(5)]);
+        b.add([ItemId(2), ItemId(5)]);
+        b.build()
+    }
+
+    fn assert_same(a: &LargeItemsets, b: &LargeItemsets) {
+        assert_eq!(a.total(), b.total());
+        for (set, sup) in a.iter() {
+            assert_eq!(b.support_of_set(set), Some(sup), "{set:?}");
+        }
+    }
+
+    #[test]
+    fn flat_matches_apriori_for_any_partition_count() {
+        let db = textbook_db();
+        let reference = apriori(&db, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        for parts in [1, 2, 3, 4] {
+            let got = partition_mine(
+                &db,
+                None,
+                MinSupport::Count(2),
+                parts,
+                CountingBackend::HashTree,
+            )
+            .unwrap();
+            assert_same(&reference, &got);
+        }
+    }
+
+    #[test]
+    fn generalized_matches_cumulate() {
+        let (tax, db, _) = sa95();
+        let reference =
+            cumulate(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        for parts in [1, 2, 3] {
+            let got = partition_mine(
+                &db,
+                Some(&tax),
+                MinSupport::Count(2),
+                parts,
+                CountingBackend::SubsetHashMap,
+            )
+            .unwrap();
+            assert_same(&reference, &got);
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = TransactionDbBuilder::new().build();
+        let got = partition_mine(
+            &db,
+            None,
+            MinSupport::Fraction(0.1),
+            4,
+            CountingBackend::HashTree,
+        )
+        .unwrap();
+        assert_eq!(got.total(), 0);
+    }
+
+    #[test]
+    fn fractional_support_thresholds() {
+        let db = textbook_db();
+        let reference =
+            apriori(&db, MinSupport::Fraction(0.5), CountingBackend::HashTree).unwrap();
+        let got = partition_mine(
+            &db,
+            None,
+            MinSupport::Fraction(0.5),
+            2,
+            CountingBackend::HashTree,
+        )
+        .unwrap();
+        assert_same(&reference, &got);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let db = textbook_db();
+        let _ = partition_mine(
+            &db,
+            None,
+            MinSupport::Count(2),
+            0,
+            CountingBackend::HashTree,
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation: taxonomy compression (improved-driver optimization 1,
+//! paper §2.2.2) and the §2.5 memory cap. Compression prunes small items
+//! before candidate generation; the cap trades memory for extra passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use negassoc::{MinerConfig, NegativeMiner};
+use negassoc_apriori::MinSupport;
+use negassoc_bench::{short_dataset, PAPER_MIN_RI};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ds = short_dataset(Some(2_000));
+    let mut group = c.benchmark_group("ablation_improved_driver");
+    group.sample_size(10);
+
+    let base = MinerConfig {
+        min_support: MinSupport::Fraction(0.02),
+        min_ri: PAPER_MIN_RI,
+        ..MinerConfig::default()
+    };
+    let variants: Vec<(&str, MinerConfig)> = vec![
+        ("compressed", base),
+        (
+            "uncompressed",
+            MinerConfig {
+                compress_taxonomy: false,
+                ..base
+            },
+        ),
+        (
+            "capped_256",
+            MinerConfig {
+                max_candidates_per_pass: Some(256),
+                ..base
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::new("improved", name), &config, |b, config| {
+            b.iter(|| {
+                let out = NegativeMiner::new(*config)
+                    .mine(&ds.db, &ds.taxonomy)
+                    .unwrap();
+                black_box(out.negatives.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 6 (Criterion form): negative mining time on the "Tall" dataset
+//! (fanout 3), naive vs improved drivers, across the MinSup sweep. The
+//! deep taxonomy produces far more generalized large itemsets than "Short"
+//! at the same support — the paper's explanation for its longer runtimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use negassoc::config::Driver;
+use negassoc::{MinerConfig, NegativeMiner};
+use negassoc_apriori::MinSupport;
+use negassoc_bench::{tall_dataset, PAPER_MIN_RI};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ds = tall_dataset(Some(2_000));
+    let mut group = c.benchmark_group("fig6_tall");
+    group.sample_size(10);
+    for &pct in &[3.0, 2.0] {
+        for (name, driver) in [("naive", Driver::Naive), ("improved", Driver::Improved)] {
+            let config = MinerConfig {
+                min_support: MinSupport::Fraction(pct / 100.0),
+                min_ri: PAPER_MIN_RI,
+                driver,
+                ..MinerConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("minsup_{pct}pct")),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        let out = NegativeMiner::new(*config)
+                            .mine(&ds.db, &ds.taxonomy)
+                            .unwrap();
+                        black_box(out.rules.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

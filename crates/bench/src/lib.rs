@@ -1,0 +1,281 @@
+//! Experiment runners shared by the Criterion benches and the `paper`
+//! binary. Each public function regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index).
+//!
+//! Absolute times will differ from the paper's SPARCstation 5; the *shape*
+//! — who wins, how curves move with MinSup and fan-out — is the
+//! reproduction target, so every row also reports the machine-independent
+//! metrics (passes, candidate and itemset counts).
+
+use negassoc::candidates::{CandidateGenerator, CandidateSet};
+use negassoc::config::Driver;
+use negassoc::{MinerConfig, NegativeMiner};
+use negassoc_apriori::count::CountingBackend;
+use negassoc_apriori::MinSupport;
+use negassoc_datagen::{generate, presets, Dataset, GenParams};
+use std::time::Duration;
+
+/// The MinSup sweep of Figures 5 and 6 (percent).
+pub const FIG56_SUPPORTS_PCT: &[f64] = &[2.0, 1.5, 1.0, 0.75, 0.5];
+
+/// The fixed MinRI of the whole evaluation ("The minimum RI was set to 0.5
+/// in all cases").
+pub const PAPER_MIN_RI: f64 = 0.5;
+
+/// The MinSup used for Figure 7 and the §3.2 itemset-count comparison.
+pub const FIG7_SUPPORT_PCT: f64 = 1.5;
+
+/// Materialize the "Short" dataset, optionally scaled down to
+/// `transactions` (full Table 4 size when `None`).
+pub fn short_dataset(transactions: Option<usize>) -> Dataset {
+    build(presets::short(), transactions)
+}
+
+/// Materialize the "Tall" dataset.
+pub fn tall_dataset(transactions: Option<usize>) -> Dataset {
+    build(presets::tall(), transactions)
+}
+
+fn build(preset: GenParams, transactions: Option<usize>) -> Dataset {
+    let params = match transactions {
+        None => preset,
+        Some(n) => presets::scaled(preset, n),
+    };
+    generate(&params)
+}
+
+/// One row of Figure 5 / Figure 6: execution time of the naive and
+/// improved algorithms at one minimum support.
+#[derive(Clone, Debug)]
+pub struct Fig56Row {
+    /// Minimum support, percent of the database.
+    pub min_support_pct: f64,
+    /// Naive driver wall time.
+    pub naive: Duration,
+    /// Improved driver wall time.
+    pub improved: Duration,
+    /// Database passes of each driver.
+    pub naive_passes: u64,
+    /// Database passes of the improved driver.
+    pub improved_passes: u64,
+    /// Generalized large itemsets at this support.
+    pub large_itemsets: usize,
+    /// Distinct negative candidates.
+    pub candidates: u64,
+    /// Confirmed negative itemsets.
+    pub negatives: usize,
+    /// Emitted rules.
+    pub rules: usize,
+}
+
+fn miner_config(min_support_pct: f64, driver: Driver) -> MinerConfig {
+    MinerConfig {
+        min_support: MinSupport::Fraction(min_support_pct / 100.0),
+        min_ri: PAPER_MIN_RI,
+        driver,
+        ..MinerConfig::default()
+    }
+}
+
+/// Run one Figure 5/6 row over any transaction source.
+///
+/// Like the paper, the timings cover negative-itemset and rule generation
+/// but *not* the shared positive mining ("we have not included the time
+/// taken to generate the generalized large itemsets"); the drivers report
+/// their phase timings directly.
+pub fn fig56_row_source<S: negassoc_txdb::TransactionSource + ?Sized>(
+    source: &S,
+    taxonomy: &negassoc_taxonomy::Taxonomy,
+    min_support_pct: f64,
+) -> Fig56Row {
+    let run = |driver: Driver| {
+        let out = NegativeMiner::new(miner_config(min_support_pct, driver))
+            .mine(source, taxonomy)
+            .expect("mining");
+        let negative_phase = out.report.negative_time + out.report.rule_time;
+        (negative_phase, out)
+    };
+    let (naive_time, naive_out) = run(Driver::Naive);
+    let (improved_time, improved_out) = run(Driver::Improved);
+
+    Fig56Row {
+        min_support_pct,
+        naive: naive_time,
+        improved: improved_time,
+        naive_passes: naive_out.report.passes,
+        improved_passes: improved_out.report.passes,
+        large_itemsets: improved_out.large.total(),
+        candidates: improved_out.report.candidates.unique,
+        negatives: improved_out.negatives.len(),
+        rules: improved_out.rules.len(),
+    }
+}
+
+/// In-memory convenience wrapper around [`fig56_row_source`].
+pub fn fig56_row(ds: &Dataset, min_support_pct: f64) -> Fig56Row {
+    fig56_row_source(&ds.db, &ds.taxonomy, min_support_pct)
+}
+
+/// Run the full Figure 5/6 sweep in memory.
+pub fn fig56_sweep(ds: &Dataset, supports_pct: &[f64]) -> Vec<Fig56Row> {
+    supports_pct.iter().map(|&s| fig56_row(ds, s)).collect()
+}
+
+/// A dataset spilled to disk in the binary format, mined by streaming —
+/// the paper's setting (its database did not fit the SPARCstation's 32 MB
+/// of memory, so every pass re-read the disk). The temp file is removed on
+/// drop.
+pub struct DiskDataset {
+    /// The taxonomy (kept in memory, as in the paper).
+    pub taxonomy: negassoc_taxonomy::Taxonomy,
+    /// Streaming source over the spilled file.
+    pub source: negassoc_txdb::binfmt::FileSource,
+    path: std::path::PathBuf,
+}
+
+impl DiskDataset {
+    /// Spill `ds` to a temp file and open it for streaming.
+    pub fn spill(ds: &Dataset) -> std::io::Result<Self> {
+        let path = std::env::temp_dir().join(format!(
+            "negassoc-bench-{}-{}-{}.nadb",
+            std::process::id(),
+            ds.params.fanout,
+            ds.db.len()
+        ));
+        negassoc_txdb::binfmt::save(&ds.db, &path)?;
+        let source = negassoc_txdb::binfmt::FileSource::open(&path)?;
+        Ok(Self {
+            taxonomy: ds.taxonomy.clone(),
+            source,
+            path,
+        })
+    }
+
+    /// Run the Figure 5/6 sweep streaming from disk.
+    pub fn fig56_sweep(&self, supports_pct: &[f64]) -> Vec<Fig56Row> {
+        supports_pct
+            .iter()
+            .map(|&s| fig56_row_source(&self.source, &self.taxonomy, s))
+            .collect()
+    }
+}
+
+impl Drop for DiskDataset {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+/// Run the Figure 5/6 sweep under the 1995-disk I/O simulation
+/// (`negassoc_txdb::throttle`): each database pass carries the I/O cost the
+/// paper's hardware paid, which is what separates the `2n`-pass naive
+/// driver from the `n + 1`-pass improved one. See DESIGN.md
+/// "Substitutions".
+pub fn fig56_sweep_throttled(ds: &Dataset, supports_pct: &[f64]) -> Vec<Fig56Row> {
+    let throttled = negassoc_txdb::throttle::ThrottledSource::new(
+        &ds.db,
+        negassoc_txdb::throttle::DISK_1995_BYTES_PER_SEC,
+    )
+    .expect("in-memory pass cannot fail");
+    supports_pct
+        .iter()
+        .map(|&s| fig56_row_source(&throttled, &ds.taxonomy, s))
+        .collect()
+}
+
+/// One series of Figure 7: per itemset size, the number of negative
+/// candidates normalized by the number of large itemsets of that size.
+#[derive(Clone, Debug)]
+pub struct Fig7Series {
+    /// The taxonomy fan-out of the dataset (9 = Short, 3 = Tall).
+    pub fanout: f64,
+    /// `(itemset size, candidates, large itemsets, candidates-per-large)`.
+    pub rows: Vec<(usize, u64, usize, f64)>,
+}
+
+/// Compute one Figure 7 series at `min_support_pct`.
+pub fn fig7_series(ds: &Dataset, min_support_pct: f64) -> Fig7Series {
+    let large = negassoc_apriori::cumulate::cumulate(
+        &ds.db,
+        &ds.taxonomy,
+        MinSupport::Fraction(min_support_pct / 100.0),
+        CountingBackend::HashTree,
+    )
+    .expect("positive mining");
+    let generator = CandidateGenerator::new(&ds.taxonomy, &large, PAPER_MIN_RI);
+    let mut rows = Vec::new();
+    for k in 2..=large.max_level() {
+        let mut set = CandidateSet::new();
+        generator.extend_from_level(k, &mut set);
+        let (cands, _) = set.into_candidates();
+        let large_k = large.level_len(k);
+        if large_k == 0 {
+            continue;
+        }
+        let normalized = cands.len() as f64 / large_k as f64;
+        rows.push((k, cands.len() as u64, large_k, normalized));
+    }
+    Fig7Series {
+        fanout: ds.params.fanout,
+        rows,
+    }
+}
+
+/// §3.2 comparison: generalized large-itemset counts of the two datasets at
+/// 1.5% support (paper: 15,476 for "Tall" vs 1,499 for "Short").
+pub fn itemset_counts(short: &Dataset, tall: &Dataset, min_support_pct: f64) -> (usize, usize) {
+    let count = |ds: &Dataset| {
+        negassoc_apriori::cumulate::cumulate(
+            &ds.db,
+            &ds.taxonomy,
+            MinSupport::Fraction(min_support_pct / 100.0),
+            CountingBackend::HashTree,
+        )
+        .expect("positive mining")
+        .total()
+    };
+    (count(short), count(tall))
+}
+
+/// Render a duration in seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig56_row_shapes() {
+        let ds = short_dataset(Some(500));
+        let row = fig56_row(&ds, 5.0);
+        assert_eq!(row.min_support_pct, 5.0);
+        assert!(row.large_itemsets > 0);
+        // Improved never makes more passes than naive.
+        assert!(row.improved_passes <= row.naive_passes);
+    }
+
+    #[test]
+    fn fig7_series_has_fanout_and_rows() {
+        let ds = short_dataset(Some(500));
+        let s = fig7_series(&ds, 5.0);
+        assert_eq!(s.fanout, 9.0);
+        for (k, cands, large, norm) in &s.rows {
+            assert!(*k >= 2);
+            assert!(*large > 0);
+            assert!((*norm - *cands as f64 / *large as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn itemset_counts_tall_exceeds_short() {
+        // The §3.2 claim at small scale: the deeper taxonomy (fanout 3)
+        // yields more generalized large itemsets than the bushy one.
+        let short = short_dataset(Some(500));
+        let tall = tall_dataset(Some(500));
+        let (s, t) = itemset_counts(&short, &tall, 5.0);
+        assert!(s > 0 && t > 0);
+        assert!(t > s, "tall {t} vs short {s}");
+    }
+}

@@ -1,0 +1,60 @@
+//! `negrules generate` — synthesize a dataset with the §3.1 generator.
+
+use crate::io::{save_db, save_taxonomy};
+use crate::opts::Opts;
+use negassoc_datagen::{generate, presets, GenParams};
+
+const KNOWN: &[&str] = &[
+    "data",
+    "taxonomy",
+    "preset",
+    "transactions",
+    "items",
+    "roots",
+    "fanout",
+    "clusters",
+    "avg-len",
+    "seed",
+];
+
+pub fn run(args: Vec<String>) -> Result<(), String> {
+    let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
+    let data_path = opts.require("data").map_err(|e| e.to_string())?;
+    let tax_path = opts.require("taxonomy").map_err(|e| e.to_string())?;
+
+    let mut params: GenParams = match opts.get("preset") {
+        None => GenParams::default(),
+        Some("short") => presets::short(),
+        Some("tall") => presets::tall(),
+        Some(other) => return Err(format!("unknown preset {other:?} (short|tall)")),
+    };
+    macro_rules! override_param {
+        ($key:literal, $field:ident, $ty:ty) => {
+            if let Some(v) = opts.get($key) {
+                params.$field = v
+                    .parse::<$ty>()
+                    .map_err(|_| format!("invalid --{}: {v:?}", $key))?;
+            }
+        };
+    }
+    override_param!("transactions", num_transactions, usize);
+    override_param!("items", num_items, usize);
+    override_param!("roots", num_roots, usize);
+    override_param!("fanout", fanout, f64);
+    override_param!("clusters", num_clusters, usize);
+    override_param!("avg-len", avg_transaction_len, f64);
+    override_param!("seed", seed, u64);
+
+    let ds = generate(&params);
+    save_taxonomy(&ds.taxonomy, tax_path)?;
+    save_db(&ds.db, data_path)?;
+    println!(
+        "wrote {} transactions to {data_path} and a taxonomy of {} items \
+         ({} leaves, depth {}) to {tax_path}",
+        ds.db.len(),
+        ds.taxonomy.len(),
+        ds.taxonomy.num_leaves(),
+        ds.taxonomy.max_depth()
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! The four `negrules` subcommands.
+
+pub mod generate;
+pub mod mine;
+pub mod negatives;
+pub mod stats;
+
+use negassoc_apriori::Itemset;
+use negassoc_taxonomy::Taxonomy;
+
+/// Render an itemset through the taxonomy's names when possible, falling
+/// back to raw ids for items outside the taxonomy.
+pub(crate) fn itemset_names(tax: &Taxonomy, set: &Itemset) -> String {
+    set.items()
+        .iter()
+        .map(|&i| {
+            if i.index() < tax.len() {
+                tax.name(i).to_owned()
+            } else {
+                format!("#{i}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" + ")
+}

@@ -1,0 +1,142 @@
+//! `negrules negatives` — the paper's negative association rules.
+
+use crate::commands::itemset_names;
+use crate::io::{load_db, load_taxonomy};
+use crate::opts::Opts;
+use negassoc::config::{Driver, GenAlgorithm};
+use negassoc::{MinerConfig, NegativeMiner};
+use negassoc_apriori::MinSupport;
+
+const KNOWN: &[&str] = &[
+    "data",
+    "taxonomy",
+    "min-support",
+    "min-ri",
+    "driver",
+    "algorithm",
+    "max-size",
+    "cap",
+    "top",
+    "out",
+    "no-compress!",
+];
+
+pub fn run(args: Vec<String>) -> Result<(), String> {
+    let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
+    let db = load_db(opts.require("data").map_err(|e| e.to_string())?)?;
+    let tax = load_taxonomy(opts.require("taxonomy").map_err(|e| e.to_string())?)?;
+    let min_support: f64 = opts.parse_or("min-support", 0.01).map_err(|e| e.to_string())?;
+    let min_ri: f64 = opts.parse_or("min-ri", 0.5).map_err(|e| e.to_string())?;
+    let top: usize = opts.parse_or("top", 20).map_err(|e| e.to_string())?;
+
+    let driver = match opts.get("driver") {
+        None | Some("improved") => Driver::Improved,
+        Some("naive") => Driver::Naive,
+        Some(other) => return Err(format!("unknown driver {other:?} (naive|improved)")),
+    };
+    let algorithm = match opts.get("algorithm") {
+        None | Some("cumulate") => GenAlgorithm::Cumulate,
+        Some("basic") => GenAlgorithm::Basic,
+        Some("estmerge") => GenAlgorithm::EstMerge(Default::default()),
+        Some(other) => {
+            return Err(format!(
+                "unknown algorithm {other:?} (basic|cumulate|estmerge)"
+            ))
+        }
+    };
+    let max_negative_size = match opts.get("max-size") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid --max-size {v:?}"))?),
+    };
+    let max_candidates_per_pass = match opts.get("cap") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid --cap {v:?}"))?),
+    };
+
+    let config = MinerConfig {
+        min_support: MinSupport::Fraction(min_support),
+        min_ri,
+        driver,
+        algorithm,
+        max_negative_size,
+        max_candidates_per_pass,
+        compress_taxonomy: !opts.flag("no-compress"),
+        ..MinerConfig::default()
+    };
+    let outcome = NegativeMiner::new(config)
+        .mine(&db, &tax)
+        .map_err(|e| e.to_string())?;
+
+    let rep = &outcome.report;
+    println!(
+        "mined {} transactions in {:?} ({} passes)",
+        db.len(),
+        rep.mining_time + rep.rule_time,
+        rep.passes
+    );
+    println!(
+        "large itemsets: {}   negative candidates: {} (of {} generated)   negative itemsets: {}",
+        rep.large_itemsets, rep.candidates.unique, rep.candidates.generated, rep.negative_itemsets
+    );
+
+    let mut rules = outcome.rules;
+    rules.sort_by(|a, b| b.ri.total_cmp(&a.ri));
+    if let Some(out_path) = opts.get("out") {
+        write_rules_csv(out_path, &rules, &tax)?;
+        println!("wrote {} rules to {out_path}", rules.len());
+    }
+    println!("\n{} negative rules at RI >= {min_ri}:", rules.len());
+    for r in rules.iter().take(top) {
+        println!(
+            "  {} =/=> {}  (RI {:.3}, expected {:.1}, actual {})",
+            itemset_names(&tax, &r.antecedent),
+            itemset_names(&tax, &r.consequent),
+            r.ri,
+            r.expected,
+            r.actual
+        );
+    }
+    Ok(())
+}
+
+/// Write rules as CSV: `antecedent,consequent,ri,expected,actual` with
+/// multi-item sides joined by `|`. Item names are quoted when they contain
+/// a comma or quote.
+fn write_rules_csv(
+    path: &str,
+    rules: &[negassoc::NegativeRule],
+    tax: &negassoc_taxonomy::Taxonomy,
+) -> Result<(), String> {
+    use std::io::Write;
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    let side = |set: &negassoc_apriori::Itemset| -> String {
+        let joined = set
+            .items()
+            .iter()
+            .map(|&i| tax.name(i).to_owned())
+            .collect::<Vec<_>>()
+            .join("|");
+        if joined.contains(',') || joined.contains('"') {
+            format!("\"{}\"", joined.replace('"', "\"\""))
+        } else {
+            joined
+        }
+    };
+    (|| -> std::io::Result<()> {
+        writeln!(w, "antecedent,consequent,ri,expected,actual")?;
+        for r in rules {
+            writeln!(
+                w,
+                "{},{},{:.6},{:.3},{}",
+                side(&r.antecedent),
+                side(&r.consequent),
+                r.ri,
+                r.expected,
+                r.actual
+            )?;
+        }
+        w.flush()
+    })()
+    .map_err(|e| format!("{path}: {e}"))
+}

@@ -1,0 +1,47 @@
+//! `negrules stats` — summarize a transaction file (and optionally its
+//! taxonomy).
+
+use crate::io::{load_db, load_taxonomy};
+use crate::opts::Opts;
+use negassoc_txdb::stats::{collect, top_items};
+
+const KNOWN: &[&str] = &["data", "taxonomy", "top"];
+
+pub fn run(args: Vec<String>) -> Result<(), String> {
+    let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
+    let data_path = opts.require("data").map_err(|e| e.to_string())?;
+    let top_n: usize = opts.parse_or("top", 10).map_err(|e| e.to_string())?;
+
+    let db = load_db(data_path)?;
+    let (s, counts) = collect(&db).map_err(|e| e.to_string())?;
+    println!("transactions:      {}", s.transactions);
+    println!("item occurrences:  {}", s.item_occurrences);
+    println!("distinct items:    {}", s.distinct_items);
+    println!("basket length:     min {}, avg {:.2}, max {}", s.min_len, s.avg_len, s.max_len);
+
+    let tax = match opts.get("taxonomy") {
+        Some(p) => Some(load_taxonomy(p)?),
+        None => None,
+    };
+    if let Some(tax) = &tax {
+        let ts = negassoc_taxonomy::stats::stats(tax);
+        println!(
+            "taxonomy:          {} items ({} leaves, {} categories, {} roots, depth {})",
+            ts.items, ts.leaves, ts.categories, ts.roots, ts.max_depth
+        );
+        println!(
+            "taxonomy fanout:   avg {:.2}, max {}; level sizes {:?}",
+            ts.avg_fanout, ts.max_fanout, ts.level_sizes
+        );
+    }
+
+    println!("top items:");
+    for (item, count) in top_items(&counts, top_n) {
+        let name = match &tax {
+            Some(t) if item.index() < t.len() => t.name(item).to_owned(),
+            _ => format!("#{item}"),
+        };
+        println!("  {name:<30} {count}");
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Shared file loading for the CLI: transaction databases (binary `.nadb`
+//! or whitespace text) and taxonomies (the tab-separated text format).
+
+use negassoc_taxonomy::Taxonomy;
+use negassoc_txdb::TransactionDb;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+/// Load a transaction database, choosing the format by extension
+/// (`.nadb` = binary, anything else = text).
+pub fn load_db(path: &str) -> Result<TransactionDb, String> {
+    let p = Path::new(path);
+    if p.extension().is_some_and(|e| e == "nadb") {
+        negassoc_txdb::binfmt::load(p).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let f = File::open(p).map_err(|e| format!("{path}: {e}"))?;
+        negassoc_txdb::textfmt::read_db(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Save a transaction database, format by extension as in [`load_db`].
+pub fn save_db(db: &TransactionDb, path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    if p.extension().is_some_and(|e| e == "nadb") {
+        negassoc_txdb::binfmt::save(db, p).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let f = File::create(p).map_err(|e| format!("{path}: {e}"))?;
+        negassoc_txdb::textfmt::write_db(db, f).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Load a taxonomy from the text format.
+pub fn load_taxonomy(path: &str) -> Result<Taxonomy, String> {
+    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    negassoc_taxonomy::textfmt::read_taxonomy(BufReader::new(f))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Save a taxonomy in the text format.
+pub fn save_taxonomy(tax: &Taxonomy, path: &str) -> Result<(), String> {
+    let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    negassoc_taxonomy::textfmt::write_taxonomy(tax, f).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use negassoc_taxonomy::{ItemId, TaxonomyBuilder};
+    use negassoc_txdb::TransactionDbBuilder;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("negrules-io-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn db_round_trips_both_formats() {
+        let mut b = TransactionDbBuilder::new();
+        b.add([ItemId(1), ItemId(2)]);
+        b.add([ItemId(3)]);
+        let db = b.build();
+        for name in ["t.nadb", "t.txt"] {
+            let path = tmp(name);
+            save_db(&db, &path).unwrap();
+            let back = load_db(&path).unwrap();
+            assert_eq!(back.len(), 2);
+            assert_eq!(back.get(0).items(), db.get(0).items());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn taxonomy_round_trips() {
+        let mut b = TaxonomyBuilder::new();
+        let r = b.add_root("root");
+        b.add_child(r, "leaf").unwrap();
+        let tax = b.build();
+        let path = tmp("tax.txt");
+        save_taxonomy(&tax, &path).unwrap();
+        let back = load_taxonomy(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_files_error_with_path() {
+        let err = load_db("/nonexistent/x.nadb").unwrap_err();
+        assert!(err.contains("/nonexistent/x.nadb"));
+        let err = load_taxonomy("/nonexistent/t.txt").unwrap_err();
+        assert!(err.contains("t.txt"));
+    }
+}

@@ -1,0 +1,67 @@
+//! `negrules` — negative association rule mining from the command line.
+//!
+//! ```text
+//! negrules generate  --data out.nadb --taxonomy out-tax.txt [--preset short|tall]
+//!                    [--transactions N] [--items N] [--seed S]
+//! negrules stats     --data D [--taxonomy T]
+//! negrules mine      --data D --taxonomy T [--min-support F] [--min-conf F]
+//!                    [--algorithm basic|cumulate|estmerge|partition]
+//!                    [--r-interest R]
+//! negrules negatives --data D --taxonomy T [--min-support F] [--min-ri F]
+//!                    [--driver naive|improved] [--algorithm basic|cumulate|estmerge]
+//!                    [--max-size K] [--cap N] [--top N] [--out rules.csv]
+//! ```
+
+mod commands;
+mod io;
+mod opts;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
+
+  generate   synthesize a dataset (paper section 3.1 generator)
+             --data PATH --taxonomy PATH [--preset short|tall]
+             [--transactions N] [--items N] [--seed S]
+  stats      summarize a transaction file
+             --data PATH [--taxonomy PATH]
+  mine       positive generalized association rules
+             --data PATH --taxonomy PATH [--min-support F=0.01]
+             [--min-conf F=0.6] [--top N=20]
+             [--algorithm basic|cumulate|estmerge|partition]
+             [--partitions N=4] [--r-interest R]
+  negatives  strong negative association rules (Savasere et al., ICDE '98)
+             --data PATH --taxonomy PATH [--min-support F=0.01]
+             [--min-ri F=0.5] [--driver naive|improved]
+             [--algorithm basic|cumulate|estmerge] [--max-size K]
+             [--cap N] [--top N=20] [--out rules.csv] [--no-compress]
+
+Transaction files: .nadb (binary) or whitespace text, one basket per line.
+Taxonomy files: `name<TAB>parent` per line, `-` for roots.";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest: Vec<String> = args.collect();
+    let result = match command.as_str() {
+        "generate" => commands::generate::run(rest),
+        "stats" => commands::stats::run(rest),
+        "mine" => commands::mine::run(rest),
+        "negatives" => commands::negatives::run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,163 @@
+use crate::error::Error;
+use negassoc_apriori::count::CountingBackend;
+use negassoc_apriori::est_merge::EstMergeConfig;
+use negassoc_apriori::MinSupport;
+
+/// Which generalized large-itemset algorithm feeds the negative miner
+/// (paper §2.2: "we can use one of the algorithms, Basic, Cumulate or
+/// EstMerge, proposed in [14]").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GenAlgorithm {
+    /// Extend transactions with all ancestors.
+    Basic,
+    /// Cumulate's filtering optimizations (default).
+    Cumulate,
+    /// Sampling-based EstMerge. Only usable with the improved driver — the
+    /// naive driver needs strict level-by-level results, which EstMerge's
+    /// deferred counting does not provide.
+    EstMerge(EstMergeConfig),
+}
+
+impl Default for GenAlgorithm {
+    fn default() -> Self {
+        GenAlgorithm::Cumulate
+    }
+}
+
+/// Which negative-itemset driver to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Driver {
+    /// Paper §2.2.1: interleaves positive and negative phases per level —
+    /// `2n` database passes.
+    Naive,
+    /// Paper §2.2.2 (Fig. 3): all positive levels first, taxonomy
+    /// compression, single negative counting pass — `n + 1` passes (more
+    /// under the §2.5 memory cap).
+    #[default]
+    Improved,
+}
+
+/// Full configuration of a [`crate::NegativeMiner`].
+#[derive(Clone, Copy, Debug)]
+pub struct MinerConfig {
+    /// Minimum support for large itemsets, rule antecedents and
+    /// consequents.
+    pub min_support: MinSupport,
+    /// Minimum rule interest `MinRI` (see crate docs for the RI measure).
+    pub min_ri: f64,
+    /// Positive mining algorithm.
+    pub algorithm: GenAlgorithm,
+    /// Negative-itemset driver.
+    pub driver: Driver,
+    /// Support-counting backend for all passes.
+    pub backend: CountingBackend,
+    /// §2.5 memory management: at most this many negative candidates are
+    /// counted per pass; `None` counts them all in one pass.
+    pub max_candidates_per_pass: Option<usize>,
+    /// Improved-driver optimization 1 (delete small 1-items from the
+    /// taxonomy before candidate generation). Disabling it changes nothing
+    /// about the output — only the work done; exposed for the ablation
+    /// benchmark.
+    pub compress_taxonomy: bool,
+    /// Cap on the size of negative itemsets considered (`None` = up to the
+    /// largest large itemset). The number of candidates is exponential in
+    /// this size (paper §2.1.2).
+    pub max_negative_size: Option<usize>,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            min_support: MinSupport::Fraction(0.01),
+            min_ri: 0.5,
+            algorithm: GenAlgorithm::default(),
+            driver: Driver::default(),
+            backend: CountingBackend::default(),
+            max_candidates_per_pass: None,
+            compress_taxonomy: true,
+            max_negative_size: None,
+        }
+    }
+}
+
+impl MinerConfig {
+    /// Check invariants that the type system cannot express.
+    pub fn validate(&self) -> Result<(), Error> {
+        if !(self.min_ri > 0.0) {
+            return Err(Error::Config(format!(
+                "min_ri must be positive, got {}",
+                self.min_ri
+            )));
+        }
+        if let MinSupport::Fraction(f) = self.min_support {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(Error::Config(format!(
+                    "min_support fraction must be in [0, 1], got {f}"
+                )));
+            }
+        }
+        if let Some(0) = self.max_candidates_per_pass {
+            return Err(Error::Config(
+                "max_candidates_per_pass must be at least 1".into(),
+            ));
+        }
+        if let (Driver::Naive, GenAlgorithm::EstMerge(_)) = (self.driver, self.algorithm) {
+            return Err(Error::Config(
+                "EstMerge cannot drive the naive algorithm (no per-level stepping)".into(),
+            ));
+        }
+        if let Some(k) = self.max_negative_size {
+            if k < 2 {
+                return Err(Error::Config(
+                    "max_negative_size must be at least 2".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        MinerConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_knobs() {
+        let mut c = MinerConfig {
+            min_ri: 0.0,
+            ..MinerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.min_ri = -1.0;
+        assert!(c.validate().is_err());
+        c.min_ri = 0.5;
+
+        c.min_support = MinSupport::Fraction(1.5);
+        assert!(c.validate().is_err());
+        c.min_support = MinSupport::Count(10);
+
+        c.max_candidates_per_pass = Some(0);
+        assert!(c.validate().is_err());
+        c.max_candidates_per_pass = Some(1);
+
+        c.max_negative_size = Some(1);
+        assert!(c.validate().is_err());
+        c.max_negative_size = Some(2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn est_merge_with_naive_driver_is_rejected() {
+        let c = MinerConfig {
+            driver: Driver::Naive,
+            algorithm: GenAlgorithm::EstMerge(EstMergeConfig::default()),
+            ..MinerConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

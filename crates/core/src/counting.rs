@@ -1,0 +1,192 @@
+//! Counting the *actual* supports of negative candidates, with the paper's
+//! §2.5 memory management: when the candidate set exceeds the configured
+//! budget, it is counted in chunks, one database pass per chunk.
+
+use crate::candidates::{Derivation, NegativeCandidate, NegativeItemset};
+use crate::expected::is_negative;
+use negassoc_apriori::count::{count_mixed, CountingBackend};
+use negassoc_apriori::generalized::{extend_filtered, items_of_candidates, AncestorTable};
+use negassoc_apriori::Itemset;
+use negassoc_taxonomy::fxhash::FxHashMap;
+use negassoc_taxonomy::ItemId;
+use negassoc_txdb::TransactionSource;
+use std::io;
+
+/// Count all `candidates` (mixed sizes, categories allowed) and keep the
+/// negative ones. Returns the negative itemsets and the number of database
+/// passes made (`ceil(len / cap)`, or 1 without a cap).
+pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
+    source: &S,
+    ancestors: &AncestorTable,
+    candidates: Vec<NegativeCandidate>,
+    backend: CountingBackend,
+    cap: Option<usize>,
+    min_support_count: u64,
+    min_ri: f64,
+) -> io::Result<(Vec<NegativeItemset>, u64)> {
+    if candidates.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    let chunk_size = cap.unwrap_or(candidates.len()).max(1);
+    let mut negatives = Vec::new();
+    let mut passes = 0u64;
+    let mut remaining = candidates;
+    while !remaining.is_empty() {
+        let tail = remaining.split_off(chunk_size.min(remaining.len()));
+        let chunk = std::mem::replace(&mut remaining, tail);
+        passes += 1;
+        count_chunk(
+            source,
+            ancestors,
+            chunk,
+            backend,
+            min_support_count,
+            min_ri,
+            &mut negatives,
+        )?;
+    }
+    Ok((negatives, passes))
+}
+
+fn count_chunk<S: TransactionSource + ?Sized>(
+    source: &S,
+    ancestors: &AncestorTable,
+    chunk: Vec<NegativeCandidate>,
+    backend: CountingBackend,
+    min_support_count: u64,
+    min_ri: f64,
+    negatives: &mut Vec<NegativeItemset>,
+) -> io::Result<()> {
+    let mut expected: FxHashMap<Itemset, (f64, Derivation)> = FxHashMap::default();
+    let mut itemsets: Vec<Itemset> = Vec::with_capacity(chunk.len());
+    for c in chunk {
+        itemsets.push(c.itemset.clone());
+        expected.insert(c.itemset, (c.expected, c.derivation));
+    }
+    // Candidates may contain categories; transactions must be extended with
+    // exactly the ancestors the candidates can use (the Cumulate filter).
+    let needed = items_of_candidates(&itemsets);
+    let mut mapper = |items: &[ItemId], out: &mut Vec<ItemId>| {
+        extend_filtered(items, ancestors, &needed, out)
+    };
+    let counted = count_mixed(source, itemsets, backend, &mut mapper)?;
+    for (set, actual) in counted {
+        let (e, _) = &expected[&set];
+        if is_negative(*e, actual, min_support_count, min_ri) {
+            let (e, derivation) = expected.remove(&set).expect("just looked up");
+            negatives.push(NegativeItemset {
+                itemset: set,
+                expected: e,
+                actual,
+                derivation: Some(derivation),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use negassoc_taxonomy::TaxonomyBuilder;
+    use negassoc_txdb::{PassCounter, TransactionDbBuilder};
+
+    /// cat -> {a, b}; db where {a} and {b} never co-occur.
+    #[test]
+    fn confirms_negatives_and_counts_passes() {
+        let mut tb = TaxonomyBuilder::new();
+        let cat = tb.add_root("cat");
+        let a = tb.add_child(cat, "a").unwrap();
+        let b = tb.add_child(cat, "b").unwrap();
+        let other = tb.add_root("other");
+        let tax = tb.build();
+        let ancestors = AncestorTable::new(&tax);
+
+        let mut db = TransactionDbBuilder::new();
+        for _ in 0..10 {
+            db.add([a, other]);
+        }
+        for _ in 0..10 {
+            db.add([b]);
+        }
+        let pc = PassCounter::new(db.build());
+
+        let derivation = |seed: Vec<negassoc_taxonomy::ItemId>| crate::candidates::Derivation {
+            seed: Itemset::from_unsorted(seed),
+            seed_support: 10,
+            case: crate::candidates::DerivationCase::Siblings,
+        };
+        let candidates = vec![
+            NegativeCandidate {
+                itemset: Itemset::from_unsorted(vec![a, b]),
+                expected: 8.0,
+                derivation: derivation(vec![a, other]),
+            },
+            NegativeCandidate {
+                itemset: Itemset::from_unsorted(vec![b, other]),
+                expected: 5.0,
+                derivation: derivation(vec![a, other]),
+            },
+            // Category candidate: {cat, other} actually co-occurs often.
+            NegativeCandidate {
+                itemset: Itemset::from_unsorted(vec![cat, other]),
+                expected: 10.0,
+                derivation: derivation(vec![cat, other]),
+            },
+        ];
+
+        // minsup 5, min_ri 0.5 -> negativity threshold 2.5.
+        let (negs, passes) = confirm_negatives(
+            &pc,
+            &ancestors,
+            candidates.clone(),
+            CountingBackend::HashTree,
+            None,
+            5,
+            0.5,
+        )
+        .unwrap();
+        assert_eq!(passes, 1);
+        assert_eq!(pc.passes(), 1);
+        // {a,b}: actual 0, deviation 8 >= 2.5 -> negative.
+        // {b,other}: actual 0, deviation 5 -> negative.
+        // {cat,other}: actual 10, deviation 0 -> not negative.
+        let mut got: Vec<(Vec<negassoc_taxonomy::ItemId>, u64)> = negs
+            .iter()
+            .map(|n| (n.itemset.items().to_vec(), n.actual))
+            .collect();
+        got.sort();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(_, actual)| *actual == 0));
+
+        // With a cap of 1 candidate per pass: 3 passes, same negatives.
+        pc.reset();
+        let (negs2, passes2) = confirm_negatives(
+            &pc,
+            &ancestors,
+            candidates,
+            CountingBackend::SubsetHashMap,
+            Some(1),
+            5,
+            0.5,
+        )
+        .unwrap();
+        assert_eq!(passes2, 3);
+        assert_eq!(pc.passes(), 3);
+        assert_eq!(negs2.len(), 2);
+    }
+
+    #[test]
+    fn empty_candidates_make_no_pass() {
+        let tax = TaxonomyBuilder::new().build();
+        let ancestors = AncestorTable::new(&tax);
+        let db = TransactionDbBuilder::new().build();
+        let pc = PassCounter::new(db);
+        let (negs, passes) =
+            confirm_negatives(&pc, &ancestors, Vec::new(), CountingBackend::HashTree, None, 1, 0.5)
+                .unwrap();
+        assert!(negs.is_empty());
+        assert_eq!(passes, 0);
+        assert_eq!(pc.passes(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+use std::io;
+
+/// Errors from the negative-association miner.
+#[derive(Debug)]
+pub enum Error {
+    /// A database pass failed.
+    Io(io::Error),
+    /// Invalid configuration (message explains which knob).
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error during mining: {e}"),
+            Error::Config(msg) => write!(f, "invalid miner configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = Error::Config("min_ri out of range".into());
+        assert!(c.to_string().contains("min_ri"));
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

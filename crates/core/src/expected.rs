@@ -1,0 +1,167 @@
+//! Expected supports of candidate negative itemsets (paper §2.1.1).
+//!
+//! All three generation cases share one shape: the candidate is a large
+//! itemset `l` with some members replaced, and
+//!
+//! ```text
+//! E[sup(candidate)] = sup(l) · Π over replaced positions  sup(new) / sup(old)
+//! ```
+//!
+//! * **Case 1** — every member replaced by one of its children; `old` is
+//!   the replaced member itself (the parent of `new`):
+//!   `E[sup(D,J)] = sup(C,G) · sup(D)/sup(C) · sup(J)/sup(G)`.
+//! * **Case 2** — a proper nonempty subset of members replaced by children;
+//!   same per-position factor.
+//! * **Case 3** — a proper nonempty subset replaced by *siblings*; the
+//!   factor is `sup(sibling)/sup(replaced member)`:
+//!   `E[sup(C,H)] = sup(C,G) · sup(H)/sup(G)`.
+//!
+//! The uniformity assumption justifying all three: items under the same
+//! parent are expected to associate with other items the way their parent
+//! (or sibling) does, scaled by their relative support.
+
+/// One replacement's contribution: the new item's support over the support
+/// of whatever it was derived from (its parent for child-replacements, the
+/// replaced member for sibling-replacements).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ratio {
+    /// Support of the item placed into the candidate.
+    pub new_support: u64,
+    /// Support of the item it scales against (> 0 for any large item).
+    pub base_support: u64,
+}
+
+/// Expected support of a candidate derived from a large itemset with
+/// support `large_support` by applying `replacements`.
+///
+/// Every `base_support` is the support of a large item, so it is positive;
+/// a zero base is a caller bug and panics in debug builds.
+///
+/// ```
+/// use negassoc::expected::{expected_support, Ratio};
+/// // E[sup(D,J)] = sup(C,G) * sup(D)/sup(C) * sup(J)/sup(G)
+/// let e = expected_support(800, &[
+///     Ratio { new_support: 1200, base_support: 2500 },
+///     Ratio { new_support: 900, base_support: 2000 },
+/// ]);
+/// assert!((e - 172.8).abs() < 1e-9);
+/// ```
+pub fn expected_support(large_support: u64, replacements: &[Ratio]) -> f64 {
+    let mut e = large_support as f64;
+    for r in replacements {
+        debug_assert!(r.base_support > 0, "base support must be positive");
+        e *= r.new_support as f64 / r.base_support as f64;
+    }
+    e
+}
+
+/// The candidate-admission threshold of §2: a candidate is worth counting
+/// only when its expected support is at least `MinSup · MinRI` — otherwise
+/// even an actual support of zero cannot produce a rule with interest
+/// `MinRI` (the RI numerator is capped by `E` and every antecedent has
+/// support ≥ `MinSup`).
+pub fn candidate_threshold(min_support_count: u64, min_ri: f64) -> f64 {
+    min_support_count as f64 * min_ri
+}
+
+/// The negativity test of §2: a counted candidate is a *negative itemset*
+/// when its actual support deviates from the expectation by at least
+/// `MinSup · MinRI`.
+///
+/// (Figure 3 of the paper prints the condition as `count < MinSup · MinRI`,
+/// which contradicts the problem statement and the worked example; see
+/// DESIGN.md "Paper ambiguities".)
+pub fn is_negative(expected: f64, actual: u64, min_support_count: u64, min_ri: f64) -> bool {
+    expected - actual as f64 >= candidate_threshold(min_support_count, min_ri)
+}
+
+/// Rule interest of `X ≠> Y` for a negative itemset with the given expected
+/// and actual supports and antecedent support `sup(X)`.
+pub fn rule_interest(expected: f64, actual: u64, antecedent_support: u64) -> f64 {
+    debug_assert!(antecedent_support > 0, "antecedent must be large");
+    (expected - actual as f64) / antecedent_support as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_formula_case1() {
+        // E[sup(D,J)] = sup(CG)·sup(D)/sup(C)·sup(J)/sup(G)
+        // with sup(CG)=100, D/C = 40/80, J/G = 30/60 -> 100·0.5·0.5 = 25.
+        let e = expected_support(
+            100,
+            &[
+                Ratio { new_support: 40, base_support: 80 },
+                Ratio { new_support: 30, base_support: 60 },
+            ],
+        );
+        assert!((e - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unified_formula_case2_and_3_single_replacement() {
+        // Case 2: E[sup(C,J)] = sup(CG)·sup(J)/sup(G).
+        let e = expected_support(100, &[Ratio { new_support: 30, base_support: 60 }]);
+        assert!((e - 50.0).abs() < 1e-12);
+        // Case 3 has the same arithmetic with sibling/original supports.
+        let e3 = expected_support(100, &[Ratio { new_support: 90, base_support: 60 }]);
+        assert!((e3 - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_replacements_is_identity() {
+        assert_eq!(expected_support(42, &[]), 42.0);
+    }
+
+    #[test]
+    fn paper_table2_with_corrected_water_supports() {
+        // Worked example of §2.1.3 (Evian/Perrier supports 12000/8000 per
+        // the reconstruction in DESIGN.md): expected supports 6000, 4000,
+        // 3000, 2000.
+        let fy_bw = 15_000;
+        let (b, hc, fy) = (20_000u64, 10_000u64, 30_000u64);
+        let (e, p, bw) = (12_000u64, 8_000u64, 20_000u64);
+        let cases = [
+            (b, e, 6_000.0),
+            (b, p, 4_000.0),
+            (hc, e, 3_000.0),
+            (hc, p, 2_000.0),
+        ];
+        for (brand, water, want) in cases {
+            let got = expected_support(
+                fy_bw,
+                &[
+                    Ratio { new_support: brand, base_support: fy },
+                    Ratio { new_support: water, base_support: bw },
+                ],
+            );
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn negativity_threshold() {
+        // minsup 4000, minRI 0.5 -> threshold 2000.
+        assert_eq!(candidate_threshold(4000, 0.5), 2000.0);
+        // Bryers & Perrier: E 4000, actual 500 -> deviation 3500, negative.
+        assert!(is_negative(4000.0, 500, 4000, 0.5));
+        // Healthy Choice & Perrier: E 2000, actual 2500 -> not negative.
+        assert!(!is_negative(2000.0, 2500, 4000, 0.5));
+        // Deviation exactly at threshold counts.
+        assert!(is_negative(2500.0, 500, 4000, 0.5));
+        // Just below does not.
+        assert!(!is_negative(2499.0, 500, 4000, 0.5));
+    }
+
+    #[test]
+    fn rule_interest_is_deviation_over_antecedent() {
+        let ri = rule_interest(4000.0, 500, 8000);
+        assert!((ri - 0.4375).abs() < 1e-12);
+        let ri2 = rule_interest(4000.0, 500, 20000);
+        assert!((ri2 - 0.175).abs() < 1e-12);
+        // Zero actual support maximizes RI.
+        assert!(rule_interest(4000.0, 0, 8000) > ri);
+    }
+}

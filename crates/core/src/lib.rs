@@ -1,0 +1,87 @@
+//! # negassoc — strong negative association rule mining
+//!
+//! A from-scratch implementation of *Mining for Strong Negative Associations
+//! in a Large Database of Customer Transactions* (Savasere, Omiecinski &
+//! Navathe, ICDE 1998).
+//!
+//! A **negative association rule** `X ≠> Y` says that customers who buy `X`
+//! buy `Y` far more rarely than the taxonomy-derived expectation. Naively,
+//! almost every pair of items in a large inventory never co-occurs, so naive
+//! negative mining drowns in billions of uninteresting rules. The paper's
+//! insight: only look where a *high positive* association was expected —
+//! candidates are derived from discovered (generalized) large itemsets by
+//! substituting taxonomy children or siblings, and each candidate carries an
+//! *expected support*. When the actual support falls short of the
+//! expectation by at least `MinSup · MinRI`, the itemset is negative and
+//! yields rules with **rule interest**
+//!
+//! ```text
+//! RI = (E[support(X ∪ Y)] − support(X ∪ Y)) / support(X)  ≥  MinRI
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use negassoc::{MinerConfig, NegativeMiner};
+//! use negassoc_apriori::MinSupport;
+//! use negassoc_taxonomy::TaxonomyBuilder;
+//! use negassoc_txdb::TransactionDbBuilder;
+//!
+//! // soft drinks -> {Coke, Pepsi}; snacks -> {Ruffles}
+//! let mut tb = TaxonomyBuilder::new();
+//! let drinks = tb.add_root("soft drinks");
+//! let coke = tb.add_child(drinks, "Coke").unwrap();
+//! let pepsi = tb.add_child(drinks, "Pepsi").unwrap();
+//! let snacks = tb.add_root("snacks");
+//! let ruffles = tb.add_child(snacks, "Ruffles").unwrap();
+//! let tax = tb.build();
+//!
+//! // Customers buy Ruffles with Coke — and almost never with Pepsi.
+//! let mut db = TransactionDbBuilder::new();
+//! for _ in 0..40 { db.add([ruffles, coke]); }
+//! for _ in 0..25 { db.add([coke]); }
+//! for _ in 0..30 { db.add([pepsi]); }
+//! for _ in 0..5  { db.add([ruffles, pepsi]); }
+//! let db = db.build();
+//!
+//! let config = MinerConfig {
+//!     min_support: MinSupport::Fraction(0.1),
+//!     min_ri: 0.3,
+//!     ..MinerConfig::default()
+//! };
+//! let outcome = NegativeMiner::new(config).mine(&db, &tax).unwrap();
+//! assert!(outcome
+//!     .rules
+//!     .iter()
+//!     .any(|r| r.antecedent.contains(ruffles) && r.consequent.contains(pepsi)));
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`expected`] — the Case 1/2/3 expected-support formulas,
+//! * [`candidates`] — negative-candidate generation and pruning,
+//! * [`naive`] / [`improved`] — the paper's two drivers (`2n` vs `n + 1`
+//!   database passes, §2.2), with the §2.5 memory-bounded fallback,
+//! * [`rules`] — negative-rule generation (paper Fig. 4),
+//! * [`substitutes`] — the §4.1 future-work extension: explicit
+//!   substitute-item knowledge beyond the taxonomy,
+//! * [`miner`] — the [`NegativeMiner`] facade tying it all together.
+
+pub mod candidates;
+pub mod config;
+pub mod error;
+pub mod expected;
+pub mod improved;
+pub mod miner;
+pub mod naive;
+pub mod positive;
+pub mod rules;
+pub mod substitutes;
+
+mod counting;
+
+pub use candidates::{CandidateStats, NegativeCandidate, NegativeItemset};
+pub use config::{GenAlgorithm, MinerConfig};
+pub use error::Error;
+pub use miner::{MiningOutcome, MiningReport, NegativeMiner};
+pub use rules::NegativeRule;

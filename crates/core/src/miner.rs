@@ -1,0 +1,266 @@
+//! The [`NegativeMiner`] facade: configuration in, positive itemsets +
+//! negative itemsets + negative rules + a run report out.
+
+use crate::candidates::{CandidateStats, NegativeItemset};
+use crate::config::{Driver, MinerConfig};
+use crate::error::Error;
+use crate::naive::run_naive;
+use crate::improved::run_improved;
+use crate::rules::{generate_negative_rules, NegativeRule};
+use crate::substitutes::SubstituteKnowledge;
+use negassoc_apriori::LargeItemsets;
+use negassoc_taxonomy::Taxonomy;
+use negassoc_txdb::TransactionSource;
+use std::time::{Duration, Instant};
+
+/// Everything a mining run produces.
+#[derive(Debug)]
+pub struct MiningOutcome {
+    /// The generalized large itemsets (step 1 of the pipeline).
+    pub large: LargeItemsets,
+    /// Confirmed negative itemsets (expected − actual ≥ MinSup · MinRI).
+    pub negatives: Vec<NegativeItemset>,
+    /// Negative association rules with RI ≥ MinRI.
+    pub rules: Vec<NegativeRule>,
+    /// Run accounting.
+    pub report: MiningReport,
+}
+
+/// Accounting for one mining run.
+#[derive(Clone, Debug, Default)]
+pub struct MiningReport {
+    /// Database passes made in total.
+    pub passes: u64,
+    /// Positive levels mined (the paper's `n`).
+    pub levels: u64,
+    /// Number of generalized large itemsets.
+    pub large_itemsets: usize,
+    /// Candidate-generation counters.
+    pub candidates: CandidateStats,
+    /// Confirmed negative itemsets.
+    pub negative_itemsets: usize,
+    /// Emitted rules.
+    pub rules: usize,
+    /// Wall time of positive mining + candidate generation + counting.
+    pub mining_time: Duration,
+    /// Wall time of the positive (generalized large itemset) phase alone.
+    pub positive_time: Duration,
+    /// Wall time of negative candidate generation + counting alone.
+    pub negative_time: Duration,
+    /// Wall time of rule generation.
+    pub rule_time: Duration,
+}
+
+impl std::fmt::Display for MiningReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "passes: {} ({} positive levels)",
+            self.passes, self.levels
+        )?;
+        writeln!(f, "large itemsets: {}", self.large_itemsets)?;
+        writeln!(
+            f,
+            "negative candidates: {} unique of {} generated \
+             (rejected: {} related, {} low-E, {} already-large; {} merged)",
+            self.candidates.unique,
+            self.candidates.generated,
+            self.candidates.rejected_related,
+            self.candidates.rejected_low_expected,
+            self.candidates.rejected_large,
+            self.candidates.merged
+        )?;
+        writeln!(
+            f,
+            "negative itemsets: {}   rules: {}",
+            self.negative_itemsets, self.rules
+        )?;
+        write!(
+            f,
+            "time: {:?} total ({:?} positive, {:?} negative, {:?} rules)",
+            self.mining_time + self.rule_time,
+            self.positive_time,
+            self.negative_time,
+            self.rule_time
+        )
+    }
+}
+
+/// The negative association rule miner (see crate docs for the algorithm).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NegativeMiner {
+    config: MinerConfig,
+}
+
+impl NegativeMiner {
+    /// A miner with the given configuration.
+    pub fn new(config: MinerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Mine `source` with taxonomy `tax`.
+    pub fn mine<S: TransactionSource + ?Sized>(
+        &self,
+        source: &S,
+        tax: &Taxonomy,
+    ) -> Result<MiningOutcome, Error> {
+        self.mine_with_substitutes(source, tax, None)
+    }
+
+    /// Mine with additional substitute-item knowledge (§4.1 extension).
+    /// Only the improved driver consults it.
+    pub fn mine_with_substitutes<S: TransactionSource + ?Sized>(
+        &self,
+        source: &S,
+        tax: &Taxonomy,
+        substitutes: Option<&SubstituteKnowledge>,
+    ) -> Result<MiningOutcome, Error> {
+        self.config.validate()?;
+        let start = Instant::now();
+        let outcome = match self.config.driver {
+            Driver::Naive => run_naive(source, tax, &self.config)?,
+            Driver::Improved => run_improved(source, tax, &self.config, substitutes)?,
+        };
+        let mining_time = start.elapsed();
+
+        let rule_start = Instant::now();
+        let rules =
+            generate_negative_rules(&outcome.negatives, &outcome.large, self.config.min_ri);
+        let rule_time = rule_start.elapsed();
+
+        let report = MiningReport {
+            passes: outcome.passes,
+            levels: outcome.levels,
+            large_itemsets: outcome.large.total(),
+            candidates: outcome.candidate_stats,
+            negative_itemsets: outcome.negatives.len(),
+            rules: rules.len(),
+            mining_time,
+            positive_time: outcome.positive_time,
+            negative_time: outcome.negative_time,
+            rule_time,
+        };
+        Ok(MiningOutcome {
+            large: outcome.large,
+            negatives: outcome.negatives,
+            rules,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenAlgorithm;
+    use negassoc_apriori::MinSupport;
+    use negassoc_taxonomy::{ItemId, TaxonomyBuilder};
+    use negassoc_txdb::TransactionDbBuilder;
+
+    fn scenario() -> (Taxonomy, negassoc_txdb::TransactionDb, [ItemId; 4]) {
+        let mut tb = TaxonomyBuilder::new();
+        let drinks = tb.add_root("drinks");
+        let coke = tb.add_child(drinks, "coke").unwrap();
+        let pepsi = tb.add_child(drinks, "pepsi").unwrap();
+        let snacks = tb.add_root("snacks");
+        let chips = tb.add_child(snacks, "chips").unwrap();
+        let nuts = tb.add_child(snacks, "nuts").unwrap();
+        let tax = tb.build();
+
+        let mut db = TransactionDbBuilder::new();
+        for _ in 0..30 {
+            db.add([coke, chips]);
+        }
+        for _ in 0..20 {
+            db.add([pepsi, nuts]);
+        }
+        for _ in 0..20 {
+            db.add([pepsi]);
+        }
+        (tax, db.build(), [coke, pepsi, chips, nuts])
+    }
+
+    #[test]
+    fn end_to_end_produces_rules_and_report() {
+        let (tax, db, [_coke, pepsi, chips, _nuts]) = scenario();
+        let miner = NegativeMiner::new(MinerConfig {
+            min_support: MinSupport::Fraction(0.2),
+            min_ri: 0.25,
+            ..MinerConfig::default()
+        });
+        let out = miner.mine(&db, &tax).unwrap();
+        assert!(out.large.total() > 0);
+        assert_eq!(out.report.large_itemsets, out.large.total());
+        assert_eq!(out.report.negative_itemsets, out.negatives.len());
+        assert_eq!(out.report.rules, out.rules.len());
+        assert!(out.report.passes > 0);
+        // {pepsi, chips} never co-occur but both sides are popular.
+        assert!(out
+            .rules
+            .iter()
+            .any(|r| (r.antecedent.contains(pepsi) && r.consequent.contains(chips))
+                || (r.antecedent.contains(chips) && r.consequent.contains(pepsi))));
+        // Every rule clears the configured threshold.
+        for r in &out.rules {
+            assert!(r.ri >= 0.25);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_any_pass() {
+        let (tax, db, _) = scenario();
+        let miner = NegativeMiner::new(MinerConfig {
+            min_ri: -0.5,
+            ..MinerConfig::default()
+        });
+        assert!(matches!(miner.mine(&db, &tax), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn drivers_agree_end_to_end() {
+        let (tax, db, _) = scenario();
+        let mk = |driver| {
+            NegativeMiner::new(MinerConfig {
+                min_support: MinSupport::Fraction(0.2),
+                min_ri: 0.25,
+                driver,
+                algorithm: GenAlgorithm::Cumulate,
+                ..MinerConfig::default()
+            })
+            .mine(&db, &tax)
+            .unwrap()
+        };
+        let a = mk(Driver::Improved);
+        let b = mk(Driver::Naive);
+        assert_eq!(a.negatives.len(), b.negatives.len());
+        assert_eq!(a.rules.len(), b.rules.len());
+    }
+
+    #[test]
+    fn default_miner_is_constructible() {
+        let m = NegativeMiner::default();
+        assert!(m.config().validate().is_ok());
+    }
+
+    #[test]
+    fn report_renders_every_headline_number() {
+        let (tax, db, _) = scenario();
+        let out = NegativeMiner::new(MinerConfig {
+            min_support: MinSupport::Fraction(0.2),
+            min_ri: 0.25,
+            ..MinerConfig::default()
+        })
+        .mine(&db, &tax)
+        .unwrap();
+        let shown = out.report.to_string();
+        assert!(shown.contains(&format!("passes: {}", out.report.passes)));
+        assert!(shown.contains(&format!("large itemsets: {}", out.report.large_itemsets)));
+        assert!(shown.contains(&format!("rules: {}", out.report.rules)));
+        assert!(shown.contains("time:"));
+    }
+}

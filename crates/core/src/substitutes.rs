@@ -1,0 +1,124 @@
+//! Explicit substitute-item knowledge — the paper's §4.1 future-work
+//! extension.
+//!
+//! The taxonomy is one source of "these items are substitutes" knowledge;
+//! the paper notes that other sources (e.g. merchandising rules, explicit
+//! substitute lists) could induce additional negative rules. This module
+//! lets users declare substitute *groups*: items in the same group are
+//! treated as extra siblings during Case 3 candidate generation, with the
+//! same `sup(new)/sup(replaced)` expectation scaling — the uniformity
+//! assumption applies to any grouping of substitutable items, not only
+//! taxonomy-derived ones.
+
+use negassoc_taxonomy::fxhash::FxHashMap;
+use negassoc_taxonomy::ItemId;
+
+/// A collection of substitute groups.
+///
+/// ```
+/// use negassoc::substitutes::SubstituteKnowledge;
+/// use negassoc_taxonomy::ItemId;
+///
+/// let mut subs = SubstituteKnowledge::new();
+/// subs.add_group([ItemId(1), ItemId(2), ItemId(3)]);
+/// assert!(subs.are_substitutes(ItemId(1), ItemId(3)));
+/// assert_eq!(subs.substitutes_of(ItemId(2)).count(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SubstituteKnowledge {
+    /// group id per item.
+    group_of: FxHashMap<ItemId, u32>,
+    /// members per group.
+    groups: Vec<Vec<ItemId>>,
+}
+
+impl SubstituteKnowledge {
+    /// No substitute knowledge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare that `items` are mutual substitutes. An item may belong to
+    /// at most one group; adding an item twice merges nothing and instead
+    /// returns `false` (the group is not created). Groups with fewer than
+    /// two items are ignored (also `false`).
+    pub fn add_group<I: IntoIterator<Item = ItemId>>(&mut self, items: I) -> bool {
+        let mut members: Vec<ItemId> = items.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        if members.len() < 2 {
+            return false;
+        }
+        if members.iter().any(|i| self.group_of.contains_key(i)) {
+            return false;
+        }
+        let gid = self.groups.len() as u32;
+        for &m in &members {
+            self.group_of.insert(m, gid);
+        }
+        self.groups.push(members);
+        true
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when no groups are declared.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The declared substitutes of `item` (excluding `item` itself); empty
+    /// when the item is in no group.
+    pub fn substitutes_of(&self, item: ItemId) -> impl Iterator<Item = ItemId> + '_ {
+        let members: &[ItemId] = match self.group_of.get(&item) {
+            Some(&g) => &self.groups[g as usize],
+            None => &[],
+        };
+        members.iter().copied().filter(move |&m| m != item)
+    }
+
+    /// `true` when `a` and `b` are declared substitutes.
+    pub fn are_substitutes(&self, a: ItemId, b: ItemId) -> bool {
+        a != b
+            && match (self.group_of.get(&a), self.group_of.get(&b)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_queries() {
+        let mut s = SubstituteKnowledge::new();
+        assert!(s.is_empty());
+        assert!(s.add_group([ItemId(1), ItemId(2), ItemId(3)]));
+        assert!(s.add_group([ItemId(7), ItemId(8)]));
+        assert_eq!(s.len(), 2);
+
+        let subs: Vec<ItemId> = s.substitutes_of(ItemId(2)).collect();
+        assert_eq!(subs, vec![ItemId(1), ItemId(3)]);
+        assert!(s.are_substitutes(ItemId(1), ItemId(3)));
+        assert!(!s.are_substitutes(ItemId(1), ItemId(7)));
+        assert!(!s.are_substitutes(ItemId(1), ItemId(1)));
+        assert_eq!(s.substitutes_of(ItemId(42)).count(), 0);
+    }
+
+    #[test]
+    fn rejects_degenerate_or_overlapping_groups() {
+        let mut s = SubstituteKnowledge::new();
+        assert!(!s.add_group([ItemId(1)]));
+        assert!(!s.add_group([ItemId(1), ItemId(1)]));
+        assert!(s.add_group([ItemId(1), ItemId(2)]));
+        // Overlap with an existing group is rejected wholesale.
+        assert!(!s.add_group([ItemId(2), ItemId(3)]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.substitutes_of(ItemId(3)).count(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Property test: the optimized candidate generator agrees with a direct
+//! transliteration of the paper's §2.1.1 definition.
+//!
+//! The reference implementation below enumerates Cases 1–3 exactly as the
+//! paper words them (one case at a time, no shared machinery with the
+//! production code) and applies the admission checks in definition order.
+//! Agreement on random inputs pins both the candidate sets and the
+//! max-expectation deduplication.
+
+use negassoc::candidates::{CandidateGenerator, CandidateSet};
+use negassoc::expected::candidate_threshold;
+use negassoc_apriori::{Itemset, LargeItemsets};
+use negassoc_taxonomy::fxhash::FxHashMap;
+use negassoc_taxonomy::{ItemId, Taxonomy, TaxonomyBuilder};
+use proptest::prelude::*;
+
+/// Reference: all candidates derivable from `seed` per the paper's cases,
+/// with their expected supports (max over derivations).
+fn reference_candidates(
+    tax: &Taxonomy,
+    large: &LargeItemsets,
+    min_ri: f64,
+) -> FxHashMap<Itemset, f64> {
+    let threshold = candidate_threshold(large.min_support_count(), min_ri);
+    let mut out: FxHashMap<Itemset, f64> = FxHashMap::default();
+    let is_large_item = |i: ItemId| large.support_of(&[i]).is_some();
+    let sup1 = |i: ItemId| large.support_of(&[i]).unwrap() as f64;
+
+    let mut seeds: Vec<(Itemset, u64)> = Vec::new();
+    for k in 2..=large.max_level() {
+        for (set, sup) in large.level(k) {
+            seeds.push((set.clone(), sup));
+        }
+    }
+
+    for (seed, seed_sup) in seeds {
+        let items = seed.items();
+        let k = items.len();
+        // Enumerate every assignment: per position either keep the member,
+        // replace with one of its (large) children, or replace with one of
+        // its (large) siblings — but never mix children and siblings in one
+        // candidate, never replace nothing, and never replace everything
+        // with siblings.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mode {
+            Children,
+            Siblings,
+        }
+        for mode in [Mode::Children, Mode::Siblings] {
+            for mask in 1u32..(1 << k) {
+                if mode == Mode::Siblings && mask == (1 << k) - 1 {
+                    continue; // all-sibling candidates are excluded
+                }
+                // Option lists per masked position.
+                let mut option_lists: Vec<Vec<ItemId>> = Vec::new();
+                let mut feasible = true;
+                for (pos, &member) in items.iter().enumerate() {
+                    if mask & (1 << pos) == 0 {
+                        continue;
+                    }
+                    let opts: Vec<ItemId> = match mode {
+                        Mode::Children => tax
+                            .children(member)
+                            .iter()
+                            .copied()
+                            .filter(|&c| is_large_item(c))
+                            .collect(),
+                        Mode::Siblings => {
+                            tax.siblings(member).filter(|&s| is_large_item(s)).collect()
+                        }
+                    };
+                    if opts.is_empty() {
+                        feasible = false;
+                        break;
+                    }
+                    option_lists.push(opts);
+                }
+                if !feasible {
+                    continue;
+                }
+                // Cartesian product, recursively.
+                let positions: Vec<usize> =
+                    (0..k).filter(|p| mask & (1 << p) != 0).collect();
+                let mut choice = vec![0usize; positions.len()];
+                loop {
+                    let mut cand_items = items.to_vec();
+                    let mut expected = seed_sup as f64;
+                    for (slot, &pos) in positions.iter().enumerate() {
+                        let repl = option_lists[slot][choice[slot]];
+                        expected *= sup1(repl) / sup1(items[pos]);
+                        cand_items[pos] = repl;
+                    }
+                    let candidate = Itemset::from_unsorted(cand_items);
+                    let distinct = candidate.len() == k;
+                    let related = candidate.items().iter().enumerate().any(|(i, &a)| {
+                        candidate.items()[i + 1..]
+                            .iter()
+                            .any(|&b| tax.related(a, b))
+                    });
+                    if distinct
+                        && !related
+                        && expected >= threshold
+                        && !large.contains(&candidate)
+                    {
+                        let e = out.entry(candidate).or_insert(f64::MIN);
+                        if expected > *e {
+                            *e = expected;
+                        }
+                    }
+                    // Next combination.
+                    let mut slot = positions.len();
+                    let done = loop {
+                        if slot == 0 {
+                            break true;
+                        }
+                        slot -= 1;
+                        choice[slot] += 1;
+                        if choice[slot] < option_lists[slot].len() {
+                            break false;
+                        }
+                        choice[slot] = 0;
+                    };
+                    if done {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Random world: a 2–3 level taxonomy plus random large itemsets with
+/// consistent supports (subset supports >= superset supports).
+fn arb_world() -> impl Strategy<Value = (Taxonomy, LargeItemsets)> {
+    (
+        prop::collection::vec(2usize..4, 2..4), // children per root category
+        any::<u64>(),
+    )
+        .prop_map(|(shape, seed)| {
+            let mut b = TaxonomyBuilder::new();
+            let mut leaves = Vec::new();
+            for (ci, &n) in shape.iter().enumerate() {
+                let cat = b.add_root(&format!("c{ci}"));
+                for li in 0..n {
+                    leaves.push(b.add_child(cat, &format!("l{ci}-{li}")).unwrap());
+                }
+            }
+            let tax = b.build();
+
+            // Deterministic pseudo-random supports from the seed.
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u64
+            };
+            let mut large = LargeItemsets::new(100_000, 100);
+            // Singles: a random large subset of all items (categories get
+            // higher supports than leaves for plausibility).
+            let mut large_items: Vec<ItemId> = Vec::new();
+            for id in tax.items() {
+                if next() % 4 != 0 {
+                    let base = if tax.is_leaf(id) { 200 } else { 2_000 };
+                    large.insert(Itemset::singleton(id), base + next() % 1_000);
+                    large_items.push(id);
+                }
+            }
+            // Pairs: random unrelated large pairs.
+            for (i, &a) in large_items.iter().enumerate() {
+                for &b in &large_items[i + 1..] {
+                    if tax.related(a, b) || next() % 3 != 0 {
+                        continue;
+                    }
+                    large.insert(Itemset::from_unsorted(vec![a, b]), 120 + next() % 300);
+                }
+            }
+            (tax, large)
+        })
+}
+
+/// Deterministic guard against vacuity: a world where candidates certainly
+/// exist, checked through the same reference.
+#[test]
+fn reference_agrees_on_a_rich_world() {
+    let mut b = TaxonomyBuilder::new();
+    let c0 = b.add_root("c0");
+    let a = b.add_child(c0, "a").unwrap();
+    let a2 = b.add_child(c0, "a2").unwrap();
+    let c1 = b.add_root("c1");
+    let x = b.add_child(c1, "x").unwrap();
+    let y = b.add_child(c1, "y").unwrap();
+    let tax = b.build();
+
+    let mut large = LargeItemsets::new(100_000, 100);
+    for (i, s) in [(c0, 3000u64), (a, 1500), (a2, 1200), (c1, 2800), (x, 1400), (y, 1100)] {
+        large.insert(Itemset::singleton(i), s);
+    }
+    large.insert(Itemset::from_unsorted(vec![c0, c1]), 900);
+    large.insert(Itemset::from_unsorted(vec![a, x]), 500);
+
+    let reference = reference_candidates(&tax, &large, 0.5);
+    assert!(
+        reference.len() >= 5,
+        "expected a rich candidate set, got {:?}",
+        reference.keys().collect::<Vec<_>>()
+    );
+
+    let generator = CandidateGenerator::new(&tax, &large, 0.5);
+    let mut set = CandidateSet::new();
+    for k in 2..=large.max_level() {
+        generator.extend_from_level(k, &mut set);
+    }
+    let (got, _) = set.into_candidates();
+    assert_eq!(got.len(), reference.len());
+    for c in &got {
+        let want = reference[&c.itemset];
+        assert!((c.expected - want).abs() < 1e-9, "{:?}", c.itemset);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generator_matches_papers_definition((tax, large) in arb_world()) {
+        let min_ri = 0.5;
+        let reference = reference_candidates(&tax, &large, min_ri);
+
+        let generator = CandidateGenerator::new(&tax, &large, min_ri);
+        let mut set = CandidateSet::new();
+        for k in 2..=large.max_level() {
+            generator.extend_from_level(k, &mut set);
+        }
+        let (got, _) = set.into_candidates();
+
+        prop_assert_eq!(got.len(), reference.len(),
+            "candidate sets differ in size: got {:?}, want {:?}",
+            got.iter().map(|c| c.itemset.clone()).collect::<Vec<_>>(),
+            reference.keys().collect::<Vec<_>>());
+        for c in &got {
+            let want = reference.get(&c.itemset);
+            prop_assert!(want.is_some(), "unexpected candidate {:?}", c.itemset);
+            prop_assert!((c.expected - want.unwrap()).abs() < 1e-9,
+                "expectation mismatch for {:?}: got {}, want {}",
+                c.itemset, c.expected, want.unwrap());
+        }
+    }
+}

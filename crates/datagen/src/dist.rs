@@ -1,0 +1,207 @@
+//! The random distributions the §3.1 model draws from, implemented over any
+//! [`rand::RngExt`]: Poisson (Knuth's product method), exponential (inverse
+//! CDF) and normal (Box–Muller). Property tests pin their first two
+//! moments.
+
+use rand::RngExt;
+
+/// Sample a Poisson variate with the given `mean` (λ).
+///
+/// Knuth's product-of-uniforms method: O(λ) per draw, exact, and fine for
+/// the single-digit means of Table 3/4. For λ > ~30 it switches to a
+/// normal approximation (rounded, clamped at zero) to stay O(1).
+///
+/// # Panics
+/// Panics when `mean` is negative or not finite.
+pub fn poisson<R: RngExt + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "invalid Poisson mean {mean}");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        let v = normal(rng, mean, mean.sqrt()).round();
+        return if v < 0.0 { 0 } else { v as u64 };
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Sample an exponential variate with the given `mean` (so rate 1/mean).
+///
+/// # Panics
+/// Panics when `mean` is not positive and finite.
+pub fn exponential<R: RngExt + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "invalid exponential mean {mean}"
+    );
+    // 1 - u is in (0, 1], so ln is finite.
+    -mean * (1.0 - rng.random::<f64>()).ln()
+}
+
+/// Sample a normal variate via Box–Muller.
+///
+/// # Panics
+/// Panics when `std_dev` is negative or either parameter is not finite.
+pub fn normal<R: RngExt + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+        "invalid normal parameters ({mean}, {std_dev})"
+    );
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// A discrete distribution over weights, sampled by inverse CDF.
+///
+/// This is how clusters and itemsets are picked "according to their weight"
+/// in §3.1 (weights are exponential draws normalized to sum 1; the
+/// normalization is implicit here — only ratios matter).
+#[derive(Clone, Debug)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Build from non-negative weights with a positive sum.
+    ///
+    /// # Panics
+    /// Panics on an empty list, a negative/non-finite weight, or an
+    /// all-zero total.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0f64;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "weights must not all be zero");
+        Self { cumulative }
+    }
+
+    /// Number of weights.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` when empty (cannot occur for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw an index proportionally to its weight.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.random::<f64>() * total;
+        // partition_point: first index with cumulative > x.
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const N: usize = 40_000;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    fn mean_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let mut r = rng();
+        for lambda in [0.5, 3.0, 9.0] {
+            let samples: Vec<f64> = (0..N).map(|_| poisson(&mut r, lambda) as f64).collect();
+            let (m, v) = mean_var(&samples);
+            assert!((m - lambda).abs() < 0.1 * lambda.max(1.0), "mean {m} vs {lambda}");
+            assert!((v - lambda).abs() < 0.15 * lambda.max(1.0), "var {v} vs {lambda}");
+        }
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..N).map(|_| poisson(&mut r, 100.0) as f64).collect();
+        let (m, v) = mean_var(&samples);
+        assert!((m - 100.0).abs() < 2.0);
+        assert!((v - 100.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..N).map(|_| exponential(&mut r, 2.0)).collect();
+        let (m, v) = mean_var(&samples);
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+        assert!((v - 4.0).abs() < 0.5, "var {v}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..N).map(|_| normal(&mut r, 0.5, 0.1)).collect();
+        let (m, v) = mean_var(&samples);
+        assert!((m - 0.5).abs() < 0.01, "mean {m}");
+        assert!((v - 0.01).abs() < 0.002, "var {v}");
+    }
+
+    #[test]
+    fn weighted_index_respects_ratios() {
+        let mut r = rng();
+        let w = WeightedIndex::new(&[1.0, 3.0, 0.0, 6.0]);
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        let mut counts = [0usize; 4];
+        for _ in 0..N {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let total = N as f64;
+        assert!((counts[0] as f64 / total - 0.1).abs() < 0.02);
+        assert!((counts[1] as f64 / total - 0.3).abs() < 0.02);
+        assert!((counts[3] as f64 / total - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Poisson mean")]
+    fn poisson_rejects_negative_mean() {
+        poisson(&mut rng(), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn weighted_index_rejects_zero_total() {
+        WeightedIndex::new(&[0.0, 0.0]);
+    }
+}

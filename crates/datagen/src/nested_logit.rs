@@ -1,0 +1,229 @@
+//! The nested-logit consumer-choice model of §3.1.
+//!
+//! "Consumers first decide on which category to buy and then decide which
+//! particular brand to buy within that category." Concretely:
+//!
+//! * *clusters* of categories are drawn from the level one above the
+//!   leaves — sizes Poisson(`|C|`), members uniform over those categories,
+//!   weights Exp(1) (normalized implicitly by [`WeightedIndex`]);
+//! * each cluster owns Poisson(`|S|`) *potentially maximal large itemsets*
+//!   whose members are leaves under the cluster's categories — sizes
+//!   Poisson(`|I|`), weights Exp(1) within the cluster;
+//! * every itemset carries a fixed *corruption level* drawn from
+//!   Normal(0.5, variance 0.1), clamped to `[0, 1)`.
+
+use crate::dist::{exponential, normal, poisson, WeightedIndex};
+use crate::params::GenParams;
+use negassoc_taxonomy::{ItemId, Taxonomy};
+use rand::RngExt;
+
+/// One potentially-maximal large itemset.
+#[derive(Clone, Debug)]
+pub struct PatternItemset {
+    /// Leaf items of the pattern.
+    pub items: Vec<ItemId>,
+    /// Probability that each item is *dropped* when the pattern is stamped
+    /// into a transaction (the paper's corruption level).
+    pub corruption: f64,
+}
+
+/// One cluster of categories with its itemsets.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// The categories (taxonomy level above the leaves) the cluster spans.
+    pub categories: Vec<ItemId>,
+    /// The cluster's patterns.
+    pub itemsets: Vec<PatternItemset>,
+    /// Weighted choice over `itemsets`.
+    pub itemset_weights: WeightedIndex,
+}
+
+/// The full pattern model: clusters plus the weighted choice over them.
+#[derive(Clone, Debug)]
+pub struct PatternModel {
+    /// All clusters (non-empty).
+    pub clusters: Vec<Cluster>,
+    /// Weighted choice over `clusters`.
+    pub cluster_weights: WeightedIndex,
+}
+
+impl PatternModel {
+    /// Draw one pattern itemset: cluster by weight, then itemset by weight.
+    pub fn draw<'a, R: RngExt + ?Sized>(&'a self, rng: &mut R) -> &'a PatternItemset {
+        let cluster = &self.clusters[self.cluster_weights.sample(rng)];
+        &cluster.itemsets[cluster.itemset_weights.sample(rng)]
+    }
+}
+
+/// The categories "one level above the leaf level": parents of leaves.
+pub fn leaf_parents(tax: &Taxonomy) -> Vec<ItemId> {
+    let mut parents: Vec<ItemId> = tax.leaves().filter_map(|l| tax.parent(l)).collect();
+    parents.sort_unstable();
+    parents.dedup();
+    parents
+}
+
+/// Build the pattern model for `tax` under `params`.
+///
+/// # Panics
+/// Panics when the taxonomy has no leaves (nothing to sell).
+pub fn build_model<R: RngExt + ?Sized>(
+    rng: &mut R,
+    tax: &Taxonomy,
+    params: &GenParams,
+) -> PatternModel {
+    params.validate();
+    let parents = leaf_parents(tax);
+    // A flat taxonomy (leaves are roots) has no leaf parents; treat each
+    // leaf as its own "category" so the model still works.
+    let categories: Vec<ItemId> = if parents.is_empty() {
+        tax.leaves().collect()
+    } else {
+        parents
+    };
+    assert!(!categories.is_empty(), "taxonomy has no items");
+    let corruption_std = params.corruption_variance.sqrt();
+
+    let mut clusters = Vec::with_capacity(params.num_clusters);
+    let mut weights = Vec::with_capacity(params.num_clusters);
+    while clusters.len() < params.num_clusters {
+        // Cluster membership: Poisson(|C|) categories, uniform draws.
+        let size = (poisson(rng, params.avg_cluster_size).max(1) as usize).min(categories.len());
+        let mut members = Vec::with_capacity(size);
+        while members.len() < size {
+            let c = categories[(rng.random::<f64>() * categories.len() as f64) as usize
+                % categories.len()];
+            if !members.contains(&c) {
+                members.push(c);
+            }
+        }
+        // Candidate leaf pool: children of the cluster's categories (the
+        // categories themselves when the taxonomy is flat).
+        let mut pool: Vec<ItemId> = Vec::new();
+        for &cat in &members {
+            if tax.is_leaf(cat) {
+                pool.push(cat);
+            } else {
+                pool.extend(tax.children(cat).iter().copied().filter(|&c| tax.is_leaf(c)));
+            }
+        }
+        pool.sort_unstable();
+        pool.dedup();
+        if pool.is_empty() {
+            // A cluster of categories whose children are all internal can
+            // occur in deep taxonomies; redraw.
+            continue;
+        }
+
+        // Itemsets of the cluster.
+        let n_sets = poisson(rng, params.avg_itemsets_per_cluster).max(1) as usize;
+        let mut itemsets = Vec::with_capacity(n_sets);
+        let mut iw = Vec::with_capacity(n_sets);
+        for _ in 0..n_sets {
+            let size = (poisson(rng, params.avg_itemset_size).max(1) as usize).min(pool.len());
+            let mut items = Vec::with_capacity(size);
+            while items.len() < size {
+                let it = pool[(rng.random::<f64>() * pool.len() as f64) as usize % pool.len()];
+                if !items.contains(&it) {
+                    items.push(it);
+                }
+            }
+            items.sort_unstable();
+            let corruption = normal(rng, params.corruption_mean, corruption_std)
+                .clamp(0.0, 0.999);
+            itemsets.push(PatternItemset { items, corruption });
+            iw.push(exponential(rng, 1.0));
+        }
+        clusters.push(Cluster {
+            categories: members,
+            itemset_weights: WeightedIndex::new(&iw),
+            itemsets,
+        });
+        weights.push(exponential(rng, 1.0));
+    }
+    PatternModel {
+        cluster_weights: WeightedIndex::new(&weights),
+        clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxgen::generate_taxonomy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup(num_items: usize, fanout: f64) -> (Taxonomy, PatternModel, GenParams) {
+        let params = GenParams {
+            num_items,
+            num_roots: 4,
+            fanout,
+            num_clusters: 30,
+            ..GenParams::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let tax = generate_taxonomy(&mut rng, &params);
+        let model = build_model(&mut rng, &tax, &params);
+        (tax, model, params)
+    }
+
+    #[test]
+    fn model_shape() {
+        let (tax, model, params) = setup(200, 4.0);
+        assert_eq!(model.clusters.len(), params.num_clusters);
+        for cluster in &model.clusters {
+            assert!(!cluster.categories.is_empty());
+            assert!(!cluster.itemsets.is_empty());
+            for set in &cluster.itemsets {
+                assert!(!set.items.is_empty());
+                assert!((0.0..1.0).contains(&set.corruption));
+                // All pattern items are leaves.
+                for &it in &set.items {
+                    assert!(tax.is_leaf(it));
+                }
+                // Sorted, distinct.
+                assert!(set.items.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_members_are_leaf_parents() {
+        let (tax, model, _) = setup(200, 4.0);
+        let parents = leaf_parents(&tax);
+        for cluster in &model.clusters {
+            for &cat in &cluster.categories {
+                assert!(parents.contains(&cat));
+            }
+        }
+    }
+
+    #[test]
+    fn draws_follow_weights_and_terminate() {
+        let (_tax, model, _) = setup(100, 3.0);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let p = model.draw(&mut rng);
+            assert!(!p.items.is_empty());
+        }
+    }
+
+    #[test]
+    fn flat_taxonomy_falls_back_to_leaves_as_categories() {
+        let mut b = negassoc_taxonomy::TaxonomyBuilder::new();
+        for i in 0..20 {
+            b.add_root(&format!("item{i}"));
+        }
+        let tax = b.build();
+        let params = GenParams {
+            num_items: 20,
+            num_roots: 20,
+            num_clusters: 5,
+            ..GenParams::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = build_model(&mut rng, &tax, &params);
+        assert_eq!(model.clusters.len(), 5);
+    }
+}

@@ -1,0 +1,120 @@
+//! The generator's parameter set — Table 3 of the paper, with the same
+//! names spelled out.
+
+/// Parameters of the §3.1 synthetic-data generator (paper Table 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenParams {
+    /// `|D|` — number of transactions.
+    pub num_transactions: usize,
+    /// `|T|` — average transaction size (Poisson mean).
+    pub avg_transaction_len: f64,
+    /// `|C|` — average size of the maximal potentially large *clusters*
+    /// (Poisson mean).
+    pub avg_cluster_size: f64,
+    /// `|I|` — average size of the maximal potentially large itemsets
+    /// (Poisson mean).
+    pub avg_itemset_size: f64,
+    /// `|S|` — average number of itemsets per cluster (Poisson mean).
+    pub avg_itemsets_per_cluster: f64,
+    /// `|L|` — number of maximal potentially large clusters.
+    pub num_clusters: usize,
+    /// `N` — number of (leaf) items.
+    pub num_items: usize,
+    /// `R` — number of taxonomy roots.
+    pub num_roots: usize,
+    /// `F` — average fan-out of the taxonomy (Poisson mean).
+    pub fanout: f64,
+    /// Mean of the per-itemset corruption level (paper: 0.5).
+    pub corruption_mean: f64,
+    /// Variance of the corruption level (paper: 0.1).
+    pub corruption_variance: f64,
+    /// RNG seed; every artifact of the generator is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    /// A small laptop-friendly default (not a paper preset; see
+    /// [`crate::presets`] for those).
+    fn default() -> Self {
+        Self {
+            num_transactions: 10_000,
+            avg_transaction_len: 10.0,
+            avg_cluster_size: 5.0,
+            avg_itemset_size: 5.0,
+            avg_itemsets_per_cluster: 3.0,
+            num_clusters: 400,
+            num_items: 1_000,
+            num_roots: 10,
+            fanout: 5.0,
+            corruption_mean: 0.5,
+            corruption_variance: 0.1,
+            seed: 20260708,
+        }
+    }
+}
+
+impl GenParams {
+    /// Sanity-check the parameter combination.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on nonsensical values; the
+    /// generator calls this before doing any work.
+    pub fn validate(&self) {
+        assert!(self.num_items > 0, "num_items must be positive");
+        assert!(self.num_roots > 0, "num_roots must be positive");
+        assert!(
+            self.num_roots <= self.num_items,
+            "more roots than items ({} > {})",
+            self.num_roots,
+            self.num_items
+        );
+        assert!(self.fanout >= 1.0, "fanout must be at least 1");
+        assert!(self.avg_transaction_len > 0.0, "avg transaction length must be positive");
+        assert!(self.avg_cluster_size > 0.0, "avg cluster size must be positive");
+        assert!(self.avg_itemset_size > 0.0, "avg itemset size must be positive");
+        assert!(
+            self.avg_itemsets_per_cluster > 0.0,
+            "itemsets per cluster must be positive"
+        );
+        assert!(self.num_clusters > 0, "num_clusters must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.corruption_mean),
+            "corruption mean must be in [0, 1]"
+        );
+        assert!(
+            self.corruption_variance >= 0.0,
+            "corruption variance must be non-negative"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        GenParams::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "more roots than items")]
+    fn rejects_roots_exceeding_items() {
+        GenParams {
+            num_roots: 11,
+            num_items: 10,
+            ..GenParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn rejects_tiny_fanout() {
+        GenParams {
+            fanout: 0.5,
+            ..GenParams::default()
+        }
+        .validate();
+    }
+}

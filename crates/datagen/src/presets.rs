@@ -1,0 +1,99 @@
+//! The paper's evaluation datasets (Table 4) and scaled variants.
+//!
+//! Two gaps in the published table (`|T|` and `R` are illegible in the
+//! available text) are filled with `|T| = 10` and `R = 100`; see DESIGN.md
+//! "Paper ambiguities" for the derivation (R must be large enough that
+//! root-category pairs sit near the support thresholds of the sweep, or
+//! the generalized itemset counts explode far beyond the paper's §3.2
+//! figures). Everything else matches Table 4 exactly.
+
+use crate::params::GenParams;
+
+/// The "Short" dataset: fan-out 9 — a shallow, bushy taxonomy.
+pub fn short() -> GenParams {
+    GenParams {
+        num_transactions: 50_000,
+        avg_transaction_len: 10.0, // |T|: OCR gap, see module docs
+        avg_cluster_size: 5.0,
+        avg_itemset_size: 5.0,
+        avg_itemsets_per_cluster: 3.0,
+        num_clusters: 2_000,
+        num_items: 8_000,
+        num_roots: 100, // R: OCR gap, see module docs
+        fanout: 9.0,
+        corruption_mean: 0.5,
+        corruption_variance: 0.1,
+        seed: 0x5601,
+    }
+}
+
+/// The "Tall" dataset: fan-out 3 — a deep, narrow taxonomy over the same
+/// items and transactions.
+pub fn tall() -> GenParams {
+    GenParams {
+        fanout: 3.0,
+        seed: 0x7a11,
+        ..short()
+    }
+}
+
+/// `preset` scaled to `num_transactions` transactions — same shape,
+/// laptop-test sized.
+///
+/// The item universe `N` is kept: the ratio between a fractional minimum
+/// support and a category's support is `|T|·F^level / (N·s)`, independent
+/// of `|D|`, so keeping `N` preserves which taxonomy levels clear a given
+/// support threshold. The cluster count shrinks linearly with `|D|` so the
+/// *per-pattern* transaction count (≈ `|D|/|L|`, 25 at full scale) is
+/// preserved too.
+pub fn scaled(preset: GenParams, num_transactions: usize) -> GenParams {
+    let ratio = (num_transactions as f64 / preset.num_transactions as f64).min(1.0);
+    GenParams {
+        num_transactions,
+        num_clusters: ((preset.num_clusters as f64 * ratio) as usize).max(10),
+        ..preset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values() {
+        let s = short();
+        assert_eq!(s.num_transactions, 50_000);
+        assert_eq!(s.num_clusters, 2_000);
+        assert_eq!(s.num_items, 8_000);
+        assert_eq!(s.avg_cluster_size, 5.0);
+        assert_eq!(s.avg_itemset_size, 5.0);
+        assert_eq!(s.avg_itemsets_per_cluster, 3.0);
+        assert_eq!(s.fanout, 9.0);
+        let t = tall();
+        assert_eq!(t.fanout, 3.0);
+        assert_eq!(t.num_items, s.num_items);
+        assert_eq!(t.num_transactions, s.num_transactions);
+        s.validate();
+        t.validate();
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let sc = scaled(short(), 2_000);
+        assert_eq!(sc.num_transactions, 2_000);
+        // N is preserved (support ratios are |D|-independent, module docs);
+        // clusters shrink linearly so each pattern keeps ~25 transactions.
+        assert_eq!(sc.num_items, 8_000);
+        assert_eq!(sc.num_clusters, 80);
+        assert_eq!(sc.fanout, 9.0);
+        sc.validate();
+    }
+
+    #[test]
+    fn scaling_up_does_not_inflate() {
+        let sc = scaled(short(), 100_000);
+        assert_eq!(sc.num_items, 8_000);
+        assert_eq!(sc.num_clusters, 2_000);
+        sc.validate();
+    }
+}

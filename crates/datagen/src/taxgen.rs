@@ -1,0 +1,164 @@
+//! Random taxonomy generation (§3.1): "For any internal node, the number of
+//! children are picked from a Poisson distribution with mean set to F. This
+//! process is [repeated] starting from the root level... until there are no
+//! more items."
+//!
+//! The concrete construction: starting from `R` root categories, each
+//! frontier node draws `max(1, Poisson(F))` children, level by level. When
+//! the next level would reach the `N`-leaf budget, the remaining leaves are
+//! distributed over the current frontier (round-robin over the same Poisson
+//! draws) and generation stops. The result always has exactly `N` leaves
+//! and every internal node has at least one child.
+
+use crate::dist::poisson;
+use crate::params::GenParams;
+use negassoc_taxonomy::{ItemId, Taxonomy, TaxonomyBuilder};
+use rand::RngExt;
+
+/// Generate a taxonomy with `params.num_items` leaves.
+pub fn generate_taxonomy<R: RngExt + ?Sized>(rng: &mut R, params: &GenParams) -> Taxonomy {
+    params.validate();
+    let n = params.num_items;
+    let f = params.fanout;
+    let mut b = TaxonomyBuilder::with_capacity(n * 2);
+
+    let roots: Vec<ItemId> = (0..params.num_roots)
+        .map(|i| b.add_root(&format!("cat-{i}")))
+        .collect();
+    if n == params.num_roots {
+        // Degenerate: the roots themselves are the leaf items.
+        return b.build();
+    }
+
+    let mut frontier = roots;
+    let mut category_counter = frontier.len();
+    let mut leaf_counter = 0usize;
+    loop {
+        // Draw this level's fan-outs.
+        let fanouts: Vec<usize> = frontier
+            .iter()
+            .map(|_| poisson(rng, f).max(1) as usize)
+            .collect();
+        let next_size: usize = fanouts.iter().sum();
+        // If one more internal level would meet or exceed the leaf budget,
+        // emit leaves instead and stop.
+        if next_size >= n - leaf_counter {
+            let remaining = n - leaf_counter;
+            // Distribute the remaining leaves over the frontier,
+            // proportional to the drawn fan-outs but with at least one leaf
+            // per parent so no category ends up childless. The frontier is
+            // strictly smaller than `remaining` (each level only became
+            // internal because it was smaller than the leaf budget), so a
+            // minimum of one per parent always fits.
+            debug_assert!(frontier.len() <= remaining);
+            let mut quota: Vec<usize> = fanouts
+                .iter()
+                .map(|&c| c.clamp(1, remaining))
+                .collect();
+            let mut total: usize = quota.iter().sum();
+            // Greedy trim from the end, never below one.
+            'trim: while total > remaining {
+                let before = total;
+                for q in quota.iter_mut().rev() {
+                    if total == remaining {
+                        break 'trim;
+                    }
+                    if *q > 1 {
+                        *q -= 1;
+                        total -= 1;
+                    }
+                }
+                assert!(total < before, "leaf distribution cannot converge");
+            }
+            for (parent, q) in frontier.iter().zip(&quota) {
+                for _ in 0..*q {
+                    b.add_child(*parent, &format!("item-{leaf_counter}"))
+                        .expect("generated names are unique");
+                    leaf_counter += 1;
+                }
+            }
+            debug_assert_eq!(leaf_counter, n);
+            break;
+        }
+        // Otherwise this level is internal categories.
+        let mut next = Vec::with_capacity(next_size);
+        for (parent, c) in frontier.iter().zip(&fanouts) {
+            for _ in 0..*c {
+                let id = b
+                    .add_child(*parent, &format!("cat-{category_counter}"))
+                    .expect("generated names are unique");
+                category_counter += 1;
+                next.push(id);
+            }
+        }
+        frontier = next;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn gen(num_items: usize, num_roots: usize, fanout: f64, seed: u64) -> Taxonomy {
+        let params = GenParams {
+            num_items,
+            num_roots,
+            fanout,
+            ..GenParams::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate_taxonomy(&mut rng, &params)
+    }
+
+    #[test]
+    fn exact_leaf_count() {
+        for (n, r, f) in [(100, 5, 3.0), (1000, 10, 9.0), (50, 1, 2.0), (8, 8, 5.0)] {
+            let t = gen(n, r, f, 7);
+            assert_eq!(t.num_leaves(), n, "n={n} r={r} f={f}");
+            assert_eq!(t.roots().len(), r);
+        }
+    }
+
+    #[test]
+    fn higher_fanout_means_shallower_trees() {
+        // The paper's "Short" (F=9) vs "Tall" (F=3) distinction.
+        let short = gen(2000, 20, 9.0, 11);
+        let tall = gen(2000, 20, 3.0, 11);
+        assert!(
+            tall.max_depth() > short.max_depth(),
+            "tall {} vs short {}",
+            tall.max_depth(),
+            short.max_depth()
+        );
+    }
+
+    #[test]
+    fn every_internal_node_has_children_and_leaves_are_items() {
+        let t = gen(500, 5, 4.0, 3);
+        for id in t.items() {
+            if t.name(id).starts_with("cat-") {
+                assert!(!t.is_leaf(id), "category {} has no children", t.name(id));
+            } else {
+                assert!(t.is_leaf(id));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = gen(300, 4, 5.0, 99);
+        let b = gen(300, 4, 5.0, 99);
+        assert_eq!(a.len(), b.len());
+        for id in a.items() {
+            assert_eq!(a.name(id), b.name(id));
+            assert_eq!(a.parent(id), b.parent(id));
+        }
+        let c = gen(300, 4, 5.0, 100);
+        // Different seed: almost surely a different structure (same leaf
+        // count though).
+        assert_eq!(c.num_leaves(), 300);
+    }
+}

@@ -1,0 +1,236 @@
+//! Taxonomy compression (paper §2.4).
+//!
+//! Every 1-item of a candidate negative itemset must itself have minimum
+//! support, so the improved algorithm first *deletes all small 1-itemsets
+//! from the taxonomy* (paper §2.2.2, optimization 1). Deleting an item
+//! shrinks the effective fan-out and therefore the number of candidates
+//! generated.
+//!
+//! Because a category's support counts every transaction containing any of
+//! its descendants, `support(child) <= support(parent)`; a set of large
+//! items is therefore upward-closed and removing small items removes whole
+//! subtrees. [`FilteredTaxonomy`] is defensive about callers passing
+//! non-upward-closed keep-sets (which can arise from estimated supports in
+//! EstMerge): an item whose ancestor is absent is dropped too, and such
+//! drops are reported.
+
+use crate::fxhash::FxHashSet;
+use crate::{ItemId, Taxonomy};
+
+/// A view of a [`Taxonomy`] restricted to a set of retained items.
+///
+/// Item ids are unchanged, so supports and itemsets computed against the
+/// full taxonomy remain valid against the filtered one.
+#[derive(Clone, Debug)]
+pub struct FilteredTaxonomy<'a> {
+    tax: &'a Taxonomy,
+    present: Vec<bool>,
+    children: Vec<Vec<ItemId>>,
+    roots: Vec<ItemId>,
+    num_present: usize,
+    /// Items the caller asked to keep but whose ancestors were absent.
+    dropped_for_closure: Vec<ItemId>,
+}
+
+impl<'a> FilteredTaxonomy<'a> {
+    /// Restrict `tax` to the items in `keep`.
+    ///
+    /// Items whose ancestor chain is not fully inside `keep` are dropped
+    /// (see module docs) and reported via [`Self::dropped_for_closure`].
+    pub fn new(tax: &'a Taxonomy, keep: &FxHashSet<ItemId>) -> Self {
+        let mut present = vec![false; tax.len()];
+        let mut dropped = Vec::new();
+        // Top-down: an item is present iff kept and its parent is present.
+        // `subtree` is depth-first from each root, so parents precede
+        // children.
+        for &root in tax.roots() {
+            for id in tax.subtree(root) {
+                let kept = keep.contains(&id);
+                let parent_ok = match tax.parent(id) {
+                    Some(p) => present[p.index()],
+                    None => true,
+                };
+                if kept && parent_ok {
+                    present[id.index()] = true;
+                } else if kept {
+                    dropped.push(id);
+                }
+            }
+        }
+        let mut children: Vec<Vec<ItemId>> = vec![Vec::new(); tax.len()];
+        let mut num_present = 0;
+        for id in tax.items() {
+            if present[id.index()] {
+                num_present += 1;
+                children[id.index()] = tax
+                    .children(id)
+                    .iter()
+                    .copied()
+                    .filter(|c| present[c.index()])
+                    .collect();
+            }
+        }
+        let roots = tax
+            .roots()
+            .iter()
+            .copied()
+            .filter(|r| present[r.index()])
+            .collect();
+        Self {
+            tax,
+            present,
+            children,
+            roots,
+            num_present,
+            dropped_for_closure: dropped,
+        }
+    }
+
+    /// A view retaining every item (useful as the "no compression" baseline
+    /// in ablations).
+    pub fn full(tax: &'a Taxonomy) -> Self {
+        let keep: FxHashSet<ItemId> = tax.items().collect();
+        Self::new(tax, &keep)
+    }
+
+    /// The underlying full taxonomy.
+    #[inline]
+    pub fn base(&self) -> &'a Taxonomy {
+        self.tax
+    }
+
+    /// `true` when `item` survived the filter.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.present[item.index()]
+    }
+
+    /// Number of retained items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.num_present
+    }
+
+    /// `true` when nothing survived the filter.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_present == 0
+    }
+
+    /// Retained roots.
+    #[inline]
+    pub fn roots(&self) -> &[ItemId] {
+        &self.roots
+    }
+
+    /// Retained children of a retained `item`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `item` is not retained.
+    #[inline]
+    pub fn children(&self, item: ItemId) -> &[ItemId] {
+        debug_assert!(self.contains(item), "children() of a filtered-out item");
+        &self.children[item.index()]
+    }
+
+    /// Parent of a retained item. Upward closure guarantees the parent is
+    /// retained as well.
+    #[inline]
+    pub fn parent(&self, item: ItemId) -> Option<ItemId> {
+        self.tax.parent(item)
+    }
+
+    /// Retained siblings of a retained item.
+    pub fn siblings(&self, item: ItemId) -> impl Iterator<Item = ItemId> + '_ {
+        let kin: &[ItemId] = match self.tax.parent(item) {
+            Some(p) => self.children(p),
+            None => &[],
+        };
+        kin.iter().copied().filter(move |&s| s != item)
+    }
+
+    /// Retained items, in id order.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.tax.items().filter(|&i| self.contains(i))
+    }
+
+    /// Items the caller asked to keep but that were dropped because an
+    /// ancestor was absent (see module docs).
+    pub fn dropped_for_closure(&self) -> &[ItemId] {
+        &self.dropped_for_closure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxonomyBuilder;
+
+    fn small_tax() -> (Taxonomy, [ItemId; 7]) {
+        let mut b = TaxonomyBuilder::new();
+        let a = b.add_root("A");
+        let bb = b.add_child(a, "B").unwrap();
+        let c = b.add_child(a, "C").unwrap();
+        let d = b.add_child(c, "D").unwrap();
+        let e = b.add_child(c, "E").unwrap();
+        let f = b.add_root("F");
+        let g = b.add_child(f, "G").unwrap();
+        (b.build(), [a, bb, c, d, e, f, g])
+    }
+
+    #[test]
+    fn filters_children_and_siblings() {
+        let (t, [a, bb, c, d, e, f, g]) = small_tax();
+        let keep: FxHashSet<ItemId> = [a, bb, c, d, f, g].into_iter().collect(); // drop E
+        let v = FilteredTaxonomy::new(&t, &keep);
+
+        assert_eq!(v.len(), 6);
+        assert!(v.contains(d));
+        assert!(!v.contains(e));
+        assert_eq!(v.children(c), &[d]);
+        assert_eq!(v.children(a), &[bb, c]);
+        assert_eq!(v.siblings(d).count(), 0); // E is gone
+        assert_eq!(v.siblings(bb).collect::<Vec<_>>(), vec![c]);
+        assert_eq!(v.roots(), &[a, f]);
+        assert!(v.dropped_for_closure().is_empty());
+        assert_eq!(v.items().count(), 6);
+    }
+
+    #[test]
+    fn dropping_a_category_drops_its_subtree() {
+        let (t, [a, bb, c, d, e, f, g]) = small_tax();
+        // Keep-set that (incorrectly) keeps D and E but not their parent C.
+        let keep: FxHashSet<ItemId> = [a, bb, d, e, f, g].into_iter().collect();
+        let v = FilteredTaxonomy::new(&t, &keep);
+
+        assert!(!v.contains(c));
+        assert!(!v.contains(d));
+        assert!(!v.contains(e));
+        let mut dropped = v.dropped_for_closure().to_vec();
+        dropped.sort();
+        assert_eq!(dropped, vec![d, e]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn full_view_keeps_everything() {
+        let (t, ids) = small_tax();
+        let v = FilteredTaxonomy::full(&t);
+        assert_eq!(v.len(), t.len());
+        for id in ids {
+            assert!(v.contains(id));
+        }
+        assert_eq!(v.base().len(), t.len());
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn dropping_a_root_empties_its_tree() {
+        let (t, [a, ..]) = small_tax();
+        let keep: FxHashSet<ItemId> = [a].into_iter().collect();
+        let v = FilteredTaxonomy::new(&t, &keep);
+        assert_eq!(v.roots(), &[a]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.children(a), &[] as &[ItemId]);
+    }
+}

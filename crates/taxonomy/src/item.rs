@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Dense identifier of an item (leaf product or internal category).
+///
+/// Ids are assigned contiguously from zero by [`crate::TaxonomyBuilder`], so
+/// they can index plain vectors. `u32` keeps itemsets compact (paper-scale
+/// inventories are tens of thousands of items, far below `u32::MAX`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_id_ordering_follows_raw_value() {
+        assert!(ItemId(1) < ItemId(2));
+        assert_eq!(ItemId(7).index(), 7);
+    }
+
+    #[test]
+    fn item_id_debug_is_compact() {
+        assert_eq!(format!("{:?}", ItemId(3)), "i3");
+        assert_eq!(format!("{}", ItemId(3)), "3");
+    }
+}

@@ -1,0 +1,47 @@
+//! Item taxonomy substrate for negative association rule mining.
+//!
+//! The algorithms of Savasere, Omiecinski & Navathe (ICDE 1998) derive
+//! *expected supports* for candidate negative itemsets from an is-a taxonomy
+//! over the items: leaf items are concrete products, internal nodes are
+//! categories (departments, sub-categories, brands, ...). This crate provides
+//!
+//! * [`ItemId`] — a dense `u32` item identifier used across the workspace,
+//! * [`Taxonomy`] — an immutable forest with parent / children / sibling /
+//!   ancestor queries,
+//! * [`TaxonomyBuilder`] — validated construction,
+//! * [`FilteredTaxonomy`] — the "compressed" taxonomy of paper §2.4 in which
+//!   all items below minimum support have been deleted,
+//! * [`fxhash`] — the fast hash map used throughout the workspace, and
+//! * text serialization plus DOT / ASCII rendering for inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use negassoc_taxonomy::TaxonomyBuilder;
+//!
+//! let mut b = TaxonomyBuilder::new();
+//! let beverages = b.add_root("beverages");
+//! let water = b.add_child(beverages, "bottled water").unwrap();
+//! let evian = b.add_child(water, "Evian").unwrap();
+//! let perrier = b.add_child(water, "Perrier").unwrap();
+//! let tax = b.build();
+//!
+//! assert!(tax.is_ancestor(beverages, evian));
+//! assert_eq!(tax.siblings(evian).collect::<Vec<_>>(), vec![perrier]);
+//! assert_eq!(tax.leaves_under(water).count(), 2);
+//! ```
+
+pub mod builder;
+pub mod compress;
+pub mod fxhash;
+pub mod render;
+pub mod stats;
+pub mod textfmt;
+
+mod item;
+mod taxonomy;
+
+pub use builder::{BuilderError, TaxonomyBuilder};
+pub use compress::FilteredTaxonomy;
+pub use item::ItemId;
+pub use taxonomy::Taxonomy;

@@ -1,0 +1,83 @@
+//! Human-readable renderings of a taxonomy: Graphviz DOT and an ASCII tree.
+
+use crate::{ItemId, Taxonomy};
+use std::fmt::Write as _;
+
+/// Render the taxonomy as a Graphviz DOT digraph (edges point from parent to
+/// child).
+pub fn to_dot(tax: &Taxonomy) -> String {
+    let mut out = String::new();
+    out.push_str("digraph taxonomy {\n  rankdir=TB;\n  node [shape=box];\n");
+    for id in tax.items() {
+        let shape = if tax.is_leaf(id) { "ellipse" } else { "box" };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={}];",
+            id.0,
+            escape(tax.name(id)),
+            shape
+        );
+    }
+    for id in tax.items() {
+        if let Some(p) = tax.parent(id) {
+            let _ = writeln!(out, "  n{} -> n{};", p.0, id.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the taxonomy as an indented ASCII tree, one item per line.
+pub fn to_ascii(tax: &Taxonomy) -> String {
+    let mut out = String::new();
+    for &root in tax.roots() {
+        ascii_rec(tax, root, 0, &mut out);
+    }
+    out
+}
+
+fn ascii_rec(tax: &Taxonomy, id: ItemId, indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    let _ = writeln!(out, "{} ({})", tax.name(id), id.0);
+    for &c in tax.children(id) {
+        ascii_rec(tax, c, indent + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxonomyBuilder;
+
+    fn tiny() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new();
+        let r = b.add_root("root \"dept\"");
+        b.add_child(r, "leaf").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_escapes_quotes() {
+        let dot = to_dot(&tiny());
+        assert!(dot.contains("digraph taxonomy"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("root \\\"dept\\\""));
+        assert!(dot.contains("shape=ellipse")); // the leaf
+        assert!(dot.contains("shape=box")); // the category
+    }
+
+    #[test]
+    fn ascii_indents_children() {
+        let a = to_ascii(&tiny());
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("root"));
+        assert!(lines[1].starts_with("  leaf"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Structural statistics of a taxonomy — the quantities §2.1.4 of the
+//! paper argues about (fan-out and granularity drive both rule quality and
+//! candidate counts).
+
+use crate::{ItemId, Taxonomy};
+
+/// Summary statistics of a taxonomy's shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaxonomyStats {
+    /// Total items.
+    pub items: usize,
+    /// Leaf items.
+    pub leaves: usize,
+    /// Internal (category) items.
+    pub categories: usize,
+    /// Number of roots.
+    pub roots: usize,
+    /// Maximum depth (roots at 0).
+    pub max_depth: u32,
+    /// Mean number of children over internal nodes.
+    pub avg_fanout: f64,
+    /// Largest number of children of any node.
+    pub max_fanout: usize,
+    /// Items per depth level (index = depth).
+    pub level_sizes: Vec<usize>,
+}
+
+/// Compute [`TaxonomyStats`] in one traversal.
+pub fn stats(tax: &Taxonomy) -> TaxonomyStats {
+    let mut level_sizes: Vec<usize> = Vec::new();
+    let mut fanout_sum = 0usize;
+    let mut max_fanout = 0usize;
+    let mut internal = 0usize;
+    for id in tax.items() {
+        let depth = tax.depth(id) as usize;
+        if level_sizes.len() <= depth {
+            level_sizes.resize(depth + 1, 0);
+        }
+        level_sizes[depth] += 1;
+        let f = tax.children(id).len();
+        if f > 0 {
+            internal += 1;
+            fanout_sum += f;
+            max_fanout = max_fanout.max(f);
+        }
+    }
+    TaxonomyStats {
+        items: tax.len(),
+        leaves: tax.num_leaves(),
+        categories: tax.num_categories(),
+        roots: tax.roots().len(),
+        max_depth: tax.max_depth(),
+        avg_fanout: if internal == 0 {
+            0.0
+        } else {
+            fanout_sum as f64 / internal as f64
+        },
+        max_fanout,
+        level_sizes,
+    }
+}
+
+/// The deepest leaf of the taxonomy (useful for sanity checks of generated
+/// taxonomies); `None` when empty.
+pub fn deepest_leaf(tax: &Taxonomy) -> Option<ItemId> {
+    tax.leaves().max_by_key(|&l| tax.depth(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxonomyBuilder;
+
+    #[test]
+    fn computes_shape() {
+        let mut b = TaxonomyBuilder::new();
+        let r = b.add_root("r");
+        let a = b.add_child(r, "a").unwrap();
+        b.add_child(r, "b").unwrap();
+        b.add_child(r, "c").unwrap();
+        let d = b.add_child(a, "d").unwrap();
+        let t = b.build();
+
+        let s = stats(&t);
+        assert_eq!(s.items, 5);
+        assert_eq!(s.leaves, 3);
+        assert_eq!(s.categories, 2);
+        assert_eq!(s.roots, 1);
+        assert_eq!(s.max_depth, 2);
+        // r has 3 children, a has 1: avg (3+1)/2 = 2.
+        assert!((s.avg_fanout - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_fanout, 3);
+        assert_eq!(s.level_sizes, vec![1, 3, 1]);
+        assert_eq!(deepest_leaf(&t), Some(d));
+    }
+
+    #[test]
+    fn empty_and_flat() {
+        let t = TaxonomyBuilder::new().build();
+        let s = stats(&t);
+        assert_eq!(s.items, 0);
+        assert_eq!(s.avg_fanout, 0.0);
+        assert!(s.level_sizes.is_empty());
+        assert_eq!(deepest_leaf(&t), None);
+
+        let mut b = TaxonomyBuilder::new();
+        b.add_root("x");
+        b.add_root("y");
+        let flat = b.build();
+        let s = stats(&flat);
+        assert_eq!(s.leaves, 2);
+        assert_eq!(s.categories, 0);
+        assert_eq!(s.avg_fanout, 0.0);
+        assert_eq!(s.level_sizes, vec![2]);
+    }
+}

@@ -1,0 +1,180 @@
+//! A line-oriented text serialization for taxonomies.
+//!
+//! One item per line: `name<TAB>parent-name`, with the literal `-` as the
+//! parent of roots. Parents must appear before their children. Blank lines
+//! and lines starting with `#` are ignored. This is the format the
+//! `negrules` CLI reads and writes.
+//!
+//! ```text
+//! # a tiny retail taxonomy
+//! beverages\t-
+//! bottled water\tbeverages
+//! Evian\tbottled water
+//! ```
+
+use crate::{BuilderError, Taxonomy, TaxonomyBuilder};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors from parsing a taxonomy text file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A data line did not have exactly two tab-separated fields.
+    Malformed { line: usize },
+    /// A parent name was referenced before being defined.
+    UnknownParent { line: usize, parent: String },
+    /// Structural violation reported by the builder (e.g. duplicate name).
+    Builder { line: usize, source: BuilderError },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line } => {
+                write!(f, "line {line}: expected `name<TAB>parent`")
+            }
+            ParseError::UnknownParent { line, parent } => {
+                write!(f, "line {line}: parent {parent:?} not defined yet")
+            }
+            ParseError::Builder { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Builder { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parse a taxonomy from the text format.
+pub fn read_taxonomy<R: BufRead>(reader: R) -> Result<Taxonomy, ParseError> {
+    let mut b = TaxonomyBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.splitn(2, '\t');
+        let (name, parent) = match (fields.next(), fields.next()) {
+            (Some(n), Some(p)) if !n.is_empty() && !p.is_empty() => (n, p.trim()),
+            _ => return Err(ParseError::Malformed { line: lineno }),
+        };
+        let result = if parent == "-" {
+            b.try_add_root(name)
+        } else {
+            match b.id_of(parent) {
+                Some(pid) => b.add_child(pid, name),
+                None => {
+                    return Err(ParseError::UnknownParent {
+                        line: lineno,
+                        parent: parent.to_owned(),
+                    })
+                }
+            }
+        };
+        result.map_err(|source| ParseError::Builder {
+            line: lineno,
+            source,
+        })?;
+    }
+    Ok(b.build())
+}
+
+/// Write a taxonomy in the text format, parents before children.
+pub fn write_taxonomy<W: Write>(tax: &Taxonomy, mut writer: W) -> io::Result<()> {
+    // Emit in depth-first order from each root so parents precede children
+    // regardless of original insertion interleaving.
+    for &root in tax.roots() {
+        for id in tax.subtree(root) {
+            match tax.parent(id) {
+                None => writeln!(writer, "{}\t-", tax.name(id))?,
+                Some(p) => writeln!(writer, "{}\t{}", tax.name(id), tax.name(p))?,
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxonomyBuilder;
+
+    #[test]
+    fn round_trip() {
+        let mut b = TaxonomyBuilder::new();
+        let bev = b.add_root("beverages");
+        let water = b.add_child(bev, "bottled water").unwrap();
+        b.add_child(water, "Evian").unwrap();
+        b.add_child(water, "Perrier").unwrap();
+        b.add_root("desserts");
+        let t1 = b.build();
+
+        let mut buf = Vec::new();
+        write_taxonomy(&t1, &mut buf).unwrap();
+        let t2 = read_taxonomy(buf.as_slice()).unwrap();
+
+        assert_eq!(t1.len(), t2.len());
+        for id in t1.items() {
+            let other = t2.id_of(t1.name(id)).unwrap();
+            assert_eq!(
+                t1.parent(id).map(|p| t1.name(p).to_owned()),
+                t2.parent(other).map(|p| t2.name(p).to_owned())
+            );
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\nroot\t-\n  \nchild\troot\n";
+        let t = read_taxonomy(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.id_of("child").is_some());
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let text = "root\t-\nnotabshere\n";
+        match read_taxonomy(text.as_bytes()) {
+            Err(ParseError::Malformed { line }) => assert_eq!(line, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_reference_is_an_error() {
+        let text = "child\tmissing\n";
+        match read_taxonomy(text.as_bytes()) {
+            Err(ParseError::UnknownParent { line, parent }) => {
+                assert_eq!(line, 1);
+                assert_eq!(parent, "missing");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_name_is_a_builder_error() {
+        let text = "a\t-\na\t-\n";
+        match read_taxonomy(text.as_bytes()) {
+            Err(ParseError::Builder { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

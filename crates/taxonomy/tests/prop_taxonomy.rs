@@ -1,0 +1,148 @@
+//! Property-based tests for taxonomy invariants.
+
+use negassoc_taxonomy::fxhash::FxHashSet;
+use negassoc_taxonomy::{FilteredTaxonomy, ItemId, Taxonomy, TaxonomyBuilder};
+use proptest::prelude::*;
+
+/// Build a random forest: item `i`'s parent is drawn from items `0..i`
+/// (or none), which guarantees a valid forest.
+fn arb_taxonomy() -> impl Strategy<Value = Taxonomy> {
+    prop::collection::vec(prop::option::weighted(0.8, 0u32..1000), 1..60).prop_map(|parents| {
+        let mut b = TaxonomyBuilder::new();
+        for (i, p) in parents.iter().enumerate() {
+            let name = format!("item{i}");
+            match p {
+                Some(raw) if i > 0 => {
+                    let parent = ItemId(raw % i as u32);
+                    b.add_child(parent, &name).unwrap();
+                }
+                _ => {
+                    b.add_root(&name);
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #[test]
+    fn depth_is_parent_depth_plus_one(tax in arb_taxonomy()) {
+        for id in tax.items() {
+            match tax.parent(id) {
+                Some(p) => prop_assert_eq!(tax.depth(id), tax.depth(p) + 1),
+                None => prop_assert_eq!(tax.depth(id), 0),
+            }
+        }
+    }
+
+    #[test]
+    fn children_and_parent_are_inverse(tax in arb_taxonomy()) {
+        for id in tax.items() {
+            for &c in tax.children(id) {
+                prop_assert_eq!(tax.parent(c), Some(id));
+            }
+            if let Some(p) = tax.parent(id) {
+                prop_assert!(tax.children(p).contains(&id));
+            } else {
+                prop_assert!(tax.roots().contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_are_strictly_shallower(tax in arb_taxonomy()) {
+        for id in tax.items() {
+            let mut last_depth = tax.depth(id);
+            for anc in tax.ancestors(id) {
+                prop_assert!(tax.depth(anc) < last_depth);
+                last_depth = tax.depth(anc);
+                prop_assert!(tax.is_ancestor(anc, id));
+                prop_assert!(!tax.is_ancestor(id, anc));
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_partition_by_root(tax in arb_taxonomy()) {
+        // Every leaf is reachable from exactly one root.
+        let mut seen: Vec<ItemId> = Vec::new();
+        for &r in tax.roots() {
+            seen.extend(tax.leaves_under(r));
+        }
+        seen.sort();
+        let total = tax.leaves().count();
+        prop_assert_eq!(seen.len(), total);
+        seen.dedup();
+        prop_assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn subtree_contains_exactly_descendants(tax in arb_taxonomy()) {
+        for &r in tax.roots() {
+            let sub: FxHashSet<ItemId> = tax.subtree(r).collect();
+            for id in tax.items() {
+                let is_desc = id == r || tax.is_ancestor(r, id);
+                prop_assert_eq!(sub.contains(&id), is_desc);
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_share_parent_and_exclude_self(tax in arb_taxonomy()) {
+        for id in tax.items() {
+            for s in tax.siblings(id) {
+                prop_assert_ne!(s, id);
+                prop_assert_eq!(tax.parent(s), tax.parent(id));
+                prop_assert!(tax.parent(id).is_some());
+            }
+        }
+    }
+
+    /// Filtering with an upward-closed keep-set drops nothing extra, and the
+    /// filtered structure agrees with the base taxonomy on retained items.
+    #[test]
+    fn filtered_view_respects_upward_closure(
+        tax in arb_taxonomy(),
+        seed in prop::collection::vec(any::<bool>(), 60),
+    ) {
+        // Make the keep-set upward closed: keep item iff flagged and all
+        // ancestors flagged.
+        let mut keep: FxHashSet<ItemId> = FxHashSet::default();
+        for id in tax.items() {
+            let flagged = |i: ItemId| seed.get(i.index()).copied().unwrap_or(false);
+            if flagged(id) && tax.ancestors(id).all(flagged) {
+                keep.insert(id);
+            }
+        }
+        let v = FilteredTaxonomy::new(&tax, &keep);
+        prop_assert!(v.dropped_for_closure().is_empty());
+        prop_assert_eq!(v.len(), keep.len());
+        for &id in &keep {
+            prop_assert!(v.contains(id));
+            for &c in v.children(id) {
+                prop_assert!(keep.contains(&c));
+                prop_assert_eq!(tax.parent(c), Some(id));
+            }
+            for s in v.siblings(id) {
+                prop_assert!(keep.contains(&s));
+            }
+        }
+    }
+
+    /// Text round-trip preserves names and parent relationships.
+    #[test]
+    fn text_format_round_trips(tax in arb_taxonomy()) {
+        let mut buf = Vec::new();
+        negassoc_taxonomy::textfmt::write_taxonomy(&tax, &mut buf).unwrap();
+        let back = negassoc_taxonomy::textfmt::read_taxonomy(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), tax.len());
+        for id in tax.items() {
+            let other = back.id_of(tax.name(id)).unwrap();
+            let p1 = tax.parent(id).map(|p| tax.name(p).to_owned());
+            let p2 = back.parent(other).map(|p| back.name(p).to_owned());
+            prop_assert_eq!(p1, p2);
+            prop_assert_eq!(tax.depth(id), back.depth(other));
+        }
+    }
+}

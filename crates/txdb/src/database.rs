@@ -1,0 +1,199 @@
+use crate::scan::TransactionSource;
+use crate::transaction::{normalize, Transaction};
+use negassoc_taxonomy::ItemId;
+use std::io;
+
+/// A compact in-memory transaction database.
+///
+/// Items of all transactions live in one flat array with an offsets table
+/// (CSR layout), so a full pass is a cache-friendly linear sweep with no
+/// per-transaction allocation.
+#[derive(Clone, Debug, Default)]
+pub struct TransactionDb {
+    tids: Vec<u64>,
+    offsets: Vec<usize>, // offsets.len() == tids.len() + 1
+    items: Vec<ItemId>,
+    max_item: Option<ItemId>,
+}
+
+impl TransactionDb {
+    /// Number of transactions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// `true` when the database holds no transactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// Total number of item occurrences across all transactions.
+    #[inline]
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The largest item id appearing in any transaction, if any.
+    #[inline]
+    pub fn max_item(&self) -> Option<ItemId> {
+        self.max_item
+    }
+
+    /// The `idx`-th transaction (by position, not by TID).
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Transaction<'_> {
+        let (s, e) = (self.offsets[idx], self.offsets[idx + 1]);
+        Transaction::new(self.tids[idx], &self.items[s..e])
+    }
+
+    /// Iterate over all transactions in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = Transaction<'_>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Average basket size.
+    pub fn avg_len(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.items.len() as f64 / self.len() as f64
+        }
+    }
+}
+
+impl TransactionSource for TransactionDb {
+    fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+        for t in self.iter() {
+            f(t);
+        }
+        Ok(())
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.len() as u64)
+    }
+}
+
+/// Builder for [`TransactionDb`]. Baskets are sorted and deduplicated on
+/// insertion; TIDs default to the insertion index but can be set explicitly.
+#[derive(Default, Debug)]
+pub struct TransactionDbBuilder {
+    db: TransactionDb,
+    scratch: Vec<ItemId>,
+}
+
+impl TransactionDbBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        let mut b = Self::default();
+        b.db.offsets.push(0);
+        b
+    }
+
+    /// A builder pre-sized for `transactions` baskets of ~`avg_len` items.
+    pub fn with_capacity(transactions: usize, avg_len: usize) -> Self {
+        let mut b = Self::new();
+        b.db.tids.reserve(transactions);
+        b.db.offsets.reserve(transactions);
+        b.db.items.reserve(transactions * avg_len);
+        b
+    }
+
+    /// Append a basket with an automatically assigned TID (the insertion
+    /// index). Returns the TID.
+    pub fn add<I: IntoIterator<Item = ItemId>>(&mut self, items: I) -> u64 {
+        let tid = self.db.tids.len() as u64;
+        self.add_with_tid(tid, items);
+        tid
+    }
+
+    /// Append a basket with an explicit TID.
+    pub fn add_with_tid<I: IntoIterator<Item = ItemId>>(&mut self, tid: u64, items: I) {
+        self.scratch.clear();
+        self.scratch.extend(items);
+        normalize(&mut self.scratch);
+        if let Some(&m) = self.scratch.last() {
+            self.db.max_item = Some(self.db.max_item.map_or(m, |cur| cur.max(m)));
+        }
+        self.db.tids.push(tid);
+        self.db.items.extend_from_slice(&self.scratch);
+        self.db.offsets.push(self.db.items.len());
+    }
+
+    /// Number of transactions added so far.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// `true` when nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Finish building.
+    pub fn build(self) -> TransactionDb {
+        self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn builder_assigns_sequential_tids_and_normalizes() {
+        let mut b = TransactionDbBuilder::new();
+        assert!(b.is_empty());
+        let t0 = b.add(ids(&[3, 1, 3]));
+        let t1 = b.add(ids(&[2]));
+        assert_eq!((t0, t1), (0, 1));
+        assert_eq!(b.len(), 2);
+        let db = b.build();
+        assert_eq!(db.get(0).items(), &ids(&[1, 3])[..]);
+        assert_eq!(db.get(1).tid(), 1);
+        assert_eq!(db.max_item(), Some(ItemId(3)));
+        assert_eq!(db.total_items(), 3);
+        assert!((db.avg_len() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_tids() {
+        let mut b = TransactionDbBuilder::new();
+        b.add_with_tid(100, ids(&[1]));
+        b.add_with_tid(7, ids(&[2]));
+        let db = b.build();
+        assert_eq!(db.get(0).tid(), 100);
+        assert_eq!(db.get(1).tid(), 7);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = TransactionDbBuilder::new().build();
+        assert!(db.is_empty());
+        assert_eq!(db.avg_len(), 0.0);
+        assert_eq!(db.max_item(), None);
+        assert_eq!(db.iter().count(), 0);
+    }
+
+    #[test]
+    fn pass_visits_everything() {
+        let mut b = TransactionDbBuilder::with_capacity(3, 2);
+        b.add(ids(&[1, 2]));
+        b.add(ids(&[3]));
+        b.add([]);
+        let db = b.build();
+        let mut seen = Vec::new();
+        db.pass(&mut |t| seen.push((t.tid(), t.len()))).unwrap();
+        assert_eq!(seen, vec![(0, 2), (1, 1), (2, 0)]);
+        assert_eq!(db.len_hint(), Some(3));
+    }
+}

@@ -1,0 +1,50 @@
+//! Transaction database substrate for the negative-association miner.
+//!
+//! The mining algorithms of the paper are expressed as a sequence of *passes*
+//! over a database of customer transactions `⟨TID, i_j, i_k, …, i_n⟩`. This
+//! crate provides everything those passes need:
+//!
+//! * [`TransactionDb`] — a compact in-memory store (flat item array +
+//!   offsets) built via [`TransactionDbBuilder`],
+//! * [`Transaction`] — a borrowed view of one basket (TID + sorted items),
+//! * [`TransactionSource`] — the pass abstraction shared by in-memory and
+//!   on-disk databases, plus [`PassCounter`] so tests and benchmarks can
+//!   verify the paper's `2n` vs `n + 1` pass counts,
+//! * [`binfmt`] / [`textfmt`] — a varint-compressed binary file format and a
+//!   human-readable text format, both streamable,
+//! * [`partition`] — horizontal partitioning for memory-bounded or parallel
+//!   counting,
+//! * [`vertical`] — TID-list (inverted) indexes with intersection-based
+//!   support counting, used as an alternative counting backend.
+//!
+//! # Example
+//!
+//! ```
+//! use negassoc_txdb::{TransactionDbBuilder, TransactionSource};
+//! use negassoc_taxonomy::ItemId;
+//!
+//! let mut b = TransactionDbBuilder::new();
+//! b.add([ItemId(0), ItemId(2)]);
+//! b.add([ItemId(1), ItemId(2), ItemId(0)]);
+//! let db = b.build();
+//!
+//! assert_eq!(db.len(), 2);
+//! let mut total_items = 0;
+//! db.pass(&mut |t| total_items += t.items().len()).unwrap();
+//! assert_eq!(total_items, 5);
+//! ```
+
+pub mod binfmt;
+pub mod partition;
+pub mod stats;
+pub mod textfmt;
+pub mod throttle;
+pub mod vertical;
+
+mod database;
+mod scan;
+mod transaction;
+
+pub use database::{TransactionDb, TransactionDbBuilder};
+pub use scan::{PassCounter, TransactionSource};
+pub use transaction::Transaction;

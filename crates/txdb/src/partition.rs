@@ -1,0 +1,146 @@
+//! Horizontal partitioning of an in-memory database.
+//!
+//! A partition is a contiguous range of transactions that itself implements
+//! [`TransactionSource`], so it can be fed to any counting routine. This is
+//! the building block for parallel support counting (one thread per
+//! partition) and mirrors the partitioned processing of Savasere et al.'s
+//! earlier Partition algorithm (VLDB '95).
+
+use crate::scan::TransactionSource;
+use crate::transaction::Transaction;
+use crate::TransactionDb;
+use std::io;
+
+/// A contiguous slice of a [`TransactionDb`].
+#[derive(Clone, Copy, Debug)]
+pub struct DbSlice<'a> {
+    db: &'a TransactionDb,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> DbSlice<'a> {
+    /// Slice `db` to positions `start..end`.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or reversed.
+    pub fn new(db: &'a TransactionDb, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= db.len(), "slice out of bounds");
+        Self { db, start, end }
+    }
+
+    /// Number of transactions in the slice.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterate the slice's transactions.
+    pub fn iter(&self) -> impl Iterator<Item = Transaction<'a>> + '_ {
+        let db = self.db;
+        (self.start..self.end).map(move |i| db.get(i))
+    }
+}
+
+impl TransactionSource for DbSlice<'_> {
+    fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+        for t in self.iter() {
+            f(t);
+        }
+        Ok(())
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.len() as u64)
+    }
+}
+
+/// Split `db` into `n` contiguous partitions of near-equal size (the first
+/// `len % n` partitions hold one extra transaction). `n` is clamped to at
+/// least 1; fewer than `n` partitions are returned when `db` has fewer
+/// transactions.
+pub fn partitions(db: &TransactionDb, n: usize) -> Vec<DbSlice<'_>> {
+    let n = n.max(1);
+    let len = db.len();
+    let chunks = n.min(len.max(1));
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        if size == 0 && len > 0 {
+            continue;
+        }
+        out.push(DbSlice::new(db, start, start + size));
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransactionDbBuilder;
+    use negassoc_taxonomy::ItemId;
+
+    fn db(n: usize) -> TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        for i in 0..n {
+            b.add([ItemId(i as u32)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partitions_cover_everything_in_order() {
+        let d = db(10);
+        let parts = partitions(&d, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(
+            parts.iter().map(|p| p.len()).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        let mut seen = Vec::new();
+        for p in &parts {
+            p.pass(&mut |t| seen.push(t.tid())).unwrap();
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn more_partitions_than_transactions() {
+        let d = db(2);
+        let parts = partitions(&d, 5);
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn zero_partitions_is_clamped() {
+        let d = db(4);
+        let parts = partitions(&d, 0);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[0].len_hint(), Some(4));
+    }
+
+    #[test]
+    fn empty_db_yields_one_empty_partition() {
+        let d = db(0);
+        let parts = partitions(&d, 3);
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let d = db(2);
+        let _ = DbSlice::new(&d, 1, 3);
+    }
+}

@@ -1,0 +1,154 @@
+use crate::transaction::Transaction;
+use std::cell::Cell;
+use std::io;
+
+/// Anything the mining algorithms can make repeated *passes* over.
+///
+/// The paper's complexity analysis is stated in database passes (Naive makes
+/// `2n`, Improved `n + 1`); every algorithm in this workspace is therefore
+/// written against this trait rather than against an in-memory vector, so the
+/// same code runs over [`crate::TransactionDb`], a streamed
+/// [`crate::binfmt::FileSource`], or a [`PassCounter`] that audits the pass
+/// count.
+pub trait TransactionSource {
+    /// Perform one full pass, invoking `f` once per transaction, in a stable
+    /// order.
+    fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()>;
+
+    /// Number of transactions, when known without a pass.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Count transactions, using [`Self::len_hint`] when available.
+    fn count_transactions(&self) -> io::Result<u64> {
+        if let Some(n) = self.len_hint() {
+            return Ok(n);
+        }
+        let mut n = 0u64;
+        self.pass(&mut |_| n += 1)?;
+        Ok(n)
+    }
+}
+
+impl<T: TransactionSource + ?Sized> TransactionSource for &T {
+    fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+        (**self).pass(f)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+/// Wraps a [`TransactionSource`] and counts how many passes are made.
+///
+/// Tests use this to pin the paper's pass-count claims: the naive negative
+/// miner performs `2n` passes, the improved one `n + 1` (§2.2), plus extra
+/// passes only under the §2.5 memory-bounded fallback.
+pub struct PassCounter<S> {
+    inner: S,
+    passes: Cell<u64>,
+}
+
+impl<S: TransactionSource> PassCounter<S> {
+    /// Wrap `inner` with a zeroed pass counter.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            passes: Cell::new(0),
+        }
+    }
+
+    /// Passes made so far.
+    pub fn passes(&self) -> u64 {
+        self.passes.get()
+    }
+
+    /// Reset the counter to zero.
+    pub fn reset(&self) {
+        self.passes.set(0);
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TransactionSource> TransactionSource for PassCounter<S> {
+    fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+        self.passes.set(self.passes.get() + 1);
+        self.inner.pass(f)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransactionDbBuilder;
+    use negassoc_taxonomy::ItemId;
+
+    #[test]
+    fn pass_counter_counts() {
+        let mut b = TransactionDbBuilder::new();
+        b.add([ItemId(1)]);
+        let pc = PassCounter::new(b.build());
+        assert_eq!(pc.passes(), 0);
+        pc.pass(&mut |_| {}).unwrap();
+        pc.pass(&mut |_| {}).unwrap();
+        assert_eq!(pc.passes(), 2);
+        pc.reset();
+        assert_eq!(pc.passes(), 0);
+        assert_eq!(pc.len_hint(), Some(1));
+        assert_eq!(pc.inner().len(), 1);
+    }
+
+    #[test]
+    fn count_transactions_uses_hint() {
+        let mut b = TransactionDbBuilder::new();
+        b.add([ItemId(1)]);
+        b.add([ItemId(2)]);
+        let pc = PassCounter::new(b.build());
+        assert_eq!(pc.count_transactions().unwrap(), 2);
+        // The hint avoided a pass.
+        assert_eq!(pc.passes(), 0);
+    }
+
+    /// A hint-less source to exercise the counting fallback.
+    struct NoHint(crate::TransactionDb);
+
+    impl TransactionSource for NoHint {
+        fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+            self.0.pass(f)
+        }
+    }
+
+    #[test]
+    fn count_transactions_falls_back_to_a_pass() {
+        let mut b = TransactionDbBuilder::new();
+        b.add([ItemId(1)]);
+        b.add([ItemId(2)]);
+        b.add([ItemId(3)]);
+        let src = NoHint(b.build());
+        assert_eq!(src.len_hint(), None);
+        assert_eq!(src.count_transactions().unwrap(), 3);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let mut b = TransactionDbBuilder::new();
+        b.add([ItemId(1)]);
+        let db = b.build();
+        let r: &dyn TransactionSource = &db;
+        let rr = &r;
+        assert_eq!(rr.len_hint(), Some(1));
+        let mut n = 0;
+        rr.pass(&mut |_| n += 1).unwrap();
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Summary statistics over a transaction source (one pass).
+
+use crate::scan::TransactionSource;
+use negassoc_taxonomy::ItemId;
+use std::io;
+
+/// Aggregate statistics of a transaction database.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DbStats {
+    /// Number of transactions.
+    pub transactions: u64,
+    /// Total item occurrences.
+    pub item_occurrences: u64,
+    /// Number of distinct items seen.
+    pub distinct_items: u64,
+    /// Longest basket.
+    pub max_len: usize,
+    /// Shortest basket (0 when any basket is empty).
+    pub min_len: usize,
+    /// Mean basket length.
+    pub avg_len: f64,
+}
+
+/// Compute [`DbStats`] plus the per-item occurrence counts (indexed by item
+/// id) in one pass.
+pub fn collect<S: TransactionSource>(source: &S) -> io::Result<(DbStats, Vec<u64>)> {
+    let mut counts: Vec<u64> = Vec::new();
+    let mut stats = DbStats {
+        min_len: usize::MAX,
+        ..DbStats::default()
+    };
+    source.pass(&mut |t| {
+        stats.transactions += 1;
+        stats.item_occurrences += t.len() as u64;
+        stats.max_len = stats.max_len.max(t.len());
+        stats.min_len = stats.min_len.min(t.len());
+        for &it in t.items() {
+            let idx = it.index();
+            if idx >= counts.len() {
+                counts.resize(idx + 1, 0);
+            }
+            counts[idx] += 1;
+        }
+    })?;
+    if stats.transactions == 0 {
+        stats.min_len = 0;
+    }
+    stats.distinct_items = counts.iter().filter(|&&c| c > 0).count() as u64;
+    stats.avg_len = if stats.transactions == 0 {
+        0.0
+    } else {
+        stats.item_occurrences as f64 / stats.transactions as f64
+    };
+    Ok((stats, counts))
+}
+
+/// The `n` most frequent items, most frequent first (ties by ascending id).
+pub fn top_items(counts: &[u64], n: usize) -> Vec<(ItemId, u64)> {
+    let mut pairs: Vec<(ItemId, u64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| (ItemId(i as u32), c))
+        .collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(n);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransactionDbBuilder;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn collect_counts_everything() {
+        let mut b = TransactionDbBuilder::new();
+        b.add(ids(&[0, 1, 2]));
+        b.add(ids(&[1]));
+        b.add(ids(&[1, 2]));
+        let (stats, counts) = collect(&b.build()).unwrap();
+        assert_eq!(stats.transactions, 3);
+        assert_eq!(stats.item_occurrences, 6);
+        assert_eq!(stats.distinct_items, 3);
+        assert_eq!(stats.max_len, 3);
+        assert_eq!(stats.min_len, 1);
+        assert!((stats.avg_len - 2.0).abs() < 1e-12);
+        assert_eq!(counts, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn empty_database_stats() {
+        let db = TransactionDbBuilder::new().build();
+        let (stats, counts) = collect(&db).unwrap();
+        assert_eq!(stats, DbStats::default());
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn top_items_orders_and_breaks_ties() {
+        let counts = vec![5, 0, 9, 5];
+        let top = top_items(&counts, 3);
+        assert_eq!(
+            top,
+            vec![(ItemId(2), 9), (ItemId(0), 5), (ItemId(3), 5)]
+        );
+        assert_eq!(top_items(&counts, 0).len(), 0);
+        assert_eq!(top_items(&[], 5).len(), 0);
+    }
+}

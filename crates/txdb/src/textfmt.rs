@@ -1,0 +1,128 @@
+//! Human-readable text format: one basket per line, whitespace-separated
+//! item ids, `#` comments. TIDs are the (0-based) data-line index. This is
+//! the common interchange format of itemset-mining tools (e.g. the FIMI
+//! repository datasets) and what the `negrules` CLI accepts.
+
+use crate::{TransactionDb, TransactionDbBuilder, TransactionSource};
+use negassoc_taxonomy::ItemId;
+use std::fmt;
+use std::io::{self, BufRead, BufWriter, Write};
+
+/// Errors from parsing the text transaction format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A token was not a valid `u32` item id.
+    BadItem { line: usize, token: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::BadItem { line, token } => {
+                write!(f, "line {line}: {token:?} is not a valid item id")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parse a text-format database. Empty lines are empty transactions;
+/// `#` lines are comments.
+pub fn read_db<R: BufRead>(reader: R) -> Result<TransactionDb, ParseError> {
+    let mut b = TransactionDbBuilder::new();
+    let mut basket: Vec<ItemId> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        basket.clear();
+        for token in trimmed.split_whitespace() {
+            let id: u32 = token.parse().map_err(|_| ParseError::BadItem {
+                line: idx + 1,
+                token: token.to_owned(),
+            })?;
+            basket.push(ItemId(id));
+        }
+        b.add(basket.iter().copied());
+    }
+    Ok(b.build())
+}
+
+/// Write `source` in the text format.
+pub fn write_db<S: TransactionSource, W: Write>(source: &S, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let mut result = Ok(());
+    source.pass(&mut |t| {
+        if result.is_err() {
+            return;
+        }
+        result = (|| {
+            let mut first = true;
+            for &it in t.items() {
+                if !first {
+                    w.write_all(b" ")?;
+                }
+                first = false;
+                write!(w, "{}", it.0)?;
+            }
+            w.write_all(b"\n")
+        })();
+    })?;
+    result?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_baskets_comments_and_empties() {
+        let text = "# header\n1 5 3\n\n7\n";
+        let db = read_db(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.get(0).items(), &[ItemId(1), ItemId(3), ItemId(5)]);
+        assert!(db.get(1).is_empty());
+        assert_eq!(db.get(2).items(), &[ItemId(7)]);
+    }
+
+    #[test]
+    fn rejects_non_numeric_tokens_with_line_number() {
+        let text = "1 2\n3 x\n";
+        match read_db(text.as_bytes()) {
+            Err(ParseError::BadItem { line, token }) => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "x");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "1 2 3\n\n9 11\n";
+        let db = read_db(text.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_db(&db, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "1 2 3\n\n9 11\n");
+    }
+}

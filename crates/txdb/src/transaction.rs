@@ -1,0 +1,128 @@
+use negassoc_taxonomy::ItemId;
+
+/// A borrowed view of one customer transaction: a unique TID plus the
+/// basket's items, **sorted ascending and duplicate-free** (an invariant
+/// maintained by every constructor in this crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transaction<'a> {
+    tid: u64,
+    items: &'a [ItemId],
+}
+
+impl<'a> Transaction<'a> {
+    /// Wrap a TID and a sorted, deduplicated item slice.
+    ///
+    /// # Panics
+    /// Debug-asserts the sortedness invariant.
+    #[inline]
+    pub fn new(tid: u64, items: &'a [ItemId]) -> Self {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "transaction items must be strictly ascending"
+        );
+        Self { tid, items }
+    }
+
+    /// The transaction identifier.
+    #[inline]
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    /// The basket, sorted ascending.
+    #[inline]
+    pub fn items(&self) -> &'a [ItemId] {
+        self.items
+    }
+
+    /// Number of items in the basket.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` for an empty basket.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Binary-search membership test.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// `true` when every item of `set` (sorted ascending) occurs in this
+    /// transaction. Linear merge — O(|transaction| + |set|).
+    pub fn contains_all(&self, set: &[ItemId]) -> bool {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]));
+        let mut t = self.items.iter();
+        'outer: for want in set {
+            for have in t.by_ref() {
+                match have.cmp(want) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// Sort and deduplicate a raw basket in place so it satisfies the
+/// [`Transaction`] invariant.
+pub(crate) fn normalize(items: &mut Vec<ItemId>) {
+    items.sort_unstable();
+    items.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn accessors() {
+        let items = ids(&[1, 3, 7]);
+        let t = Transaction::new(42, &items);
+        assert_eq!(t.tid(), 42);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(t.contains(ItemId(3)));
+        assert!(!t.contains(ItemId(4)));
+    }
+
+    #[test]
+    fn contains_all_merge_logic() {
+        let items = ids(&[1, 3, 5, 7, 9]);
+        let t = Transaction::new(0, &items);
+        assert!(t.contains_all(&ids(&[1, 9])));
+        assert!(t.contains_all(&ids(&[3, 5, 7])));
+        assert!(t.contains_all(&[]));
+        assert!(!t.contains_all(&ids(&[1, 2])));
+        assert!(!t.contains_all(&ids(&[0])));
+        assert!(!t.contains_all(&ids(&[10])));
+        assert!(!t.contains_all(&ids(&[1, 3, 5, 7, 9, 11])));
+    }
+
+    #[test]
+    fn empty_transaction() {
+        let t = Transaction::new(1, &[]);
+        assert!(t.is_empty());
+        assert!(t.contains_all(&[]));
+        assert!(!t.contains_all(&ids(&[1])));
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let mut v = ids(&[5, 1, 5, 3, 1]);
+        normalize(&mut v);
+        assert_eq!(v, ids(&[1, 3, 5]));
+    }
+}

@@ -1,0 +1,248 @@
+//! Vertical (TID-list) representation of a transaction database.
+//!
+//! For every item the index stores the sorted list of transaction positions
+//! containing it; the support of an itemset is the size of the intersection
+//! of its members' lists. With a taxonomy, a category's list is the union of
+//! its descendants' lists, so *generalized* supports fall out of the same
+//! intersection. This serves as an alternative counting backend: after the
+//! one pass that builds the index, any number of candidate itemsets can be
+//! counted without touching the database again.
+
+use crate::scan::TransactionSource;
+use negassoc_taxonomy::{ItemId, Taxonomy};
+use std::io;
+
+/// An inverted index from item to the sorted TID-positions containing it.
+///
+/// ```
+/// use negassoc_txdb::{vertical::TidListIndex, TransactionDbBuilder};
+/// use negassoc_taxonomy::ItemId;
+///
+/// let mut b = TransactionDbBuilder::new();
+/// b.add([ItemId(1), ItemId(2)]);
+/// b.add([ItemId(2)]);
+/// let idx = TidListIndex::build(&b.build()).unwrap();
+/// assert_eq!(idx.support(&[ItemId(2)]), 2);
+/// assert_eq!(idx.support(&[ItemId(1), ItemId(2)]), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TidListIndex {
+    lists: Vec<Vec<u32>>,
+    num_transactions: u64,
+}
+
+impl TidListIndex {
+    /// Build an index over the *literal* items of `source` (no taxonomy).
+    /// Costs one pass.
+    pub fn build<S: TransactionSource>(source: &S) -> io::Result<Self> {
+        Self::build_inner(source, None)
+    }
+
+    /// Build an index in which every transaction is extended with the
+    /// ancestors of its items, so category supports are directly queryable.
+    /// Costs one pass.
+    pub fn build_generalized<S: TransactionSource>(
+        source: &S,
+        taxonomy: &Taxonomy,
+    ) -> io::Result<Self> {
+        Self::build_inner(source, Some(taxonomy))
+    }
+
+    fn build_inner<S: TransactionSource>(
+        source: &S,
+        taxonomy: Option<&Taxonomy>,
+    ) -> io::Result<Self> {
+        let mut lists: Vec<Vec<u32>> = match taxonomy {
+            Some(t) => vec![Vec::new(); t.len()],
+            None => Vec::new(),
+        };
+        let mut pos: u32 = 0;
+        let mut overflow = false;
+        source.pass(&mut |t| {
+            if overflow {
+                return;
+            }
+            for &item in t.items() {
+                let idx = item.index();
+                if idx >= lists.len() {
+                    lists.resize_with(idx + 1, Vec::new);
+                }
+                push_unique(&mut lists[idx], pos);
+                if let Some(tax) = taxonomy {
+                    for anc in tax.ancestors(item) {
+                        push_unique(&mut lists[anc.index()], pos);
+                    }
+                }
+            }
+            pos = match pos.checked_add(1) {
+                Some(p) => p,
+                None => {
+                    overflow = true;
+                    pos
+                }
+            };
+        })?;
+        if overflow {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "TID-list index supports at most u32::MAX transactions",
+            ));
+        }
+        Ok(Self {
+            lists,
+            num_transactions: u64::from(pos),
+        })
+    }
+
+    /// Number of transactions indexed.
+    #[inline]
+    pub fn num_transactions(&self) -> u64 {
+        self.num_transactions
+    }
+
+    /// One past the largest item id with an index slot (ids at or above
+    /// this bound certainly have no occurrences).
+    #[inline]
+    pub fn max_item_bound(&self) -> u32 {
+        self.lists.len() as u32
+    }
+
+    /// The sorted TID-positions containing `item` (empty for unseen items).
+    #[inline]
+    pub fn tids(&self, item: ItemId) -> &[u32] {
+        self.lists
+            .get(item.index())
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Support (absolute count) of a single item.
+    #[inline]
+    pub fn support_1(&self, item: ItemId) -> u64 {
+        self.tids(item).len() as u64
+    }
+
+    /// Support (absolute count) of an itemset: the size of the intersection
+    /// of the members' TID lists. Lists are intersected smallest-first so
+    /// the running set can only shrink.
+    pub fn support(&self, itemset: &[ItemId]) -> u64 {
+        match itemset.len() {
+            0 => self.num_transactions,
+            1 => self.support_1(itemset[0]),
+            _ => {
+                let mut lists: Vec<&[u32]> = itemset.iter().map(|&i| self.tids(i)).collect();
+                lists.sort_by_key(|l| l.len());
+                let mut acc: Vec<u32> = lists[0].to_vec();
+                for rest in &lists[1..] {
+                    intersect_into(&mut acc, rest);
+                    if acc.is_empty() {
+                        return 0;
+                    }
+                }
+                acc.len() as u64
+            }
+        }
+    }
+}
+
+/// Append `pos` unless it is already the last element (items of one
+/// transaction are distinct, but with a taxonomy two items can share an
+/// ancestor).
+#[inline]
+fn push_unique(list: &mut Vec<u32>, pos: u32) {
+    if list.last() != Some(&pos) {
+        list.push(pos);
+    }
+}
+
+/// Replace `acc` with `acc ∩ other`; both sorted ascending.
+fn intersect_into(acc: &mut Vec<u32>, other: &[u32]) {
+    let mut write = 0;
+    let mut j = 0;
+    for read in 0..acc.len() {
+        let v = acc[read];
+        // Galloping would pay off for skewed sizes; linear merge is fine at
+        // the list sizes the paper's workloads produce.
+        while j < other.len() && other[j] < v {
+            j += 1;
+        }
+        if j < other.len() && other[j] == v {
+            acc[write] = v;
+            write += 1;
+            j += 1;
+        }
+    }
+    acc.truncate(write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransactionDbBuilder;
+    use negassoc_taxonomy::TaxonomyBuilder;
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn flat_supports() {
+        let mut b = TransactionDbBuilder::new();
+        b.add(ids(&[0, 1]));
+        b.add(ids(&[1, 2]));
+        b.add(ids(&[0, 1, 2]));
+        let idx = TidListIndex::build(&b.build()).unwrap();
+
+        assert_eq!(idx.num_transactions(), 3);
+        assert_eq!(idx.support_1(ItemId(1)), 3);
+        assert_eq!(idx.support(&ids(&[0, 1])), 2);
+        assert_eq!(idx.support(&ids(&[0, 2])), 1);
+        assert_eq!(idx.support(&ids(&[0, 1, 2])), 1);
+        assert_eq!(idx.support(&[]), 3);
+        assert_eq!(idx.support(&ids(&[7])), 0);
+        assert_eq!(idx.tids(ItemId(2)), &[1, 2]);
+    }
+
+    #[test]
+    fn generalized_supports_count_categories() {
+        // cat0 -> {leaf1, leaf2}; transactions use only leaves.
+        let mut tb = TaxonomyBuilder::new();
+        let cat = tb.add_root("cat");
+        let l1 = tb.add_child(cat, "l1").unwrap();
+        let l2 = tb.add_child(cat, "l2").unwrap();
+        let tax = tb.build();
+
+        let mut b = TransactionDbBuilder::new();
+        b.add([l1]);
+        b.add([l2]);
+        b.add([l1, l2]);
+        let idx = TidListIndex::build_generalized(&b.build(), &tax).unwrap();
+
+        // Category appears in all three transactions, but only once each
+        // even when both children are present.
+        assert_eq!(idx.support_1(cat), 3);
+        assert_eq!(idx.support(&[cat, l1]), 2);
+        assert_eq!(idx.support_1(l1), 2);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = TransactionDbBuilder::new().build();
+        let idx = TidListIndex::build(&db).unwrap();
+        assert_eq!(idx.num_transactions(), 0);
+        assert_eq!(idx.support(&ids(&[0])), 0);
+        assert_eq!(idx.support(&[]), 0);
+    }
+
+    #[test]
+    fn intersect_into_cases() {
+        let mut a = vec![1, 3, 5, 7];
+        intersect_into(&mut a, &[3, 4, 7, 9]);
+        assert_eq!(a, vec![3, 7]);
+        let mut b: Vec<u32> = vec![];
+        intersect_into(&mut b, &[1]);
+        assert!(b.is_empty());
+        let mut c = vec![1, 2];
+        intersect_into(&mut c, &[]);
+        assert!(c.is_empty());
+    }
+}

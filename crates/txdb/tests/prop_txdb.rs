@@ -1,0 +1,88 @@
+//! Property-based tests for the transaction database substrate.
+
+use negassoc_taxonomy::ItemId;
+use negassoc_txdb::{binfmt, partition, textfmt, vertical, TransactionDb, TransactionDbBuilder};
+use negassoc_txdb::TransactionSource;
+use proptest::prelude::*;
+
+fn arb_db() -> impl Strategy<Value = TransactionDb> {
+    prop::collection::vec(prop::collection::vec(0u32..200, 0..12), 0..40).prop_map(|txs| {
+        let mut b = TransactionDbBuilder::new();
+        for t in txs {
+            b.add(t.into_iter().map(ItemId));
+        }
+        b.build()
+    })
+}
+
+fn db_eq(a: &TransactionDb, b: &TransactionDb) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.tid() == y.tid() && x.items() == y.items())
+}
+
+proptest! {
+    #[test]
+    fn binary_format_round_trips(db in arb_db()) {
+        let mut buf = Vec::new();
+        binfmt::write_db(&db, &mut buf).unwrap();
+        // Decode through the file loader path by going via a temp file.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("prop-{}-{}.nadb", std::process::id(), db.len()));
+        std::fs::write(&path, &buf).unwrap();
+        let back = binfmt::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert!(db_eq(&db, &back));
+    }
+
+    #[test]
+    fn text_format_round_trips(db in arb_db()) {
+        let mut buf = Vec::new();
+        textfmt::write_db(&db, &mut buf).unwrap();
+        let back = textfmt::read_db(buf.as_slice()).unwrap();
+        // Text format re-assigns sequential TIDs, which matches the builder
+        // defaults used by arb_db.
+        prop_assert!(db_eq(&db, &back));
+    }
+
+    /// TID-list supports agree with brute-force counting.
+    #[test]
+    fn vertical_support_matches_bruteforce(
+        db in arb_db(),
+        query in prop::collection::btree_set(0u32..200, 1..4),
+    ) {
+        let idx = vertical::TidListIndex::build(&db).unwrap();
+        let itemset: Vec<ItemId> = query.into_iter().map(ItemId).collect();
+        let brute = db
+            .iter()
+            .filter(|t| t.contains_all(&itemset))
+            .count() as u64;
+        prop_assert_eq!(idx.support(&itemset), brute);
+    }
+
+    /// Partitions are a disjoint cover in order.
+    #[test]
+    fn partitions_cover(db in arb_db(), n in 1usize..8) {
+        let parts = partition::partitions(&db, n);
+        let mut tids = Vec::new();
+        for p in &parts {
+            p.pass(&mut |t| tids.push(t.tid())).unwrap();
+        }
+        let expected: Vec<u64> = db.iter().map(|t| t.tid()).collect();
+        prop_assert_eq!(tids, expected);
+    }
+
+    /// Transactions always satisfy the sorted/dedup invariant after building.
+    #[test]
+    fn builder_normalizes(raw in prop::collection::vec(0u32..50, 0..20)) {
+        let mut b = TransactionDbBuilder::new();
+        b.add(raw.iter().copied().map(ItemId));
+        let db = b.build();
+        let t = db.get(0);
+        prop_assert!(t.items().windows(2).all(|w| w[0] < w[1]));
+        for &r in &raw {
+            prop_assert!(t.contains(ItemId(r)));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Reproduces the paper's worked example (§2.1.3, Tables 1 and 2): the
+//! frozen-yogurt / bottled-water taxonomy of Figure 2, the published brand
+//! supports, the candidate negative itemsets with their expected supports,
+//! and the single resulting rule `Perrier ≠> Bryers`.
+//!
+//! Supports are injected (the published numbers are not exactly realizable
+//! as a concrete database; see DESIGN.md "Paper ambiguities" — the water
+//! brand supports are the corrected 12,000 / 8,000 that make Table 2
+//! internally consistent).
+//!
+//! Run with `cargo run -p negassoc --example paper_example`.
+
+use negassoc::candidates::{CandidateGenerator, CandidateSet};
+use negassoc::expected::is_negative;
+use negassoc::rules::generate_negative_rules;
+use negassoc::NegativeItemset;
+use negassoc_apriori::{Itemset, LargeItemsets};
+use negassoc_taxonomy::TaxonomyBuilder;
+
+const MIN_SUP: u64 = 4_000;
+const MIN_RI: f64 = 0.4;
+
+fn main() {
+    let mut b = TaxonomyBuilder::new();
+    let beverages = b.add_root("beverages");
+    let water = b.add_child(beverages, "bottled water").unwrap();
+    let perrier = b.add_child(water, "Perrier").unwrap();
+    let evian = b.add_child(water, "Evian").unwrap();
+    let desserts = b.add_root("desserts");
+    let yogurt = b.add_child(desserts, "frozen yogurt").unwrap();
+    let bryers = b.add_child(yogurt, "Bryers").unwrap();
+    let hc = b.add_child(yogurt, "Healthy Choice").unwrap();
+    let tax = b.build();
+
+    println!("Taxonomy (paper Figure 2):\n{}", negassoc_taxonomy::render::to_ascii(&tax));
+
+    // Table 1 (with the corrected water-brand supports).
+    let supports = [
+        (bryers, 20_000u64),
+        (hc, 10_000),
+        (evian, 12_000),
+        (perrier, 8_000),
+        (yogurt, 30_000),
+        (water, 20_000),
+    ];
+    let mut large = LargeItemsets::new(1_000_000, MIN_SUP);
+    println!("Table 1 — supports:");
+    for (item, sup) in supports {
+        println!("  {:<16} {:>7}", tax.name(item), sup);
+        large.insert(Itemset::singleton(item), sup);
+    }
+    let seed = Itemset::from_unsorted(vec![yogurt, water]);
+    large.insert(seed.clone(), 15_000);
+    println!("  {:<16} {:>7}", "yogurt & water", 15_000);
+    large.insert(Itemset::from_unsorted(vec![bryers, evian]), 7_500);
+    large.insert(Itemset::from_unsorted(vec![hc, evian]), 4_200);
+
+    // Candidates from the large itemset {frozen yogurt, bottled water}.
+    let generator = CandidateGenerator::new(&tax, &large, MIN_RI);
+    let mut set = CandidateSet::new();
+    generator.extend_from_itemset(&seed, 15_000, &mut set);
+    let (cands, _) = set.into_candidates();
+
+    // Table 2 actual supports for the surviving candidates.
+    let actual_of = |s: &Itemset| -> u64 {
+        if *s == Itemset::from_unsorted(vec![bryers, perrier]) {
+            500
+        } else if *s == Itemset::from_unsorted(vec![hc, perrier]) {
+            2_500
+        } else {
+            0
+        }
+    };
+
+    println!("\nTable 2 — candidate negative itemsets:");
+    println!("  {:<34} {:>9} {:>9}", "itemset", "expected", "actual");
+    let mut negatives: Vec<NegativeItemset> = Vec::new();
+    let mut sorted = cands;
+    sorted.sort_by(|a, b| a.itemset.cmp(&b.itemset));
+    for c in sorted {
+        // The paper's table only discusses the brand-level pairs.
+        if !c.itemset.items().iter().all(|&i| tax.is_leaf(i)) {
+            continue;
+        }
+        let names: Vec<&str> = c.itemset.items().iter().map(|&i| tax.name(i)).collect();
+        let actual = actual_of(&c.itemset);
+        println!(
+            "  {:<34} {:>9.0} {:>9}",
+            names.join(" & "),
+            c.expected,
+            actual
+        );
+        if is_negative(c.expected, actual, MIN_SUP, MIN_RI) {
+            negatives.push(NegativeItemset {
+                itemset: c.itemset,
+                expected: c.expected,
+                actual,
+                derivation: Some(c.derivation),
+            });
+        }
+    }
+
+    println!("\nNegative itemsets (deviation >= MinSup * MinRI = {:.0}):", MIN_SUP as f64 * MIN_RI);
+    for n in &negatives {
+        let names: Vec<&str> = n.itemset.items().iter().map(|&i| tax.name(i)).collect();
+        println!("  {{{}}}", names.join(", "));
+    }
+
+    let rules = generate_negative_rules(&negatives, &large, MIN_RI);
+    println!("\nNegative rules at MinRI = {MIN_RI}:");
+    for r in &rules {
+        let lhs: Vec<&str> = r.antecedent.items().iter().map(|&i| tax.name(i)).collect();
+        let rhs: Vec<&str> = r.consequent.items().iter().map(|&i| tax.name(i)).collect();
+        println!(
+            "  {} =/=> {}   (RI {:.4})",
+            lhs.join(" + "),
+            rhs.join(" + "),
+            r.ri
+        );
+    }
+    assert_eq!(rules.len(), 1, "the paper's conclusion: exactly one rule");
+    println!("\nMatches the paper: the only rule is Perrier =/=> Bryers.");
+}

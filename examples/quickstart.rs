@@ -1,0 +1,101 @@
+//! Quickstart: build a tiny taxonomy and transaction database, mine
+//! negative association rules, and print everything the miner reports.
+//!
+//! Run with `cargo run -p negassoc --example quickstart`.
+
+use negassoc::{MinerConfig, NegativeMiner};
+use negassoc_apriori::MinSupport;
+use negassoc_taxonomy::TaxonomyBuilder;
+use negassoc_txdb::TransactionDbBuilder;
+
+fn main() {
+    // Domain knowledge: a taxonomy grouping substitutable products.
+    //   soft drinks -> {Coke, Pepsi}
+    //   snacks      -> {Ruffles, Lays}
+    let mut tb = TaxonomyBuilder::new();
+    let drinks = tb.add_root("soft drinks");
+    let coke = tb.add_child(drinks, "Coke").unwrap();
+    let pepsi = tb.add_child(drinks, "Pepsi").unwrap();
+    let snacks = tb.add_root("snacks");
+    let ruffles = tb.add_child(snacks, "Ruffles").unwrap();
+    let lays = tb.add_child(snacks, "Lays").unwrap();
+    let tax = tb.build();
+
+    // Checkout data: Ruffles sells with Coke, almost never with Pepsi —
+    // the paper's motivating Example 1.
+    let mut db = TransactionDbBuilder::new();
+    for _ in 0..40 {
+        db.add([ruffles, coke]);
+    }
+    for _ in 0..25 {
+        db.add([coke]);
+    }
+    for _ in 0..30 {
+        db.add([pepsi]);
+    }
+    for _ in 0..5 {
+        db.add([ruffles, pepsi]);
+    }
+    for _ in 0..20 {
+        db.add([lays, pepsi]);
+    }
+    let db = db.build();
+
+    let config = MinerConfig {
+        min_support: MinSupport::Fraction(0.10),
+        min_ri: 0.3,
+        ..MinerConfig::default()
+    };
+    let outcome = NegativeMiner::new(config)
+        .mine(&db, &tax)
+        .expect("mining failed");
+
+    println!("== generalized large itemsets ==");
+    for k in 1..=outcome.large.max_level() {
+        for (set, sup) in outcome.large.level(k) {
+            let names: Vec<&str> = set.items().iter().map(|&i| tax.name(i)).collect();
+            println!("  {{{}}}  support {}", names.join(", "), sup);
+        }
+    }
+
+    println!("\n== negative itemsets (expected >> actual) ==");
+    for n in &outcome.negatives {
+        let names: Vec<&str> = n.itemset.items().iter().map(|&i| tax.name(i)).collect();
+        println!(
+            "  {{{}}}  expected {:.1}, actual {}",
+            names.join(", "),
+            n.expected,
+            n.actual
+        );
+    }
+
+    println!("\n== negative association rules ==");
+    for r in &outcome.rules {
+        let lhs: Vec<&str> = r.antecedent.items().iter().map(|&i| tax.name(i)).collect();
+        let rhs: Vec<&str> = r.consequent.items().iter().map(|&i| tax.name(i)).collect();
+        println!(
+            "  {} =/=> {}   (RI {:.3})",
+            lhs.join(" + "),
+            rhs.join(" + "),
+            r.ri
+        );
+        // Every rule is auditable: the expectation came from a concrete
+        // positive association plus one substitution case.
+        if let Some(d) = &r.derivation {
+            let seed: Vec<&str> = d.seed.items().iter().map(|&i| tax.name(i)).collect();
+            println!(
+                "      because {{{}}} is large (support {}) and {:?} substitution predicted {:.1}",
+                seed.join(", "),
+                d.seed_support,
+                d.case,
+                r.expected
+            );
+        }
+    }
+
+    let rep = &outcome.report;
+    println!(
+        "\n{} passes, {} large itemsets, {} candidates, {} negatives, {} rules",
+        rep.passes, rep.large_itemsets, rep.candidates.unique, rep.negative_itemsets, rep.rules
+    );
+}

@@ -1,0 +1,174 @@
+//! Semantic invariants of the full pipeline on generated data: everything
+//! the problem statement (§2) promises about the output is re-verified
+//! against brute-force counting.
+
+use negassoc::{MinerConfig, NegativeMiner};
+use negassoc_apriori::MinSupport;
+use negassoc_datagen::{generate, presets};
+use negassoc_taxonomy::ItemId;
+use negassoc_txdb::TransactionDb;
+
+/// Brute-force generalized support: a transaction supports the itemset
+/// when every member is contained directly or via a descendant.
+fn gen_support(db: &TransactionDb, tax: &negassoc_taxonomy::Taxonomy, items: &[ItemId]) -> u64 {
+    db.iter()
+        .filter(|t| {
+            items.iter().all(|&m| {
+                t.items()
+                    .iter()
+                    .any(|&it| it == m || tax.is_ancestor(m, it))
+            })
+        })
+        .count() as u64
+}
+
+#[test]
+fn mined_output_satisfies_problem_statement() {
+    let ds = generate(&presets::scaled(presets::short(), 800));
+    let min_ri = 0.35;
+    let config = MinerConfig {
+        min_support: MinSupport::Fraction(0.03),
+        min_ri,
+        ..MinerConfig::default()
+    };
+    let out = NegativeMiner::new(config).mine(&ds.db, &ds.taxonomy).unwrap();
+    let minsup = out.large.min_support_count();
+    let threshold = minsup as f64 * min_ri;
+
+    // Large itemsets: supports exact, all above MinSup.
+    for (set, sup) in out.large.iter() {
+        assert!(sup >= minsup);
+        assert_eq!(sup, gen_support(&ds.db, &ds.taxonomy, set.items()), "{set:?}");
+    }
+
+    // Negative itemsets: actual support exact; deviation over threshold;
+    // expected support over threshold; every 1-item large; no
+    // ancestor/descendant pairs; not large.
+    assert!(!out.negatives.is_empty(), "scenario should find negatives");
+    for n in &out.negatives {
+        assert_eq!(
+            n.actual,
+            gen_support(&ds.db, &ds.taxonomy, n.itemset.items()),
+            "{:?}",
+            n.itemset
+        );
+        assert!(n.expected - n.actual as f64 >= threshold);
+        assert!(n.expected >= threshold);
+        assert!(!out.large.contains(&n.itemset));
+        for &item in n.itemset.items() {
+            assert!(out.large.support_of(&[item]).is_some());
+        }
+        for (i, &a) in n.itemset.items().iter().enumerate() {
+            for &b in &n.itemset.items()[i + 1..] {
+                assert!(!ds.taxonomy.related(a, b), "{:?}", n.itemset);
+            }
+        }
+        // Provenance: the expectation's seed is a large itemset of the same
+        // size with the recorded support.
+        let d = n.derivation.as_ref().expect("miner output carries provenance");
+        assert_eq!(d.seed.len(), n.itemset.len());
+        assert_eq!(out.large.support_of_set(&d.seed), Some(d.seed_support));
+    }
+
+    // Rules: RI arithmetic, threshold, largeness and disjointness.
+    assert!(!out.rules.is_empty());
+    for r in &out.rules {
+        let asup = out
+            .large
+            .support_of_set(&r.antecedent)
+            .expect("antecedent must be large");
+        assert!(out.large.support_of_set(&r.consequent).is_some());
+        let want_ri = (r.expected - r.actual as f64) / asup as f64;
+        assert!((r.ri - want_ri).abs() < 1e-9);
+        assert!(r.ri >= min_ri);
+        assert_eq!(r.antecedent.minus(&r.consequent), r.antecedent);
+        // The union is one of the negative itemsets.
+        let union = r.antecedent.union(&r.consequent);
+        assert!(out.negatives.iter().any(|n| n.itemset == union));
+    }
+}
+
+#[test]
+fn tighter_thresholds_are_monotone() {
+    let ds = generate(&presets::scaled(presets::short(), 800));
+    let mine = |min_sup: f64, min_ri: f64| {
+        NegativeMiner::new(MinerConfig {
+            min_support: MinSupport::Fraction(min_sup),
+            min_ri,
+            ..MinerConfig::default()
+        })
+        .mine(&ds.db, &ds.taxonomy)
+        .unwrap()
+    };
+    let loose = mine(0.03, 0.3);
+    let tight_ri = mine(0.03, 0.6);
+    let tight_sup = mine(0.06, 0.3);
+
+    // Raising MinRI can only shrink the rule set; every surviving rule also
+    // existed at the looser threshold.
+    assert!(tight_ri.rules.len() <= loose.rules.len());
+    for r in &tight_ri.rules {
+        assert!(
+            loose
+                .rules
+                .iter()
+                .any(|l| l.antecedent == r.antecedent && l.consequent == r.consequent),
+            "{r}"
+        );
+    }
+    // Raising MinSup shrinks the large itemsets.
+    assert!(tight_sup.large.total() <= loose.large.total());
+}
+
+#[test]
+fn substitute_knowledge_extends_candidates() {
+    use negassoc::substitutes::SubstituteKnowledge;
+    use negassoc_taxonomy::TaxonomyBuilder;
+    use negassoc_txdb::TransactionDbBuilder;
+
+    // Two categories; coke/juice declared substitutes across categories
+    // (the taxonomy alone would never relate them as siblings).
+    let mut tb = TaxonomyBuilder::new();
+    let drinks = tb.add_root("drinks");
+    let coke = tb.add_child(drinks, "coke").unwrap();
+    let juices = tb.add_root("juices");
+    let orange = tb.add_child(juices, "orange juice").unwrap();
+    let snacks = tb.add_root("snacks");
+    let chips = tb.add_child(snacks, "chips").unwrap();
+    let tax = tb.build();
+
+    let mut db = TransactionDbBuilder::new();
+    for _ in 0..40 {
+        db.add([coke, chips]);
+    }
+    for _ in 0..30 {
+        db.add([orange]);
+    }
+    let db = db.build();
+
+    let config = MinerConfig {
+        min_support: MinSupport::Fraction(0.2),
+        min_ri: 0.3,
+        ..MinerConfig::default()
+    };
+    let plain = NegativeMiner::new(config).mine(&db, &tax).unwrap();
+    // Without substitute knowledge, {orange, chips} has no expectation
+    // source: coke and orange juice are not taxonomy siblings.
+    assert!(!plain
+        .negatives
+        .iter()
+        .any(|n| n.itemset.contains(orange) && n.itemset.contains(chips)));
+
+    let mut subs = SubstituteKnowledge::new();
+    assert!(subs.add_group([coke, orange]));
+    let with = NegativeMiner::new(config)
+        .mine_with_substitutes(&db, &tax, Some(&subs))
+        .unwrap();
+    // With it, the {coke, chips} association induces an expectation for
+    // {orange juice, chips}, whose actual support is zero -> negative.
+    assert!(with
+        .negatives
+        .iter()
+        .any(|n| n.itemset.contains(orange) && n.itemset.contains(chips)));
+    assert!(with.negatives.len() >= plain.negatives.len());
+}

@@ -1,0 +1,132 @@
+//! Property-based cross-crate invariants of the negative miner.
+
+use negassoc::config::Driver;
+use negassoc::{MinerConfig, NegativeMiner};
+use negassoc_apriori::count::CountingBackend;
+use negassoc_apriori::MinSupport;
+use negassoc_taxonomy::{ItemId, Taxonomy, TaxonomyBuilder};
+use negassoc_txdb::{TransactionDb, TransactionDbBuilder};
+use proptest::prelude::*;
+
+/// A two-level taxonomy: `cats` categories with 2–4 leaves each. Two
+/// levels keep candidate generation meaningful (children + siblings) while
+/// staying fast.
+fn arb_world() -> impl Strategy<Value = (Taxonomy, TransactionDb)> {
+    (2usize..5, any::<u64>()).prop_flat_map(|(cats, seed)| {
+        let leaf_counts = prop::collection::vec(2usize..5, cats);
+        let txs = prop::collection::vec(
+            prop::collection::vec(0usize..16, 1..6),
+            5..60,
+        );
+        (leaf_counts, txs, Just(seed)).prop_map(|(leaf_counts, txs, _seed)| {
+            let mut b = TaxonomyBuilder::new();
+            let mut leaves: Vec<ItemId> = Vec::new();
+            for (ci, &n) in leaf_counts.iter().enumerate() {
+                let cat = b.add_root(&format!("cat{ci}"));
+                for li in 0..n {
+                    leaves.push(b.add_child(cat, &format!("leaf{ci}-{li}")).unwrap());
+                }
+            }
+            let tax = b.build();
+            let mut db = TransactionDbBuilder::new();
+            for t in txs {
+                db.add(t.into_iter().map(|i| leaves[i % leaves.len()]));
+            }
+            (tax, db.build())
+        })
+    })
+}
+
+fn mine(
+    tax: &Taxonomy,
+    db: &TransactionDb,
+    config: MinerConfig,
+) -> negassoc::MiningOutcome {
+    NegativeMiner::new(config).mine(db, tax).unwrap()
+}
+
+fn base_config() -> MinerConfig {
+    MinerConfig {
+        min_support: MinSupport::Fraction(0.15),
+        min_ri: 0.3,
+        ..MinerConfig::default()
+    }
+}
+
+fn norm(out: &negassoc::MiningOutcome) -> Vec<String> {
+    let mut v: Vec<String> = out
+        .negatives
+        .iter()
+        .map(|n| format!("{:?}@{}~{:.6}", n.itemset, n.actual, n.expected))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Naive and improved drivers agree on arbitrary inputs.
+    #[test]
+    fn drivers_agree((tax, db) in arb_world()) {
+        let a = mine(&tax, &db, base_config());
+        let b = mine(&tax, &db, MinerConfig { driver: Driver::Naive, ..base_config() });
+        prop_assert_eq!(norm(&a), norm(&b));
+        prop_assert_eq!(a.rules.len(), b.rules.len());
+    }
+
+    /// Taxonomy compression and the memory cap never change the answer.
+    #[test]
+    fn ablations_preserve_output((tax, db) in arb_world(), cap in 1usize..5) {
+        let a = mine(&tax, &db, base_config());
+        let b = mine(&tax, &db, MinerConfig { compress_taxonomy: false, ..base_config() });
+        let c = mine(&tax, &db, MinerConfig {
+            max_candidates_per_pass: Some(cap),
+            ..base_config()
+        });
+        let d = mine(&tax, &db, MinerConfig {
+            backend: CountingBackend::SubsetHashMap,
+            ..base_config()
+        });
+        prop_assert_eq!(norm(&a), norm(&b));
+        prop_assert_eq!(norm(&a), norm(&c));
+        prop_assert_eq!(norm(&a), norm(&d));
+    }
+
+    /// Output semantics hold on arbitrary inputs (lighter version of the
+    /// deterministic pipeline test).
+    #[test]
+    fn output_semantics((tax, db) in arb_world()) {
+        let out = mine(&tax, &db, base_config());
+        let minsup = out.large.min_support_count();
+        let threshold = minsup as f64 * 0.3;
+        for n in &out.negatives {
+            // Brute-force actual support.
+            let brute = db
+                .iter()
+                .filter(|t| {
+                    n.itemset.items().iter().all(|&m| {
+                        t.items().iter().any(|&it| it == m || tax.is_ancestor(m, it))
+                    })
+                })
+                .count() as u64;
+            prop_assert_eq!(n.actual, brute);
+            prop_assert!(n.expected - n.actual as f64 >= threshold);
+            prop_assert!(!out.large.contains(&n.itemset));
+        }
+        for r in &out.rules {
+            prop_assert!(r.ri >= 0.3);
+            let union = r.antecedent.union(&r.consequent);
+            prop_assert!(out.negatives.iter().any(|n| n.itemset == union));
+        }
+    }
+
+    /// The miner is a pure function of its inputs.
+    #[test]
+    fn mining_is_deterministic((tax, db) in arb_world()) {
+        let a = mine(&tax, &db, base_config());
+        let b = mine(&tax, &db, base_config());
+        prop_assert_eq!(norm(&a), norm(&b));
+        prop_assert_eq!(a.report.passes, b.report.passes);
+    }
+}
