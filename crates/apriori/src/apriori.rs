@@ -159,8 +159,12 @@ mod tests {
         let mut b = TransactionDbBuilder::new();
         b.add(ids(&[1, 2]));
         b.add(ids(&[1, 2]));
-        let large = apriori(&b.build(), MinSupport::Fraction(1.0), CountingBackend::HashTree)
-            .unwrap();
+        let large = apriori(
+            &b.build(),
+            MinSupport::Fraction(1.0),
+            CountingBackend::HashTree,
+        )
+        .unwrap();
         assert_eq!(large.support_of(&ids(&[1, 2])), Some(2));
         assert_eq!(large.total(), 3);
     }

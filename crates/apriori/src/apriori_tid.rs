@@ -239,8 +239,7 @@ mod tests {
     fn matches_apriori_on_textbook_db() {
         let db = textbook_db();
         for ms in [1u64, 2, 3, 4] {
-            let reference =
-                apriori(&db, MinSupport::Count(ms), CountingBackend::HashTree).unwrap();
+            let reference = apriori(&db, MinSupport::Count(ms), CountingBackend::HashTree).unwrap();
             let got = apriori_tid(&db, MinSupport::Count(ms)).unwrap();
             assert_eq!(got.total(), reference.total(), "minsup {ms}");
             for (set, sup) in reference.iter() {

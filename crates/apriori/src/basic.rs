@@ -18,8 +18,7 @@ pub fn basic<S: TransactionSource + ?Sized>(
     min_support: MinSupport,
     backend: CountingBackend,
 ) -> io::Result<LargeItemsets> {
-    GenLevelMiner::new(source, tax, min_support, GenStrategy::Basic, backend)?
-        .run_to_completion()
+    GenLevelMiner::new(source, tax, min_support, GenStrategy::Basic, backend)?.run_to_completion()
 }
 
 #[cfg(test)]
@@ -101,8 +100,8 @@ pub(crate) mod tests {
         let db = db.build();
 
         let gen = basic(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
-        let flat = crate::apriori::apriori(&db, MinSupport::Count(2), CountingBackend::HashTree)
-            .unwrap();
+        let flat =
+            crate::apriori::apriori(&db, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
         assert_eq!(gen.total(), flat.total());
         for (set, sup) in flat.iter() {
             assert_eq!(gen.support_of_set(set), Some(sup));
@@ -113,8 +112,13 @@ pub(crate) mod tests {
     fn empty_database_yields_nothing() {
         let (tax, _, _) = sa95();
         let db = TransactionDbBuilder::new().build();
-        let large = basic(&db, &tax, MinSupport::Fraction(0.5), CountingBackend::HashTree)
-            .unwrap();
+        let large = basic(
+            &db,
+            &tax,
+            MinSupport::Fraction(0.5),
+            CountingBackend::HashTree,
+        )
+        .unwrap();
         assert_eq!(large.total(), 0);
     }
 }

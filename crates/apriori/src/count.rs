@@ -134,7 +134,10 @@ fn items_of(candidates: &[Itemset]) -> FxHashSet<ItemId> {
 /// One size's counting structure.
 enum Counter {
     Tree(HashTree),
-    Map { k: usize, map: FxHashMap<Itemset, u64> },
+    Map {
+        k: usize,
+        map: FxHashMap<Itemset, u64>,
+    },
 }
 
 impl Counter {
@@ -269,13 +272,8 @@ mod tests {
             (set(&[3, 4]), 1),
         ];
         for backend in [CountingBackend::HashTree, CountingBackend::SubsetHashMap] {
-            let got = count_candidates(
-                &db,
-                candidates.clone(),
-                backend,
-                &mut identity_mapper,
-            )
-            .unwrap();
+            let got =
+                count_candidates(&db, candidates.clone(), backend, &mut identity_mapper).unwrap();
             assert_eq!(sorted(got), expected, "{backend:?}");
         }
     }
@@ -285,7 +283,13 @@ mod tests {
         let db = sample_db();
         let candidates = vec![set(&[1]), set(&[1, 2]), set(&[1, 2, 3])];
         let got = sorted(
-            count_mixed(&db, candidates, CountingBackend::HashTree, &mut identity_mapper).unwrap(),
+            count_mixed(
+                &db,
+                candidates,
+                CountingBackend::HashTree,
+                &mut identity_mapper,
+            )
+            .unwrap(),
         );
         assert_eq!(
             got,
@@ -308,10 +312,7 @@ mod tests {
             &mut mapper,
         )
         .unwrap();
-        assert_eq!(
-            sorted(got),
-            vec![(set(&[1, 2]), 2), (set(&[2, 3]), 0)]
-        );
+        assert_eq!(sorted(got), vec![(set(&[1, 2]), 2), (set(&[2, 3]), 0)]);
     }
 
     #[test]
@@ -325,11 +326,14 @@ mod tests {
         )
         .unwrap()
         .is_empty());
-        assert!(
-            count_mixed(&db, Vec::new(), CountingBackend::HashTree, &mut identity_mapper)
-                .unwrap()
-                .is_empty()
-        );
+        assert!(count_mixed(
+            &db,
+            Vec::new(),
+            CountingBackend::HashTree,
+            &mut identity_mapper
+        )
+        .unwrap()
+        .is_empty());
     }
 
     #[test]
@@ -341,14 +345,14 @@ mod tests {
             .collect();
 
         // Few candidates -> candidate-scan path.
-        let mut small: FxHashMap<Itemset, u64> =
-            vec![(set(&[0, 1]), 0), (set(&[6, 7]), 0)].into_iter().collect();
+        let mut small: FxHashMap<Itemset, u64> = vec![(set(&[0, 1]), 0), (set(&[6, 7]), 0)]
+            .into_iter()
+            .collect();
         count_into_map(&items, 2, &mut small);
         assert!(small.values().all(|&v| v == 1));
 
         // Many candidates -> subset-enumeration path.
-        let mut big: FxHashMap<Itemset, u64> =
-            all_pairs.iter().cloned().map(|c| (c, 0)).collect();
+        let mut big: FxHashMap<Itemset, u64> = all_pairs.iter().cloned().map(|c| (c, 0)).collect();
         count_into_map(&items, 2, &mut big);
         assert!(big.values().all(|&v| v == 1));
         assert_eq!(big.len(), 28);

@@ -69,8 +69,7 @@ mod tests {
         let (tax, db, _) = sa95();
         for ms in [1u64, 2, 3, 4] {
             let a = basic(&db, &tax, MinSupport::Count(ms), CountingBackend::HashTree).unwrap();
-            let b = cumulate(&db, &tax, MinSupport::Count(ms), CountingBackend::HashTree)
-                .unwrap();
+            let b = cumulate(&db, &tax, MinSupport::Count(ms), CountingBackend::HashTree).unwrap();
             assert_eq!(a.total(), b.total(), "minsup {ms}");
             for (set, sup) in a.iter() {
                 assert_eq!(b.support_of_set(set), Some(sup), "minsup {ms}, {set:?}");
@@ -94,8 +93,13 @@ mod tests {
         // Transactions contain only leaves (the paper's setting); category
         // supports must still come out right.
         let (tax, db, [clothes, ..]) = sa95();
-        let large = cumulate(&db, &tax, MinSupport::Count(3), CountingBackend::SubsetHashMap)
-            .unwrap();
+        let large = cumulate(
+            &db,
+            &tax,
+            MinSupport::Count(3),
+            CountingBackend::SubsetHashMap,
+        )
+        .unwrap();
         assert_eq!(large.support_of(&[clothes]), Some(3));
         let _ = db;
     }
@@ -104,8 +108,13 @@ mod tests {
     fn empty_taxonomy_and_database() {
         let tax = negassoc_taxonomy::TaxonomyBuilder::new().build();
         let db = TransactionDbBuilder::new().build();
-        let large = cumulate(&db, &tax, MinSupport::Fraction(0.1), CountingBackend::HashTree)
-            .unwrap();
+        let large = cumulate(
+            &db,
+            &tax,
+            MinSupport::Fraction(0.1),
+            CountingBackend::HashTree,
+        )
+        .unwrap();
         assert_eq!(large.total(), 0);
     }
 }

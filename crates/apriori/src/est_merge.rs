@@ -212,6 +212,7 @@ fn split_by_estimate(
     let mut mapper = |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, ancestors, out);
     let counted = count_mixed(sample, candidates, backend, &mut mapper)?;
     let scale = num_transactions as f64 / sample.len() as f64;
+    // negassoc-lint: allow(L005) -- sample-scaled threshold; supports are exact in f64 up to 2^53
     let threshold = safety_factor * minsup as f64;
     let mut expected = Vec::new();
     let mut deferred = Vec::new();
@@ -244,8 +245,7 @@ mod tests {
     #[test]
     fn matches_basic_regardless_of_sampling() {
         let (tax, db, _) = sa95();
-        let reference = basic(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree)
-            .unwrap();
+        let reference = basic(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
         for (frac, seed) in [(0.0, 1u64), (0.5, 2), (1.0, 3), (0.3, 42)] {
             let (got, _stats) = est_merge(
                 &db,
@@ -312,10 +312,22 @@ mod tests {
             safety_factor: 0.9,
             seed: 99,
         };
-        let (a, sa) = est_merge(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree, cfg)
-            .unwrap();
-        let (b, sb) = est_merge(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree, cfg)
-            .unwrap();
+        let (a, sa) = est_merge(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            cfg,
+        )
+        .unwrap();
+        let (b, sb) = est_merge(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            cfg,
+        )
+        .unwrap();
         assert_same_large(&a, &b);
         assert_eq!(sa, sb);
     }

@@ -71,9 +71,7 @@ impl HashTree {
         // transaction scans linearly. Size the branching so leaves stay
         // near the target capacity.
         let want_leaves = candidates.len().div_ceil(DEFAULT_LEAF_CAP).max(1);
-        let branch = (want_leaves as f64)
-            .powf(1.0 / k as f64)
-            .ceil() as usize;
+        let branch = (want_leaves as f64).powf(1.0 / k as f64).ceil() as usize;
         let branch = branch.clamp(DEFAULT_BRANCH, 4096);
         let mut t = Self::with_params(k, branch, DEFAULT_LEAF_CAP);
         for c in candidates {
@@ -130,9 +128,9 @@ impl HashTree {
                             .collect();
                         for (set, count) in moved {
                             let b = set.items()[depth].0 as usize % self.branch;
-                            match &mut children[b] {
-                                Node::Leaf { entries: v, .. } => v.push((set, count)),
-                                Node::Interior(_) => unreachable!(),
+                            // `children` was built as all-leaves just above.
+                            if let Node::Leaf { entries: v, .. } = &mut children[b] {
+                                v.push((set, count));
                             }
                         }
                         *node = Node::Interior(children);

@@ -19,7 +19,9 @@
 
 use crate::count::{count_mixed, CountingBackend};
 use crate::gen::{apriori_gen, pairs_of};
-use crate::generalized::{extend_filtered, items_of_candidates, prune_ancestor_pairs, AncestorTable};
+use crate::generalized::{
+    extend_filtered, items_of_candidates, prune_ancestor_pairs, AncestorTable,
+};
 use crate::itemset::{Itemset, LargeItemsets};
 use crate::MinSupport;
 use negassoc_taxonomy::fxhash::FxHashSet;
@@ -60,7 +62,12 @@ pub fn partition_mine(
             None => TidListIndex::build(&part)?,
         };
         let local_minsup = ((frac * part.len() as f64).ceil() as u64).max(1);
-        local_mine(&index, local_minsup, ancestors.as_ref(), &mut global_candidates);
+        local_mine(
+            &index,
+            local_minsup,
+            ancestors.as_ref(),
+            &mut global_candidates,
+        );
     }
 
     // Phase 2: one exact counting pass over the whole database.
@@ -72,9 +79,8 @@ pub fn partition_mine(
     let counted = match &ancestors {
         Some(anc) => {
             let needed = items_of_candidates(&candidates);
-            let mut mapper = |items: &[ItemId], out: &mut Vec<ItemId>| {
-                extend_filtered(items, anc, &needed, out)
-            };
+            let mut mapper =
+                |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, anc, &needed, out);
             count_mixed(db, candidates, backend, &mut mapper)?
         }
         None => count_mixed(db, candidates, backend, &mut crate::count::identity_mapper)?,
@@ -132,7 +138,6 @@ fn local_mine(
         k += 1;
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -210,8 +215,7 @@ mod tests {
     #[test]
     fn fractional_support_thresholds() {
         let db = textbook_db();
-        let reference =
-            apriori(&db, MinSupport::Fraction(0.5), CountingBackend::HashTree).unwrap();
+        let reference = apriori(&db, MinSupport::Fraction(0.5), CountingBackend::HashTree).unwrap();
         let got = partition_mine(
             &db,
             None,

@@ -74,10 +74,12 @@ fn try_emit(
     if antecedent.is_empty() {
         return false;
     }
-    // Every subset of a large itemset is large, so the lookup succeeds.
-    let asup = large
-        .support_of_set(&antecedent)
-        .expect("antecedent of a large itemset must be large");
+    // Every subset of a large itemset is large, so the lookup succeeds;
+    // treat a miss (a corrupt store) as "no rule" rather than panicking.
+    let Some(asup) = large.support_of_set(&antecedent) else {
+        return false;
+    };
+    // negassoc-lint: allow(L005) -- confidence ratio; supports are exact in f64 up to 2^53
     let confidence = support as f64 / asup as f64;
     if confidence >= min_confidence {
         out.push(Rule {

@@ -24,13 +24,8 @@ fn bench(c: &mut Criterion) {
             &backend,
             |b, &backend| {
                 b.iter(|| {
-                    let large = cumulate(
-                        &ds.db,
-                        &ds.taxonomy,
-                        MinSupport::Fraction(0.02),
-                        backend,
-                    )
-                    .unwrap();
+                    let large = cumulate(&ds.db, &ds.taxonomy, MinSupport::Fraction(0.02), backend)
+                        .unwrap();
                     black_box(large.total())
                 })
             },
@@ -58,7 +53,8 @@ fn bench(c: &mut Criterion) {
     // Multi-threaded counting over partitions (identity mapper: flat
     // candidate counting; taxonomy extension per thread is exercised by the
     // positive-miner variants above).
-    let identity = |items: &[negassoc_taxonomy::ItemId], buf: &mut Vec<negassoc_taxonomy::ItemId>| {
+    let identity = |items: &[negassoc_taxonomy::ItemId],
+                    buf: &mut Vec<negassoc_taxonomy::ItemId>| {
         buf.clear();
         buf.extend_from_slice(items);
     };

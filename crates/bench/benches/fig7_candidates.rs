@@ -28,11 +28,10 @@ fn bench(c: &mut Criterion) {
             &large,
             |b, large| {
                 b.iter(|| {
-                    let generator =
-                        CandidateGenerator::new(&ds.taxonomy, large, PAPER_MIN_RI);
+                    let generator = CandidateGenerator::new(&ds.taxonomy, large, PAPER_MIN_RI);
                     let mut set = CandidateSet::new();
                     for k in 2..=large.max_level() {
-                        generator.extend_from_level(k, &mut set);
+                        generator.extend_from_level(k, &mut set).unwrap();
                     }
                     black_box(set.len())
                 })

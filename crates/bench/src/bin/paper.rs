@@ -86,14 +86,46 @@ fn params() {
     let s = presets::short();
     let t = presets::tall();
     let rows: Vec<(&str, String, String)> = vec![
-        ("|D|  transactions", s.num_transactions.to_string(), t.num_transactions.to_string()),
-        ("|T|  avg transaction size", s.avg_transaction_len.to_string(), t.avg_transaction_len.to_string()),
-        ("|C|  avg cluster size", s.avg_cluster_size.to_string(), t.avg_cluster_size.to_string()),
-        ("|I|  avg itemset size", s.avg_itemset_size.to_string(), t.avg_itemset_size.to_string()),
-        ("|S|  avg itemsets per cluster", s.avg_itemsets_per_cluster.to_string(), t.avg_itemsets_per_cluster.to_string()),
-        ("|L|  clusters", s.num_clusters.to_string(), t.num_clusters.to_string()),
-        ("N    items (leaves)", s.num_items.to_string(), t.num_items.to_string()),
-        ("R    roots", s.num_roots.to_string(), t.num_roots.to_string()),
+        (
+            "|D|  transactions",
+            s.num_transactions.to_string(),
+            t.num_transactions.to_string(),
+        ),
+        (
+            "|T|  avg transaction size",
+            s.avg_transaction_len.to_string(),
+            t.avg_transaction_len.to_string(),
+        ),
+        (
+            "|C|  avg cluster size",
+            s.avg_cluster_size.to_string(),
+            t.avg_cluster_size.to_string(),
+        ),
+        (
+            "|I|  avg itemset size",
+            s.avg_itemset_size.to_string(),
+            t.avg_itemset_size.to_string(),
+        ),
+        (
+            "|S|  avg itemsets per cluster",
+            s.avg_itemsets_per_cluster.to_string(),
+            t.avg_itemsets_per_cluster.to_string(),
+        ),
+        (
+            "|L|  clusters",
+            s.num_clusters.to_string(),
+            t.num_clusters.to_string(),
+        ),
+        (
+            "N    items (leaves)",
+            s.num_items.to_string(),
+            t.num_items.to_string(),
+        ),
+        (
+            "R    roots",
+            s.num_roots.to_string(),
+            t.num_roots.to_string(),
+        ),
         ("F    fanout", s.fanout.to_string(), t.fanout.to_string()),
     ];
     for (name, sv, tv) in rows {
@@ -144,7 +176,9 @@ fn tables() {
 
     let generator = CandidateGenerator::new(&tax, &large, 0.4);
     let mut set = CandidateSet::new();
-    generator.extend_from_itemset(&seed, 15_000, &mut set);
+    generator
+        .extend_from_itemset(&seed, 15_000, &mut set)
+        .expect("candidate generation");
     let (mut cands, _) = set.into_candidates();
     cands.sort_by(|a, b| a.itemset.cmp(&b.itemset));
 
@@ -165,7 +199,12 @@ fn tables() {
         }
         let names: Vec<&str> = c.itemset.items().iter().map(|&i| tax.name(i)).collect();
         let a = actual(&c.itemset);
-        println!("  {:<30} E {:>7.0}  actual {:>5}", names.join(" & "), c.expected, a);
+        println!(
+            "  {:<30} E {:>7.0}  actual {:>5}",
+            names.join(" & "),
+            c.expected,
+            a
+        );
         if is_negative(c.expected, a, 4_000, 0.4) {
             negatives.push(NegativeItemset {
                 itemset: c.itemset.clone(),
@@ -175,11 +214,16 @@ fn tables() {
             });
         }
     }
-    let rules = generate_negative_rules(&negatives, &large, 0.4);
+    let rules = generate_negative_rules(&negatives, &large, 0.4).expect("rule generation");
     for r in &rules {
         let lhs: Vec<&str> = r.antecedent.items().iter().map(|&i| tax.name(i)).collect();
         let rhs: Vec<&str> = r.consequent.items().iter().map(|&i| tax.name(i)).collect();
-        println!("  rule: {} =/=> {} (RI {:.4})", lhs.join("+"), rhs.join("+"), r.ri);
+        println!(
+            "  rule: {} =/=> {} (RI {:.4})",
+            lhs.join("+"),
+            rhs.join("+"),
+            r.ri
+        );
     }
     println!();
 }

@@ -206,7 +206,9 @@ pub fn fig7_series(ds: &Dataset, min_support_pct: f64) -> Fig7Series {
     let mut rows = Vec::new();
     for k in 2..=large.max_level() {
         let mut set = CandidateSet::new();
-        generator.extend_from_level(k, &mut set);
+        generator
+            .extend_from_level(k, &mut set)
+            .expect("candidate generation");
         let (cands, _) = set.into_candidates();
         let large_k = large.level_len(k);
         if large_k == 0 {

@@ -17,7 +17,7 @@ const KNOWN: &[&str] = &[
     "seed",
 ];
 
-pub fn run(args: Vec<String>) -> Result<(), String> {
+pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
     let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
     let data_path = opts.require("data").map_err(|e| e.to_string())?;
     let tax_path = opts.require("taxonomy").map_err(|e| e.to_string())?;

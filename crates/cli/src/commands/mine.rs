@@ -17,24 +17,24 @@ const KNOWN: &[&str] = &[
     "algorithm",
     "partitions",
     "r-interest",
+    "audit!",
 ];
 
-pub fn run(args: Vec<String>) -> Result<(), String> {
+pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
     let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
     let db = load_db(opts.require("data").map_err(|e| e.to_string())?)?;
     let tax = load_taxonomy(opts.require("taxonomy").map_err(|e| e.to_string())?)?;
-    let min_support: f64 = opts.parse_or("min-support", 0.01).map_err(|e| e.to_string())?;
+    let min_support: f64 = opts
+        .parse_or("min-support", 0.01)
+        .map_err(|e| e.to_string())?;
     let min_conf: f64 = opts.parse_or("min-conf", 0.6).map_err(|e| e.to_string())?;
     let top: usize = opts.parse_or("top", 20).map_err(|e| e.to_string())?;
 
     let min_support = MinSupport::Fraction(min_support);
     let large = match opts.get("algorithm") {
-        None | Some("cumulate") => negassoc_apriori::cumulate::cumulate(
-            &db,
-            &tax,
-            min_support,
-            CountingBackend::HashTree,
-        ),
+        None | Some("cumulate") => {
+            negassoc_apriori::cumulate::cumulate(&db, &tax, min_support, CountingBackend::HashTree)
+        }
         Some("basic") => {
             negassoc_apriori::basic::basic(&db, &tax, min_support, CountingBackend::HashTree)
         }
@@ -63,6 +63,10 @@ pub fn run(args: Vec<String>) -> Result<(), String> {
         }
     }
     .map_err(|e| e.to_string())?;
+    if opts.flag("audit") {
+        let audit = negassoc::audit::certify_large(&db, &tax, &large).map_err(|e| e.to_string())?;
+        println!("{audit}");
+    }
     println!(
         "{} generalized large itemsets (minsup = {} transactions)",
         large.total(),
@@ -76,14 +80,20 @@ pub fn run(args: Vec<String>) -> Result<(), String> {
     // Optional R-interest pruning (Srikant & Agrawal's measure): drop rules
     // an ancestor rule already predicts within factor R.
     if let Some(r) = opts.get("r-interest") {
-        let r: f64 = r.parse().map_err(|_| format!("invalid --r-interest {r:?}"))?;
+        let r: f64 = r
+            .parse()
+            .map_err(|_| format!("invalid --r-interest {r:?}"))?;
         let before = rules.len();
         rules = negassoc::positive::r_interesting(rules, &large, &tax, r)
+            .map_err(|e| e.to_string())?
             .into_iter()
             .filter(|j| j.interesting)
             .map(|j| j.rule)
             .collect();
-        println!("R-interest pruning (R = {r}): {before} -> {} rules", rules.len());
+        println!(
+            "R-interest pruning (R = {r}): {before} -> {} rules",
+            rules.len()
+        );
     }
     rules.sort_by(|a, b| {
         b.confidence

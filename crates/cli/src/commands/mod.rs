@@ -1,9 +1,9 @@
 //! The four `negrules` subcommands.
 
-pub mod generate;
-pub mod mine;
-pub mod negatives;
-pub mod stats;
+pub(crate) mod generate;
+pub(crate) mod mine;
+pub(crate) mod negatives;
+pub(crate) mod stats;
 
 use negassoc_apriori::Itemset;
 use negassoc_taxonomy::Taxonomy;

@@ -19,13 +19,16 @@ const KNOWN: &[&str] = &[
     "top",
     "out",
     "no-compress!",
+    "audit!",
 ];
 
-pub fn run(args: Vec<String>) -> Result<(), String> {
+pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
     let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
     let db = load_db(opts.require("data").map_err(|e| e.to_string())?)?;
     let tax = load_taxonomy(opts.require("taxonomy").map_err(|e| e.to_string())?)?;
-    let min_support: f64 = opts.parse_or("min-support", 0.01).map_err(|e| e.to_string())?;
+    let min_support: f64 = opts
+        .parse_or("min-support", 0.01)
+        .map_err(|e| e.to_string())?;
     let min_ri: f64 = opts.parse_or("min-ri", 0.5).map_err(|e| e.to_string())?;
     let top: usize = opts.parse_or("top", 20).map_err(|e| e.to_string())?;
 
@@ -66,6 +69,13 @@ pub fn run(args: Vec<String>) -> Result<(), String> {
     let outcome = NegativeMiner::new(config)
         .mine(&db, &tax)
         .map_err(|e| e.to_string())?;
+    if opts.flag("audit") {
+        // Re-derive every reported support and RI from a raw scan;
+        // refuses to print uncertified numbers.
+        let audit =
+            negassoc::audit::certify(&db, &tax, &outcome, min_ri).map_err(|e| e.to_string())?;
+        println!("{audit}");
+    }
 
     let rep = &outcome.report;
     println!(

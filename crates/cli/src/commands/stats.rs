@@ -7,7 +7,7 @@ use negassoc_txdb::stats::{collect, top_items};
 
 const KNOWN: &[&str] = &["data", "taxonomy", "top"];
 
-pub fn run(args: Vec<String>) -> Result<(), String> {
+pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
     let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
     let data_path = opts.require("data").map_err(|e| e.to_string())?;
     let top_n: usize = opts.parse_or("top", 10).map_err(|e| e.to_string())?;
@@ -17,7 +17,10 @@ pub fn run(args: Vec<String>) -> Result<(), String> {
     println!("transactions:      {}", s.transactions);
     println!("item occurrences:  {}", s.item_occurrences);
     println!("distinct items:    {}", s.distinct_items);
-    println!("basket length:     min {}, avg {:.2}, max {}", s.min_len, s.avg_len, s.max_len);
+    println!(
+        "basket length:     min {}, avg {:.2}, max {}",
+        s.min_len, s.avg_len, s.max_len
+    );
 
     let tax = match opts.get("taxonomy") {
         Some(p) => Some(load_taxonomy(p)?),

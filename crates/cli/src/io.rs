@@ -9,7 +9,7 @@ use std::path::Path;
 
 /// Load a transaction database, choosing the format by extension
 /// (`.nadb` = binary, anything else = text).
-pub fn load_db(path: &str) -> Result<TransactionDb, String> {
+pub(crate) fn load_db(path: &str) -> Result<TransactionDb, String> {
     let p = Path::new(path);
     if p.extension().is_some_and(|e| e == "nadb") {
         negassoc_txdb::binfmt::load(p).map_err(|e| format!("{path}: {e}"))
@@ -20,7 +20,7 @@ pub fn load_db(path: &str) -> Result<TransactionDb, String> {
 }
 
 /// Save a transaction database, format by extension as in [`load_db`].
-pub fn save_db(db: &TransactionDb, path: &str) -> Result<(), String> {
+pub(crate) fn save_db(db: &TransactionDb, path: &str) -> Result<(), String> {
     let p = Path::new(path);
     if p.extension().is_some_and(|e| e == "nadb") {
         negassoc_txdb::binfmt::save(db, p).map_err(|e| format!("{path}: {e}"))
@@ -31,14 +31,13 @@ pub fn save_db(db: &TransactionDb, path: &str) -> Result<(), String> {
 }
 
 /// Load a taxonomy from the text format.
-pub fn load_taxonomy(path: &str) -> Result<Taxonomy, String> {
+pub(crate) fn load_taxonomy(path: &str) -> Result<Taxonomy, String> {
     let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    negassoc_taxonomy::textfmt::read_taxonomy(BufReader::new(f))
-        .map_err(|e| format!("{path}: {e}"))
+    negassoc_taxonomy::textfmt::read_taxonomy(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Save a taxonomy in the text format.
-pub fn save_taxonomy(tax: &Taxonomy, path: &str) -> Result<(), String> {
+pub(crate) fn save_taxonomy(tax: &Taxonomy, path: &str) -> Result<(), String> {
     let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
     negassoc_taxonomy::textfmt::write_taxonomy(tax, f).map_err(|e| format!("{path}: {e}"))
 }

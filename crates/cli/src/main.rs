@@ -6,10 +6,10 @@
 //! negrules stats     --data D [--taxonomy T]
 //! negrules mine      --data D --taxonomy T [--min-support F] [--min-conf F]
 //!                    [--algorithm basic|cumulate|estmerge|partition]
-//!                    [--r-interest R]
+//!                    [--r-interest R] [--audit]
 //! negrules negatives --data D --taxonomy T [--min-support F] [--min-ri F]
 //!                    [--driver naive|improved] [--algorithm basic|cumulate|estmerge]
-//!                    [--max-size K] [--cap N] [--top N] [--out rules.csv]
+//!                    [--max-size K] [--cap N] [--top N] [--out rules.csv] [--audit]
 //! ```
 
 mod commands;
@@ -29,12 +29,13 @@ const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
              --data PATH --taxonomy PATH [--min-support F=0.01]
              [--min-conf F=0.6] [--top N=20]
              [--algorithm basic|cumulate|estmerge|partition]
-             [--partitions N=4] [--r-interest R]
+             [--partitions N=4] [--r-interest R] [--audit]
   negatives  strong negative association rules (Savasere et al., ICDE '98)
              --data PATH --taxonomy PATH [--min-support F=0.01]
              [--min-ri F=0.5] [--driver naive|improved]
              [--algorithm basic|cumulate|estmerge] [--max-size K]
              [--cap N] [--top N=20] [--out rules.csv] [--no-compress]
+             [--audit]  (re-derive every reported number from a raw scan)
 
 Transaction files: .nadb (binary) or whitespace text, one basket per line.
 Taxonomy files: `name<TAB>parent` per line, `-` for roots.";

@@ -6,14 +6,14 @@ use std::collections::BTreeMap;
 
 /// Parsed command line: subcommand plus `--key [value]` options.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
-pub struct Opts {
+pub(crate) struct Opts {
     map: BTreeMap<String, String>,
     flags: Vec<String>,
 }
 
 /// Errors from option parsing and extraction.
 #[derive(Debug, PartialEq, Eq)]
-pub enum OptError {
+pub(crate) enum OptError {
     /// A token that is not `--key`.
     Unexpected(String),
     /// `--key` given without a value.
@@ -45,7 +45,7 @@ impl std::error::Error for OptError {}
 impl Opts {
     /// Parse `args` (after the subcommand), accepting only `known` keys.
     /// Keys in `known` ending with `!` are boolean flags (no value).
-    pub fn parse<I: IntoIterator<Item = String>>(
+    pub(crate) fn parse<I: IntoIterator<Item = String>>(
         args: I,
         known: &'static [&'static str],
     ) -> Result<Self, OptError> {
@@ -59,7 +59,9 @@ impl Opts {
             if is_flag {
                 opts.flags.push(key.to_owned());
             } else if known.iter().any(|k| *k == key) {
-                let value = iter.next().ok_or_else(|| OptError::MissingValue(key.to_owned()))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| OptError::MissingValue(key.to_owned()))?;
                 opts.map.insert(key.to_owned(), value);
             } else {
                 return Err(OptError::Unknown(key.to_owned()));
@@ -69,22 +71,27 @@ impl Opts {
     }
 
     /// A string value.
-    pub fn get(&self, key: &str) -> Option<&str> {
+    pub(crate) fn get(&self, key: &str) -> Option<&str> {
         self.map.get(key).map(|s| s.as_str())
     }
 
     /// A required string value.
-    pub fn require(&self, key: &str) -> Result<&str, OptError> {
-        self.get(key).ok_or_else(|| OptError::Required(key.to_owned()))
+    pub(crate) fn require(&self, key: &str) -> Result<&str, OptError> {
+        self.get(key)
+            .ok_or_else(|| OptError::Required(key.to_owned()))
     }
 
     /// `true` when the boolean flag was given.
-    pub fn flag(&self, key: &str) -> bool {
+    pub(crate) fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
 
     /// A parsed value with a default.
-    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, OptError> {
+    pub(crate) fn parse_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, OptError> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| OptError::Invalid {
@@ -131,7 +138,10 @@ mod tests {
             Err(OptError::MissingValue("data".into()))
         );
         let o = Opts::parse(args("--data x"), KNOWN).unwrap();
-        assert_eq!(o.require("min-support"), Err(OptError::Required("min-support".into())));
+        assert_eq!(
+            o.require("min-support"),
+            Err(OptError::Required("min-support".into()))
+        );
         assert!(matches!(
             o.parse_or::<f64>("data", 0.0),
             Err(OptError::Invalid { .. })

@@ -26,6 +26,7 @@
 //! The same candidate can arise from different large itemsets with
 //! different expectations; the **largest** expected support wins (§2.1.1).
 
+use crate::error::NegAssocError;
 use crate::expected::{candidate_threshold, expected_support, Ratio};
 use crate::substitutes::SubstituteKnowledge;
 use negassoc_apriori::generalized::AncestorTable;
@@ -251,7 +252,7 @@ impl<'a> CandidateGenerator<'a> {
     }
 
     /// Generate all candidates seeded by the large k-itemsets into `set`.
-    pub fn extend_from_level(&self, k: usize, set: &mut CandidateSet) {
+    pub fn extend_from_level(&self, k: usize, set: &mut CandidateSet) -> Result<(), NegAssocError> {
         debug_assert!(k >= 2);
         let mut seeds: Vec<(&Itemset, u64)> = self.large.level(k).collect();
         // Deterministic order keeps stats and iteration reproducible.
@@ -264,12 +265,18 @@ impl<'a> CandidateGenerator<'a> {
                 continue;
             }
             set.stats.seeds += 1;
-            self.extend_from_itemset(itemset, support, set);
+            self.extend_from_itemset(itemset, support, set)?;
         }
+        Ok(())
     }
 
     /// Generate all candidates seeded by one large itemset.
-    pub fn extend_from_itemset(&self, itemset: &Itemset, support: u64, set: &mut CandidateSet) {
+    pub fn extend_from_itemset(
+        &self,
+        itemset: &Itemset,
+        support: u64,
+        set: &mut CandidateSet,
+    ) -> Result<(), NegAssocError> {
         let k = itemset.len();
         debug_assert!(k >= 2, "negative candidates need seeds of size >= 2");
         let full_mask: u32 = (1 << k) - 1;
@@ -282,15 +289,23 @@ impl<'a> CandidateGenerator<'a> {
                 } else {
                     DerivationCase::SomeChildren
                 };
-                self.emit_products(itemset, support, mask, &options, case, set);
+                self.emit_products(itemset, support, mask, &options, case, set)?;
             }
             // Sibling substitutions: proper nonempty masks only (case 3).
             if mask != full_mask
                 && self.collect_options(itemset, mask, &mut options, OptionKind::Siblings)
             {
-                self.emit_products(itemset, support, mask, &options, DerivationCase::Siblings, set);
+                self.emit_products(
+                    itemset,
+                    support,
+                    mask,
+                    &options,
+                    DerivationCase::Siblings,
+                    set,
+                )?;
             }
         }
+        Ok(())
     }
 
     /// Fill `options[j]` for each masked position; `false` when some masked
@@ -330,7 +345,7 @@ impl<'a> CandidateGenerator<'a> {
         options: &[Vec<ItemId>],
         case: DerivationCase,
         set: &mut CandidateSet,
-    ) {
+    ) -> Result<(), NegAssocError> {
         let masked_positions: Vec<usize> = (0..itemset.len())
             .filter(|&p| mask & (1 << p) != 0)
             .collect();
@@ -365,13 +380,13 @@ impl<'a> CandidateGenerator<'a> {
             if !valid {
                 set.stats.rejected_small_item += 1;
             } else {
-                self.admit(&items, itemset, support, &ratios, case, set);
+                self.admit(&items, itemset, support, &ratios, case, set)?;
             }
             // Advance the mixed-radix choice counter.
             let mut slot = options.len();
             loop {
                 if slot == 0 {
-                    return;
+                    return Ok(());
                 }
                 slot -= 1;
                 choice[slot] += 1;
@@ -392,22 +407,22 @@ impl<'a> CandidateGenerator<'a> {
         ratios: &[Ratio],
         case: DerivationCase,
         set: &mut CandidateSet,
-    ) {
+    ) -> Result<(), NegAssocError> {
         let candidate = Itemset::from_unsorted(items.to_vec());
-        if candidate.len() != items.len()
-            || self.ancestors.has_related_pair(candidate.items())
-        {
+        if candidate.len() != items.len() || self.ancestors.has_related_pair(candidate.items()) {
             set.stats.rejected_related += 1;
-            return;
+            return Ok(());
         }
-        let expected = expected_support(support, ratios);
-        if expected < self.threshold {
+        // Ratio bases are supports of large items (positive), so this only
+        // errors on a genuine upstream bug — surfaced, not unwrapped.
+        let expected = expected_support(support, ratios)?;
+        if !crate::expected::approx_ge(expected, self.threshold) {
             set.stats.rejected_low_expected += 1;
-            return;
+            return Ok(());
         }
         if self.large.contains(&candidate) {
             set.stats.rejected_large += 1;
-            return;
+            return Ok(());
         }
         let derivation = || Derivation {
             seed: seed.clone(),
@@ -425,6 +440,7 @@ impl<'a> CandidateGenerator<'a> {
                 e.insert((expected, derivation()));
             }
         }
+        Ok(())
     }
 }
 
@@ -492,10 +508,7 @@ mod tests {
         ] {
             l.insert(Itemset::singleton(names[name]), sup);
         }
-        l.insert(
-            Itemset::from_unsorted(vec![names["C"], names["G"]]),
-            800,
-        );
+        l.insert(Itemset::from_unsorted(vec![names["C"], names["G"]]), 800);
         l
     }
 
@@ -506,7 +519,7 @@ mod tests {
     ) -> (Vec<NegativeCandidate>, CandidateStats) {
         let gene = CandidateGenerator::new(tax, large, min_ri);
         let mut set = CandidateSet::new();
-        gene.extend_from_level(2, &mut set);
+        gene.extend_from_level(2, &mut set).unwrap();
         set.into_candidates()
     }
 
@@ -596,10 +609,7 @@ mod tests {
         let (tax, names) = fig1();
         let mut large = fig1_large(&names);
         // Make {C, H} itself large: it must disappear from the candidates.
-        large.insert(
-            Itemset::from_unsorted(vec![names["C"], names["H"]]),
-            700,
-        );
+        large.insert(Itemset::from_unsorted(vec![names["C"], names["H"]]), 700);
         let (cands, stats) = candidates_of(&tax, &large, 1e-9);
         let sets: Vec<Vec<String>> = cands.iter().map(|c| names_of(&tax, c)).collect();
         let mut ch = vec!["C".to_string(), "H".to_string()];
@@ -649,7 +659,7 @@ mod tests {
         let filtered = FilteredTaxonomy::new(&tax, &keep);
         let gene = CandidateGenerator::with_compressed(&filtered, &large, 1e-9);
         let mut set = CandidateSet::new();
-        gene.extend_from_level(2, &mut set);
+        gene.extend_from_level(2, &mut set).unwrap();
         let (mut b, stats_b) = set.into_candidates();
         assert_eq!(stats_b.rejected_small_item, 0);
 

@@ -1,3 +1,6 @@
+//! Miner configuration: thresholds, driver selection, and counting
+//! backend choices ([`MinerConfig`]).
+
 use crate::error::Error;
 use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::est_merge::EstMergeConfig;
@@ -108,9 +111,7 @@ impl MinerConfig {
         }
         if let Some(k) = self.max_negative_size {
             if k < 2 {
-                return Err(Error::Config(
-                    "max_negative_size must be at least 2".into(),
-                ));
+                return Err(Error::Config("max_negative_size must be at least 2".into()));
             }
         }
         Ok(())

@@ -66,14 +66,20 @@ fn count_chunk<S: TransactionSource + ?Sized>(
     // Candidates may contain categories; transactions must be extended with
     // exactly the ancestors the candidates can use (the Cumulate filter).
     let needed = items_of_candidates(&itemsets);
-    let mut mapper = |items: &[ItemId], out: &mut Vec<ItemId>| {
-        extend_filtered(items, ancestors, &needed, out)
-    };
+    let mut mapper =
+        |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, ancestors, &needed, out);
     let counted = count_mixed(source, itemsets, backend, &mut mapper)?;
     for (set, actual) in counted {
-        let (e, _) = &expected[&set];
-        if is_negative(*e, actual, min_support_count, min_ri) {
-            let (e, derivation) = expected.remove(&set).expect("just looked up");
+        // Every counted set was registered above; a miss means the counting
+        // backend fabricated an itemset, and skipping it is the only output
+        // that cannot lie.
+        let Some(&(e, _)) = expected.get(&set).as_deref() else {
+            continue;
+        };
+        if is_negative(e, actual, min_support_count, min_ri) {
+            let Some((e, derivation)) = expected.remove(&set) else {
+                continue;
+            };
             negatives.push(NegativeItemset {
                 itemset: set,
                 expected: e,
@@ -182,9 +188,16 @@ mod tests {
         let ancestors = AncestorTable::new(&tax);
         let db = TransactionDbBuilder::new().build();
         let pc = PassCounter::new(db);
-        let (negs, passes) =
-            confirm_negatives(&pc, &ancestors, Vec::new(), CountingBackend::HashTree, None, 1, 0.5)
-                .unwrap();
+        let (negs, passes) = confirm_negatives(
+            &pc,
+            &ancestors,
+            Vec::new(),
+            CountingBackend::HashTree,
+            None,
+            1,
+            0.5,
+        )
+        .unwrap();
         assert!(negs.is_empty());
         assert_eq!(passes, 0);
         assert_eq!(pc.passes(), 0);

@@ -1,20 +1,42 @@
+//! The workspace error type, [`Error`] (aliased as [`NegAssocError`]),
+//! covering I/O, configuration, numeric, invariant, and audit failures.
+
 use std::fmt;
 use std::io;
 
 /// Errors from the negative-association miner.
+///
+/// Re-exported as [`crate::NegAssocError`]; library code routes every
+/// fallible path through this type instead of panicking (enforced by the
+/// workspace analyzer's L001/L003 lints, see `cargo run -p xtask -- analyze`).
 #[derive(Debug)]
 pub enum Error {
     /// A database pass failed.
     Io(io::Error),
     /// Invalid configuration (message explains which knob).
     Config(String),
+    /// Arithmetic that would poison downstream pruning (zero divisor,
+    /// non-finite expected support).
+    Numeric(String),
+    /// An internal invariant did not hold; mining results cannot be
+    /// trusted. Carries the broken invariant's description.
+    Invariant(String),
+    /// A runtime audit (`negassoc::audit`) refused to certify mining
+    /// output; the message pins the first discrepancy found.
+    Audit(String),
 }
+
+/// The canonical name for [`Error`] across the workspace.
+pub type NegAssocError = Error;
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Io(e) => write!(f, "i/o error during mining: {e}"),
             Error::Config(msg) => write!(f, "invalid miner configuration: {msg}"),
+            Error::Numeric(msg) => write!(f, "numeric error during mining: {msg}"),
+            Error::Invariant(msg) => write!(f, "broken mining invariant: {msg}"),
+            Error::Audit(msg) => write!(f, "audit failed: {msg}"),
         }
     }
 }
@@ -23,7 +45,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
-            Error::Config(_) => None,
+            Error::Config(_) | Error::Numeric(_) | Error::Invariant(_) | Error::Audit(_) => None,
         }
     }
 }
@@ -46,5 +68,24 @@ mod tests {
         let c = Error::Config("min_ri out of range".into());
         assert!(c.to_string().contains("min_ri"));
         assert!(std::error::Error::source(&c).is_none());
+    }
+
+    #[test]
+    fn new_variants_render_their_context() {
+        let n = Error::Numeric("zero base support".into());
+        assert!(n.to_string().contains("zero base support"));
+        let i = Error::Invariant("itemset out of order".into());
+        assert!(i.to_string().contains("itemset out of order"));
+        let a = Error::Audit("support mismatch for {1,2}".into());
+        assert!(a.to_string().contains("support mismatch"));
+        for e in [n, i, a] {
+            assert!(std::error::Error::source(&e).is_none());
+        }
+    }
+
+    #[test]
+    fn alias_is_the_same_type() {
+        fn takes_alias(_: &NegAssocError) {}
+        takes_alias(&Error::Config("x".into()));
     }
 }

@@ -19,6 +19,51 @@
 //! The uniformity assumption justifying all three: items under the same
 //! parent are expected to associate with other items the way their parent
 //! (or sibling) does, scaled by their relative support.
+//!
+//! # Float-comparison contract
+//!
+//! Expected supports, deviations and rule-interest values are `f64`
+//! products/quotients of `u64` counts. Two mathematically equal quantities
+//! can differ in the last bits depending on evaluation order (e.g. the
+//! naive and improved drivers multiply ratios in different groupings), so
+//! **raw `==`/`!=`/`>=` on these values is a bug** — it makes
+//! rule emission depend on the driver. All threshold decisions go through
+//! [`approx_eq`]/[`approx_ge`], which treat values within
+//! [`SUPPORT_EPSILON`] (scaled by magnitude) as equal. The workspace
+//! analyzer enforces this: lint L002 flags raw float comparisons on
+//! support expressions (`cargo run -p xtask -- analyze`).
+
+use crate::error::NegAssocError;
+
+/// Relative tolerance for support/RI comparisons.
+///
+/// Supports are ≤ 2^53 (exact in `f64`), and expectation chains multiply a
+/// handful of ratios, so accumulated relative error is well under 1e-12;
+/// 1e-9 gives three orders of margin while staying far below any
+/// paper-meaningful support difference.
+pub const SUPPORT_EPSILON: f64 = 1e-9;
+
+/// The comparison scale for `a` vs `b`: max(1, |a|, |b|).
+///
+/// Keeps the tolerance relative for large supports (millions of
+/// transactions) without collapsing to zero for sub-1 values such as
+/// rule-interest thresholds.
+fn comparison_scale(a: f64, b: f64) -> f64 {
+    a.abs().max(b.abs()).max(1.0)
+}
+
+/// `true` when `a` and `b` are equal up to [`SUPPORT_EPSILON`], scaled by
+/// magnitude. This is the only sanctioned equality on support/RI values.
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= SUPPORT_EPSILON * comparison_scale(a, b)
+}
+
+/// `true` when `a >= b` up to [`SUPPORT_EPSILON`] slack: values within the
+/// tolerance band count as "reaching" the threshold. This is the sanctioned
+/// form of every `deviation >= threshold` / `ri >= min_ri` test.
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b - SUPPORT_EPSILON * comparison_scale(a, b)
+}
 
 /// One replacement's contribution: the new item's support over the support
 /// of whatever it was derived from (its parent for child-replacements, the
@@ -34,8 +79,10 @@ pub struct Ratio {
 /// Expected support of a candidate derived from a large itemset with
 /// support `large_support` by applying `replacements`.
 ///
-/// Every `base_support` is the support of a large item, so it is positive;
-/// a zero base is a caller bug and panics in debug builds.
+/// Every `base_support` should be the support of a large item and hence
+/// positive; a zero base is a caller bug and yields
+/// [`NegAssocError::Numeric`] instead of silently poisoning downstream
+/// pruning with `NaN`/`inf`.
 ///
 /// ```
 /// use negassoc::expected::{expected_support, Ratio};
@@ -43,16 +90,36 @@ pub struct Ratio {
 /// let e = expected_support(800, &[
 ///     Ratio { new_support: 1200, base_support: 2500 },
 ///     Ratio { new_support: 900, base_support: 2000 },
-/// ]);
+/// ]).unwrap();
 /// assert!((e - 172.8).abs() < 1e-9);
 /// ```
-pub fn expected_support(large_support: u64, replacements: &[Ratio]) -> f64 {
+pub fn expected_support(large_support: u64, replacements: &[Ratio]) -> Result<f64, NegAssocError> {
     let mut e = large_support as f64;
     for r in replacements {
-        debug_assert!(r.base_support > 0, "base support must be positive");
+        if r.base_support == 0 {
+            return Err(NegAssocError::Numeric(format!(
+                "expected_support: zero base support scaling new support {} \
+                 (bases must be supports of large items)",
+                r.new_support
+            )));
+        }
         e *= r.new_support as f64 / r.base_support as f64;
     }
-    e
+    if !e.is_finite() {
+        return Err(NegAssocError::Numeric(format!(
+            "expected_support: non-finite expectation from large support \
+             {large_support} over {} replacements",
+            replacements.len()
+        )));
+    }
+    Ok(e)
+}
+
+/// The sanctioned support-count → `f64` conversion. Transaction counts are
+/// far below 2^53, so the conversion is exact; funnelling every widening
+/// through here keeps the L005 lint surface to this one module.
+pub fn support_to_f64(support: u64) -> f64 {
+    support as f64
 }
 
 /// The candidate-admission threshold of §2: a candidate is worth counting
@@ -66,20 +133,37 @@ pub fn candidate_threshold(min_support_count: u64, min_ri: f64) -> f64 {
 
 /// The negativity test of §2: a counted candidate is a *negative itemset*
 /// when its actual support deviates from the expectation by at least
-/// `MinSup · MinRI`.
+/// `MinSup · MinRI` (compared through [`approx_ge`]; see the module-level
+/// float-comparison contract).
 ///
 /// (Figure 3 of the paper prints the condition as `count < MinSup · MinRI`,
 /// which contradicts the problem statement and the worked example; see
 /// DESIGN.md "Paper ambiguities".)
 pub fn is_negative(expected: f64, actual: u64, min_support_count: u64, min_ri: f64) -> bool {
-    expected - actual as f64 >= candidate_threshold(min_support_count, min_ri)
+    approx_ge(
+        expected - actual as f64,
+        candidate_threshold(min_support_count, min_ri),
+    )
 }
 
 /// Rule interest of `X ≠> Y` for a negative itemset with the given expected
 /// and actual supports and antecedent support `sup(X)`.
-pub fn rule_interest(expected: f64, actual: u64, antecedent_support: u64) -> f64 {
-    debug_assert!(antecedent_support > 0, "antecedent must be large");
-    (expected - actual as f64) / antecedent_support as f64
+///
+/// A zero antecedent support is a caller bug (antecedents are large);
+/// yields [`NegAssocError::Numeric`] rather than `NaN`/`inf`. Compare the
+/// returned interest against thresholds with [`approx_ge`], never raw
+/// `>=` (module-level contract).
+pub fn rule_interest(
+    expected: f64,
+    actual: u64,
+    antecedent_support: u64,
+) -> Result<f64, NegAssocError> {
+    if antecedent_support == 0 {
+        return Err(NegAssocError::Numeric(
+            "rule_interest: zero antecedent support (antecedents must be large)".into(),
+        ));
+    }
+    Ok((expected - actual as f64) / antecedent_support as f64)
 }
 
 #[cfg(test)]
@@ -93,26 +177,85 @@ mod tests {
         let e = expected_support(
             100,
             &[
-                Ratio { new_support: 40, base_support: 80 },
-                Ratio { new_support: 30, base_support: 60 },
+                Ratio {
+                    new_support: 40,
+                    base_support: 80,
+                },
+                Ratio {
+                    new_support: 30,
+                    base_support: 60,
+                },
             ],
-        );
+        )
+        .unwrap();
         assert!((e - 25.0).abs() < 1e-12);
     }
 
     #[test]
     fn unified_formula_case2_and_3_single_replacement() {
         // Case 2: E[sup(C,J)] = sup(CG)·sup(J)/sup(G).
-        let e = expected_support(100, &[Ratio { new_support: 30, base_support: 60 }]);
+        let e = expected_support(
+            100,
+            &[Ratio {
+                new_support: 30,
+                base_support: 60,
+            }],
+        )
+        .unwrap();
         assert!((e - 50.0).abs() < 1e-12);
         // Case 3 has the same arithmetic with sibling/original supports.
-        let e3 = expected_support(100, &[Ratio { new_support: 90, base_support: 60 }]);
+        let e3 = expected_support(
+            100,
+            &[Ratio {
+                new_support: 90,
+                base_support: 60,
+            }],
+        )
+        .unwrap();
         assert!((e3 - 150.0).abs() < 1e-12);
     }
 
     #[test]
     fn no_replacements_is_identity() {
-        assert_eq!(expected_support(42, &[]), 42.0);
+        assert_eq!(expected_support(42, &[]).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn zero_base_support_is_an_explicit_error() {
+        let err = expected_support(
+            100,
+            &[Ratio {
+                new_support: 30,
+                base_support: 0,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NegAssocError::Numeric(_)));
+        assert!(err.to_string().contains("zero base support"));
+    }
+
+    #[test]
+    fn zero_antecedent_support_is_an_explicit_error() {
+        let err = rule_interest(100.0, 10, 0).unwrap_err();
+        assert!(matches!(err, NegAssocError::Numeric(_)));
+    }
+
+    #[test]
+    fn approx_helpers_honor_the_contract() {
+        // Exact equality and tiny perturbations both count as equal.
+        assert!(approx_eq(2000.0, 2000.0));
+        assert!(approx_eq(2000.0, 2000.0 + 1e-7));
+        assert!(!approx_eq(2000.0, 2000.1));
+        // Scale-relative: large supports tolerate proportionally more.
+        assert!(approx_eq(4.0e12, 4.0e12 + 1.0));
+        // approx_ge admits values a hair under the threshold...
+        assert!(approx_ge(2000.0 - 1e-7, 2000.0));
+        assert!(approx_ge(2500.0, 2000.0));
+        // ...but not genuinely smaller ones.
+        assert!(!approx_ge(1999.0, 2000.0));
+        // Sub-1 thresholds (RI comparisons) still behave.
+        assert!(approx_ge(0.5, 0.5));
+        assert!(!approx_ge(0.4999, 0.5));
     }
 
     #[test]
@@ -133,10 +276,17 @@ mod tests {
             let got = expected_support(
                 fy_bw,
                 &[
-                    Ratio { new_support: brand, base_support: fy },
-                    Ratio { new_support: water, base_support: bw },
+                    Ratio {
+                        new_support: brand,
+                        base_support: fy,
+                    },
+                    Ratio {
+                        new_support: water,
+                        base_support: bw,
+                    },
                 ],
-            );
+            )
+            .unwrap();
             assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
         }
     }
@@ -157,11 +307,11 @@ mod tests {
 
     #[test]
     fn rule_interest_is_deviation_over_antecedent() {
-        let ri = rule_interest(4000.0, 500, 8000);
+        let ri = rule_interest(4000.0, 500, 8000).unwrap();
         assert!((ri - 0.4375).abs() < 1e-12);
-        let ri2 = rule_interest(4000.0, 500, 20000);
+        let ri2 = rule_interest(4000.0, 500, 20000).unwrap();
         assert!((ri2 - 0.175).abs() < 1e-12);
         // Zero actual support maximizes RI.
-        assert!(rule_interest(4000.0, 0, 8000) > ri);
+        assert!(rule_interest(4000.0, 0, 8000).unwrap() > ri);
     }
 }

@@ -41,8 +41,7 @@ pub(crate) fn run_improved<S: TransactionSource + ?Sized>(
 
     // Phase 2: negative candidates of every size at once.
     let negative_start = Instant::now();
-    let (cands, candidate_stats) =
-        generate_all_candidates(tax, &large, config, substitutes);
+    let (cands, candidate_stats) = generate_all_candidates(tax, &large, config, substitutes)?;
 
     // Phase 3: a single counting pass (or several under the memory cap).
     let ancestors = AncestorTable::new(tax);
@@ -111,7 +110,13 @@ fn generate_all_candidates(
     large: &LargeItemsets,
     config: &MinerConfig,
     substitutes: Option<&SubstituteKnowledge>,
-) -> (Vec<crate::candidates::NegativeCandidate>, crate::candidates::CandidateStats) {
+) -> Result<
+    (
+        Vec<crate::candidates::NegativeCandidate>,
+        crate::candidates::CandidateStats,
+    ),
+    Error,
+> {
     let max_size = config
         .max_negative_size
         .unwrap_or(usize::MAX)
@@ -132,7 +137,7 @@ fn generate_all_candidates(
             generator = generator.with_substitutes(subs);
         }
         for k in 2..=max_size {
-            generator.extend_from_level(k, &mut set);
+            generator.extend_from_level(k, &mut set)?;
         }
     } else {
         let mut generator = CandidateGenerator::new(tax, large, config.min_ri);
@@ -140,10 +145,10 @@ fn generate_all_candidates(
             generator = generator.with_substitutes(subs);
         }
         for k in 2..=max_size {
-            generator.extend_from_level(k, &mut set);
+            generator.extend_from_level(k, &mut set)?;
         }
     }
-    set.into_candidates()
+    Ok(set.into_candidates())
 }
 
 #[cfg(test)]
@@ -231,8 +236,7 @@ mod tests {
             x.sort_by(|p, q| p.0.cmp(&q.0));
             x
         };
-        for ((s1, e1), (s2, e2)) in by_set(&a.negatives).iter().zip(by_set(&b.negatives).iter())
-        {
+        for ((s1, e1), (s2, e2)) in by_set(&a.negatives).iter().zip(by_set(&b.negatives).iter()) {
             assert_eq!(s1, s2);
             assert!((e1 - e2).abs() < 1e-9);
         }

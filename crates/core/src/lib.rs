@@ -65,8 +65,12 @@
 //! * [`rules`] — negative-rule generation (paper Fig. 4),
 //! * [`substitutes`] — the §4.1 future-work extension: explicit
 //!   substitute-item knowledge beyond the taxonomy,
-//! * [`miner`] — the [`NegativeMiner`] facade tying it all together.
+//! * [`miner`] — the [`NegativeMiner`] facade tying it all together,
+//! * [`audit`] — independent runtime certification of mining output
+//!   (feature `audit`, default-on).
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod candidates;
 pub mod config;
 pub mod error;
@@ -82,6 +86,6 @@ mod counting;
 
 pub use candidates::{CandidateStats, NegativeCandidate, NegativeItemset};
 pub use config::{GenAlgorithm, MinerConfig};
-pub use error::Error;
+pub use error::{Error, NegAssocError};
 pub use miner::{MiningOutcome, MiningReport, NegativeMiner};
 pub use rules::NegativeRule;

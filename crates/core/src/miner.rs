@@ -4,8 +4,8 @@
 use crate::candidates::{CandidateStats, NegativeItemset};
 use crate::config::{Driver, MinerConfig};
 use crate::error::Error;
-use crate::naive::run_naive;
 use crate::improved::run_improved;
+use crate::naive::run_naive;
 use crate::rules::{generate_negative_rules, NegativeRule};
 use crate::substitutes::SubstituteKnowledge;
 use negassoc_apriori::LargeItemsets;
@@ -130,7 +130,7 @@ impl NegativeMiner {
 
         let rule_start = Instant::now();
         let rules =
-            generate_negative_rules(&outcome.negatives, &outcome.large, self.config.min_ri);
+            generate_negative_rules(&outcome.negatives, &outcome.large, self.config.min_ri)?;
         let rule_time = rule_start.elapsed();
 
         let report = MiningReport {
@@ -200,11 +200,9 @@ mod tests {
         assert_eq!(out.report.rules, out.rules.len());
         assert!(out.report.passes > 0);
         // {pepsi, chips} never co-occur but both sides are popular.
-        assert!(out
-            .rules
-            .iter()
-            .any(|r| (r.antecedent.contains(pepsi) && r.consequent.contains(chips))
-                || (r.antecedent.contains(chips) && r.consequent.contains(pepsi))));
+        assert!(out.rules.iter().any(|r| (r.antecedent.contains(pepsi)
+            && r.consequent.contains(chips))
+            || (r.antecedent.contains(chips) && r.consequent.contains(pepsi))));
         // Every rule clears the configured threshold.
         for r in &out.rules {
             assert!(r.ri >= 0.25);

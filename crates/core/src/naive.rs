@@ -82,7 +82,7 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
         let negative_start = Instant::now();
         let generator = CandidateGenerator::new(tax, miner.large(), config.min_ri);
         let mut set = CandidateSet::new();
-        generator.extend_from_level(level, &mut set);
+        generator.extend_from_level(level, &mut set)?;
         let (cands, stats) = set.into_candidates();
         merge_stats(&mut candidate_stats, &stats);
         let (mut negs, neg_passes) = confirm_negatives(

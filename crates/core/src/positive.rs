@@ -12,7 +12,8 @@
 //! comparison concrete (see the `retail_taxonomy` example and the
 //! `ablation` benches).
 
-use crate::expected::{expected_support, Ratio};
+use crate::error::NegAssocError;
+use crate::expected::{approx_ge, expected_support, support_to_f64, Ratio};
 use negassoc_apriori::rules::Rule;
 use negassoc_apriori::{Itemset, LargeItemsets};
 use negassoc_taxonomy::{ItemId, Taxonomy};
@@ -35,24 +36,28 @@ pub struct JudgedRule {
 /// ancestor are trivially interesting — there is nothing to predict them
 /// from).
 ///
-/// # Panics
-/// Panics when `r < 1.0` (a factor below 1 would prune rules for merely
-/// meeting expectations).
+/// # Errors
+/// [`NegAssocError::Config`] when `r < 1.0` (a factor below 1 would prune
+/// rules for merely meeting expectations).
 pub fn r_interesting(
     rules: Vec<Rule>,
     large: &LargeItemsets,
     tax: &Taxonomy,
     r: f64,
-) -> Vec<JudgedRule> {
-    assert!(r >= 1.0, "interest factor must be at least 1, got {r}");
-    rules
+) -> Result<Vec<JudgedRule>, NegAssocError> {
+    if !(r >= 1.0) {
+        return Err(NegAssocError::Config(format!(
+            "interest factor must be at least 1, got {r}"
+        )));
+    }
+    Ok(rules
         .into_iter()
         .map(|rule| {
             let union = rule.antecedent.union(&rule.consequent);
             let closest = closest_ancestor_expectation(&union, large, tax);
             let interesting = match closest {
                 None => true,
-                Some(e) => rule.support as f64 >= r * e,
+                Some(e) => approx_ge(support_to_f64(rule.support), r * e),
             };
             JudgedRule {
                 rule,
@@ -60,7 +65,7 @@ pub fn r_interesting(
                 interesting,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// The smallest expected support over all "close ancestors" of `itemset`:
@@ -111,7 +116,12 @@ fn closest_ancestor_expectation(
         let Some(ancestor_sup) = large.support_of_set(&ancestor) else {
             continue;
         };
-        let e = expected_support(ancestor_sup, &ratios);
+        // Parent supports come from the large store, so they are positive;
+        // a failure here would be a corrupt store — skip the mask rather
+        // than poison the minimum with NaN.
+        let Ok(e) = expected_support(ancestor_sup, &ratios) else {
+            continue;
+        };
         best = Some(match best {
             None => e,
             Some(b) => b.min(e),
@@ -173,9 +183,14 @@ mod tests {
             rule(jackets, shoes, 20, &large),
             rule(ski, boots, 60, &large),
         ];
-        let judged = r_interesting(rules, &large, &tax, 1.5);
+        let judged = r_interesting(rules, &large, &tax, 1.5).unwrap();
         assert_eq!(judged.len(), 2);
-        let by = |a: ItemId| judged.iter().find(|j| j.rule.antecedent.contains(a)).unwrap();
+        let by = |a: ItemId| {
+            judged
+                .iter()
+                .find(|j| j.rule.antecedent.contains(a))
+                .unwrap()
+        };
 
         let predicted = by(jackets);
         assert!(!predicted.interesting); // 20 < 1.5·20
@@ -191,7 +206,7 @@ mod tests {
         // The top-level rule itself has no large ancestor (its members are
         // roots).
         let rules = vec![rule(clothes, footwear, 80, &large)];
-        let judged = r_interesting(rules, &large, &tax, 2.0);
+        let judged = r_interesting(rules, &large, &tax, 2.0).unwrap();
         assert!(judged[0].interesting);
         assert!(judged[0].closest_expectation.is_none());
     }
@@ -205,16 +220,19 @@ mod tests {
         // 20, so the binding (minimum) stays 20.
         large.insert(Itemset::from_unsorted(vec![clothes, shoes]), 60);
         let rules = vec![rule(jackets, shoes, 25, &large)];
-        let judged = r_interesting(rules, &large, &tax, 1.0);
+        let judged = r_interesting(rules, &large, &tax, 1.0).unwrap();
         assert!((judged[0].closest_expectation.unwrap() - 20.0).abs() < 1e-9);
         // At R = 1.0, 25 >= 20 -> interesting.
         assert!(judged[0].interesting);
     }
 
     #[test]
-    #[should_panic(expected = "at least 1")]
-    fn r_below_one_panics() {
+    fn r_below_one_is_a_config_error() {
         let (tax, large, _) = world();
-        r_interesting(Vec::new(), &large, &tax, 0.5);
+        let err = r_interesting(Vec::new(), &large, &tax, 0.5).unwrap_err();
+        assert!(matches!(err, NegAssocError::Config(_)));
+        assert!(err.to_string().contains("at least 1"));
+        // NaN factors are rejected the same way.
+        assert!(r_interesting(Vec::new(), &large, &tax, f64::NAN).is_err());
     }
 }

@@ -18,7 +18,8 @@
 //!   only be *higher*, so RI can only fall.
 
 use crate::candidates::{Derivation, NegativeItemset};
-use crate::expected::rule_interest;
+use crate::error::NegAssocError;
+use crate::expected::{approx_ge, rule_interest};
 use negassoc_apriori::gen::apriori_gen;
 use negassoc_apriori::{Itemset, LargeItemsets};
 use std::fmt;
@@ -64,23 +65,23 @@ pub fn generate_negative_rules(
     negatives: &[NegativeItemset],
     large: &LargeItemsets,
     min_ri: f64,
-) -> Vec<NegativeRule> {
+) -> Result<Vec<NegativeRule>, NegAssocError> {
     let mut out = Vec::new();
     for n in negatives {
         if n.itemset.len() < 2 {
             continue;
         }
         // H1: single-item consequents that produce a rule.
-        let h1: Vec<Itemset> = n
-            .itemset
-            .items()
-            .iter()
-            .map(|&i| Itemset::singleton(i))
-            .filter(|h| try_emit(n, large, h, min_ri, &mut out))
-            .collect();
-        grow(n, large, h1, min_ri, &mut out);
+        let mut h1 = Vec::new();
+        for &i in n.itemset.items() {
+            let h = Itemset::singleton(i);
+            if try_emit(n, large, &h, min_ri, &mut out)? {
+                h1.push(h);
+            }
+        }
+        grow(n, large, h1, min_ri, &mut out)?;
     }
-    out
+    Ok(out)
 }
 
 /// Emit `(n − h) ≠> h` when all constraints pass; returns whether it did.
@@ -90,21 +91,23 @@ fn try_emit(
     consequent: &Itemset,
     min_ri: f64,
     out: &mut Vec<NegativeRule>,
-) -> bool {
+) -> Result<bool, NegAssocError> {
     // Consequent must be large.
     let Some(_) = large.support_of_set(consequent) else {
-        return false;
+        return Ok(false);
     };
     let antecedent = n.itemset.minus(consequent);
     if antecedent.is_empty() {
-        return false;
+        return Ok(false);
     }
     // Antecedent must be large too.
     let Some(asup) = large.support_of_set(&antecedent) else {
-        return false;
+        return Ok(false);
     };
-    let ri = rule_interest(n.expected, n.actual, asup);
-    if ri >= min_ri {
+    // `asup` is a large-item support, so a zero here means the large-itemset
+    // store is corrupt; surface it instead of unwrapping.
+    let ri = rule_interest(n.expected, n.actual, asup)?;
+    if approx_ge(ri, min_ri) {
         out.push(NegativeRule {
             antecedent,
             consequent: consequent.clone(),
@@ -113,9 +116,9 @@ fn try_emit(
             ri,
             derivation: n.derivation.clone(),
         });
-        true
+        Ok(true)
     } else {
-        false
+        Ok(false)
     }
 }
 
@@ -126,15 +129,17 @@ fn grow(
     h_m: Vec<Itemset>,
     min_ri: f64,
     out: &mut Vec<NegativeRule>,
-) {
+) -> Result<(), NegAssocError> {
     if h_m.is_empty() || h_m[0].len() + 1 >= n.itemset.len() {
-        return;
+        return Ok(());
     }
-    let next: Vec<Itemset> = apriori_gen(&h_m)
-        .into_iter()
-        .filter(|h| try_emit(n, large, h, min_ri, out))
-        .collect();
-    grow(n, large, next, min_ri, out);
+    let mut next = Vec::new();
+    for h in apriori_gen(&h_m) {
+        if try_emit(n, large, &h, min_ri, out)? {
+            next.push(h);
+        }
+    }
+    grow(n, large, next, min_ri, out)
 }
 
 #[cfg(test)]
@@ -171,7 +176,7 @@ mod tests {
         let large = example_large();
         // RI(Perrier => not Bryers) = 3500/8000 = 0.4375;
         // RI(Bryers => not Perrier) = 3500/20000 = 0.175.
-        let rules = generate_negative_rules(&negatives, &large, 0.4);
+        let rules = generate_negative_rules(&negatives, &large, 0.4).unwrap();
         assert_eq!(rules.len(), 1);
         let r = &rules[0];
         assert_eq!(r.antecedent, set(&[2]));
@@ -186,7 +191,7 @@ mod tests {
     #[test]
     fn high_threshold_kills_both_directions() {
         let negatives = vec![neg(&[1, 2], 4000.0, 500)];
-        let rules = generate_negative_rules(&negatives, &example_large(), 0.5);
+        let rules = generate_negative_rules(&negatives, &example_large(), 0.5).unwrap();
         assert!(rules.is_empty());
     }
 
@@ -194,7 +199,7 @@ mod tests {
     fn non_large_antecedent_blocks_rule() {
         // {3} never inserted as large.
         let negatives = vec![neg(&[1, 3], 4000.0, 0)];
-        let rules = generate_negative_rules(&negatives, &example_large(), 0.0);
+        let rules = generate_negative_rules(&negatives, &example_large(), 0.0).unwrap();
         // Antecedent {3} not large -> only the direction with antecedent
         // {1} could fire, but consequent {3} is not large either.
         assert!(rules.is_empty());
@@ -211,7 +216,7 @@ mod tests {
         }
         // Negative triple with huge deviation: everything passes at low RI.
         let negatives = vec![neg(&[1, 2, 3], 900.0, 0)];
-        let rules = generate_negative_rules(&negatives, &large, 0.1);
+        let rules = generate_negative_rules(&negatives, &large, 0.1).unwrap();
         // 3 single-consequent + 3 double-consequent rules.
         assert_eq!(rules.len(), 6);
         let doubles: Vec<&NegativeRule> =
@@ -240,7 +245,7 @@ mod tests {
             large.insert(set(&pair), 400);
         }
         let negatives = vec![neg(&[1, 2, 3], 900.0, 0)];
-        let rules = generate_negative_rules(&negatives, &large, 1.0);
+        let rules = generate_negative_rules(&negatives, &large, 1.0).unwrap();
         assert_eq!(rules.len(), 3);
         assert!(rules.iter().all(|r| r.consequent.len() == 1));
     }
@@ -256,7 +261,7 @@ mod tests {
         large.insert(set(&[1, 2]), 400);
         large.insert(set(&[1, 3]), 400);
         let negatives = vec![neg(&[1, 2, 3], 900.0, 0)];
-        let rules = generate_negative_rules(&negatives, &large, 0.1);
+        let rules = generate_negative_rules(&negatives, &large, 0.1).unwrap();
         for r in &rules {
             assert_ne!(r.antecedent, set(&[2, 3]));
             assert_ne!(r.consequent, set(&[2, 3]));
@@ -272,6 +277,8 @@ mod tests {
     #[test]
     fn undersized_negative_itemsets_are_skipped() {
         let negatives = vec![neg(&[1], 500.0, 0)];
-        assert!(generate_negative_rules(&negatives, &example_large(), 0.0).is_empty());
+        assert!(generate_negative_rules(&negatives, &example_large(), 0.0)
+            .unwrap()
+            .is_empty());
     }
 }

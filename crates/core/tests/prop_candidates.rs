@@ -79,8 +79,7 @@ fn reference_candidates(
                     continue;
                 }
                 // Cartesian product, recursively.
-                let positions: Vec<usize> =
-                    (0..k).filter(|p| mask & (1 << p) != 0).collect();
+                let positions: Vec<usize> = (0..k).filter(|p| mask & (1 << p) != 0).collect();
                 let mut choice = vec![0usize; positions.len()];
                 loop {
                     let mut cand_items = items.to_vec();
@@ -97,10 +96,7 @@ fn reference_candidates(
                             .iter()
                             .any(|&b| tax.related(a, b))
                     });
-                    if distinct
-                        && !related
-                        && expected >= threshold
-                        && !large.contains(&candidate)
+                    if distinct && !related && expected >= threshold && !large.contains(&candidate)
                     {
                         let e = out.entry(candidate).or_insert(f64::MIN);
                         if expected > *e {
@@ -192,7 +188,14 @@ fn reference_agrees_on_a_rich_world() {
     let tax = b.build();
 
     let mut large = LargeItemsets::new(100_000, 100);
-    for (i, s) in [(c0, 3000u64), (a, 1500), (a2, 1200), (c1, 2800), (x, 1400), (y, 1100)] {
+    for (i, s) in [
+        (c0, 3000u64),
+        (a, 1500),
+        (a2, 1200),
+        (c1, 2800),
+        (x, 1400),
+        (y, 1100),
+    ] {
         large.insert(Itemset::singleton(i), s);
     }
     large.insert(Itemset::from_unsorted(vec![c0, c1]), 900);
@@ -208,7 +211,7 @@ fn reference_agrees_on_a_rich_world() {
     let generator = CandidateGenerator::new(&tax, &large, 0.5);
     let mut set = CandidateSet::new();
     for k in 2..=large.max_level() {
-        generator.extend_from_level(k, &mut set);
+        generator.extend_from_level(k, &mut set).unwrap();
     }
     let (got, _) = set.into_candidates();
     assert_eq!(got.len(), reference.len());
@@ -229,7 +232,7 @@ proptest! {
         let generator = CandidateGenerator::new(&tax, &large, min_ri);
         let mut set = CandidateSet::new();
         for k in 2..=large.max_level() {
-            generator.extend_from_level(k, &mut set);
+            generator.extend_from_level(k, &mut set).unwrap();
         }
         let (got, _) = set.into_candidates();
 

@@ -14,7 +14,10 @@ use rand::RngExt;
 /// # Panics
 /// Panics when `mean` is negative or not finite.
 pub fn poisson<R: RngExt + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean >= 0.0, "invalid Poisson mean {mean}");
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "invalid Poisson mean {mean}"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -103,7 +106,9 @@ impl WeightedIndex {
 
     /// Draw an index proportionally to its weight.
     pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
-        let total = *self.cumulative.last().unwrap();
+        let Some(&total) = self.cumulative.last() else {
+            return 0; // unreachable: constructors reject empty weights
+        };
         let x = rng.random::<f64>() * total;
         // partition_point: first index with cumulative > x.
         self.cumulative
@@ -137,8 +142,14 @@ mod tests {
         for lambda in [0.5, 3.0, 9.0] {
             let samples: Vec<f64> = (0..N).map(|_| poisson(&mut r, lambda) as f64).collect();
             let (m, v) = mean_var(&samples);
-            assert!((m - lambda).abs() < 0.1 * lambda.max(1.0), "mean {m} vs {lambda}");
-            assert!((v - lambda).abs() < 0.15 * lambda.max(1.0), "var {v} vs {lambda}");
+            assert!(
+                (m - lambda).abs() < 0.1 * lambda.max(1.0),
+                "mean {m} vs {lambda}"
+            );
+            assert!(
+                (v - lambda).abs() < 0.15 * lambda.max(1.0),
+                "var {v} vs {lambda}"
+            );
         }
     }
 

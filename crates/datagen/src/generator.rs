@@ -125,11 +125,10 @@ mod tests {
             seed: 1,
             ..small_params()
         });
-        let differs = a
-            .db
-            .iter()
-            .zip(c.db.iter())
-            .any(|(x, y)| x.items() != y.items());
+        let differs =
+            a.db.iter()
+                .zip(c.db.iter())
+                .any(|(x, y)| x.items() != y.items());
         assert!(differs);
     }
 

@@ -91,8 +91,8 @@ pub fn build_model<R: RngExt + ?Sized>(
         let size = (poisson(rng, params.avg_cluster_size).max(1) as usize).min(categories.len());
         let mut members = Vec::with_capacity(size);
         while members.len() < size {
-            let c = categories[(rng.random::<f64>() * categories.len() as f64) as usize
-                % categories.len()];
+            let c = categories
+                [(rng.random::<f64>() * categories.len() as f64) as usize % categories.len()];
             if !members.contains(&c) {
                 members.push(c);
             }
@@ -104,7 +104,12 @@ pub fn build_model<R: RngExt + ?Sized>(
             if tax.is_leaf(cat) {
                 pool.push(cat);
             } else {
-                pool.extend(tax.children(cat).iter().copied().filter(|&c| tax.is_leaf(c)));
+                pool.extend(
+                    tax.children(cat)
+                        .iter()
+                        .copied()
+                        .filter(|&c| tax.is_leaf(c)),
+                );
             }
         }
         pool.sort_unstable();
@@ -129,8 +134,7 @@ pub fn build_model<R: RngExt + ?Sized>(
                 }
             }
             items.sort_unstable();
-            let corruption = normal(rng, params.corruption_mean, corruption_std)
-                .clamp(0.0, 0.999);
+            let corruption = normal(rng, params.corruption_mean, corruption_std).clamp(0.0, 0.999);
             itemsets.push(PatternItemset { items, corruption });
             iw.push(exponential(rng, 1.0));
         }

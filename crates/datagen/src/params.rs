@@ -69,9 +69,18 @@ impl GenParams {
             self.num_items
         );
         assert!(self.fanout >= 1.0, "fanout must be at least 1");
-        assert!(self.avg_transaction_len > 0.0, "avg transaction length must be positive");
-        assert!(self.avg_cluster_size > 0.0, "avg cluster size must be positive");
-        assert!(self.avg_itemset_size > 0.0, "avg itemset size must be positive");
+        assert!(
+            self.avg_transaction_len > 0.0,
+            "avg transaction length must be positive"
+        );
+        assert!(
+            self.avg_cluster_size > 0.0,
+            "avg cluster size must be positive"
+        );
+        assert!(
+            self.avg_itemset_size > 0.0,
+            "avg itemset size must be positive"
+        );
         assert!(
             self.avg_itemsets_per_cluster > 0.0,
             "itemsets per cluster must be positive"

@@ -61,19 +61,19 @@ pub fn generate_quest(params: &QuestParams) -> TransactionDb {
     let mut patterns: Vec<(Vec<ItemId>, f64)> = Vec::with_capacity(params.num_patterns);
     let mut weights = Vec::with_capacity(params.num_patterns);
     for _ in 0..params.num_patterns {
-        let size = (poisson(&mut rng, params.avg_pattern_len).max(1) as usize)
-            .min(params.num_items);
+        let size =
+            (poisson(&mut rng, params.avg_pattern_len).max(1) as usize).min(params.num_items);
         let mut items = Vec::with_capacity(size);
         while items.len() < size {
-            let it = ItemId((rng.random::<f64>() * params.num_items as f64) as u32
-                % params.num_items as u32);
+            let it = ItemId(
+                (rng.random::<f64>() * params.num_items as f64) as u32 % params.num_items as u32,
+            );
             if !items.contains(&it) {
                 items.push(it);
             }
         }
         items.sort_unstable();
-        let corruption = normal(&mut rng, params.corruption_mean, corruption_std)
-            .clamp(0.0, 0.999);
+        let corruption = normal(&mut rng, params.corruption_mean, corruption_std).clamp(0.0, 0.999);
         patterns.push((items, corruption));
         weights.push(exponential(&mut rng, 1.0));
     }

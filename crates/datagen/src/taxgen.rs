@@ -51,10 +51,7 @@ pub fn generate_taxonomy<R: RngExt + ?Sized>(rng: &mut R, params: &GenParams) ->
             // internal because it was smaller than the leaf budget), so a
             // minimum of one per parent always fits.
             debug_assert!(frontier.len() <= remaining);
-            let mut quota: Vec<usize> = fanouts
-                .iter()
-                .map(|&c| c.clamp(1, remaining))
-                .collect();
+            let mut quota: Vec<usize> = fanouts.iter().map(|&c| c.clamp(1, remaining)).collect();
             let mut total: usize = quota.iter().sum();
             // Greedy trim from the end, never below one.
             'trim: while total > remaining {
@@ -73,6 +70,8 @@ pub fn generate_taxonomy<R: RngExt + ?Sized>(rng: &mut R, params: &GenParams) ->
             for (parent, q) in frontier.iter().zip(&quota) {
                 for _ in 0..*q {
                     b.add_child(*parent, &format!("item-{leaf_counter}"))
+                        // "item-N" names are fresh by construction.
+                        // negassoc-lint: allow(L001)
                         .expect("generated names are unique");
                     leaf_counter += 1;
                 }
@@ -86,6 +85,8 @@ pub fn generate_taxonomy<R: RngExt + ?Sized>(rng: &mut R, params: &GenParams) ->
             for _ in 0..*c {
                 let id = b
                     .add_child(*parent, &format!("cat-{category_counter}"))
+                    // "cat-N" names are fresh by construction.
+                    // negassoc-lint: allow(L001)
                     .expect("generated names are unique");
                 category_counter += 1;
                 next.push(id);

@@ -31,6 +31,7 @@
 //! assert_eq!(tax.leaves_under(water).count(), 2);
 //! ```
 
+/// Incremental construction of taxonomies ([`TaxonomyBuilder`]).
 pub mod builder;
 pub mod compress;
 pub mod fxhash;

@@ -22,11 +22,24 @@ pub enum ParseError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// A data line did not have exactly two tab-separated fields.
-    Malformed { line: usize },
+    Malformed {
+        /// 1-based line number of the malformed line.
+        line: usize,
+    },
     /// A parent name was referenced before being defined.
-    UnknownParent { line: usize, parent: String },
+    UnknownParent {
+        /// 1-based line number of the reference.
+        line: usize,
+        /// The undefined parent name as written.
+        parent: String,
+    },
     /// Structural violation reported by the builder (e.g. duplicate name).
-    Builder { line: usize, source: BuilderError },
+    Builder {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// The builder's own diagnosis.
+        source: BuilderError,
+    },
 }
 
 impl fmt::Display for ParseError {

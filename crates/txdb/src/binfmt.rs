@@ -120,11 +120,7 @@ fn read_header<R: Read>(r: &mut R) -> io::Result<u64> {
     Ok(u64::from_le_bytes(count))
 }
 
-fn scan_body<R: Read>(
-    r: &mut R,
-    count: u64,
-    f: &mut dyn FnMut(Transaction<'_>),
-) -> io::Result<()> {
+fn scan_body<R: Read>(r: &mut R, count: u64, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
     let mut items: Vec<ItemId> = Vec::new();
     for _ in 0..count {
         let tid = read_varint(r)?;

@@ -104,10 +104,7 @@ mod tests {
     fn top_items_orders_and_breaks_ties() {
         let counts = vec![5, 0, 9, 5];
         let top = top_items(&counts, 3);
-        assert_eq!(
-            top,
-            vec![(ItemId(2), 9), (ItemId(0), 5), (ItemId(3), 5)]
-        );
+        assert_eq!(top, vec![(ItemId(2), 9), (ItemId(0), 5), (ItemId(3), 5)]);
         assert_eq!(top_items(&counts, 0).len(), 0);
         assert_eq!(top_items(&[], 5).len(), 0);
     }

@@ -14,7 +14,12 @@ pub enum ParseError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// A token was not a valid `u32` item id.
-    BadItem { line: usize, token: String },
+    BadItem {
+        /// 1-based line number of the bad token.
+        line: usize,
+        /// The token that failed to parse as an item id.
+        token: String,
+    },
 }
 
 impl fmt::Display for ParseError {

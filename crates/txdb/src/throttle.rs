@@ -117,9 +117,7 @@ mod tests {
         plain.pass(&mut |t| plain_items += t.len()).unwrap();
         let mut throttled_items = 0usize;
         let start = Instant::now();
-        throttled
-            .pass(&mut |t| throttled_items += t.len())
-            .unwrap();
+        throttled.pass(&mut |t| throttled_items += t.len()).unwrap();
         let elapsed = start.elapsed();
         assert_eq!(plain_items, throttled_items);
         assert!(
@@ -131,8 +129,7 @@ mod tests {
 
     #[test]
     fn zero_transactions_cost_nothing() {
-        let throttled =
-            ThrottledSource::new(TransactionDbBuilder::new().build(), 1024.0).unwrap();
+        let throttled = ThrottledSource::new(TransactionDbBuilder::new().build(), 1024.0).unwrap();
         assert_eq!(throttled.pass_cost(), Duration::ZERO);
         let mut n = 0;
         throttled.pass(&mut |_| n += 1).unwrap();

@@ -110,9 +110,7 @@ impl TidListIndex {
     /// The sorted TID-positions containing `item` (empty for unseen items).
     #[inline]
     pub fn tids(&self, item: ItemId) -> &[u32] {
-        self.lists
-            .get(item.index())
-            .map_or(&[], |v| v.as_slice())
+        self.lists.get(item.index()).map_or(&[], |v| v.as_slice())
     }
 
     /// Support (absolute count) of a single item.

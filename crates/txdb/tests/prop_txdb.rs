@@ -1,8 +1,8 @@
 //! Property-based tests for the transaction database substrate.
 
 use negassoc_taxonomy::ItemId;
-use negassoc_txdb::{binfmt, partition, textfmt, vertical, TransactionDb, TransactionDbBuilder};
 use negassoc_txdb::TransactionSource;
+use negassoc_txdb::{binfmt, partition, textfmt, vertical, TransactionDb, TransactionDbBuilder};
 use proptest::prelude::*;
 
 fn arb_db() -> impl Strategy<Value = TransactionDb> {

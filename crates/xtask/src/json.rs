@@ -1,0 +1,103 @@
+//! Minimal JSON emission for `xtask analyze --json` (no serde in an
+//! offline workspace; the schema is flat enough to write by hand).
+
+use crate::lints::Finding;
+use crate::Analysis;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Escape a string for a JSON literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an analysis as a JSON document:
+/// `{"files_scanned":N,"findings":[…],"counts":{"L001":n,…}}`.
+pub fn render(analysis: &Analysis) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &analysis.findings {
+        *counts.entry(f.lint).or_default() += 1;
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", analysis.files_scanned);
+    out.push_str("  \"findings\": [");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}", render_finding(f));
+    }
+    if analysis.findings.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"counts\": {");
+    for (i, (lint, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape(lint), n);
+    }
+    if counts.is_empty() {
+        out.push_str("}\n");
+    } else {
+        out.push_str("\n  }\n");
+    }
+    out.push('}');
+    out
+}
+
+fn render_finding(f: &Finding) -> String {
+    format!(
+        "{{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+        escape(f.lint),
+        escape(&f.path),
+        f.line,
+        escape(&f.message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn renders_empty_and_nonempty() {
+        let empty = Analysis::default();
+        assert!(render(&empty).contains("\"findings\": []"));
+
+        let one = Analysis {
+            findings: vec![Finding {
+                lint: "L001",
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                message: "msg".into(),
+            }],
+            files_scanned: 1,
+        };
+        let doc = render(&one);
+        assert!(doc.contains("\"L001\": 1"));
+        assert!(doc.contains("\"line\": 3"));
+    }
+}

@@ -1,0 +1,57 @@
+//! The negassoc workspace analyzer: custom static lints over every crate.
+//!
+//! Run as `cargo run -p xtask -- analyze`. The analyzer walks the
+//! workspace with `std::fs`, lexes each Rust file with a hand-rolled
+//! scanner, and applies the L001–L005 invariant lints (see
+//! [`lints::LINTS`] and DESIGN.md "Invariants & static analysis").
+//!
+//! Design constraints that shaped it:
+//!
+//! * **Zero dependencies.** The build environment is offline; an analyzer
+//!   must not need anything the toolchain doesn't ship.
+//! * **Token-level, not AST-level.** The lints guard call/construction
+//!   patterns, which tokens express exactly; a full parser would add
+//!   thousands of lines for no additional signal.
+//! * **Suppressable with a paper trail.** Any finding can be allowed with
+//!   `// negassoc-lint: allow(L00x) — reason`, keeping the justification
+//!   next to the code it excuses.
+
+pub mod json;
+pub mod lexer;
+pub mod lints;
+pub mod walk;
+
+use lints::Finding;
+use std::path::Path;
+
+/// Result of analyzing a tree: findings plus scan accounting.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All unsuppressed findings, in (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Files lexed and linted.
+    pub files_scanned: usize,
+}
+
+/// Analyze every workspace source file under `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let mut analysis = Analysis::default();
+    for file in walk::collect(root)? {
+        let source = std::fs::read_to_string(&file.path)?;
+        analysis
+            .findings
+            .extend(analyze_source(&file.rel, &source, file.class));
+        analysis.files_scanned += 1;
+    }
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    Ok(analysis)
+}
+
+/// Analyze one file's source text. Exposed for fixture tests: `class`
+/// controls whether library-only lints apply.
+pub fn analyze_source(rel_path: &str, source: &str, class: lints::FileClass) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    lints::lint_file(rel_path, &lexed, class)
+}

@@ -1,0 +1,375 @@
+//! The negassoc custom lints, L001–L005.
+//!
+//! Each lint matches token patterns from [`crate::lexer`] against the
+//! workspace's invariants (documented in DESIGN.md "Invariants & static
+//! analysis"):
+//!
+//! | id   | invariant |
+//! |------|-----------|
+//! | L001 | library code never `.unwrap()`/`.expect()` — fallible paths route through `NegAssocError` |
+//! | L002 | no raw `==`/`!=` on `f64` support/RI expressions — use `expected::approx_eq`/`approx_ge` |
+//! | L003 | no `panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code |
+//! | L004 | `Itemset` values are built through its sorting/dedup constructors only |
+//! | L005 | lossy `as` casts on support counters live only in sanctioned helpers (`counting.rs`, `expected.rs`) |
+//!
+//! "Library code" excludes `tests/`, `benches/`, `examples/` directories
+//! and `#[cfg(test)]` modules. Any finding can be suppressed with a
+//! justification comment on the same or preceding line:
+//! `// negassoc-lint: allow(L00x) — reason`.
+
+use crate::lexer::{LexedFile, Token, TokenKind};
+
+/// A single lint rule.
+#[derive(Clone, Copy, Debug)]
+pub struct Lint {
+    /// Stable id, `L001`…
+    pub id: &'static str,
+    /// One-line description shown by `xtask analyze --list`.
+    pub summary: &'static str,
+    /// Whether the lint only applies to library (non-test) code.
+    pub library_only: bool,
+}
+
+/// The lint registry, in id order.
+pub const LINTS: &[Lint] = &[
+    Lint {
+        id: "L001",
+        summary: "unwrap()/expect() in library code; route through NegAssocError",
+        library_only: true,
+    },
+    Lint {
+        id: "L002",
+        summary: "raw ==/!= on f64 support/RI values; use expected::approx_eq/approx_ge",
+        library_only: true,
+    },
+    Lint {
+        id: "L003",
+        summary: "panic!/unreachable!/todo!/unimplemented! in library code",
+        library_only: true,
+    },
+    Lint {
+        id: "L004",
+        summary: "Itemset built without its sorting/dedup constructors",
+        library_only: true,
+    },
+    Lint {
+        id: "L005",
+        summary: "lossy `as` cast on a support counter outside counting.rs/expected.rs",
+        library_only: true,
+    },
+];
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint id (`L001`…).
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+}
+
+/// What kind of code a file holds, by its location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// `src/` of a workspace crate: every lint applies.
+    Library,
+    /// `tests/`, `benches/`, `examples/`: exempt from library-only lints
+    /// (that is, all of them today).
+    TestSupport,
+}
+
+/// Run every lint over one lexed file. `path` is workspace-relative and
+/// used both for diagnostics and for path-scoped exemptions (L004/L005
+/// sanction their implementation files).
+pub fn lint_file(path: &str, lexed: &LexedFile, class: FileClass) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if class == FileClass::Library {
+        let test_lines = cfg_test_spans(&lexed.tokens);
+        let in_test = |line: u32| test_lines.iter().any(|&(lo, hi)| (lo..=hi).contains(&line));
+        l001_unwrap(path, lexed, &in_test, &mut findings);
+        l002_float_eq(path, lexed, &in_test, &mut findings);
+        l003_panics(path, lexed, &in_test, &mut findings);
+        l004_itemset_literal(path, lexed, &in_test, &mut findings);
+        l005_lossy_casts(path, lexed, &in_test, &mut findings);
+    }
+    // Apply allow directives (same line or the line above the finding).
+    findings.retain(|f| {
+        let allowed = |line: u32| {
+            lexed
+                .allows
+                .get(&line)
+                .is_some_and(|ids| ids.contains(f.lint))
+        };
+        !(allowed(f.line) || allowed(f.line.saturating_sub(1)))
+    });
+    findings
+}
+
+/// Line spans (inclusive) of `#[cfg(test)] mod … { … }` items and other
+/// `#[cfg(test)]`-gated braced items.
+fn cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#"
+            && matches_seq(tokens, i + 1, &["[", "cfg", "("])
+            && attr_mentions_test(tokens, i + 3)
+        {
+            // Find the attribute's closing `]`, then the gated item's
+            // braces.
+            if let Some(close) = matching(tokens, i + 1, "[", "]") {
+                if let Some(open) = tokens[close..]
+                    .iter()
+                    .position(|t| t.text == "{")
+                    .map(|p| close + p)
+                {
+                    if let Some(end) = matching(tokens, open, "{", "}") {
+                        spans.push((tokens[i].line, tokens[end - 1].line));
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Do the tokens inside `#[cfg(…)]`'s parens mention the ident `test`?
+/// (Covers `cfg(test)` and `cfg(all(test, …))`.)
+fn attr_mentions_test(tokens: &[Token], open_paren: usize) -> bool {
+    let Some(close) = matching(tokens, open_paren, "(", ")") else {
+        return false;
+    };
+    tokens[open_paren..close]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "test")
+}
+
+fn matches_seq(tokens: &[Token], from: usize, texts: &[&str]) -> bool {
+    texts
+        .iter()
+        .enumerate()
+        .all(|(k, s)| tokens.get(from + k).is_some_and(|t| t.text == *s))
+}
+
+/// Index just past the token matching the opener at `open`. The opener
+/// need not be at `open` itself; the first `open_text` at or after `open`
+/// anchors the count.
+fn matching(tokens: &[Token], open: usize, open_text: &str, close_text: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.text == open_text {
+            depth += 1;
+        } else if t.text == close_text {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+    }
+    None
+}
+
+fn l001_unwrap(
+    path: &str,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+            continue;
+        }
+        let dotted = i > 0 && toks[i - 1].text == ".";
+        let called = toks.get(i + 1).is_some_and(|n| {
+            t.text == "unwrap" && n.text == "(" && toks.get(i + 2).is_some_and(|c| c.text == ")")
+        }) || (t.text == "expect" && toks.get(i + 1).is_some_and(|n| n.text == "("));
+        if dotted && called && !in_test(t.line) {
+            findings.push(Finding {
+                lint: "L001",
+                path: path.into(),
+                line: t.line,
+                message: format!(
+                    ".{}() in library code; return Result<_, NegAssocError> instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Identifier fragments naming *integer* support counters (`u64`
+/// transaction counts). Used by L005: casting these is lossy.
+fn is_support_counter(text: &str) -> bool {
+    let t = text.to_ascii_lowercase();
+    t.contains("support")
+        || t == "sup"
+        || t.ends_with("_sup")
+        || t.starts_with("sup_")
+        || t == "minsup"
+        || t == "actual"
+}
+
+/// Identifier fragments naming *float-typed* support/RI quantities
+/// (expected supports, rule interests, thresholds, fractions). Used by
+/// L002: raw equality on these depends on evaluation order.
+fn is_float_support(text: &str) -> bool {
+    let t = text.to_ascii_lowercase();
+    t == "ri"
+        || t.contains("expected")
+        || t.contains("interest")
+        || t.contains("deviation")
+        || t.contains("fraction")
+        || t.ends_with("_ri")
+        || t.starts_with("ri_")
+        || t == "threshold"
+}
+
+fn l002_float_eq(
+    path: &str,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") || in_test(t.line) {
+            continue;
+        }
+        // Flag only when a token *adjacent* to the operator is a
+        // float-typed support/RI identifier: `total == 0` (an integer
+        // guard) stays legal, `expected == x` does not. Adjacency keeps
+        // the token-level heuristic precise; the epsilon helpers are the
+        // fix either way.
+        let floaty = [i.checked_sub(1), Some(i + 1)]
+            .into_iter()
+            .flatten()
+            .filter_map(|k| toks.get(k))
+            .any(|n| n.kind == TokenKind::Ident && is_float_support(&n.text));
+        if floaty {
+            findings.push(Finding {
+                lint: "L002",
+                path: path.into(),
+                line: t.line,
+                message: format!(
+                    "raw `{}` near a support/RI expression; use \
+                     negassoc::expected::approx_eq / approx_ge",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn l003_panics(
+    path: &str,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    const BANNED: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && BANNED.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.text == "!")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.text == "(" || n.text == "[" || n.text == "{")
+            && !in_test(t.line)
+        {
+            findings.push(Finding {
+                lint: "L003",
+                path: path.into(),
+                line: t.line,
+                message: format!(
+                    "`{}!` in library code; return Err(NegAssocError::Invariant(..)) instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn l004_itemset_literal(
+    path: &str,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    // The tuple-struct literal is only legal inside the defining module;
+    // the lint keeps it that way (and catches re-exports growing a public
+    // field later).
+    if path.ends_with("apriori/src/itemset.rs") {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "Itemset" || in_test(t.line) {
+            continue;
+        }
+        // `Itemset(` is a literal; `Itemset::new(…)`, `Itemset::from…`,
+        // `fn f() -> Itemset (` never parse that way. Skip paths
+        // (`x::Itemset(` is still a literal, so only skip when *followed*
+        // by `::` or other non-`(` tokens).
+        let prev_is_fn = i > 0 && toks[i - 1].text == "fn";
+        if !prev_is_fn && toks.get(i + 1).is_some_and(|n| n.text == "(") {
+            findings.push(Finding {
+                lint: "L004",
+                path: path.into(),
+                line: t.line,
+                message: "Itemset built from a raw tuple literal; use \
+                          Itemset::from_unsorted / from_sorted / singleton"
+                    .into(),
+            });
+        }
+    }
+}
+
+fn l005_lossy_casts(
+    path: &str,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    // Sanctioned helper files: the conversions there document their 2^53
+    // bound.
+    if path.ends_with("core/src/counting.rs") || path.ends_with("core/src/expected.rs") {
+        return;
+    }
+    const LOSSY_TARGETS: &[&str] = &[
+        "f64", "f32", "u8", "u16", "u32", "i8", "i16", "i32", "i64", "isize", "usize",
+    ];
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "as" || in_test(t.line) {
+            continue;
+        }
+        let source_supportish = i > 0
+            && toks[i - 1].kind == TokenKind::Ident
+            && (is_support_counter(&toks[i - 1].text) || is_float_support(&toks[i - 1].text));
+        let target_lossy = toks
+            .get(i + 1)
+            .is_some_and(|n| LOSSY_TARGETS.contains(&n.text.as_str()));
+        if source_supportish && target_lossy {
+            findings.push(Finding {
+                lint: "L005",
+                path: path.into(),
+                line: t.line,
+                message: format!(
+                    "lossy `{} as {}` on a support counter; use \
+                     negassoc::expected::support_to_f64 or justify with an allow",
+                    toks[i - 1].text,
+                    toks[i + 1].text
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! `cargo run -p xtask -- analyze` — the workspace static analyzer.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "xtask <analyze|help> [options]
+
+  analyze    run the L001-L005 invariant lints over the workspace
+             --json       machine-readable output
+             --deny-all   exit nonzero when any finding remains
+             --list       print the lint registry and exit
+             --root PATH  analyze PATH instead of the enclosing workspace
+
+Findings are suppressed by a justification comment on the same or the
+preceding line:  // negassoc-lint: allow(L00x) -- reason";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("analyze") => analyze(args.collect()),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown task {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn analyze(args: Vec<String>) -> ExitCode {
+    let mut json = false;
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-all" => deny_all = true,
+            "--list" => {
+                for lint in xtask::lints::LINTS {
+                    println!("{}  {}", lint.id, lint.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown option {other:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match xtask::walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no enclosing workspace (pass --root)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let analysis = match xtask::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", xtask::json::render(&analysis));
+    } else {
+        for f in &analysis.findings {
+            println!("{} {}:{}: {}", f.lint, f.path, f.line, f.message);
+        }
+        println!(
+            "analyzed {} files: {} finding{}",
+            analysis.files_scanned,
+            analysis.findings.len(),
+            if analysis.findings.len() == 1 {
+                ""
+            } else {
+                "s"
+            }
+        );
+    }
+
+    if deny_all && !analysis.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,100 @@
+//! Hand-rolled workspace walker: finds the `.rs` files to analyze using
+//! nothing but `std::fs`.
+
+use crate::lints::FileClass;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file scheduled for analysis.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Absolute path.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (stable across
+    /// platforms, used in diagnostics and path-scoped lint exemptions).
+    pub rel: String,
+    /// Library vs test-support classification.
+    pub class: FileClass,
+}
+
+/// Directory names whose contents are test support, not library code.
+const TEST_DIRS: &[&str] = &["tests", "benches", "examples"];
+
+/// Crates that are experiment/benchmark harnesses end to end: their `src/`
+/// is measurement scaffolding, not mining logic, so the library-only lints
+/// do not apply.
+const BENCH_CRATES: &[&str] = &["crates/bench/"];
+
+/// Directories never descended into: build output, VCS, and the vendored
+/// third-party stand-ins (not ours to lint).
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", ".claude"];
+
+/// Collect every `.rs` file under `root`, classified. Deterministic
+/// (sorted) order so diagnostics are stable run to run.
+pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    descend(root, root, false, &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn descend(
+    root: &Path,
+    dir: &Path,
+    in_test_dir: bool,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            let test_dir = in_test_dir || TEST_DIRS.contains(&name.as_str());
+            descend(root, &path, test_dir, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let bench_crate = BENCH_CRATES.iter().any(|p| rel.starts_with(p));
+            out.push(SourceFile {
+                path,
+                rel,
+                class: if in_test_dir || bench_crate {
+                    FileClass::TestSupport
+                } else {
+                    FileClass::Library
+                },
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk up from `start` until a directory with
+/// a `Cargo.toml` containing `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}

@@ -1,0 +1,32 @@
+// Fixture: every finding here carries a justification comment, so the
+// analyzer must report nothing.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn allowed_unwrap(v: Option<u64>) -> u64 {
+    // negassoc-lint: allow(L001) -- fixture justification
+    v.unwrap()
+}
+
+pub fn allowed_expect(v: Option<u64>) -> u64 {
+    v.expect("same-line allow") // negassoc-lint: allow(L001)
+}
+
+pub fn allowed_float_eq(ri: f64) -> bool {
+    // negassoc-lint: allow(L002) -- fixture justification
+    ri == 0.3
+}
+
+pub fn allowed_panic() {
+    // negassoc-lint: allow(L003) -- fixture justification
+    panic!("allowed");
+}
+
+pub fn allowed_literal(items: Vec<ItemId>) -> Itemset {
+    // negassoc-lint: allow(L004) -- fixture justification
+    Itemset(items)
+}
+
+pub fn allowed_cast(support: u64) -> f64 {
+    // negassoc-lint: allow(L005) -- fixture justification
+    support as f64
+}

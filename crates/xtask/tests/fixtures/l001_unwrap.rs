@@ -1,0 +1,25 @@
+// Fixture: L001 — unwrap()/expect() in library code.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn bad_unwrap(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u64>) -> u64 {
+    v.expect("support must be present")
+}
+
+pub fn fine(v: Option<u64>) -> u64 {
+    v.unwrap_or(0) // `unwrap_or` is not `unwrap()`
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_here_are_fine() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let w: Result<u64, ()> = Ok(4);
+        assert_eq!(w.expect("test code may expect"), 4);
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: L002 — raw ==/!= adjacent to a float support/RI identifier.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn bad_ri_compare(ri: f64) -> bool {
+    ri == 0.3
+}
+
+pub fn bad_expected_compare(x: f64, expected: f64) -> bool {
+    x != expected
+}
+
+pub fn fine(ri: f64, min_ri: f64) -> bool {
+    // approx_ge is the sanctioned comparison; `>=` alone is not flagged.
+    ri >= min_ri
+}

@@ -1,0 +1,12 @@
+// Fixture: L002 negative case — integer guards must not be flagged.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn zero_guards(total: u64, count: u64, base: u64) -> bool {
+    total == 0 || count != 0 || base == 1
+}
+
+pub fn mean_guard(mean: f64) -> bool {
+    // Not a support/RI identifier, so outside L002's scope (clippy's
+    // float_cmp covers the general case).
+    mean == 0.0
+}

@@ -1,0 +1,25 @@
+// Fixture: L003 — panic!/unreachable!/todo! in library code.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn bad_panic(n: u64) -> u64 {
+    if n == 0 {
+        panic!("zero support");
+    }
+    n
+}
+
+pub fn bad_unreachable(n: u64) -> u64 {
+    match n {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn bad_todo() {
+    todo!()
+}
+
+pub fn fine() {
+    // The word panic in a comment or string is not a macro call.
+    let _ = "panic";
+}

@@ -1,0 +1,21 @@
+// Fixture: L004 — Itemset built from a raw tuple literal.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn bad_literal(items: Vec<ItemId>) -> Itemset {
+    Itemset(items)
+}
+
+pub fn fine_constructors(items: Vec<ItemId>) -> Itemset {
+    // Paths through the sorting/dedup constructors are the sanctioned way.
+    let a = Itemset::from_unsorted(items);
+    let b = Itemset::singleton(ItemId(0));
+    if a.len() > b.len() {
+        a
+    } else {
+        b
+    }
+}
+
+pub fn fine_type_position(set: &Itemset) -> usize {
+    set.len()
+}

@@ -1,0 +1,19 @@
+// Fixture: L005 — lossy `as` casts on support counters outside the
+// sanctioned helper modules.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn bad_widening(support: u64) -> f64 {
+    support as f64
+}
+
+pub fn bad_narrowing(minsup: u64) -> u32 {
+    minsup as u32
+}
+
+pub fn fine_u64(actual: u32) -> u64 {
+    actual as u64 // widening to u64 is lossless
+}
+
+pub fn fine_other_name(count: u64) -> f64 {
+    count as f64 // not a support-counter identifier
+}

@@ -1,0 +1,134 @@
+//! Fixture tests: one positive (lint fires) and one negative (clean or
+//! suppressed code passes) case per lint, pinned to the stable lint IDs.
+//!
+//! Fixtures live in `tests/fixtures/` as real `.rs` sources so the lexer
+//! sees exactly what `analyze` would see in the tree; they are loaded as
+//! text, never compiled.
+
+use xtask::analyze_source;
+use xtask::lints::FileClass;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+}
+
+fn lints_fired(name: &str, class: FileClass) -> Vec<&'static str> {
+    let findings = analyze_source(&format!("crates/demo/src/{name}"), &fixture(name), class);
+    findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn l001_fires_on_unwrap_and_expect() {
+    let fired = lints_fired("l001_unwrap.rs", FileClass::Library);
+    assert_eq!(fired, ["L001", "L001"], "one unwrap + one expect");
+}
+
+#[test]
+fn l001_silent_in_test_support_and_cfg_test() {
+    assert!(lints_fired("l001_unwrap.rs", FileClass::TestSupport).is_empty());
+    // The same file carries a #[cfg(test)] module full of unwraps that the
+    // Library pass must not flag (the two findings above are outside it).
+    let source = fixture("l001_unwrap.rs");
+    assert!(
+        source.contains("#[cfg(test)]"),
+        "fixture must exercise cfg(test) masking"
+    );
+}
+
+#[test]
+fn l002_fires_on_raw_float_equality() {
+    let fired = lints_fired("l002_float_eq.rs", FileClass::Library);
+    assert_eq!(fired, ["L002", "L002"], "ri == and expected != comparisons");
+}
+
+#[test]
+fn l002_ignores_integer_guards() {
+    assert!(lints_fired("l002_int_guard.rs", FileClass::Library).is_empty());
+}
+
+#[test]
+fn l003_fires_on_panic_family() {
+    let fired = lints_fired("l003_panics.rs", FileClass::Library);
+    assert_eq!(
+        fired,
+        ["L003", "L003", "L003"],
+        "panic!, unreachable!, todo!"
+    );
+}
+
+#[test]
+fn l004_fires_on_raw_itemset_construction() {
+    let fired = lints_fired("l004_itemset.rs", FileClass::Library);
+    assert_eq!(fired, ["L004"]);
+}
+
+#[test]
+fn l004_exempts_the_defining_module() {
+    let findings = analyze_source(
+        "crates/apriori/src/itemset.rs",
+        &fixture("l004_itemset.rs"),
+        FileClass::Library,
+    );
+    assert!(
+        findings.is_empty(),
+        "itemset.rs itself may construct Itemset"
+    );
+}
+
+#[test]
+fn l005_fires_on_lossy_support_cast() {
+    let fired = lints_fired("l005_cast.rs", FileClass::Library);
+    assert_eq!(fired, ["L005", "L005"], "support as f64 and minsup as u32");
+}
+
+#[test]
+fn l005_exempts_sanctioned_modules() {
+    for exempt in ["crates/core/src/expected.rs", "crates/core/src/counting.rs"] {
+        let findings = analyze_source(exempt, &fixture("l005_cast.rs"), FileClass::Library);
+        assert!(findings.is_empty(), "{exempt} is the sanctioned cast site");
+    }
+}
+
+#[test]
+fn allow_comments_suppress_with_a_paper_trail() {
+    let fired = lints_fired("allowed.rs", FileClass::Library);
+    assert!(
+        fired.is_empty(),
+        "every finding in the fixture carries an allow directive, got {fired:?}"
+    );
+}
+
+#[test]
+fn allow_is_lint_specific() {
+    // An allow(L001) must not silence an L003 on the same line.
+    let src = "fn f() {\n    // negassoc-lint: allow(L001)\n    panic!(\"boom\");\n}\n";
+    let fired: Vec<_> = analyze_source("crates/demo/src/lib.rs", src, FileClass::Library)
+        .iter()
+        .map(|f| f.lint)
+        .collect::<Vec<_>>();
+    assert_eq!(fired, ["L003"]);
+}
+
+#[test]
+fn every_registered_lint_has_a_firing_fixture() {
+    let mut covered: Vec<&str> = Vec::new();
+    for name in [
+        "l001_unwrap.rs",
+        "l002_float_eq.rs",
+        "l003_panics.rs",
+        "l004_itemset.rs",
+        "l005_cast.rs",
+    ] {
+        covered.extend(lints_fired(name, FileClass::Library));
+    }
+    for lint in xtask::lints::LINTS {
+        assert!(
+            covered.contains(&lint.id),
+            "lint {} has no fixture that makes it fire",
+            lint.id
+        );
+    }
+}

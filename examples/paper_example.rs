@@ -32,7 +32,10 @@ fn main() {
     let hc = b.add_child(yogurt, "Healthy Choice").unwrap();
     let tax = b.build();
 
-    println!("Taxonomy (paper Figure 2):\n{}", negassoc_taxonomy::render::to_ascii(&tax));
+    println!(
+        "Taxonomy (paper Figure 2):\n{}",
+        negassoc_taxonomy::render::to_ascii(&tax)
+    );
 
     // Table 1 (with the corrected water-brand supports).
     let supports = [
@@ -58,7 +61,9 @@ fn main() {
     // Candidates from the large itemset {frozen yogurt, bottled water}.
     let generator = CandidateGenerator::new(&tax, &large, MIN_RI);
     let mut set = CandidateSet::new();
-    generator.extend_from_itemset(&seed, 15_000, &mut set);
+    generator
+        .extend_from_itemset(&seed, 15_000, &mut set)
+        .expect("candidate generation");
     let (cands, _) = set.into_candidates();
 
     // Table 2 actual supports for the surviving candidates.
@@ -100,13 +105,16 @@ fn main() {
         }
     }
 
-    println!("\nNegative itemsets (deviation >= MinSup * MinRI = {:.0}):", MIN_SUP as f64 * MIN_RI);
+    println!(
+        "\nNegative itemsets (deviation >= MinSup * MinRI = {:.0}):",
+        MIN_SUP as f64 * MIN_RI
+    );
     for n in &negatives {
         let names: Vec<&str> = n.itemset.items().iter().map(|&i| tax.name(i)).collect();
         println!("  {{{}}}", names.join(", "));
     }
 
-    let rules = generate_negative_rules(&negatives, &large, MIN_RI);
+    let rules = generate_negative_rules(&negatives, &large, MIN_RI).expect("rule generation");
     println!("\nNegative rules at MinRI = {MIN_RI}:");
     for r in &rules {
         let lhs: Vec<&str> = r.antecedent.items().iter().map(|&i| tax.name(i)).collect();

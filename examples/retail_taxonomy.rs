@@ -38,7 +38,10 @@ fn main() {
     let rep = &outcome.report;
     println!(
         "mined in {:?}: {} passes, {} large itemsets, {} negative candidates, {} negatives",
-        rep.mining_time, rep.passes, rep.large_itemsets, rep.candidates.unique,
+        rep.mining_time,
+        rep.passes,
+        rep.large_itemsets,
+        rep.candidates.unique,
         rep.negative_itemsets,
     );
 
@@ -47,7 +50,8 @@ fn main() {
     // "closest work"): rules already predicted by an ancestor rule are
     // dropped.
     let positive = generate_rules(&outcome.large, 0.6);
-    let judged = negassoc::positive::r_interesting(positive, &outcome.large, tax, 1.1);
+    let judged = negassoc::positive::r_interesting(positive, &outcome.large, tax, 1.1)
+        .expect("R-interest filtering");
     let kept = judged.iter().filter(|j| j.interesting).count();
     println!(
         "\npositive rules: {} raw, {} survive R-interest pruning (R = 1.1)",
@@ -61,7 +65,11 @@ fn main() {
         .collect();
     println!("\n== top positive rules (confidence >= 0.6, R-interesting) ==");
     let mut pos = positive;
-    pos.sort_by(|a, b| b.confidence.total_cmp(&a.confidence).then(b.support.cmp(&a.support)));
+    pos.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then(b.support.cmp(&a.support))
+    });
     for r in pos.iter().take(8) {
         let lhs: Vec<&str> = r.antecedent.items().iter().map(|&i| tax.name(i)).collect();
         let rhs: Vec<&str> = r.consequent.items().iter().map(|&i| tax.name(i)).collect();

@@ -88,7 +88,10 @@ fn main() {
         .rules
         .iter()
         .any(|r| r.antecedent.contains(orange) || r.consequent.contains(orange));
-    assert!(found, "substitute knowledge should surface an orange-juice rule");
+    assert!(
+        found,
+        "substitute knowledge should surface an orange-juice rule"
+    );
     println!(
         "The substitute declaration surfaced {} additional negative itemset(s).",
         informed.negatives.len() - plain.negatives.len()

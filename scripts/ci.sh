@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full verification ladder, cheapest first. Referenced from
+# ROADMAP.md as the tier-1 gate; any step failing fails the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> xtask analyze --deny-all"
+cargo run -q --release -p xtask -- analyze --deny-all
+
+echo "ci: all checks passed"

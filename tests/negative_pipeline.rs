@@ -31,14 +31,20 @@ fn mined_output_satisfies_problem_statement() {
         min_ri,
         ..MinerConfig::default()
     };
-    let out = NegativeMiner::new(config).mine(&ds.db, &ds.taxonomy).unwrap();
+    let out = NegativeMiner::new(config)
+        .mine(&ds.db, &ds.taxonomy)
+        .unwrap();
     let minsup = out.large.min_support_count();
     let threshold = minsup as f64 * min_ri;
 
     // Large itemsets: supports exact, all above MinSup.
     for (set, sup) in out.large.iter() {
         assert!(sup >= minsup);
-        assert_eq!(sup, gen_support(&ds.db, &ds.taxonomy, set.items()), "{set:?}");
+        assert_eq!(
+            sup,
+            gen_support(&ds.db, &ds.taxonomy, set.items()),
+            "{set:?}"
+        );
     }
 
     // Negative itemsets: actual support exact; deviation over threshold;
@@ -65,7 +71,10 @@ fn mined_output_satisfies_problem_statement() {
         }
         // Provenance: the expectation's seed is a large itemset of the same
         // size with the recorded support.
-        let d = n.derivation.as_ref().expect("miner output carries provenance");
+        let d = n
+            .derivation
+            .as_ref()
+            .expect("miner output carries provenance");
         assert_eq!(d.seed.len(), n.itemset.len());
         assert_eq!(out.large.support_of_set(&d.seed), Some(d.seed_support));
     }

@@ -22,8 +22,7 @@ fn deep_scenario() -> (Taxonomy, TransactionDb) {
         }
     }
     let tax = tb.build();
-    let [da, db_, sa, sb, pa, pb]: [negassoc_taxonomy::ItemId; 6] =
-        brands.try_into().unwrap();
+    let [da, db_, sa, sb, pa, pb]: [negassoc_taxonomy::ItemId; 6] = brands.try_into().unwrap();
 
     let mut db = TransactionDbBuilder::new();
     // The dominant triple: alpha everything.
@@ -76,7 +75,11 @@ fn improved_beats_naive_on_passes() {
     // Positive mining reaches at least level 3 (the alpha triple and the
     // generalized triples are large), so there are >= 2 negative levels
     // and the naive driver must pay for each one.
-    assert!(improved.report.levels >= 3, "levels {}", improved.report.levels);
+    assert!(
+        improved.report.levels >= 3,
+        "levels {}",
+        improved.report.levels
+    );
     assert!(
         improved_passes < naive_passes,
         "improved {improved_passes} vs naive {naive_passes}"
@@ -91,13 +94,8 @@ fn improved_is_positive_passes_plus_one() {
     let (tax, db) = deep_scenario();
     // Measure pure positive mining passes with the same algorithm.
     let pc = PassCounter::new(db);
-    negassoc_apriori::cumulate::cumulate(
-        &pc,
-        &tax,
-        MinSupport::Fraction(0.15),
-        Default::default(),
-    )
-    .unwrap();
+    negassoc_apriori::cumulate::cumulate(&pc, &tax, MinSupport::Fraction(0.15), Default::default())
+        .unwrap();
     let positive_passes = pc.passes();
 
     pc.reset();
@@ -141,10 +139,7 @@ fn memory_cap_adds_exactly_ceil_passes() {
     })
     .mine(&pc, &tax)
     .unwrap();
-    assert_eq!(
-        pc.passes(),
-        base_passes - 1 + total_candidates as u64
-    );
+    assert_eq!(pc.passes(), base_passes - 1 + total_candidates as u64);
     assert_eq!(single.negatives.len(), base.negatives.len());
 }
 

@@ -1,6 +1,7 @@
 //! Property-based cross-crate invariants of the negative miner.
 
 use negassoc::config::Driver;
+use negassoc::expected::approx_ge;
 use negassoc::{MinerConfig, NegativeMiner};
 use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::MinSupport;
@@ -14,10 +15,7 @@ use proptest::prelude::*;
 fn arb_world() -> impl Strategy<Value = (Taxonomy, TransactionDb)> {
     (2usize..5, any::<u64>()).prop_flat_map(|(cats, seed)| {
         let leaf_counts = prop::collection::vec(2usize..5, cats);
-        let txs = prop::collection::vec(
-            prop::collection::vec(0usize..16, 1..6),
-            5..60,
-        );
+        let txs = prop::collection::vec(prop::collection::vec(0usize..16, 1..6), 5..60);
         (leaf_counts, txs, Just(seed)).prop_map(|(leaf_counts, txs, _seed)| {
             let mut b = TaxonomyBuilder::new();
             let mut leaves: Vec<ItemId> = Vec::new();
@@ -37,11 +35,7 @@ fn arb_world() -> impl Strategy<Value = (Taxonomy, TransactionDb)> {
     })
 }
 
-fn mine(
-    tax: &Taxonomy,
-    db: &TransactionDb,
-    config: MinerConfig,
-) -> negassoc::MiningOutcome {
+fn mine(tax: &Taxonomy, db: &TransactionDb, config: MinerConfig) -> negassoc::MiningOutcome {
     NegativeMiner::new(config).mine(db, tax).unwrap()
 }
 
@@ -111,11 +105,13 @@ proptest! {
                 })
                 .count() as u64;
             prop_assert_eq!(n.actual, brute);
-            prop_assert!(n.expected - n.actual as f64 >= threshold);
+            // Thresholds are epsilon-tolerant (see the core
+            // float-comparison contract).
+            prop_assert!(approx_ge(n.expected - n.actual as f64, threshold));
             prop_assert!(!out.large.contains(&n.itemset));
         }
         for r in &out.rules {
-            prop_assert!(r.ri >= 0.3);
+            prop_assert!(approx_ge(r.ri, 0.3));
             let union = r.antecedent.union(&r.consequent);
             prop_assert!(out.negatives.iter().any(|n| n.itemset == union));
         }

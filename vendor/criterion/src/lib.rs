@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of the criterion 0.5 API the workspace benches use
+//! — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with a
+//! simple median-of-samples timer instead of criterion's full statistics
+//! pipeline. Good enough to keep `cargo bench` runnable and to compare
+//! implementations by eye; not a substitute for real criterion output.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on measurement time. Accepted for API compatibility;
+    /// the stub's cost model is per-sample, so this is a no-op.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` with `input` under the given id.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` under a plain string id.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{name}", self.name);
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `{function}/{parameter}`.
+    pub fn new(function: impl Into<String>, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter.to_string()),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl ToString) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `sample_size` executions of `payload` (after one warm-up run).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        std::hint::black_box(payload()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(payload());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {label}: no samples");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = b.samples[b.samples.len() - 1];
+    println!(
+        "  {label}: median {median:?} (min {min:?}, max {max:?}, {} samples)",
+        b.samples.len()
+    );
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("stub");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("add", 2), &2u64, |b, &n| {
+                b.iter(|| n + 1);
+            });
+            g.bench_function("mul", |b| b.iter(|| 3u64 * 3));
+            g.finish();
+        }
+        c.bench_function("top", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+}

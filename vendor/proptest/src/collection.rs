@@ -1,0 +1,190 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A size specification for collection strategies: an exact length, `a..b`,
+/// or `a..=b`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Minimum length, inclusive.
+    pub min: usize,
+    /// Maximum length, inclusive.
+    pub max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.min <= self.max, "empty size range");
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with cardinalities drawn from `size`.
+///
+/// Duplicates are redrawn a bounded number of times; when the element
+/// domain is smaller than the requested cardinality the set comes out
+/// smaller rather than looping forever.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < 20 * target + 100 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>` with cardinalities drawn from `size`.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < 20 * target + 100 {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_and_elements() {
+        let mut rng = TestRng::from_seed(21);
+        let s = vec(0u32..10, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let exact = vec(0u32..10, 7usize);
+        assert_eq!(exact.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn btree_set_reaches_target_when_domain_allows() {
+        let mut rng = TestRng::from_seed(22);
+        let s = btree_set(0u32..1000, 3..6);
+        for _ in 0..100 {
+            let set = s.generate(&mut rng);
+            assert!((3..6).contains(&set.len()));
+        }
+        // Domain of 2 values cannot yield 5 distinct elements.
+        let tiny = btree_set(0u32..2, 5usize);
+        assert!(tiny.generate(&mut rng).len() <= 2);
+    }
+
+    #[test]
+    fn btree_map_generates() {
+        let mut rng = TestRng::from_seed(23);
+        let s = btree_map(0u32..50, 0u64..9, 1..4);
+        let m = s.generate(&mut rng);
+        assert!((1..4).contains(&m.len()));
+    }
+}

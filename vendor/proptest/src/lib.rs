@@ -1,0 +1,160 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the subset of proptest its property tests use: the [`proptest!`] macro,
+//! [`prelude`], integer-range / collection / option strategies, tuple
+//! composition, `prop_map` / `prop_flat_map`, and the `prop_assert*!`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the panic message (every strategy value is `Debug`); minimization is
+//!   manual.
+//! * **Deterministic seeding.** Each test derives its RNG stream from the
+//!   test's name and the case index, so failures reproduce exactly across
+//!   runs and machines.
+//! * **No failure persistence files.**
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+
+/// The `prop::` namespace (`prop::collection::vec(...)` etc.).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Skip the current case when the assumption does not hold.
+///
+/// The generated body runs inside a per-case closure, so rejecting a case
+/// is an early return; unlike real proptest, rejected cases still count
+/// toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Assert inside a property test; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// The property-test entry point:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn sums_commute(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each listed function expands to a zero-argument `#[test]` that runs the
+/// body `cases` times with fresh strategy draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let salt = $crate::test_runner::fnv1a(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(salt, case);
+                    let run = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $(
+                                let $pat = $crate::strategy::Strategy::generate(
+                                    &$strat,
+                                    &mut rng,
+                                );
+                            )+
+                            $body
+                        }),
+                    );
+                    if let Err(panic) = run {
+                        eprintln!(
+                            "proptest {}: case {}/{} failed (salt {:#x})",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            salt,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,50 @@
+//! `Option<T>` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `Some(value)` with probability `prob`, `None` otherwise.
+pub fn weighted<S: Strategy>(prob: f64, inner: S) -> Weighted<S> {
+    assert!(
+        (0.0..=1.0).contains(&prob),
+        "probability out of range: {prob}"
+    );
+    Weighted { prob, inner }
+}
+
+/// `Some(value)` half the time.
+pub fn of<S: Strategy>(inner: S) -> Weighted<S> {
+    weighted(0.5, inner)
+}
+
+/// See [`weighted`].
+pub struct Weighted<S> {
+    prob: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Weighted<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.unit_f64() < self.prob {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_respects_probability_roughly() {
+        let mut rng = TestRng::from_seed(31);
+        let s = weighted(0.7, 0u32..10);
+        let some = (0..10_000)
+            .filter(|_| s.generate(&mut rng).is_some())
+            .count();
+        assert!((6_500..7_500).contains(&some), "somes {some}");
+    }
+}
