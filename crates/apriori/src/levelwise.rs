@@ -15,7 +15,40 @@ use crate::itemset::{Itemset, LargeItemsets};
 use crate::MinSupport;
 use negassoc_taxonomy::{ItemId, Taxonomy};
 use negassoc_txdb::TransactionSource;
+use std::fmt;
 use std::io;
+
+/// A level's candidate set outgrew the configured cap (see
+/// [`GenLevelMiner::with_candidate_cap`]). Carried inside an
+/// `io::ErrorKind::OutOfMemory` error so callers can downcast and pick a
+/// degraded mining path instead of aborting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CandidateBudgetExceeded {
+    /// The level whose candidates overflowed.
+    pub level: usize,
+    /// How many candidates the level generated.
+    pub candidates: usize,
+    /// The cap they exceeded.
+    pub cap: usize,
+}
+
+impl fmt::Display for CandidateBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "level {} generated {} candidates, over the cap of {}",
+            self.level, self.candidates, self.cap
+        )
+    }
+}
+
+impl std::error::Error for CandidateBudgetExceeded {}
+
+impl From<CandidateBudgetExceeded> for io::Error {
+    fn from(e: CandidateBudgetExceeded) -> Self {
+        io::Error::new(io::ErrorKind::OutOfMemory, e)
+    }
+}
 
 /// Which transaction-extension strategy a [`GenLevelMiner`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -25,6 +58,27 @@ pub enum GenStrategy {
     /// Filter extension to items used by current candidates (Cumulate).
     #[default]
     Cumulate,
+}
+
+/// A snapshot of a [`GenLevelMiner`]'s stepping state, sufficient to
+/// [`GenLevelMiner::resume`] mining after the process that produced it is
+/// gone. Collections are kept sorted so snapshots of equal state compare
+/// (and serialize) identically regardless of hash-map iteration order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinerState {
+    /// Transactions in the mined database.
+    pub num_transactions: u64,
+    /// Absolute minimum-support count in effect.
+    pub minsup: u64,
+    /// Every large itemset found so far, with support, sorted by itemset.
+    pub large: Vec<(Itemset, u64)>,
+    /// The last completed level's large itemsets (seeds of the next
+    /// level's candidates), sorted.
+    pub frontier: Vec<Itemset>,
+    /// The level [`GenLevelMiner::mine_next_level`] would mine next.
+    pub next_k: usize,
+    /// `true` once mining has finished.
+    pub done: bool,
 }
 
 /// Step-wise generalized large-itemset miner.
@@ -39,6 +93,7 @@ pub struct GenLevelMiner<'a, S: TransactionSource + ?Sized> {
     frontier: Vec<Itemset>,
     next_k: usize,
     done: bool,
+    candidate_cap: Option<usize>,
 }
 
 impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
@@ -85,7 +140,20 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             frontier: Vec::new(),
             next_k: 2,
             done,
+            candidate_cap: None,
         })
+    }
+
+    /// Fail a level whose candidate set exceeds `cap` entries with an
+    /// `io::ErrorKind::OutOfMemory` error carrying a
+    /// [`CandidateBudgetExceeded`], instead of attempting to count it.
+    /// The miner's state is untouched by such a failure, so the caller
+    /// can hand the database to a memory-bounded algorithm (e.g.
+    /// [`crate::partition_mine`]) and continue. `None` (the default)
+    /// never fails.
+    pub fn with_candidate_cap(mut self, cap: Option<usize>) -> Self {
+        self.candidate_cap = cap;
+        self
     }
 
     /// The level that [`Self::mine_next_level`] would mine next.
@@ -109,6 +177,60 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
         &self.ancestors
     }
 
+    /// Export the stepping state for checkpointing. No database pass.
+    pub fn state(&self) -> MinerState {
+        let mut large: Vec<(Itemset, u64)> =
+            self.large.iter().map(|(s, c)| (s.clone(), c)).collect();
+        large.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut frontier = self.frontier.clone();
+        frontier.sort_unstable();
+        MinerState {
+            num_transactions: self.large.num_transactions(),
+            minsup: self.minsup,
+            large,
+            frontier,
+            next_k: self.next_k,
+            done: self.done,
+        }
+    }
+
+    /// Rebuild a miner from a [`MinerState`] snapshot without re-mining the
+    /// completed levels (and without the level-1 pass [`Self::new`] makes).
+    /// The caller must supply the same database, taxonomy and parameters
+    /// the snapshot was taken under; the resumed miner then finds exactly
+    /// the large itemsets an uninterrupted run would.
+    pub fn resume(
+        source: &'a S,
+        tax: &Taxonomy,
+        strategy: GenStrategy,
+        backend: CountingBackend,
+        state: MinerState,
+    ) -> Self {
+        let ancestors = AncestorTable::new(tax);
+        let mut large = LargeItemsets::new(state.num_transactions, state.minsup);
+        let mut large_1 = Vec::new();
+        for (set, count) in state.large {
+            if let [only] = set.items() {
+                large_1.push(*only);
+            }
+            large.insert(set, count);
+        }
+        large_1.sort_unstable();
+        Self {
+            source,
+            ancestors,
+            strategy,
+            backend,
+            minsup: state.minsup,
+            large,
+            large_1,
+            frontier: state.frontier,
+            next_k: state.next_k,
+            done: state.done,
+            candidate_cap: None,
+        }
+    }
+
     /// Mine one more level (one database pass). Returns the number of large
     /// itemsets found at that level, or `None` when mining has finished.
     pub fn mine_next_level(&mut self) -> io::Result<Option<usize>> {
@@ -124,6 +246,16 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
         if candidates.is_empty() {
             self.done = true;
             return Ok(None);
+        }
+        if let Some(cap) = self.candidate_cap {
+            if candidates.len() > cap {
+                return Err(CandidateBudgetExceeded {
+                    level: k,
+                    candidates: candidates.len(),
+                    cap,
+                }
+                .into());
+            }
         }
         let counted = match self.strategy {
             GenStrategy::Basic => {
@@ -201,6 +333,112 @@ mod tests {
         .unwrap();
         assert_eq!(stepped.1, full.total());
         assert_eq!(stepped.0, vec![2]); // two large 2-itemsets, then done
+    }
+
+    #[test]
+    fn candidate_cap_fails_typed_and_leaves_state_intact() {
+        let (tax, db, _) = sa95();
+        let mut m = GenLevelMiner::new(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            GenStrategy::Cumulate,
+            CountingBackend::HashTree,
+        )
+        .unwrap()
+        .with_candidate_cap(Some(0));
+        let before = m.state();
+        let err = m.mine_next_level().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::OutOfMemory);
+        let inner = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<CandidateBudgetExceeded>())
+            .expect("budget errors carry CandidateBudgetExceeded");
+        assert_eq!(inner.level, 2);
+        assert_eq!(inner.cap, 0);
+        assert!(inner.candidates > 0);
+        assert!(inner.to_string().contains("over the cap"));
+        // The failure consumed no state: lifting the cap resumes normally.
+        assert_eq!(m.state(), before);
+        let unlimited = GenLevelMiner::new(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            GenStrategy::Cumulate,
+            CountingBackend::HashTree,
+        )
+        .unwrap()
+        .with_candidate_cap(Some(1000))
+        .run_to_completion()
+        .unwrap();
+        let mut m = m.with_candidate_cap(None);
+        while m.mine_next_level().unwrap().is_some() {}
+        assert_eq!(m.large().total(), unlimited.total());
+    }
+
+    #[test]
+    fn resume_from_snapshot_matches_uninterrupted_run() {
+        let (tax, db, _) = sa95();
+        let full = GenLevelMiner::new(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            GenStrategy::Cumulate,
+            CountingBackend::HashTree,
+        )
+        .unwrap()
+        .run_to_completion()
+        .unwrap();
+
+        // Interrupt after level 1, snapshot, resume in a "new process".
+        let state = {
+            let m = GenLevelMiner::new(
+                &db,
+                &tax,
+                MinSupport::Count(2),
+                GenStrategy::Cumulate,
+                CountingBackend::HashTree,
+            )
+            .unwrap();
+            m.state()
+        };
+        assert_eq!(state.next_k, 2);
+        assert!(!state.done);
+        let resumed = GenLevelMiner::resume(
+            &db,
+            &tax,
+            GenStrategy::Cumulate,
+            CountingBackend::HashTree,
+            state,
+        )
+        .run_to_completion()
+        .unwrap();
+
+        assert_eq!(resumed.total(), full.total());
+        assert_eq!(resumed.num_transactions(), full.num_transactions());
+        assert_eq!(resumed.min_support_count(), full.min_support_count());
+        for (set, support) in full.iter() {
+            assert_eq!(resumed.support_of_set(set), Some(support));
+        }
+        // Snapshots of equal state are identical (sorted collections).
+        let a = GenLevelMiner::new(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            GenStrategy::Cumulate,
+            CountingBackend::HashTree,
+        )
+        .unwrap()
+        .state();
+        let b = GenLevelMiner::resume(
+            &db,
+            &tax,
+            GenStrategy::Cumulate,
+            CountingBackend::HashTree,
+            a.clone(),
+        )
+        .state();
+        assert_eq!(a, b);
     }
 
     #[test]

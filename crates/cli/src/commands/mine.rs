@@ -2,7 +2,7 @@
 //! ap-genrules), the baseline view negative mining builds on.
 
 use crate::commands::itemset_names;
-use crate::io::{load_db, load_taxonomy};
+use crate::io::{load_db_opts, load_taxonomy};
 use crate::opts::Opts;
 use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::rules::generate_rules;
@@ -17,12 +17,16 @@ const KNOWN: &[&str] = &[
     "algorithm",
     "partitions",
     "r-interest",
+    "salvage!",
     "audit!",
 ];
 
 pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
     let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
-    let db = load_db(opts.require("data").map_err(|e| e.to_string())?)?;
+    let db = load_db_opts(
+        opts.require("data").map_err(|e| e.to_string())?,
+        opts.flag("salvage"),
+    )?;
     let tax = load_taxonomy(opts.require("taxonomy").map_err(|e| e.to_string())?)?;
     let min_support: f64 = opts
         .parse_or("min-support", 0.01)
@@ -99,6 +103,8 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
         b.confidence
             .total_cmp(&a.confidence)
             .then(b.support.cmp(&a.support))
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+            .then_with(|| a.consequent.cmp(&b.consequent))
     });
     println!("\n{} rules at confidence >= {min_conf}:", rules.len());
     for r in rules.iter().take(top) {

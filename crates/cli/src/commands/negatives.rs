@@ -1,11 +1,14 @@
 //! `negrules negatives` — the paper's negative association rules.
 
 use crate::commands::itemset_names;
-use crate::io::{load_db, load_taxonomy};
-use crate::opts::Opts;
+use crate::io::{load_db_opts, load_taxonomy};
+use crate::opts::{parse_bytes, Opts};
 use negassoc::config::{Driver, GenAlgorithm};
 use negassoc::{MinerConfig, NegativeMiner};
 use negassoc_apriori::MinSupport;
+use negassoc_txdb::fault::{FaultPlan, FaultySource, SourceFault, SourceFaultKind};
+use negassoc_txdb::TransactionSource;
+use std::path::Path;
 
 const KNOWN: &[&str] = &[
     "data",
@@ -18,13 +21,20 @@ const KNOWN: &[&str] = &[
     "cap",
     "top",
     "out",
+    "checkpoint-dir",
+    "max-memory",
+    "inject-fail-pass",
+    "salvage!",
     "no-compress!",
     "audit!",
 ];
 
 pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
     let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
-    let db = load_db(opts.require("data").map_err(|e| e.to_string())?)?;
+    let db = load_db_opts(
+        opts.require("data").map_err(|e| e.to_string())?,
+        opts.flag("salvage"),
+    )?;
     let tax = load_taxonomy(opts.require("taxonomy").map_err(|e| e.to_string())?)?;
     let min_support: f64 = opts
         .parse_or("min-support", 0.01)
@@ -55,6 +65,20 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
         None => None,
         Some(v) => Some(v.parse().map_err(|_| format!("invalid --cap {v:?}"))?),
     };
+    let memory_budget = match opts.get("max-memory") {
+        None => None,
+        Some(v) => Some(
+            parse_bytes(v)
+                .ok_or_else(|| format!("invalid --max-memory {v:?} (bytes, or K/M/G suffix)"))?,
+        ),
+    };
+    let inject_fail_pass: Option<u64> = match opts.get("inject-fail-pass") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid --inject-fail-pass {v:?}"))?,
+        ),
+    };
 
     let config = MinerConfig {
         min_support: MinSupport::Fraction(min_support),
@@ -63,12 +87,30 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
         algorithm,
         max_negative_size,
         max_candidates_per_pass,
+        memory_budget,
         compress_taxonomy: !opts.flag("no-compress"),
         ..MinerConfig::default()
     };
-    let outcome = NegativeMiner::new(config)
-        .mine(&db, &tax)
-        .map_err(|e| e.to_string())?;
+    let miner = NegativeMiner::new(config);
+    let mine = |source: &dyn TransactionSource| match opts.get("checkpoint-dir") {
+        Some(dir) => miner.mine_with_recovery(source, &tax, None, Path::new(dir)),
+        None => miner.mine(source, &tax),
+    };
+    let outcome = match inject_fail_pass {
+        // Deterministic fault injection for exercising checkpoint/resume
+        // end to end (used by the CI smoke stage): the named pass fails
+        // with a permanent error at its first transaction.
+        Some(pass) => {
+            let plan = FaultPlan::new(vec![SourceFault {
+                pass,
+                at_transaction: 0,
+                kind: SourceFaultKind::PermanentError,
+            }]);
+            mine(&FaultySource::new(&db, plan))
+        }
+        None => mine(&db),
+    }
+    .map_err(|e| e.to_string())?;
     if opts.flag("audit") {
         // Re-derive every reported support and RI from a raw scan;
         // refuses to print uncertified numbers.
@@ -90,7 +132,13 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
     );
 
     let mut rules = outcome.rules;
-    rules.sort_by(|a, b| b.ri.total_cmp(&a.ri));
+    // Itemset tiebreaks make the listing (and any CSV diffed by the CI
+    // fault-injection smoke test) deterministic across hash-order changes.
+    rules.sort_by(|a, b| {
+        b.ri.total_cmp(&a.ri)
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
     if let Some(out_path) = opts.get("out") {
         write_rules_csv(out_path, &rules, &tax)?;
         println!("wrote {} rules to {out_path}", rules.len());

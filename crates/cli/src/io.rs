@@ -1,25 +1,69 @@
 //! Shared file loading for the CLI: transaction databases (binary `.nadb`
 //! or whitespace text) and taxonomies (the tab-separated text format).
+//!
+//! Binary load failures are rendered format-aware: a checksum mismatch
+//! names the corrupt block and points at `--salvage` instead of printing a
+//! bare I/O error.
 
 use negassoc_taxonomy::Taxonomy;
+use negassoc_txdb::binfmt::CorruptBlock;
 use negassoc_txdb::TransactionDb;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
 
 /// Load a transaction database, choosing the format by extension
-/// (`.nadb` = binary, anything else = text).
-pub(crate) fn load_db(path: &str) -> Result<TransactionDb, String> {
+/// (`.nadb` = binary, anything else = text). Without `salvage` the load is
+/// strict: any corruption is an error. With `salvage`, corrupt blocks in a
+/// `.nadb` file are skipped and the exact losses (block indices and TID
+/// ranges) are reported on stderr instead of failing the load.
+pub(crate) fn load_db_opts(path: &str, salvage: bool) -> Result<TransactionDb, String> {
     let p = Path::new(path);
     if p.extension().is_some_and(|e| e == "nadb") {
-        negassoc_txdb::binfmt::load(p).map_err(|e| format!("{path}: {e}"))
+        if salvage {
+            let (db, report) =
+                negassoc_txdb::binfmt::load_salvage(p).map_err(|e| format!("{path}: {e}"))?;
+            if !report.is_clean() {
+                eprint!("{path}: {report}");
+            }
+            Ok(db)
+        } else {
+            negassoc_txdb::binfmt::load(p).map_err(|e| describe_nadb_error(path, &e))
+        }
     } else {
+        if salvage {
+            eprintln!(
+                "{path}: --salvage only applies to .nadb files; reading the text format strictly"
+            );
+        }
         let f = File::open(p).map_err(|e| format!("{path}: {e}"))?;
         negassoc_txdb::textfmt::read_db(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
     }
 }
 
-/// Save a transaction database, format by extension as in [`load_db`].
+/// Render a strict `.nadb` load failure, pointing corrupted-but-framed
+/// files at `--salvage`.
+fn describe_nadb_error(path: &str, e: &std::io::Error) -> String {
+    let Some(c) = e
+        .get_ref()
+        .and_then(|inner| inner.downcast_ref::<CorruptBlock>())
+    else {
+        return format!("{path}: {e}");
+    };
+    if c.header_corrupt {
+        format!(
+            "{path}: {c} — framing beyond this block is untrustworthy; \
+             rerun with `--salvage` to recover everything before it"
+        )
+    } else {
+        format!(
+            "{path}: {c} — rerun with `--salvage` to recover the intact \
+             blocks (lost TIDs are reported exactly)"
+        )
+    }
+}
+
+/// Save a transaction database, format by extension as in [`load_db_opts`].
 pub(crate) fn save_db(db: &TransactionDb, path: &str) -> Result<(), String> {
     let p = Path::new(path);
     if p.extension().is_some_and(|e| e == "nadb") {
@@ -47,27 +91,51 @@ mod tests {
     use super::*;
     use negassoc_taxonomy::{ItemId, TaxonomyBuilder};
     use negassoc_txdb::TransactionDbBuilder;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
-    fn tmp(name: &str) -> String {
-        std::env::temp_dir()
-            .join(format!("negrules-io-{}-{name}", std::process::id()))
-            .to_string_lossy()
-            .into_owned()
+    /// A uniquely named temp file, removed on drop (even when the test
+    /// panics), so concurrent test runs never collide or leak.
+    struct TmpFile(String);
+
+    impl TmpFile {
+        fn new(name: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            Self(
+                std::env::temp_dir()
+                    .join(format!("negrules-io-{}-{n}-{name}", std::process::id()))
+                    .to_string_lossy()
+                    .into_owned(),
+            )
+        }
+
+        fn path(&self) -> &str {
+            &self.0
+        }
+    }
+
+    impl Drop for TmpFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn small_db() -> TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        b.add([ItemId(1), ItemId(2)]);
+        b.add([ItemId(3)]);
+        b.build()
     }
 
     #[test]
     fn db_round_trips_both_formats() {
-        let mut b = TransactionDbBuilder::new();
-        b.add([ItemId(1), ItemId(2)]);
-        b.add([ItemId(3)]);
-        let db = b.build();
+        let db = small_db();
         for name in ["t.nadb", "t.txt"] {
-            let path = tmp(name);
-            save_db(&db, &path).unwrap();
-            let back = load_db(&path).unwrap();
+            let tmp = TmpFile::new(name);
+            save_db(&db, tmp.path()).unwrap();
+            let back = load_db_opts(tmp.path(), false).unwrap();
             assert_eq!(back.len(), 2);
             assert_eq!(back.get(0).items(), db.get(0).items());
-            std::fs::remove_file(&path).ok();
         }
     }
 
@@ -77,18 +145,45 @@ mod tests {
         let r = b.add_root("root");
         b.add_child(r, "leaf").unwrap();
         let tax = b.build();
-        let path = tmp("tax.txt");
-        save_taxonomy(&tax, &path).unwrap();
-        let back = load_taxonomy(&path).unwrap();
+        let tmp = TmpFile::new("tax.txt");
+        save_taxonomy(&tax, tmp.path()).unwrap();
+        let back = load_taxonomy(tmp.path()).unwrap();
         assert_eq!(back.len(), 2);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn missing_files_error_with_path() {
-        let err = load_db("/nonexistent/x.nadb").unwrap_err();
+        let err = load_db_opts("/nonexistent/x.nadb", false).unwrap_err();
         assert!(err.contains("/nonexistent/x.nadb"));
         let err = load_taxonomy("/nonexistent/t.txt").unwrap_err();
         assert!(err.contains("t.txt"));
+    }
+
+    #[test]
+    fn corrupt_nadb_error_names_the_block_and_suggests_salvage() {
+        let tmp = TmpFile::new("corrupt.nadb");
+        save_db(&small_db(), tmp.path()).unwrap();
+        // Flip a payload byte (the last byte of the file sits inside the
+        // single block's payload).
+        let mut bytes = std::fs::read(tmp.path()).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        std::fs::write(tmp.path(), &bytes).unwrap();
+
+        let err = load_db_opts(tmp.path(), false).unwrap_err();
+        assert!(err.contains("checksum mismatch in block 0"), "{err}");
+        assert!(err.contains("--salvage"), "{err}");
+
+        // Salvage mode recovers what it can (here: nothing intact remains,
+        // but the load itself must not fail).
+        let db = load_db_opts(tmp.path(), true).unwrap();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn salvage_flag_is_harmless_on_clean_files() {
+        let tmp = TmpFile::new("clean.nadb");
+        save_db(&small_db(), tmp.path()).unwrap();
+        let db = load_db_opts(tmp.path(), true).unwrap();
+        assert_eq!(db.len(), 2);
     }
 }

@@ -3,13 +3,15 @@
 //! ```text
 //! negrules generate  --data out.nadb --taxonomy out-tax.txt [--preset short|tall]
 //!                    [--transactions N] [--items N] [--seed S]
-//! negrules stats     --data D [--taxonomy T]
+//! negrules stats     --data D [--taxonomy T] [--salvage]
 //! negrules mine      --data D --taxonomy T [--min-support F] [--min-conf F]
 //!                    [--algorithm basic|cumulate|estmerge|partition]
-//!                    [--r-interest R] [--audit]
+//!                    [--r-interest R] [--salvage] [--audit]
 //! negrules negatives --data D --taxonomy T [--min-support F] [--min-ri F]
 //!                    [--driver naive|improved] [--algorithm basic|cumulate|estmerge]
-//!                    [--max-size K] [--cap N] [--top N] [--out rules.csv] [--audit]
+//!                    [--max-size K] [--cap N] [--top N] [--out rules.csv]
+//!                    [--checkpoint-dir DIR] [--max-memory BYTES] [--salvage]
+//!                    [--audit]
 //! ```
 
 mod commands;
@@ -24,18 +26,22 @@ const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
              --data PATH --taxonomy PATH [--preset short|tall]
              [--transactions N] [--items N] [--seed S]
   stats      summarize a transaction file
-             --data PATH [--taxonomy PATH]
+             --data PATH [--taxonomy PATH] [--salvage]
   mine       positive generalized association rules
              --data PATH --taxonomy PATH [--min-support F=0.01]
              [--min-conf F=0.6] [--top N=20]
              [--algorithm basic|cumulate|estmerge|partition]
-             [--partitions N=4] [--r-interest R] [--audit]
+             [--partitions N=4] [--r-interest R] [--salvage] [--audit]
   negatives  strong negative association rules (Savasere et al., ICDE '98)
              --data PATH --taxonomy PATH [--min-support F=0.01]
              [--min-ri F=0.5] [--driver naive|improved]
              [--algorithm basic|cumulate|estmerge] [--max-size K]
              [--cap N] [--top N=20] [--out rules.csv] [--no-compress]
-             [--audit]  (re-derive every reported number from a raw scan)
+             [--checkpoint-dir DIR]  (persist progress; resume after a crash)
+             [--max-memory BYTES]    (degrade instead of OOM; K/M/G suffixes)
+             [--inject-fail-pass N]  (fault injection for testing recovery)
+             [--salvage]  (skip corrupt .nadb blocks, report exact lost TIDs)
+             [--audit]    (re-derive every reported number from a raw scan)
 
 Transaction files: .nadb (binary) or whitespace text, one basket per line.
 Taxonomy files: `name<TAB>parent` per line, `-` for roots.";

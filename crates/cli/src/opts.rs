@@ -102,6 +102,20 @@ impl Opts {
     }
 }
 
+/// Parse a byte count like `1048576`, `64K`, `16M`, or `2G` (binary
+/// suffixes, case-insensitive). `None` on anything else.
+pub(crate) fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1usize << 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 1 << 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    n.checked_mul(mult)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +160,18 @@ mod tests {
             o.parse_or::<f64>("data", 0.0),
             Err(OptError::Invalid { .. })
         ));
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("1024"), Some(1024));
+        assert_eq!(parse_bytes("64K"), Some(64 << 10));
+        assert_eq!(parse_bytes("16m"), Some(16 << 20));
+        assert_eq!(parse_bytes("2G"), Some(2 << 30));
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("x"), None);
+        assert_eq!(parse_bytes("12X"), None);
+        assert_eq!(parse_bytes("-1"), None);
     }
 
     #[test]

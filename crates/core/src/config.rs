@@ -66,6 +66,14 @@ pub struct MinerConfig {
     /// largest large itemset). The number of candidates is exponential in
     /// this size (paper §2.1.2).
     pub max_negative_size: Option<usize>,
+    /// Approximate memory budget (bytes) for mining state — candidate
+    /// sets and counting structures, not the database itself. When set,
+    /// the improved driver degrades gracefully instead of OOM-aborting:
+    /// negative counting is chunked to fit (§2.5), an oversized positive
+    /// level falls back to the Partition algorithm (in-memory databases
+    /// only), and what cannot be degraded returns
+    /// [`crate::Error::Budget`]. `None` means unbounded.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for MinerConfig {
@@ -79,6 +87,7 @@ impl Default for MinerConfig {
             max_candidates_per_pass: None,
             compress_taxonomy: true,
             max_negative_size: None,
+            memory_budget: None,
         }
     }
 }
@@ -112,6 +121,14 @@ impl MinerConfig {
         if let Some(k) = self.max_negative_size {
             if k < 2 {
                 return Err(Error::Config("max_negative_size must be at least 2".into()));
+            }
+        }
+        if let Some(b) = self.memory_budget {
+            if b < 1024 {
+                return Err(Error::Config(format!(
+                    "memory_budget of {b} bytes cannot hold any mining state \
+                     (need at least 1024)"
+                )));
             }
         }
         Ok(())
@@ -149,6 +166,10 @@ mod tests {
         c.max_negative_size = Some(1);
         assert!(c.validate().is_err());
         c.max_negative_size = Some(2);
+
+        c.memory_budget = Some(64);
+        assert!(c.validate().is_err());
+        c.memory_budget = Some(64 * 1024 * 1024);
         c.validate().unwrap();
     }
 

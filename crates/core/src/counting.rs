@@ -3,6 +3,7 @@
 //! budget, it is counted in chunks, one database pass per chunk.
 
 use crate::candidates::{Derivation, NegativeCandidate, NegativeItemset};
+use crate::error::Error;
 use crate::expected::is_negative;
 use negassoc_apriori::count::{count_mixed, CountingBackend};
 use negassoc_apriori::generalized::{extend_filtered, items_of_candidates, AncestorTable};
@@ -10,7 +11,6 @@ use negassoc_apriori::Itemset;
 use negassoc_taxonomy::fxhash::FxHashMap;
 use negassoc_taxonomy::ItemId;
 use negassoc_txdb::TransactionSource;
-use std::io;
 
 /// Count all `candidates` (mixed sizes, categories allowed) and keep the
 /// negative ones. Returns the negative itemsets and the number of database
@@ -23,7 +23,7 @@ pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
     cap: Option<usize>,
     min_support_count: u64,
     min_ri: f64,
-) -> io::Result<(Vec<NegativeItemset>, u64)> {
+) -> Result<(Vec<NegativeItemset>, u64), Error> {
     if candidates.is_empty() {
         return Ok((Vec::new(), 0));
     }
@@ -56,7 +56,7 @@ fn count_chunk<S: TransactionSource + ?Sized>(
     min_support_count: u64,
     min_ri: f64,
     negatives: &mut Vec<NegativeItemset>,
-) -> io::Result<()> {
+) -> Result<(), Error> {
     let mut expected: FxHashMap<Itemset, (f64, Derivation)> = FxHashMap::default();
     let mut itemsets: Vec<Itemset> = Vec::with_capacity(chunk.len());
     for c in chunk {
@@ -68,7 +68,7 @@ fn count_chunk<S: TransactionSource + ?Sized>(
     let needed = items_of_candidates(&itemsets);
     let mut mapper =
         |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, ancestors, &needed, out);
-    let counted = count_mixed(source, itemsets, backend, &mut mapper)?;
+    let counted = count_mixed(source, itemsets, backend, &mut mapper).map_err(Error::Io)?;
     for (set, actual) in counted {
         // Every counted set was registered above; a miss means the counting
         // backend fabricated an itemset, and skipping it is the only output

@@ -21,6 +21,10 @@ pub enum Error {
     /// An internal invariant did not hold; mining results cannot be
     /// trusted. Carries the broken invariant's description.
     Invariant(String),
+    /// The configured memory budget cannot accommodate the run and no
+    /// degraded path (chunked counting, partitioned mining) applies. The
+    /// message says which structure overflowed and how to proceed.
+    Budget(String),
     /// A runtime audit (`negassoc::audit`) refused to certify mining
     /// output; the message pins the first discrepancy found.
     Audit(String),
@@ -36,6 +40,7 @@ impl fmt::Display for Error {
             Error::Config(msg) => write!(f, "invalid miner configuration: {msg}"),
             Error::Numeric(msg) => write!(f, "numeric error during mining: {msg}"),
             Error::Invariant(msg) => write!(f, "broken mining invariant: {msg}"),
+            Error::Budget(msg) => write!(f, "memory budget exceeded: {msg}"),
             Error::Audit(msg) => write!(f, "audit failed: {msg}"),
         }
     }
@@ -45,7 +50,11 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
-            Error::Config(_) | Error::Numeric(_) | Error::Invariant(_) | Error::Audit(_) => None,
+            Error::Config(_)
+            | Error::Numeric(_)
+            | Error::Invariant(_)
+            | Error::Budget(_)
+            | Error::Audit(_) => None,
         }
     }
 }
@@ -78,7 +87,9 @@ mod tests {
         assert!(i.to_string().contains("itemset out of order"));
         let a = Error::Audit("support mismatch for {1,2}".into());
         assert!(a.to_string().contains("support mismatch"));
-        for e in [n, i, a] {
+        let b = Error::Budget("5000000 candidates need ~800 MB".into());
+        assert!(b.to_string().contains("memory budget exceeded"));
+        for e in [n, i, a, b] {
             assert!(std::error::Error::source(&e).is_none());
         }
     }

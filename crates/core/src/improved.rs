@@ -13,6 +13,7 @@
 //! gracefully to one pass per chunk (§2.5).
 
 use crate::candidates::{CandidateGenerator, CandidateSet};
+use crate::checkpoint::{CheckpointManager, NegativeCheckpoint, PositiveCheckpoint, Resume};
 use crate::config::{GenAlgorithm, MinerConfig};
 use crate::counting::confirm_negatives;
 use crate::error::Error;
@@ -20,28 +21,106 @@ use crate::naive::DriverOutcome;
 use crate::substitutes::SubstituteKnowledge;
 use negassoc_apriori::est_merge::est_merge;
 use negassoc_apriori::generalized::AncestorTable;
-use negassoc_apriori::levelwise::{GenLevelMiner, GenStrategy};
-use negassoc_apriori::LargeItemsets;
+use negassoc_apriori::levelwise::{
+    CandidateBudgetExceeded, GenLevelMiner, GenStrategy, MinerState,
+};
+use negassoc_apriori::partition_mine::partition_mine;
+use negassoc_apriori::{Itemset, LargeItemsets};
 use negassoc_taxonomy::fxhash::FxHashSet;
 use negassoc_taxonomy::{FilteredTaxonomy, ItemId, Taxonomy};
 use negassoc_txdb::TransactionSource;
+use std::io;
 use std::time::Instant;
 
-/// Run the improved driver.
-pub(crate) fn run_improved<S: TransactionSource + ?Sized>(
+/// Rough memory estimate per live candidate (boxed itemset + support-table
+/// and hash-tree share) used to turn a byte budget into a candidate cap.
+/// Deliberately conservative — the guard exists to avoid OOM aborts, not
+/// to meter allocations exactly.
+const EST_BYTES_PER_CANDIDATE: usize = 160;
+
+/// The candidate cap a [`MinerConfig::memory_budget`] implies.
+fn budget_candidate_cap(config: &MinerConfig) -> Option<usize> {
+    config
+        .memory_budget
+        .map(|bytes| (bytes / EST_BYTES_PER_CANDIDATE).max(1))
+}
+
+/// The overflow report inside a budget-exceeded positive-phase error, if
+/// that is what `e` is.
+fn budget_overflow(e: &Error) -> Option<CandidateBudgetExceeded> {
+    let Error::Io(io_err) = e else {
+        return None;
+    };
+    if io_err.kind() != io::ErrorKind::OutOfMemory {
+        return None;
+    }
+    io_err
+        .get_ref()?
+        .downcast_ref::<CandidateBudgetExceeded>()
+        .copied()
+}
+
+/// Run the improved driver, optionally checkpointing after every completed
+/// pass and resuming from the latest trustworthy checkpoint in the
+/// manager's directory.
+pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
     config: &MinerConfig,
     substitutes: Option<&SubstituteKnowledge>,
+    ckpt: Option<&CheckpointManager>,
 ) -> Result<DriverOutcome, Error> {
-    // Phase 1: all generalized large itemsets.
+    let resume = match ckpt {
+        Some(c) => c.load_latest(),
+        None => Resume::Fresh,
+    };
+
+    // Phases 1+2: generalized large itemsets, then negative candidates of
+    // every size at once — or whatever part of that a checkpoint already
+    // paid for.
     let positive_start = Instant::now();
-    let (large, mut passes, levels) = mine_positive(source, tax, config)?;
+    let (large, mut passes, levels, prepared) = match resume {
+        Resume::Negative(saved) => {
+            let large = large_of(&saved.positive.state);
+            (
+                large,
+                saved.positive.passes,
+                saved.positive.levels,
+                Some((saved.candidates, saved.stats)),
+            )
+        }
+        Resume::Positive(saved) if positive_strategy(config).is_some() => {
+            let attempt = resume_positive(source, tax, config, saved, ckpt);
+            let (l, p, lv) = positive_or_degraded(attempt, source, tax, config)?;
+            (l, p, lv, None)
+        }
+        Resume::Positive(_) | Resume::Fresh => {
+            let attempt = mine_positive(source, tax, config, ckpt);
+            let (l, p, lv) = positive_or_degraded(attempt, source, tax, config)?;
+            (l, p, lv, None)
+        }
+    };
     let positive_time = positive_start.elapsed();
 
-    // Phase 2: negative candidates of every size at once.
     let negative_start = Instant::now();
-    let (cands, candidate_stats) = generate_all_candidates(tax, &large, config, substitutes)?;
+    let (cands, candidate_stats) = match prepared {
+        Some(ready) => ready,
+        None => {
+            let (cands, stats) = generate_all_candidates(tax, &large, config, substitutes)?;
+            if let Some(c) = ckpt {
+                c.save_negative(&NegativeCheckpoint {
+                    positive: PositiveCheckpoint {
+                        state: state_of(&large),
+                        passes,
+                        levels,
+                    },
+                    candidates: cands.clone(),
+                    stats: stats.clone(),
+                })?;
+            }
+            (cands, stats)
+        }
+    };
 
     // Phase 3: a single counting pass (or several under the memory cap).
     let ancestors = AncestorTable::new(tax);
@@ -50,7 +129,7 @@ pub(crate) fn run_improved<S: TransactionSource + ?Sized>(
         &ancestors,
         cands,
         config.backend,
-        config.max_candidates_per_pass,
+        counting_cap(config),
         large.min_support_count(),
         config.min_ri,
     )?;
@@ -68,39 +147,182 @@ pub(crate) fn run_improved<S: TransactionSource + ?Sized>(
     })
 }
 
+/// The chunk cap for the counting pass: the tighter of the explicit §2.5
+/// cap and the one the memory budget implies.
+fn counting_cap(config: &MinerConfig) -> Option<usize> {
+    match (config.max_candidates_per_pass, budget_candidate_cap(config)) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Fail negative-candidate generation when it outgrows the memory budget.
+/// Unlike the positive phase there is no partitioned fallback here — the
+/// candidate set itself is what does not fit — so this is a terminal,
+/// actionable error rather than a degradation trigger.
+fn check_candidate_budget(len: usize, size: usize, cap: Option<usize>) -> Result<(), Error> {
+    match cap {
+        Some(cap) if len > cap => Err(Error::Budget(format!(
+            "negative candidate generation reached {len} candidates at itemset size {size}, \
+             over the memory budget's cap of {cap}; raise the budget or lower \
+             `max_negative_size`"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// The degradation ladder for the positive phase. A successful (or
+/// non-budget-related) result passes through untouched. When the
+/// level-wise miner tripped its candidate cap, fall back to the Partition
+/// algorithm (two passes, per-partition working sets) if the source is an
+/// in-memory database; otherwise surface a typed [`Error::Budget`] so the
+/// caller can decide, instead of letting the process OOM-abort.
+fn positive_or_degraded<S: TransactionSource + ?Sized>(
+    result: Result<(LargeItemsets, u64, u64), Error>,
+    source: &S,
+    tax: &Taxonomy,
+    config: &MinerConfig,
+) -> Result<(LargeItemsets, u64, u64), Error> {
+    let err = match result {
+        Ok(ok) => return Ok(ok),
+        Err(e) => e,
+    };
+    let Some(overflow) = budget_overflow(&err) else {
+        return Err(err);
+    };
+    let Some(db) = source.as_db() else {
+        return Err(Error::Budget(format!(
+            "{overflow}; the partitioned fallback needs an in-memory database and this \
+             source is streamed — raise the memory budget or lower `max_negative_size`"
+        )));
+    };
+    // Size partitions so each one's working set plausibly fits the budget,
+    // assuming ~16 bytes per stored item occurrence.
+    let budget = config.memory_budget.unwrap_or(usize::MAX).max(1);
+    let est_db_bytes = (db.avg_len() * db.len() as f64 * 16.0) as usize;
+    let parts = (est_db_bytes / budget + 2).clamp(2, 64);
+    let large = partition_mine(db, Some(tax), config.min_support, parts, config.backend)?;
+    let levels = large.max_level() as u64;
+    // Partition makes exactly two full passes regardless of depth.
+    Ok((large, 2, levels))
+}
+
+/// The level-wise strategy of the configured algorithm, `None` for
+/// EstMerge (whose deferred counting has no per-level stepping to
+/// checkpoint or resume).
+fn positive_strategy(config: &MinerConfig) -> Option<GenStrategy> {
+    match config.algorithm {
+        GenAlgorithm::Basic => Some(GenStrategy::Basic),
+        GenAlgorithm::Cumulate => Some(GenStrategy::Cumulate),
+        GenAlgorithm::EstMerge(_) => None,
+    }
+}
+
+/// Reconstruct a [`LargeItemsets`] store from a checkpointed state.
+fn large_of(state: &MinerState) -> LargeItemsets {
+    let mut large = LargeItemsets::new(state.num_transactions, state.minsup);
+    for (set, support) in &state.large {
+        large.insert(set.clone(), *support);
+    }
+    large
+}
+
+/// Snapshot a *finished* positive phase as a [`MinerState`] (sorted, so
+/// equal results serialize identically).
+fn state_of(large: &LargeItemsets) -> MinerState {
+    let mut all: Vec<(Itemset, u64)> = large.iter().map(|(s, c)| (s.clone(), c)).collect();
+    all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    MinerState {
+        num_transactions: large.num_transactions(),
+        minsup: large.min_support_count(),
+        large: all,
+        frontier: Vec::new(),
+        next_k: large.max_level() + 1,
+        done: true,
+    }
+}
+
+/// Step a level miner to completion, checkpointing after every pass.
+fn step_to_completion<S: TransactionSource + ?Sized>(
+    miner: &mut GenLevelMiner<'_, S>,
+    passes: &mut u64,
+    levels: &mut u64,
+    ckpt: Option<&CheckpointManager>,
+) -> Result<(), Error> {
+    while let Some(found) = miner.mine_next_level()? {
+        *passes += 1;
+        if found > 0 {
+            *levels += 1;
+        }
+        if let Some(c) = ckpt {
+            c.save_positive(&PositiveCheckpoint {
+                state: miner.state(),
+                passes: *passes,
+                levels: *levels,
+            })?;
+        }
+    }
+    Ok(())
+}
+
 /// Phase 1 dispatch over the configured positive algorithm. Returns the
 /// results plus (passes, levels).
 fn mine_positive<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
     config: &MinerConfig,
+    ckpt: Option<&CheckpointManager>,
 ) -> Result<(LargeItemsets, u64, u64), Error> {
-    match config.algorithm {
-        GenAlgorithm::Basic | GenAlgorithm::Cumulate => {
-            let strategy = if config.algorithm == GenAlgorithm::Basic {
-                GenStrategy::Basic
-            } else {
-                GenStrategy::Cumulate
-            };
+    match positive_strategy(config) {
+        Some(strategy) => {
             let mut miner =
-                GenLevelMiner::new(source, tax, config.min_support, strategy, config.backend)?;
+                GenLevelMiner::new(source, tax, config.min_support, strategy, config.backend)?
+                    .with_candidate_cap(budget_candidate_cap(config));
             let mut passes = 1u64;
             let mut levels = 1u64;
-            while let Some(found) = miner.mine_next_level()? {
-                passes += 1;
-                if found > 0 {
-                    levels += 1;
-                }
+            if let Some(c) = ckpt {
+                c.save_positive(&PositiveCheckpoint {
+                    state: miner.state(),
+                    passes,
+                    levels,
+                })?;
             }
+            step_to_completion(&mut miner, &mut passes, &mut levels, ckpt)?;
             Ok((miner.large().clone(), passes, levels))
         }
-        GenAlgorithm::EstMerge(est_config) => {
+        None => {
+            let GenAlgorithm::EstMerge(est_config) = config.algorithm else {
+                return Err(Error::Invariant(
+                    "positive_strategy returned None for a level-wise algorithm".into(),
+                ));
+            };
             let (large, stats) =
                 est_merge(source, tax, config.min_support, config.backend, est_config)?;
             let levels = large.max_level() as u64;
             Ok((large, stats.passes, levels))
         }
     }
+}
+
+/// Continue positive mining from a checkpoint instead of from scratch.
+fn resume_positive<S: TransactionSource + ?Sized>(
+    source: &S,
+    tax: &Taxonomy,
+    config: &MinerConfig,
+    saved: PositiveCheckpoint,
+    ckpt: Option<&CheckpointManager>,
+) -> Result<(LargeItemsets, u64, u64), Error> {
+    let Some(strategy) = positive_strategy(config) else {
+        return Err(Error::Invariant(
+            "resume_positive called for a non-level-wise algorithm".into(),
+        ));
+    };
+    let mut miner = GenLevelMiner::resume(source, tax, strategy, config.backend, saved.state)
+        .with_candidate_cap(budget_candidate_cap(config));
+    let mut passes = saved.passes;
+    let mut levels = saved.levels;
+    step_to_completion(&mut miner, &mut passes, &mut levels, ckpt)?;
+    Ok((miner.large().clone(), passes, levels))
 }
 
 /// Phase 2: compress the taxonomy (optionally) and generate candidates from
@@ -122,6 +344,7 @@ fn generate_all_candidates(
         .unwrap_or(usize::MAX)
         .min(large.max_level());
 
+    let cap = budget_candidate_cap(config);
     let keep: FxHashSet<ItemId>;
     let filtered_storage;
     let mut set = CandidateSet::new();
@@ -138,6 +361,7 @@ fn generate_all_candidates(
         }
         for k in 2..=max_size {
             generator.extend_from_level(k, &mut set)?;
+            check_candidate_budget(set.len(), k, cap)?;
         }
     } else {
         let mut generator = CandidateGenerator::new(tax, large, config.min_ri);
@@ -146,6 +370,7 @@ fn generate_all_candidates(
         }
         for k in 2..=max_size {
             generator.extend_from_level(k, &mut set)?;
+            check_candidate_budget(set.len(), k, cap)?;
         }
     }
     Ok(set.into_candidates())
@@ -155,6 +380,17 @@ fn generate_all_candidates(
 mod tests {
     use super::*;
     use negassoc_apriori::est_merge::EstMergeConfig;
+
+    /// The driver without checkpointing (what `NegativeMiner::mine` runs).
+    fn run_improved<S: TransactionSource + ?Sized>(
+        source: &S,
+        tax: &Taxonomy,
+        config: &MinerConfig,
+        substitutes: Option<&SubstituteKnowledge>,
+    ) -> Result<DriverOutcome, Error> {
+        run_improved_with_checkpoints(source, tax, config, substitutes, None)
+    }
+
     use negassoc_apriori::MinSupport;
     use negassoc_taxonomy::TaxonomyBuilder;
     use negassoc_txdb::{PassCounter, TransactionDbBuilder};
@@ -295,6 +531,77 @@ mod tests {
         .unwrap();
         assert!(capped.passes > uncapped.passes);
         assert_eq!(capped.negatives.len(), uncapped.negatives.len());
+    }
+
+    #[test]
+    fn counting_cap_is_the_tighter_of_explicit_and_budget() {
+        let base = config();
+        assert_eq!(counting_cap(&base), None);
+        let explicit = MinerConfig {
+            max_candidates_per_pass: Some(7),
+            ..config()
+        };
+        assert_eq!(counting_cap(&explicit), Some(7));
+        let budget = MinerConfig {
+            memory_budget: Some(EST_BYTES_PER_CANDIDATE * 3),
+            ..config()
+        };
+        assert_eq!(counting_cap(&budget), Some(3));
+        let both = MinerConfig {
+            max_candidates_per_pass: Some(2),
+            memory_budget: Some(EST_BYTES_PER_CANDIDATE * 3),
+            ..config()
+        };
+        assert_eq!(counting_cap(&both), Some(2));
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_partition_with_identical_results() {
+        let (tax, db) = scenario();
+        let unbudgeted = run_improved(&db, &tax, &config(), None).unwrap();
+        // A cap this small cannot hold the level-2 positive candidates, so
+        // the level miner trips and the driver must fall back to Partition.
+        let budget = MinerConfig {
+            memory_budget: Some(EST_BYTES_PER_CANDIDATE * 4),
+            ..config()
+        };
+        let degraded = run_improved(&db, &tax, &budget, None).unwrap();
+        let norm = |v: &[crate::candidates::NegativeItemset]| {
+            let mut x: Vec<(Vec<ItemId>, u64)> = v
+                .iter()
+                .map(|n| (n.itemset.items().to_vec(), n.actual))
+                .collect();
+            x.sort();
+            x
+        };
+        assert_eq!(norm(&degraded.negatives), norm(&unbudgeted.negatives));
+        assert_eq!(degraded.large.total(), unbudgeted.large.total());
+    }
+
+    #[test]
+    fn tiny_budget_on_a_streamed_source_is_a_typed_budget_error() {
+        let (tax, db) = scenario();
+        // PassCounter deliberately hides the database it wraps, so the
+        // partitioned fallback is unavailable and the driver must surface
+        // a typed budget error instead.
+        let pc = PassCounter::new(db);
+        let budget = MinerConfig {
+            memory_budget: Some(EST_BYTES_PER_CANDIDATE * 4),
+            ..config()
+        };
+        let err = match run_improved(&pc, &tax, &budget, None) {
+            Ok(_) => panic!("a streamed source under a tiny budget should fail"),
+            Err(e) => e,
+        };
+        match err {
+            Error::Budget(msg) => {
+                assert!(
+                    msg.contains("memory budget") || msg.contains("over the cap"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected Error::Budget, got {other:?}"),
+        }
     }
 
     #[test]

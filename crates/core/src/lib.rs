@@ -66,12 +66,15 @@
 //! * [`substitutes`] — the §4.1 future-work extension: explicit
 //!   substitute-item knowledge beyond the taxonomy,
 //! * [`miner`] — the [`NegativeMiner`] facade tying it all together,
+//! * [`checkpoint`] — checksummed checkpoint/resume so interrupted runs
+//!   restart from the last completed pass,
 //! * [`audit`] — independent runtime certification of mining output
 //!   (feature `audit`, default-on).
 
 #[cfg(feature = "audit")]
 pub mod audit;
 pub mod candidates;
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod expected;

@@ -2,15 +2,17 @@
 //! negative itemsets + negative rules + a run report out.
 
 use crate::candidates::{CandidateStats, NegativeItemset};
+use crate::checkpoint::CheckpointManager;
 use crate::config::{Driver, MinerConfig};
 use crate::error::Error;
-use crate::improved::run_improved;
+use crate::improved::run_improved_with_checkpoints;
 use crate::naive::run_naive;
 use crate::rules::{generate_negative_rules, NegativeRule};
 use crate::substitutes::SubstituteKnowledge;
 use negassoc_apriori::LargeItemsets;
 use negassoc_taxonomy::Taxonomy;
 use negassoc_txdb::TransactionSource;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Everything a mining run produces.
@@ -120,11 +122,56 @@ impl NegativeMiner {
         tax: &Taxonomy,
         substitutes: Option<&SubstituteKnowledge>,
     ) -> Result<MiningOutcome, Error> {
+        self.mine_inner(source, tax, substitutes, None)
+    }
+
+    /// Mine with checkpoint/resume: after every completed database pass
+    /// the run's state is persisted (checksummed) under `checkpoint_dir`,
+    /// and a previous interrupted run with the same configuration,
+    /// taxonomy and database resumes from its last completed pass instead
+    /// of starting over. On success the directory's checkpoint files are
+    /// removed.
+    ///
+    /// Damaged or parameter-mismatched checkpoint files are never trusted:
+    /// the run silently falls back to an older checkpoint or a fresh
+    /// start. Requires the improved driver; with EstMerge only the
+    /// negative phase (candidates awaiting their counting pass) is
+    /// checkpointed, because EstMerge has no per-level stepping.
+    pub fn mine_with_recovery<S: TransactionSource + ?Sized>(
+        &self,
+        source: &S,
+        tax: &Taxonomy,
+        substitutes: Option<&SubstituteKnowledge>,
+        checkpoint_dir: &Path,
+    ) -> Result<MiningOutcome, Error> {
+        self.config.validate()?;
+        if self.config.driver != Driver::Improved {
+            return Err(Error::Config(
+                "checkpoint/resume requires the improved driver \
+                 (the naive driver interleaves phases per level)"
+                    .into(),
+            ));
+        }
+        let manager = CheckpointManager::new(checkpoint_dir, &self.config, tax, source.len_hint())?;
+        let outcome = self.mine_inner(source, tax, substitutes, Some(&manager))?;
+        manager.clear()?;
+        Ok(outcome)
+    }
+
+    fn mine_inner<S: TransactionSource + ?Sized>(
+        &self,
+        source: &S,
+        tax: &Taxonomy,
+        substitutes: Option<&SubstituteKnowledge>,
+        checkpoints: Option<&CheckpointManager>,
+    ) -> Result<MiningOutcome, Error> {
         self.config.validate()?;
         let start = Instant::now();
         let outcome = match self.config.driver {
             Driver::Naive => run_naive(source, tax, &self.config)?,
-            Driver::Improved => run_improved(source, tax, &self.config, substitutes)?,
+            Driver::Improved => {
+                run_improved_with_checkpoints(source, tax, &self.config, substitutes, checkpoints)?
+            }
         };
         let mining_time = start.elapsed();
 
@@ -237,6 +284,81 @@ mod tests {
         let b = mk(Driver::Naive);
         assert_eq!(a.negatives.len(), b.negatives.len());
         assert_eq!(a.rules.len(), b.rules.len());
+    }
+
+    #[test]
+    fn recovery_after_interruption_matches_uninterrupted_run() {
+        use negassoc_txdb::fault::{FaultPlan, FaultySource, SourceFault, SourceFaultKind};
+
+        let (tax, db, _) = scenario();
+        let miner = NegativeMiner::new(MinerConfig {
+            min_support: MinSupport::Fraction(0.2),
+            min_ri: 0.25,
+            ..MinerConfig::default()
+        });
+        let clean = miner.mine(&db, &tax).unwrap();
+
+        let dir =
+            std::env::temp_dir().join(format!("negassoc-miner-recovery-{}", std::process::id()));
+        // "Kill" the run during its second pass with a permanent fault.
+        let faulty = FaultySource::new(
+            &db,
+            FaultPlan::new(vec![SourceFault {
+                pass: 1,
+                at_transaction: 5,
+                kind: SourceFaultKind::PermanentError,
+            }]),
+        );
+        let interrupted = miner.mine_with_recovery(&faulty, &tax, None, &dir);
+        assert!(interrupted.is_err());
+        // The level-1 checkpoint survived the crash.
+        assert!(dir.join("pass-0002.nack").exists());
+
+        // Restart against the healthy database: resumes, finishes, and
+        // agrees with the uninterrupted run in full.
+        let resumed = miner.mine_with_recovery(&db, &tax, None, &dir).unwrap();
+        let norm_rules = |out: &MiningOutcome| {
+            let mut v: Vec<(
+                Vec<negassoc_taxonomy::ItemId>,
+                Vec<negassoc_taxonomy::ItemId>,
+                u64,
+            )> = out
+                .rules
+                .iter()
+                .map(|r| {
+                    (
+                        r.antecedent.items().to_vec(),
+                        r.consequent.items().to_vec(),
+                        r.ri.to_bits(),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm_rules(&resumed), norm_rules(&clean));
+        assert_eq!(resumed.large.total(), clean.large.total());
+        assert_eq!(resumed.negatives.len(), clean.negatives.len());
+        // Success cleared the checkpoint files.
+        assert!(!dir.join("pass-0002.nack").exists());
+        assert!(!dir.join("negative.nack").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_rejects_the_naive_driver() {
+        let (tax, db, _) = scenario();
+        let miner = NegativeMiner::new(MinerConfig {
+            driver: crate::config::Driver::Naive,
+            ..MinerConfig::default()
+        });
+        let dir =
+            std::env::temp_dir().join(format!("negassoc-miner-naive-ckpt-{}", std::process::id()));
+        assert!(matches!(
+            miner.mine_with_recovery(&db, &tax, None, &dir),
+            Err(Error::Config(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! A compact, streamable binary file format for transaction databases.
+//! A compact, streamable, *checksummed* binary file format for transaction
+//! databases.
 //!
-//! Layout (all integers little-endian or LEB128 varints):
+//! Two versions share the `NADB` magic:
+//!
+//! **v1** (legacy, still readable) is a bare transaction stream:
 //!
 //! ```text
 //! magic   b"NADB"            4 bytes
@@ -9,24 +12,75 @@
 //! per transaction:
 //!   tid   varint u64
 //!   len   varint u64
-//!   first item id            varint u32 (absent when len == 0)
-//!   len-1 gaps               varint u32, gap = id[i] - id[i-1] - 1
+//!   first item id             varint u32 (absent when len == 0)
+//!   len-1 gaps                varint u32, gap = id[i] - id[i-1] - 1
 //! ```
+//!
+//! **v2** (written by default) frames the same per-transaction encoding
+//! into CRC-32-checksummed blocks so a flipped bit or truncated write is
+//! *detected* instead of silently corrupting supports:
+//!
+//! ```text
+//! magic   b"NADB"            4 bytes
+//! version u8 = 2
+//! count   u64 LE             number of transactions
+//! per block:
+//!   payload_len u32 LE       bytes of payload
+//!   tx_count    u32 LE       transactions in this block
+//!   first_tid   u64 LE       smallest TID in the block
+//!   last_tid    u64 LE       largest TID in the block
+//!   payload_crc u32 LE       CRC-32 (IEEE) of the payload bytes
+//!   header_crc  u32 LE       CRC-32 of the preceding 28 header bytes
+//!   payload                  tx_count transactions, v1 encoding
+//! ```
+//!
+//! Readers run in one of two modes: **strict** (the default — the first
+//! bad block fails the whole read with a typed [`CorruptBlock`] wrapped in
+//! the `io::Error`) or **salvage** ([`load_salvage`] — corrupt blocks are
+//! skipped and reported in a [`SalvageReport`] naming exactly which TIDs
+//! were lost). The TID range in the block header survives payload
+//! corruption, so the loss report is exact whenever the block's TIDs were
+//! contiguous (the builder default) and a tight range+count otherwise.
 //!
 //! Item ids within a transaction are strictly ascending (the
 //! [`crate::Transaction`] invariant), so gap-minus-one coding keeps typical
 //! baskets to a byte or two per item. [`FileSource`] re-reads the file for
-//! every pass, which is exactly the cost model of the paper's algorithms.
+//! every pass, which is exactly the cost model of the paper's algorithms;
+//! give it a [`RetryPolicy`](crate::fault::RetryPolicy) and transient
+//! faults heal mid-pass with exactly-once delivery.
 
+use crate::crc32::crc32;
+use crate::fault::{is_transient, RetryPolicy};
 use crate::scan::TransactionSource;
 use crate::transaction::Transaction;
 use negassoc_taxonomy::ItemId;
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"NADB";
-const VERSION: u8 = 1;
+/// The legacy, checksum-free format version.
+pub const VERSION_V1: u8 = 1;
+/// The framed, per-block-checksummed format version (written by default).
+pub const VERSION_V2: u8 = 2;
+
+/// Transactions per v2 block (flushed earlier if the payload outgrows
+/// [`BLOCK_PAYLOAD_TARGET`]).
+const BLOCK_TX_TARGET: usize = 512;
+/// Soft payload-size bound per v2 block.
+const BLOCK_PAYLOAD_TARGET: usize = 64 * 1024;
+/// Hard upper bound a reader will allocate for one block's payload; a
+/// (checksum-valid) header claiming more is rejected as corrupt.
+const BLOCK_PAYLOAD_MAX: u32 = 1 << 28;
+
+/// Size of the v2 block header on disk, including its own CRC.
+const BLOCK_HEADER_LEN: usize = 32;
+
+/// Cap on transaction-count-driven pre-reservations while loading. The
+/// file header's count is not checksummed, so it may lie; loaders grow on
+/// demand beyond this.
+const PREALLOC_TX_CAP: u64 = 1 << 20;
 
 fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
@@ -42,6 +96,7 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
 fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
+    let mut continued = false;
     loop {
         let mut byte = [0u8; 1];
         r.read_exact(&mut byte)?;
@@ -52,19 +107,59 @@ fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
                 "varint overflows u64",
             ));
         }
-        v |= u64::from(b & 0x7f) << shift;
         if b & 0x80 == 0 {
-            return Ok(v);
+            // Canonical form: a multi-byte encoding never ends in a zero
+            // payload byte (that is an overlong spelling of a shorter
+            // value, e.g. [0x80, 0x00] for 0).
+            if continued && b == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "non-canonical (overlong) varint",
+                ));
+            }
+            return Ok(v | u64::from(b) << shift);
         }
+        v |= u64::from(b & 0x7f) << shift;
+        continued = true;
         shift += 7;
     }
 }
 
-/// Serialize every transaction of `source` to `writer`.
+/// Serialize every transaction of `source` to `writer` in the current
+/// (v2, checksummed) format.
 pub fn write_db<S: TransactionSource, W: Write>(source: &S, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
-    w.write_all(&[VERSION])?;
+    w.write_all(&[VERSION_V2])?;
+    let count = source.count_transactions()?;
+    w.write_all(&count.to_le_bytes())?;
+
+    let mut block = BlockBuffer::new();
+    let mut result = Ok(());
+    source.pass(&mut |t| {
+        if result.is_err() {
+            return;
+        }
+        result = block.push(t).and_then(|()| {
+            if block.is_full() {
+                block.flush(&mut w)
+            } else {
+                Ok(())
+            }
+        });
+    })?;
+    result?;
+    block.flush(&mut w)?;
+    w.flush()
+}
+
+/// Serialize in the legacy v1 (checksum-free) layout. Exists so
+/// compatibility tests and old-format producers stay exercisable; new
+/// files should use [`write_db`].
+pub fn write_db_v1<S: TransactionSource, W: Write>(source: &S, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION_V1])?;
     let count = source.count_transactions()?;
     w.write_all(&count.to_le_bytes())?;
     let mut result = Ok(());
@@ -76,6 +171,59 @@ pub fn write_db<S: TransactionSource, W: Write>(source: &S, writer: W) -> io::Re
     })?;
     result?;
     w.flush()
+}
+
+/// Accumulates transactions into one v2 block.
+struct BlockBuffer {
+    payload: Vec<u8>,
+    tx_count: u32,
+    first_tid: u64,
+    last_tid: u64,
+}
+
+impl BlockBuffer {
+    fn new() -> Self {
+        Self {
+            payload: Vec::with_capacity(BLOCK_PAYLOAD_TARGET),
+            tx_count: 0,
+            first_tid: 0,
+            last_tid: 0,
+        }
+    }
+
+    fn push(&mut self, t: Transaction<'_>) -> io::Result<()> {
+        if self.tx_count == 0 {
+            self.first_tid = t.tid();
+            self.last_tid = t.tid();
+        } else {
+            self.first_tid = self.first_tid.min(t.tid());
+            self.last_tid = self.last_tid.max(t.tid());
+        }
+        self.tx_count += 1;
+        write_transaction(&mut self.payload, t)
+    }
+
+    fn is_full(&self) -> bool {
+        self.tx_count as usize >= BLOCK_TX_TARGET || self.payload.len() >= BLOCK_PAYLOAD_TARGET
+    }
+
+    fn flush<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+        if self.tx_count == 0 {
+            return Ok(());
+        }
+        let mut header = [0u8; BLOCK_HEADER_LEN - 4];
+        header[0..4].copy_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        header[4..8].copy_from_slice(&self.tx_count.to_le_bytes());
+        header[8..16].copy_from_slice(&self.first_tid.to_le_bytes());
+        header[16..24].copy_from_slice(&self.last_tid.to_le_bytes());
+        header[24..28].copy_from_slice(&crc32(&self.payload).to_le_bytes());
+        w.write_all(&header)?;
+        w.write_all(&crc32(&header).to_le_bytes())?;
+        w.write_all(&self.payload)?;
+        self.payload.clear();
+        self.tx_count = 0;
+        Ok(())
+    }
 }
 
 fn write_transaction<W: Write>(w: &mut W, t: Transaction<'_>) -> io::Result<()> {
@@ -93,12 +241,116 @@ fn write_transaction<W: Write>(w: &mut W, t: Transaction<'_>) -> io::Result<()> 
     Ok(())
 }
 
-/// Serialize `source` to a file at `path`.
+/// Serialize `source` to a file at `path` (v2, checksummed).
 pub fn save<S: TransactionSource, P: AsRef<Path>>(source: &S, path: P) -> io::Result<()> {
     write_db(source, File::create(path)?)
 }
 
-fn read_header<R: Read>(r: &mut R) -> io::Result<u64> {
+/// Serialize `source` to a file at `path` in the legacy v1 layout.
+pub fn save_v1<S: TransactionSource, P: AsRef<Path>>(source: &S, path: P) -> io::Result<()> {
+    write_db_v1(source, File::create(path)?)
+}
+
+/// A corrupt v2 block, as detected by its checksums. Wrapped inside the
+/// `io::Error` a strict read fails with, so callers (e.g. the CLI) can
+/// downcast and point at `--salvage`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorruptBlock {
+    /// 0-based block index within the file.
+    pub index: u64,
+    /// Smallest TID the block claimed to hold (from the block header;
+    /// trustworthy when the header checksum verified).
+    pub first_tid: u64,
+    /// Largest TID the block claimed to hold.
+    pub last_tid: u64,
+    /// Transactions the block claimed to hold.
+    pub tx_count: u32,
+    /// Whether the block *header* failed its checksum (the payload cannot
+    /// even be located; salvage stops here).
+    pub header_corrupt: bool,
+}
+
+impl fmt::Display for CorruptBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.header_corrupt {
+            write!(f, "v2 header checksum mismatch in block {}", self.index)
+        } else {
+            write!(
+                f,
+                "v2 checksum mismatch in block {} ({} transactions, TIDs {}..={})",
+                self.index, self.tx_count, self.first_tid, self.last_tid
+            )
+        }
+    }
+}
+
+impl std::error::Error for CorruptBlock {}
+
+impl From<CorruptBlock> for io::Error {
+    fn from(c: CorruptBlock) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, c)
+    }
+}
+
+/// What a salvage read lost. `Display` renders the exact-TID report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Transactions successfully recovered.
+    pub recovered: u64,
+    /// Blocks skipped because their payload checksum failed.
+    pub lost_blocks: Vec<CorruptBlock>,
+    /// Transactions lost in an unreadable tail (truncated mid-block or a
+    /// corrupt header that made further framing untrustworthy).
+    pub lost_tail: u64,
+}
+
+impl SalvageReport {
+    /// Total transactions lost.
+    pub fn lost_transactions(&self) -> u64 {
+        self.lost_blocks
+            .iter()
+            .map(|b| u64::from(b.tx_count))
+            .sum::<u64>()
+            + self.lost_tail
+    }
+
+    /// `true` when nothing was lost.
+    pub fn is_clean(&self) -> bool {
+        self.lost_blocks.is_empty() && self.lost_tail == 0
+    }
+}
+
+impl fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "salvage: all {} transactions recovered", self.recovered);
+        }
+        writeln!(
+            f,
+            "salvage: recovered {} transactions, lost {}",
+            self.recovered,
+            self.lost_transactions()
+        )?;
+        for b in &self.lost_blocks {
+            let exact = u64::from(b.tx_count) == b.last_tid - b.first_tid + 1;
+            writeln!(
+                f,
+                "  block {}: lost {} transactions, TIDs {}..={}{}",
+                b.index,
+                b.tx_count,
+                b.first_tid,
+                b.last_tid,
+                if exact { "" } else { " (sparse range)" }
+            )?;
+        }
+        if self.lost_tail > 0 {
+            writeln!(f, "  tail: {} transactions unrecoverable", self.lost_tail)?;
+        }
+        Ok(())
+    }
+}
+
+fn read_header<R: Read>(r: &mut R) -> io::Result<(u8, u64)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -109,7 +361,7 @@ fn read_header<R: Read>(r: &mut R) -> io::Result<u64> {
     }
     let mut ver = [0u8; 1];
     r.read_exact(&mut ver)?;
-    if ver[0] != VERSION {
+    if ver[0] != VERSION_V1 && ver[0] != VERSION_V2 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported NADB version {}", ver[0]),
@@ -117,74 +369,358 @@ fn read_header<R: Read>(r: &mut R) -> io::Result<u64> {
     }
     let mut count = [0u8; 8];
     r.read_exact(&mut count)?;
-    Ok(u64::from_le_bytes(count))
+    Ok((ver[0], u64::from_le_bytes(count)))
 }
 
+/// Decode `count` v1-encoded transactions from `r`.
 fn scan_body<R: Read>(r: &mut R, count: u64, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
     let mut items: Vec<ItemId> = Vec::new();
     for _ in 0..count {
-        let tid = read_varint(r)?;
-        let len = read_varint(r)? as usize;
-        items.clear();
-        items.reserve(len);
-        if len > 0 {
-            let first = read_varint(r)?;
-            let first = u32::try_from(first)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "item id > u32"))?;
-            items.push(ItemId(first));
-            let mut prev = first;
-            for _ in 1..len {
-                let gap = read_varint(r)?;
-                let next = u64::from(prev) + gap + 1;
-                let next = u32::try_from(next)
-                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "item id > u32"))?;
-                items.push(ItemId(next));
-                prev = next;
-            }
-        }
-        f(Transaction::new(tid, &items));
+        scan_one(r, &mut items, f)?;
     }
     Ok(())
 }
 
-/// Read a whole file into an in-memory [`crate::TransactionDb`].
+fn scan_one<R: Read>(
+    r: &mut R,
+    items: &mut Vec<ItemId>,
+    f: &mut dyn FnMut(Transaction<'_>),
+) -> io::Result<()> {
+    let tid = read_varint(r)?;
+    let len = read_varint(r)? as usize;
+    items.clear();
+    // A corrupt length must not trigger a huge reservation; items arrive
+    // one varint at a time, so growth on demand is O(actual data).
+    items.reserve(len.min(4096));
+    if len > 0 {
+        let first = read_varint(r)?;
+        let first = u32::try_from(first)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "item id > u32"))?;
+        items.push(ItemId(first));
+        let mut prev = first;
+        for _ in 1..len {
+            let gap = read_varint(r)?;
+            let next = u64::from(prev) + gap + 1;
+            let next = u32::try_from(next)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "item id > u32"))?;
+            items.push(ItemId(next));
+            prev = next;
+        }
+    }
+    f(Transaction::new(tid, items));
+    Ok(())
+}
+
+/// One decoded v2 block header.
+struct BlockHeader {
+    payload_len: u32,
+    tx_count: u32,
+    first_tid: u64,
+    last_tid: u64,
+    payload_crc: u32,
+}
+
+/// Read one block header. `Ok(None)` at clean EOF (no more blocks);
+/// `Err` with [`CorruptBlock`] when the header checksum fails.
+fn read_block_header<R: Read>(r: &mut R, index: u64) -> io::Result<Option<BlockHeader>> {
+    let mut raw = [0u8; BLOCK_HEADER_LEN];
+    match r.read_exact(&mut raw[..1]) {
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        other => other?,
+    }
+    r.read_exact(&mut raw[1..])?;
+    let stored_crc = u32::from_le_bytes([raw[28], raw[29], raw[30], raw[31]]);
+    if crc32(&raw[..28]) != stored_crc {
+        return Err(CorruptBlock {
+            index,
+            first_tid: 0,
+            last_tid: 0,
+            tx_count: 0,
+            header_corrupt: true,
+        }
+        .into());
+    }
+    let header = BlockHeader {
+        payload_len: u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]),
+        tx_count: u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]),
+        first_tid: u64::from_le_bytes([
+            raw[8], raw[9], raw[10], raw[11], raw[12], raw[13], raw[14], raw[15],
+        ]),
+        last_tid: u64::from_le_bytes([
+            raw[16], raw[17], raw[18], raw[19], raw[20], raw[21], raw[22], raw[23],
+        ]),
+        payload_crc: u32::from_le_bytes([raw[24], raw[25], raw[26], raw[27]]),
+    };
+    if header.payload_len > BLOCK_PAYLOAD_MAX {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("block {index} claims an implausible payload size"),
+        ));
+    }
+    Ok(Some(header))
+}
+
+/// Strict v2 scan: verify every checksum, fail on the first bad block.
+fn scan_v2_strict<R: Read>(
+    r: &mut R,
+    count: u64,
+    f: &mut dyn FnMut(Transaction<'_>),
+) -> io::Result<()> {
+    let mut delivered = 0u64;
+    let mut index = 0u64;
+    let mut payload = Vec::new();
+    let mut items: Vec<ItemId> = Vec::new();
+    while delivered < count {
+        let Some(header) = read_block_header(r, index)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("file ends after {delivered} of {count} transactions"),
+            ));
+        };
+        payload.resize(header.payload_len as usize, 0);
+        r.read_exact(&mut payload)?;
+        if crc32(&payload) != header.payload_crc {
+            return Err(CorruptBlock {
+                index,
+                first_tid: header.first_tid,
+                last_tid: header.last_tid,
+                tx_count: header.tx_count,
+                header_corrupt: false,
+            }
+            .into());
+        }
+        let mut slice = payload.as_slice();
+        for _ in 0..header.tx_count {
+            scan_one(&mut slice, &mut items, f)?;
+        }
+        if !slice.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("block {index} has trailing bytes after its transactions"),
+            ));
+        }
+        delivered += u64::from(header.tx_count);
+        index += 1;
+    }
+    if delivered != count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("blocks hold {delivered} transactions, header promised {count}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Salvage v2 scan: skip payload-corrupt blocks, stop (recording the tail)
+/// at a corrupt header or truncation.
+fn scan_v2_salvage<R: Read>(
+    r: &mut R,
+    count: u64,
+    f: &mut dyn FnMut(Transaction<'_>),
+) -> io::Result<SalvageReport> {
+    let mut report = SalvageReport::default();
+    let mut index = 0u64;
+    let mut payload = Vec::new();
+    let mut items: Vec<ItemId> = Vec::new();
+    let mut accounted = 0u64; // delivered + known-lost
+    while accounted < count {
+        let header = match read_block_header(r, index) {
+            Ok(Some(h)) => h,
+            // Clean EOF or a corrupt/truncated header: framing beyond this
+            // point is untrustworthy, everything remaining is the tail.
+            Ok(None) | Err(_) => break,
+        };
+        payload.resize(header.payload_len as usize, 0);
+        if r.read_exact(&mut payload).is_err() {
+            // Truncated mid-payload; the header still names the loss.
+            report.lost_blocks.push(CorruptBlock {
+                index,
+                first_tid: header.first_tid,
+                last_tid: header.last_tid,
+                tx_count: header.tx_count,
+                header_corrupt: false,
+            });
+            accounted += u64::from(header.tx_count);
+            break;
+        }
+        let mut block_ok = crc32(&payload) == header.payload_crc;
+        if block_ok {
+            // A checksum-valid payload that fails to decode is still a
+            // loss (written by a broken producer); treat like corruption.
+            let mut slice = payload.as_slice();
+            // Each encoded transaction is ≥ 2 bytes, so the payload size
+            // bounds any honest tx_count; don't trust the claim further.
+            let mut staged: Vec<(u64, Vec<ItemId>)> =
+                Vec::with_capacity((header.tx_count as usize).min(payload.len() / 2 + 1));
+            for _ in 0..header.tx_count {
+                match scan_one(&mut slice, &mut items, &mut |t| {
+                    staged.push((t.tid(), t.items().to_vec()))
+                }) {
+                    Ok(()) => {}
+                    Err(_) => {
+                        block_ok = false;
+                        break;
+                    }
+                }
+            }
+            if block_ok {
+                for (tid, its) in &staged {
+                    f(Transaction::new(*tid, its));
+                }
+                report.recovered += u64::from(header.tx_count);
+            }
+        }
+        if !block_ok {
+            report.lost_blocks.push(CorruptBlock {
+                index,
+                first_tid: header.first_tid,
+                last_tid: header.last_tid,
+                tx_count: header.tx_count,
+                header_corrupt: false,
+            });
+        }
+        accounted += u64::from(header.tx_count);
+        index += 1;
+    }
+    // `accounted` = recovered + known-lost; whatever the file header
+    // promised beyond that is unreadable tail.
+    report.lost_tail = count.saturating_sub(accounted);
+    Ok(report)
+}
+
+/// Read a whole file into an in-memory [`crate::TransactionDb`] (strict:
+/// any v2 checksum failure is an error carrying a [`CorruptBlock`]).
 pub fn load<P: AsRef<Path>>(path: P) -> io::Result<crate::TransactionDb> {
     let mut r = BufReader::new(File::open(path)?);
-    let count = read_header(&mut r)?;
-    let mut b = crate::TransactionDbBuilder::with_capacity(count as usize, 8);
-    scan_body(&mut r, count, &mut |t| {
-        b.add_with_tid(t.tid(), t.items().iter().copied())
-    })?;
+    let (version, count) = read_header(&mut r)?;
+    // The count field is not checksummed, so it only sizes a *bounded*
+    // pre-reservation — a corrupted count must not abort the allocator.
+    let mut b = crate::TransactionDbBuilder::with_capacity(count.min(PREALLOC_TX_CAP) as usize, 8);
+    let mut add = |t: Transaction<'_>| b.add_with_tid(t.tid(), t.items().iter().copied());
+    match version {
+        VERSION_V1 => scan_body(&mut r, count, &mut add)?,
+        _ => scan_v2_strict(&mut r, count, &mut add)?,
+    }
     Ok(b.build())
 }
 
+/// Read a (v2) file, skipping corrupt blocks. Returns what could be
+/// recovered plus the exact loss report. v1 files carry no checksums, so
+/// salvage refuses them rather than pretend to verify anything.
+pub fn load_salvage<P: AsRef<Path>>(path: P) -> io::Result<(crate::TransactionDb, SalvageReport)> {
+    let mut r = BufReader::new(File::open(path)?);
+    let (version, count) = read_header(&mut r)?;
+    if version == VERSION_V1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "salvage needs the checksummed v2 format; this is a v1 file \
+             (rewrite it with `write_db` to upgrade)",
+        ));
+    }
+    let mut b = crate::TransactionDbBuilder::with_capacity(count.min(PREALLOC_TX_CAP) as usize, 8);
+    let report = scan_v2_salvage(&mut r, count, &mut |t| {
+        b.add_with_tid(t.tid(), t.items().iter().copied())
+    })?;
+    Ok((b.build(), report))
+}
+
+/// Checksum-verify every block of a v2 file (or byte-decode a v1 file)
+/// without materializing it. Returns the transaction count on success.
+pub fn verify<P: AsRef<Path>>(path: P) -> io::Result<u64> {
+    let src = FileSource::open(path)?;
+    let mut n = 0u64;
+    src.pass(&mut |_| n += 1)?;
+    Ok(n)
+}
+
 /// A [`TransactionSource`] that streams transactions from a NADB file,
-/// re-opening it for every pass. Memory use is O(longest transaction).
+/// re-opening it for every pass. Memory use is O(one block). All v2
+/// checksums are verified on every pass (strict mode), so a bad sector
+/// surfaces as an error instead of a silently wrong support count.
+///
+/// With a [`RetryPolicy`], a failed pass is retried from the top of the
+/// file with the already-delivered prefix skipped, so the observer sees
+/// every transaction exactly once even when a transient fault interrupts
+/// a pass. Non-transient failures (checksum mismatches, decode errors)
+/// are never retried — rereading corrupt bytes cannot heal them.
 pub struct FileSource {
     path: PathBuf,
     count: u64,
+    version: u8,
+    retry: Option<RetryPolicy>,
 }
 
 impl FileSource {
-    /// Open `path`, validating the header.
+    /// Open `path`, validating the header (either version).
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
         let path = path.as_ref().to_owned();
         let mut r = BufReader::new(File::open(&path)?);
-        let count = read_header(&mut r)?;
-        Ok(Self { path, count })
+        let (version, count) = read_header(&mut r)?;
+        Ok(Self {
+            path,
+            count,
+            version,
+            retry: None,
+        })
+    }
+
+    /// Retry failed passes under `policy` (see [`crate::fault`]).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// The file path.
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// The on-disk format version (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// One strict pass, delivering transactions starting at `skip` (the
+    /// first `skip` transactions are decoded and checksum-verified but not
+    /// delivered — the resume path after a transient fault).
+    fn pass_from(&self, skip: u64, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+        let mut r = BufReader::new(File::open(&self.path)?);
+        let (version, count) = read_header(&mut r)?;
+        let mut seen = 0u64;
+        let mut deliver = |t: Transaction<'_>| {
+            seen += 1;
+            if seen > skip {
+                f(t);
+            }
+        };
+        match version {
+            VERSION_V1 => scan_body(&mut r, count, &mut deliver),
+            _ => scan_v2_strict(&mut r, count, &mut deliver),
+        }
+    }
 }
 
 impl TransactionSource for FileSource {
     fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
-        let mut r = BufReader::new(File::open(&self.path)?);
-        let count = read_header(&mut r)?;
-        scan_body(&mut r, count, f)
+        let Some(policy) = self.retry else {
+            return self.pass_from(0, f);
+        };
+        let mut delivered = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            let result = self.pass_from(delivered, &mut |t| {
+                delivered += 1;
+                f(t);
+            });
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt < policy.max_retries && is_transient(&e) => {
+                    policy.sleep(attempt);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn len_hint(&self) -> Option<u64> {
@@ -205,6 +741,40 @@ mod tests {
         b.build()
     }
 
+    /// A larger DB spanning several v2 blocks.
+    fn multi_block_db(n: u64) -> crate::TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        for i in 0..n {
+            b.add_with_tid(i, [ItemId(i as u32 % 50), ItemId(100 + i as u32 % 10)]);
+        }
+        b.build()
+    }
+
+    /// A unique temp path cleaned up on drop.
+    struct TempFile(PathBuf);
+
+    impl TempFile {
+        fn new(name: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            TempFile(
+                std::env::temp_dir()
+                    .join(format!("negassoc-binfmt-{}-{n}-{name}", std::process::id())),
+            )
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
+
     #[test]
     fn varint_round_trip() {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
@@ -223,17 +793,37 @@ mod tests {
     }
 
     #[test]
-    fn memory_round_trip() {
+    fn varint_rejects_overlong_encodings() {
+        // [0x80, 0x00] is an overlong spelling of 0.
+        assert!(read_varint(&mut [0x80u8, 0x00].as_slice()).is_err());
+        // [0x81, 0x00] overlong 1.
+        assert!(read_varint(&mut [0x81u8, 0x00].as_slice()).is_err());
+        // [0xff, 0x00] overlong 127.
+        assert!(read_varint(&mut [0xffu8, 0x00].as_slice()).is_err());
+        // Deep overlong: 0 stretched to nine bytes.
+        let deep = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00];
+        assert!(read_varint(&mut deep.as_slice()).is_err());
+        // The canonical single zero byte is fine.
+        assert_eq!(read_varint(&mut [0x00u8].as_slice()).unwrap(), 0);
+        // u64::MAX's canonical 10-byte form still decodes.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX).unwrap();
+        assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn memory_round_trip_v2() {
         let db = sample_db();
         let mut buf = Vec::new();
         write_db(&db, &mut buf).unwrap();
+        assert_eq!(buf[4], VERSION_V2);
 
-        // Re-read via scan_body directly.
         let mut r = buf.as_slice();
-        let count = read_header(&mut r).unwrap();
+        let (version, count) = read_header(&mut r).unwrap();
+        assert_eq!(version, VERSION_V2);
         assert_eq!(count, 3);
         let mut got: Vec<(u64, Vec<ItemId>)> = Vec::new();
-        scan_body(&mut r, count, &mut |t| {
+        scan_v2_strict(&mut r, count, &mut |t| {
             got.push((t.tid(), t.items().to_vec()));
         })
         .unwrap();
@@ -248,28 +838,167 @@ mod tests {
     }
 
     #[test]
+    fn v1_files_still_load() {
+        let db = sample_db();
+        let f = TempFile::new("v1.nadb");
+        save_v1(&db, f.path()).unwrap();
+        let loaded = load(f.path()).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        for (a, b) in db.iter().zip(loaded.iter()) {
+            assert_eq!(a.tid(), b.tid());
+            assert_eq!(a.items(), b.items());
+        }
+        let src = FileSource::open(f.path()).unwrap();
+        assert_eq!(src.version(), VERSION_V1);
+        let mut n = 0u64;
+        src.pass(&mut |_| n += 1).unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
     fn file_round_trip_and_streaming_source() {
         let db = sample_db();
-        let dir = std::env::temp_dir().join("negassoc-txdb-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("rt-{}.nadb", std::process::id()));
-        save(&db, &path).unwrap();
+        let f = TempFile::new("rt.nadb");
+        save(&db, f.path()).unwrap();
 
-        let loaded = load(&path).unwrap();
+        let loaded = load(f.path()).unwrap();
         assert_eq!(loaded.len(), db.len());
         for (a, b) in db.iter().zip(loaded.iter()) {
             assert_eq!(a.tid(), b.tid());
             assert_eq!(a.items(), b.items());
         }
 
-        let src = FileSource::open(&path).unwrap();
+        let src = FileSource::open(f.path()).unwrap();
         assert_eq!(src.len_hint(), Some(3));
-        assert_eq!(src.path(), path.as_path());
+        assert_eq!(src.path(), f.path());
+        assert_eq!(src.version(), VERSION_V2);
         let mut n = 0u64;
         src.pass(&mut |_| n += 1).unwrap();
         src.pass(&mut |_| n += 1).unwrap(); // second pass re-opens
         assert_eq!(n, 6);
-        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn multi_block_files_round_trip() {
+        let db = multi_block_db(2000); // > 3 blocks at 512 tx/block
+        let f = TempFile::new("multi.nadb");
+        save(&db, f.path()).unwrap();
+        let loaded = load(f.path()).unwrap();
+        assert_eq!(loaded.len(), 2000);
+        for (a, b) in db.iter().zip(loaded.iter()) {
+            assert_eq!(a.tid(), b.tid());
+            assert_eq!(a.items(), b.items());
+        }
+        assert_eq!(verify(f.path()).unwrap(), 2000);
+    }
+
+    /// Corrupt one payload byte of block `block` in a serialized v2 file.
+    fn flip_payload_byte(bytes: &mut [u8], block: usize) -> (u64, u64, u32) {
+        let mut off = 13; // magic + version + count
+        for index in 0..=block {
+            let payload_len =
+                u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+                    as usize;
+            let tx_count = u32::from_le_bytes([
+                bytes[off + 4],
+                bytes[off + 5],
+                bytes[off + 6],
+                bytes[off + 7],
+            ]);
+            let first_tid = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap());
+            let last_tid = u64::from_le_bytes(bytes[off + 16..off + 24].try_into().unwrap());
+            if index == block {
+                bytes[off + BLOCK_HEADER_LEN] ^= 0x40;
+                return (first_tid, last_tid, tx_count);
+            }
+            off += BLOCK_HEADER_LEN + payload_len;
+        }
+        (0, 0, 0)
+    }
+
+    #[test]
+    fn strict_mode_fails_closed_on_a_flipped_bit() {
+        let db = multi_block_db(1500);
+        let mut buf = Vec::new();
+        write_db(&db, &mut buf).unwrap();
+        let (first, last, txs) = flip_payload_byte(&mut buf, 1);
+        let f = TempFile::new("corrupt.nadb");
+        std::fs::write(f.path(), &buf).unwrap();
+
+        let err = load(f.path()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let corrupt = err
+            .get_ref()
+            .and_then(|r| r.downcast_ref::<CorruptBlock>())
+            .expect("strict failure carries a typed CorruptBlock");
+        assert_eq!(corrupt.index, 1);
+        assert_eq!(corrupt.first_tid, first);
+        assert_eq!(corrupt.last_tid, last);
+        assert_eq!(corrupt.tx_count, txs);
+        assert!(!corrupt.header_corrupt);
+
+        // The streaming source fails the same way on every pass.
+        let src = FileSource::open(f.path()).unwrap();
+        assert!(src.pass(&mut |_| {}).is_err());
+    }
+
+    #[test]
+    fn salvage_skips_the_bad_block_and_names_the_lost_tids() {
+        let db = multi_block_db(1500);
+        let mut buf = Vec::new();
+        write_db(&db, &mut buf).unwrap();
+        let (first, last, txs) = flip_payload_byte(&mut buf, 1);
+        let f = TempFile::new("salvage.nadb");
+        std::fs::write(f.path(), &buf).unwrap();
+
+        let (recovered, report) = load_salvage(f.path()).unwrap();
+        assert_eq!(report.lost_blocks.len(), 1);
+        let lost = &report.lost_blocks[0];
+        assert_eq!((lost.first_tid, lost.last_tid), (first, last));
+        assert_eq!(lost.tx_count, txs);
+        assert_eq!(report.lost_transactions(), u64::from(txs));
+        assert_eq!(report.recovered, 1500 - u64::from(txs));
+        assert_eq!(recovered.len() as u64, report.recovered);
+        // The recovered set is exactly the original minus the lost range.
+        for t in recovered.iter() {
+            assert!(t.tid() < first || t.tid() > last);
+        }
+        let shown = report.to_string();
+        assert!(shown.contains(&format!("TIDs {first}..={last}")));
+
+        // An intact v2 file salvages cleanly.
+        let f2 = TempFile::new("clean.nadb");
+        save(&db, f2.path()).unwrap();
+        let (all, clean) = load_salvage(f2.path()).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(all.len(), 1500);
+    }
+
+    #[test]
+    fn salvage_refuses_v1() {
+        let f = TempFile::new("v1-salvage.nadb");
+        save_v1(&sample_db(), f.path()).unwrap();
+        let err = load_salvage(f.path()).unwrap_err();
+        assert!(err.to_string().contains("v1"));
+    }
+
+    #[test]
+    fn truncated_v2_is_an_error_strict_and_a_tail_loss_in_salvage() {
+        let db = multi_block_db(1200);
+        let mut buf = Vec::new();
+        write_db(&db, &mut buf).unwrap();
+        buf.truncate(buf.len() - 100);
+        let f = TempFile::new("trunc.nadb");
+        std::fs::write(f.path(), &buf).unwrap();
+
+        assert!(load(f.path()).is_err());
+        let (recovered, report) = load_salvage(f.path()).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(
+            recovered.len() as u64 + report.lost_transactions(),
+            1200,
+            "every transaction is either recovered or accounted lost"
+        );
     }
 
     #[test]
@@ -288,13 +1017,39 @@ mod tests {
     }
 
     #[test]
-    fn truncated_body_is_an_error() {
+    fn truncated_v1_body_is_an_error() {
         let db = sample_db();
         let mut buf = Vec::new();
-        write_db(&db, &mut buf).unwrap();
+        write_db_v1(&db, &mut buf).unwrap();
         buf.truncate(buf.len() - 1);
         let mut r = buf.as_slice();
-        let count = read_header(&mut r).unwrap();
+        let (version, count) = read_header(&mut r).unwrap();
+        assert_eq!(version, VERSION_V1);
         assert!(scan_body(&mut r, count, &mut |_| {}).is_err());
+    }
+
+    #[test]
+    fn header_corruption_fails_even_salvage_framing() {
+        let db = multi_block_db(1500);
+        let mut buf = Vec::new();
+        write_db(&db, &mut buf).unwrap();
+        // Flip a byte inside block 1's *header*.
+        let block0_payload = u32::from_le_bytes([buf[13], buf[14], buf[15], buf[16]]) as usize;
+        let block1_off = 13 + BLOCK_HEADER_LEN + block0_payload;
+        buf[block1_off + 9] ^= 0x01; // inside first_tid
+        let f = TempFile::new("hdr.nadb");
+        std::fs::write(f.path(), &buf).unwrap();
+
+        let err = load(f.path()).unwrap_err();
+        let corrupt = err
+            .get_ref()
+            .and_then(|r| r.downcast_ref::<CorruptBlock>())
+            .expect("typed corrupt-block error");
+        assert!(corrupt.header_corrupt);
+
+        // Salvage keeps block 0 and accounts everything after as tail loss.
+        let (recovered, report) = load_salvage(f.path()).unwrap();
+        assert_eq!(recovered.len(), 512);
+        assert_eq!(report.lost_tail, 1500 - 512);
     }
 }

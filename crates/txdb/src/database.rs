@@ -77,6 +77,10 @@ impl TransactionSource for TransactionDb {
     fn len_hint(&self) -> Option<u64> {
         Some(self.len() as u64)
     }
+
+    fn as_db(&self) -> Option<&TransactionDb> {
+        Some(self)
+    }
 }
 
 /// Builder for [`TransactionDb`]. Baskets are sorted and deduplicated on

@@ -1,0 +1,662 @@
+//! Deterministic fault injection and bounded retry for database passes.
+//!
+//! The paper's algorithms are disk-resident: one full scan of the
+//! transaction file per itemset level, so a single transient I/O error
+//! mid-pass would otherwise throw away the whole run. This module provides
+//! the two halves of the fault story:
+//!
+//! * **Injection** — [`FaultySource`] wraps any [`TransactionSource`] and
+//!   fires a [`FaultPlan`]'s faults (I/O errors, truncation, slow reads,
+//!   bit flips) at exact `(pass, transaction)` points; [`FaultyReader`]
+//!   does the same at byte offsets under any `Read`. Plans are either
+//!   hand-written or derived deterministically from a seed, so every
+//!   failure a test provokes is replayable.
+//! * **Healing** — [`RetryPolicy`] + [`RetryingSource`] re-run a failed
+//!   pass with bounded exponential backoff, skipping the already-delivered
+//!   prefix so the observer sees every transaction **exactly once** even
+//!   across retries (passes deliver in a stable order, which makes the
+//!   skip-prefix resume sound). Permanent faults — checksum mismatches,
+//!   decode errors — are never retried: rereading corrupt bytes cannot
+//!   heal them.
+//!
+//! [`crate::binfmt::FileSource::with_retry`] applies the same policy
+//! directly at the file layer.
+
+use crate::binfmt::CorruptBlock;
+use crate::scan::TransactionSource;
+use crate::transaction::Transaction;
+use negassoc_taxonomy::ItemId;
+use std::cell::{Cell, RefCell};
+use std::io::{self, Read};
+use std::time::Duration;
+
+/// Bounded retry with exponential backoff.
+///
+/// Attempt `n` (0-based) sleeps `base_delay << n`, capped at
+/// [`RetryPolicy::MAX_SLEEP`]. The default is 3 retries from 5 ms — a
+/// worst case of ~35 ms of waiting, enough for page-cache hiccups and
+/// NFS-style transient failures without stalling a mining run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail immediately).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_delay: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Upper bound on a single backoff sleep.
+    pub const MAX_SLEEP: Duration = Duration::from_secs(2);
+
+    /// A policy with `max_retries` retries starting at `base_delay`.
+    pub fn new(max_retries: u32, base_delay: Duration) -> Self {
+        Self {
+            max_retries,
+            base_delay,
+        }
+    }
+
+    /// Sleep for attempt `attempt` (0-based), exponential and capped.
+    pub fn sleep(&self, attempt: u32) {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(16));
+        let nap = exp.min(Self::MAX_SLEEP);
+        if !nap.is_zero() {
+            std::thread::sleep(nap);
+        }
+    }
+}
+
+/// `true` for error classes a reread can plausibly heal. Data corruption
+/// (a [`CorruptBlock`] payload, `InvalidData` decode failures) is
+/// permanent by definition and excluded.
+pub fn is_transient(e: &io::Error) -> bool {
+    if e.get_ref()
+        .is_some_and(|inner| inner.downcast_ref::<CorruptBlock>().is_some())
+    {
+        return false;
+    }
+    !matches!(
+        e.kind(),
+        io::ErrorKind::InvalidData | io::ErrorKind::NotFound | io::ErrorKind::PermissionDenied
+    )
+}
+
+/// What a [`FaultySource`] does when a fault point is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceFaultKind {
+    /// Abort the pass with a *transient* I/O error (`ErrorKind::Other`);
+    /// a retry heals it because the pass counter has moved on.
+    TransientError,
+    /// Abort the pass with a *permanent* error (`ErrorKind::InvalidData`);
+    /// retry policies refuse to retry it.
+    PermanentError,
+    /// Deliver the prefix before the fault point, then fail as a
+    /// truncated read (`ErrorKind::UnexpectedEof`, transient — a retry
+    /// resumes past it).
+    Truncate,
+    /// Sleep this long at the fault point, then continue (latency fault).
+    Slow(Duration),
+    /// Deliver the transaction at the fault point with one item's bit
+    /// flipped — an *undetected* upstream corruption, for testing that
+    /// downstream checksums/audits catch it.
+    FlipItemBit {
+        /// Which bit of the first item id to flip.
+        bit: u8,
+    },
+}
+
+/// One fault at an exact `(pass, transaction)` point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceFault {
+    /// 0-based index of the pass (each call of [`TransactionSource::pass`]
+    /// on the wrapper counts, including retries) at which to fire.
+    pub pass: u64,
+    /// 0-based transaction offset within that pass.
+    pub at_transaction: u64,
+    /// What happens there.
+    pub kind: SourceFaultKind,
+}
+
+/// A deterministic, replayable set of faults.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<SourceFault>,
+}
+
+/// splitmix64 — the tiny deterministic generator behind seeded plans (no
+/// dependency on the vendored `rand`, which is dev-only here).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An explicit plan.
+    pub fn new(faults: Vec<SourceFault>) -> Self {
+        Self { faults }
+    }
+
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `n_faults` *transient* faults (errors and truncations) at
+    /// seed-determined points within the first `passes` passes of a
+    /// database of `transactions` transactions. The same seed always
+    /// yields the same plan.
+    pub fn seeded_transient(seed: u64, passes: u64, transactions: u64, n_faults: usize) -> Self {
+        let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+        let faults = (0..n_faults)
+            .map(|_| {
+                let pass = splitmix64(&mut state) % passes.max(1);
+                let at_transaction = splitmix64(&mut state) % transactions.max(1);
+                let kind = if splitmix64(&mut state) % 2 == 0 {
+                    SourceFaultKind::TransientError
+                } else {
+                    SourceFaultKind::Truncate
+                };
+                SourceFault {
+                    pass,
+                    at_transaction,
+                    kind,
+                }
+            })
+            .collect();
+        Self { faults }
+    }
+
+    /// The plan's faults.
+    pub fn faults(&self) -> &[SourceFault] {
+        &self.faults
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// An injected-fault error message prefix (tests match on it).
+pub const INJECTED: &str = "injected fault";
+
+/// Wraps a [`TransactionSource`] and fires a [`FaultPlan`].
+///
+/// Pass numbering counts every call of `pass` on this wrapper, so a retry
+/// of pass `p` runs as pass `p + 1` — which is exactly how a transient
+/// fault "heals" on reread.
+pub struct FaultySource<S> {
+    inner: S,
+    plan: FaultPlan,
+    pass_no: Cell<u64>,
+}
+
+impl<S: TransactionSource> FaultySource<S> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            pass_no: Cell::new(0),
+        }
+    }
+
+    /// Passes attempted so far (including failed ones).
+    pub fn passes_attempted(&self) -> u64 {
+        self.pass_no.get()
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TransactionSource> TransactionSource for FaultySource<S> {
+    fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+        let pass = self.pass_no.get();
+        self.pass_no.set(pass + 1);
+        let mut offset = 0u64;
+        let mut pending: Option<io::Error> = None;
+        let mut flipped: Vec<ItemId> = Vec::new();
+        let inner_result = self.inner.pass(&mut |t| {
+            if pending.is_some() {
+                return; // already failed; swallow the rest of the pass
+            }
+            let at = offset;
+            offset += 1;
+            for fault in &self.plan.faults {
+                if fault.pass != pass || fault.at_transaction != at {
+                    continue;
+                }
+                match fault.kind {
+                    SourceFaultKind::TransientError => {
+                        pending = Some(io::Error::other(format!(
+                            "{INJECTED}: transient error at pass {pass}, transaction {at}"
+                        )));
+                        return;
+                    }
+                    SourceFaultKind::PermanentError => {
+                        pending = Some(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{INJECTED}: permanent error at pass {pass}, transaction {at}"),
+                        ));
+                        return;
+                    }
+                    SourceFaultKind::Truncate => {
+                        pending = Some(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!("{INJECTED}: truncated at pass {pass}, transaction {at}"),
+                        ));
+                        return;
+                    }
+                    SourceFaultKind::Slow(d) => std::thread::sleep(d),
+                    SourceFaultKind::FlipItemBit { bit } => {
+                        flipped.clear();
+                        flipped.extend_from_slice(t.items());
+                        if let Some(first) = flipped.first_mut() {
+                            *first = ItemId(first.0 ^ (1u32 << (bit % 32)));
+                        }
+                        flipped.sort_unstable();
+                        flipped.dedup();
+                        f(Transaction::new(t.tid(), &flipped));
+                        return;
+                    }
+                }
+            }
+            f(t);
+        });
+        inner_result?;
+        match pending {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+}
+
+/// Retries failed passes of any [`TransactionSource`] under a
+/// [`RetryPolicy`], with exactly-once delivery across retries (the
+/// already-delivered prefix of a stable-order pass is skipped on resume).
+pub struct RetryingSource<S> {
+    inner: S,
+    policy: RetryPolicy,
+    retries_used: Cell<u64>,
+}
+
+impl<S: TransactionSource> RetryingSource<S> {
+    /// Wrap `inner` under `policy`.
+    pub fn new(inner: S, policy: RetryPolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            retries_used: Cell::new(0),
+        }
+    }
+
+    /// Total retries performed across all passes so far.
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used.get()
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TransactionSource> TransactionSource for RetryingSource<S> {
+    fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+        let mut delivered = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            let mut seen = 0u64;
+            let result = self.inner.pass(&mut |t| {
+                seen += 1;
+                if seen > delivered {
+                    delivered = seen;
+                    f(t);
+                }
+            });
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt < self.policy.max_retries && is_transient(&e) => {
+                    self.policy.sleep(attempt);
+                    attempt += 1;
+                    self.retries_used.set(self.retries_used.get() + 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+}
+
+/// What a [`FaultyReader`] does when its byte offset is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadFaultKind {
+    /// XOR this mask into the byte at the fault offset.
+    FlipBits(u8),
+    /// End the stream at the fault offset (reads return 0 from there on).
+    Truncate,
+    /// Fail the read that would cross the fault offset with a transient
+    /// error, once; subsequent reads proceed.
+    TransientError,
+    /// Sleep this long when the offset is crossed, then continue.
+    Slow(Duration),
+}
+
+/// One byte-level fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadFault {
+    /// Byte offset at which to fire.
+    pub offset: u64,
+    /// What happens there.
+    pub kind: ReadFaultKind,
+}
+
+/// Byte-level fault injection under any [`Read`], for exercising format
+/// parsers against flipped bits, truncation and transient errors.
+pub struct FaultyReader<R> {
+    inner: R,
+    faults: Vec<ReadFault>,
+    fired: RefCell<Vec<bool>>,
+    pos: Cell<u64>,
+    truncated: Cell<bool>,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wrap `inner` with byte-offset `faults`.
+    pub fn new(inner: R, faults: Vec<ReadFault>) -> Self {
+        let fired = RefCell::new(vec![false; faults.len()]);
+        Self {
+            inner,
+            faults,
+            fired,
+            pos: Cell::new(0),
+            truncated: Cell::new(false),
+        }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.truncated.get() {
+            return Ok(0);
+        }
+        let start = self.pos.get();
+        // Bound this read so a Truncate fault lands exactly on its offset.
+        let mut limit = buf.len();
+        for fault in &self.faults {
+            if fault.kind == ReadFaultKind::Truncate && fault.offset >= start {
+                limit = limit.min((fault.offset - start) as usize);
+            }
+        }
+        if limit == 0 && buf.is_empty() {
+            return Ok(0);
+        }
+        if limit == 0 {
+            // The very next byte is a truncation point.
+            self.truncated.set(true);
+            return Ok(0);
+        }
+        let n = self.inner.read(&mut buf[..limit])?;
+        let end = start + n as u64;
+        let mut fired = self.fired.borrow_mut();
+        for (i, fault) in self.faults.iter().enumerate() {
+            if fired[i] || fault.offset < start || fault.offset >= end {
+                continue;
+            }
+            match fault.kind {
+                ReadFaultKind::FlipBits(mask) => {
+                    fired[i] = true;
+                    buf[(fault.offset - start) as usize] ^= mask;
+                }
+                ReadFaultKind::TransientError => {
+                    fired[i] = true;
+                    // The bytes are discarded; the caller retries the read.
+                    return Err(io::Error::other(format!(
+                        "{INJECTED}: read error at byte {}",
+                        fault.offset
+                    )));
+                }
+                ReadFaultKind::Slow(d) => {
+                    fired[i] = true;
+                    std::thread::sleep(d);
+                }
+                ReadFaultKind::Truncate => {}
+            }
+        }
+        self.pos.set(end);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TransactionDb, TransactionDbBuilder};
+
+    fn db(n: u64) -> TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        for i in 0..n {
+            b.add([ItemId(i as u32 % 5), ItemId(10 + i as u32 % 3)]);
+        }
+        b.build()
+    }
+
+    fn collect(src: &dyn TransactionSource) -> io::Result<Vec<(u64, Vec<ItemId>)>> {
+        let mut out = Vec::new();
+        src.pass(&mut |t| out.push((t.tid(), t.items().to_vec())))?;
+        Ok(out)
+    }
+
+    #[test]
+    fn transient_fault_fails_one_pass_then_heals() {
+        let plan = FaultPlan::new(vec![SourceFault {
+            pass: 0,
+            at_transaction: 3,
+            kind: SourceFaultKind::TransientError,
+        }]);
+        let faulty = FaultySource::new(db(10), plan);
+        let err = collect(&faulty).unwrap_err();
+        assert!(err.to_string().contains(INJECTED));
+        assert!(is_transient(&err));
+        // Second attempt is pass 1 — no fault.
+        assert_eq!(collect(&faulty).unwrap().len(), 10);
+        assert_eq!(faulty.passes_attempted(), 2);
+    }
+
+    #[test]
+    fn retrying_source_delivers_exactly_once_across_retries() {
+        let plan = FaultPlan::new(vec![
+            SourceFault {
+                pass: 0,
+                at_transaction: 4,
+                kind: SourceFaultKind::TransientError,
+            },
+            SourceFault {
+                pass: 1,
+                at_transaction: 7,
+                kind: SourceFaultKind::Truncate,
+            },
+        ]);
+        let retrying = RetryingSource::new(
+            FaultySource::new(db(10), plan),
+            RetryPolicy::new(3, Duration::ZERO),
+        );
+        let got = collect(&retrying).unwrap();
+        assert_eq!(retrying.retries_used(), 2);
+        // Every transaction exactly once, in order, despite two faults.
+        let clean = collect(&db(10)).unwrap();
+        assert_eq!(got, clean);
+        assert_eq!(retrying.len_hint(), Some(10));
+        assert_eq!(retrying.inner().inner().len(), 10);
+    }
+
+    #[test]
+    fn permanent_faults_are_not_retried() {
+        let plan = FaultPlan::new(vec![SourceFault {
+            pass: 0,
+            at_transaction: 2,
+            kind: SourceFaultKind::PermanentError,
+        }]);
+        let retrying = RetryingSource::new(
+            FaultySource::new(db(5), plan),
+            RetryPolicy::new(5, Duration::ZERO),
+        );
+        let err = collect(&retrying).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(retrying.retries_used(), 0);
+    }
+
+    #[test]
+    fn retry_budget_exhausts_into_the_last_error() {
+        // Faults on passes 0, 1 and 2; only one retry allowed.
+        let faults = (0..3)
+            .map(|p| SourceFault {
+                pass: p,
+                at_transaction: 0,
+                kind: SourceFaultKind::TransientError,
+            })
+            .collect();
+        let retrying = RetryingSource::new(
+            FaultySource::new(db(5), FaultPlan::new(faults)),
+            RetryPolicy::new(1, Duration::ZERO),
+        );
+        assert!(collect(&retrying)
+            .unwrap_err()
+            .to_string()
+            .contains(INJECTED));
+        assert_eq!(retrying.retries_used(), 1);
+    }
+
+    #[test]
+    fn slow_faults_delay_but_do_not_fail() {
+        let plan = FaultPlan::new(vec![SourceFault {
+            pass: 0,
+            at_transaction: 1,
+            kind: SourceFaultKind::Slow(Duration::from_millis(20)),
+        }]);
+        let faulty = FaultySource::new(db(4), plan);
+        let start = std::time::Instant::now();
+        assert_eq!(collect(&faulty).unwrap().len(), 4);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn bit_flip_delivers_silently_corrupt_data() {
+        let plan = FaultPlan::new(vec![SourceFault {
+            pass: 0,
+            at_transaction: 0,
+            kind: SourceFaultKind::FlipItemBit { bit: 4 },
+        }]);
+        let faulty = FaultySource::new(db(3), plan);
+        let got = collect(&faulty).unwrap();
+        let clean = collect(&db(3)).unwrap();
+        assert_eq!(got.len(), clean.len());
+        assert_ne!(got[0].1, clean[0].1, "first transaction must be corrupted");
+        assert_eq!(got[1..], clean[1..]);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_transient_only() {
+        let a = FaultPlan::seeded_transient(42, 5, 100, 4);
+        let b = FaultPlan::seeded_transient(42, 5, 100, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        for f in a.faults() {
+            assert!(f.pass < 5);
+            assert!(f.at_transaction < 100);
+            assert!(matches!(
+                f.kind,
+                SourceFaultKind::TransientError | SourceFaultKind::Truncate
+            ));
+        }
+        assert_ne!(a, FaultPlan::seeded_transient(43, 5, 100, 4));
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn faulty_reader_flips_truncates_and_errors() {
+        let data: Vec<u8> = (0..=255u8).collect();
+
+        // Bit flip at offset 10.
+        let mut r = FaultyReader::new(
+            data.as_slice(),
+            vec![ReadFault {
+                offset: 10,
+                kind: ReadFaultKind::FlipBits(0x01),
+            }],
+        );
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 256);
+        assert_eq!(out[10], 10 ^ 0x01);
+        assert_eq!(out[11], 11);
+
+        // Truncation at offset 100.
+        let mut r = FaultyReader::new(
+            data.as_slice(),
+            vec![ReadFault {
+                offset: 100,
+                kind: ReadFaultKind::Truncate,
+            }],
+        );
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 100);
+
+        // Transient error at offset 0, fires once.
+        let mut r = FaultyReader::new(
+            data.as_slice(),
+            vec![ReadFault {
+                offset: 0,
+                kind: ReadFaultKind::TransientError,
+            }],
+        );
+        let mut buf = [0u8; 16];
+        assert!(r.read(&mut buf).is_err());
+        // The failed read consumed inner bytes (as a real short read
+        // would); what matters is the error fired exactly once.
+        assert!(r.read(&mut buf).is_ok());
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_capped() {
+        let p = RetryPolicy::new(2, Duration::from_millis(1));
+        let start = std::time::Instant::now();
+        p.sleep(0);
+        p.sleep(1);
+        assert!(start.elapsed() < Duration::from_millis(500));
+        // A huge attempt index must not overflow or sleep unboundedly —
+        // the cap keeps it at MAX_SLEEP. (Not actually slept here.)
+        let exp = Duration::from_millis(1).saturating_mul(1u32 << 16);
+        assert!(exp.min(RetryPolicy::MAX_SLEEP) == RetryPolicy::MAX_SLEEP);
+        assert_eq!(RetryPolicy::default().max_retries, 3);
+    }
+}

@@ -10,8 +10,13 @@
 //! * [`TransactionSource`] — the pass abstraction shared by in-memory and
 //!   on-disk databases, plus [`PassCounter`] so tests and benchmarks can
 //!   verify the paper's `2n` vs `n + 1` pass counts,
-//! * [`binfmt`] / [`textfmt`] — a varint-compressed binary file format and a
+//! * [`binfmt`] / [`textfmt`] — a varint-compressed, per-block CRC-32
+//!   checksummed binary file format (strict and salvage reads) and a
 //!   human-readable text format, both streamable,
+//! * [`crc32`] / [`fault`] — the vendored checksum plus deterministic
+//!   fault injection ([`fault::FaultySource`], [`fault::FaultyReader`])
+//!   and bounded retry ([`fault::RetryPolicy`], [`fault::RetryingSource`])
+//!   so the multi-pass miners survive transient I/O failures,
 //! * [`partition`] — horizontal partitioning for memory-bounded or parallel
 //!   counting,
 //! * [`vertical`] — TID-list (inverted) indexes with intersection-based
@@ -35,6 +40,8 @@
 //! ```
 
 pub mod binfmt;
+pub mod crc32;
+pub mod fault;
 pub mod partition;
 pub mod stats;
 pub mod textfmt;

@@ -29,6 +29,16 @@ pub trait TransactionSource {
         self.pass(&mut |_| n += 1)?;
         Ok(n)
     }
+
+    /// The in-memory database behind this source, when it *is* one.
+    /// Algorithms with a partition-based degraded mode (which needs random
+    /// access) use this to decide whether that fallback is available.
+    /// Wrappers that change pass semantics (fault injection, pass
+    /// counting) deliberately return `None` — unwrapping them would bypass
+    /// what they instrument.
+    fn as_db(&self) -> Option<&crate::TransactionDb> {
+        None
+    }
 }
 
 impl<T: TransactionSource + ?Sized> TransactionSource for &T {
@@ -38,6 +48,10 @@ impl<T: TransactionSource + ?Sized> TransactionSource for &T {
 
     fn len_hint(&self) -> Option<u64> {
         (**self).len_hint()
+    }
+
+    fn as_db(&self) -> Option<&crate::TransactionDb> {
+        (**self).as_db()
     }
 }
 

@@ -2,7 +2,9 @@
 
 use negassoc_taxonomy::ItemId;
 use negassoc_txdb::TransactionSource;
-use negassoc_txdb::{binfmt, partition, textfmt, vertical, TransactionDb, TransactionDbBuilder};
+use negassoc_txdb::{
+    binfmt, fault, partition, textfmt, vertical, TransactionDb, TransactionDbBuilder,
+};
 use proptest::prelude::*;
 
 fn arb_db() -> impl Strategy<Value = TransactionDb> {
@@ -85,4 +87,110 @@ proptest! {
             prop_assert!(t.contains(ItemId(r)));
         }
     }
+
+    /// Decode fuzz: `binfmt::load` on arbitrary bytes errors, never panics
+    /// (and never fabricates data when the magic happens to match).
+    #[test]
+    fn load_survives_random_bytes(bytes in prop::collection::vec(0u8..=255, 0..400)) {
+        let path = unique_tmp("fuzz-raw");
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = binfmt::load(&path); // Ok or Err both fine; a panic fails the test.
+        let _ = binfmt::load_salvage(&path);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Decode fuzz with a valid prefix: random bytes appended to or
+    /// overwriting a real v2 file must never panic the loader, and strict
+    /// mode must not silently accept a payload-corrupted file.
+    #[test]
+    fn load_survives_corrupted_valid_files(
+        db in arb_db(),
+        noise in prop::collection::vec(0u8..=255, 1..64),
+        at in 0usize..1000,
+    ) {
+        let mut buf = Vec::new();
+        binfmt::write_db(&db, &mut buf).unwrap();
+        let at = at % buf.len().max(1);
+        for (k, &b) in noise.iter().enumerate() {
+            if let Some(slot) = buf.get_mut(at + k) {
+                *slot ^= b;
+            }
+        }
+        let path = unique_tmp("fuzz-corrupt");
+        std::fs::write(&path, &buf).unwrap();
+        match binfmt::load(&path) {
+            // Strict load may only succeed when the noise XORed nothing.
+            Ok(back) => prop_assert!(noise.iter().all(|&b| b == 0) && db_eq(&db, &back)),
+            Err(_) => {}
+        }
+        let _ = binfmt::load_salvage(&path);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Any single payload-corrupted block: strict errors, salvage recovers
+    /// exactly the other blocks and accounts every transaction.
+    #[test]
+    fn single_block_corruption_strict_vs_salvage(
+        n in 600u64..1500,
+        block in 0u64..3,
+        flip in 1u8..=255,
+    ) {
+        let mut b = TransactionDbBuilder::new();
+        for i in 0..n {
+            b.add([ItemId(i as u32 % 40)]);
+        }
+        let db = b.build();
+        let mut buf = Vec::new();
+        binfmt::write_db(&db, &mut buf).unwrap();
+        // Walk the block framing to find `block`'s first payload byte.
+        let blocks = (n as usize).div_ceil(512) as u64;
+        let block = block % blocks;
+        let mut off = 13usize;
+        for _ in 0..block {
+            let payload_len = u32::from_le_bytes([buf[off], buf[off+1], buf[off+2], buf[off+3]]) as usize;
+            off += 32 + payload_len;
+        }
+        buf[off + 32] ^= flip;
+        let path = unique_tmp("fuzz-block");
+        std::fs::write(&path, &buf).unwrap();
+
+        prop_assert!(binfmt::load(&path).is_err(), "strict mode must fail closed");
+        let (recovered, report) = binfmt::load_salvage(&path).unwrap();
+        prop_assert_eq!(report.lost_blocks.len(), 1);
+        prop_assert_eq!(recovered.len() as u64 + report.lost_transactions(), n);
+        // The lost-TID report is exact for this sequential-TID database.
+        let lost = &report.lost_blocks[0];
+        prop_assert_eq!(u64::from(lost.tx_count), lost.last_tid - lost.first_tid + 1);
+        for t in recovered.iter() {
+            prop_assert!(t.tid() < lost.first_tid || t.tid() > lost.last_tid);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Mining-style consumption under a seeded transient fault plan with
+    /// retry sees exactly the fault-free transaction stream, pass after
+    /// pass.
+    #[test]
+    fn retried_passes_match_fault_free(db in arb_db(), seed in 0u64..1u64<<48, n_faults in 0usize..4) {
+        let plan = fault::FaultPlan::seeded_transient(seed, 4, db.len().max(1) as u64, n_faults);
+        let faulty = fault::RetryingSource::new(
+            fault::FaultySource::new(&db, plan),
+            fault::RetryPolicy::new(n_faults as u32, std::time::Duration::ZERO),
+        );
+        for _pass in 0..4 {
+            let mut clean = Vec::new();
+            db.pass(&mut |t| clean.push((t.tid(), t.items().to_vec()))).unwrap();
+            let mut seen = Vec::new();
+            faulty.pass(&mut |t| seen.push((t.tid(), t.items().to_vec()))).unwrap();
+            prop_assert_eq!(&seen, &clean);
+        }
+    }
+}
+
+/// A collision-free temp path (unique per process, test and call).
+fn unique_tmp(name: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("negassoc-prop-{}-{n}-{name}", std::process::id()))
 }

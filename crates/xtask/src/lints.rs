@@ -1,4 +1,4 @@
-//! The negassoc custom lints, L001–L005.
+//! The negassoc custom lints, L001–L006.
 //!
 //! Each lint matches token patterns from [`crate::lexer`] against the
 //! workspace's invariants (documented in DESIGN.md "Invariants & static
@@ -11,6 +11,7 @@
 //! | L003 | no `panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code |
 //! | L004 | `Itemset` values are built through its sorting/dedup constructors only |
 //! | L005 | lossy `as` casts on support counters live only in sanctioned helpers (`counting.rs`, `expected.rs`) |
+//! | L006 | the core crate returns `Result<_, NegAssocError>`, never `io::Result` — I/O errors convert at the txdb boundary |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/` directories
 //! and `#[cfg(test)]` modules. Any finding can be suppressed with a
@@ -57,6 +58,11 @@ pub const LINTS: &[Lint] = &[
         summary: "lossy `as` cast on a support counter outside counting.rs/expected.rs",
         library_only: true,
     },
+    Lint {
+        id: "L006",
+        summary: "io::Result in the core crate; return Result<_, NegAssocError> instead",
+        library_only: true,
+    },
 ];
 
 /// One diagnostic.
@@ -95,6 +101,7 @@ pub fn lint_file(path: &str, lexed: &LexedFile, class: FileClass) -> Vec<Finding
         l003_panics(path, lexed, &in_test, &mut findings);
         l004_itemset_literal(path, lexed, &in_test, &mut findings);
         l005_lossy_casts(path, lexed, &in_test, &mut findings);
+        l006_io_result(path, lexed, &in_test, &mut findings);
     }
     // Apply allow directives (same line or the line above the finding).
     findings.retain(|f| {
@@ -327,6 +334,41 @@ fn l004_itemset_literal(
                 line: t.line,
                 message: "Itemset built from a raw tuple literal; use \
                           Itemset::from_unsorted / from_sorted / singleton"
+                    .into(),
+            });
+        }
+    }
+}
+
+fn l006_io_result(
+    path: &str,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    // Only the core crate has the typed NegAssocError to route through;
+    // the substrate crates (txdb, apriori, taxonomy) speak io::Result by
+    // design at the file-format and pass boundaries.
+    if !path.contains("core/src/") {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "io" || in_test(t.line) {
+            continue;
+        }
+        let is_io_result = toks.get(i + 1).is_some_and(|n| n.text == "::")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokenKind::Ident && n.text == "Result");
+        if is_io_result {
+            findings.push(Finding {
+                lint: "L006",
+                path: path.into(),
+                line: t.line,
+                message: "io::Result in the core crate bypasses the typed error; \
+                          return Result<_, NegAssocError> and convert io::Error at \
+                          the txdb boundary"
                     .into(),
             });
         }

@@ -1,0 +1,21 @@
+//! L006 fixture: `io::Result` in the core crate's library code must fire;
+//! the same signature inside `#[cfg(test)]` must not.
+
+use std::io;
+
+pub fn count_stuff() -> io::Result<u64> {
+    Ok(0)
+}
+
+pub fn typed_is_fine() -> Result<u64, String> {
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io;
+
+    fn helper() -> io::Result<()> {
+        Ok(())
+    }
+}

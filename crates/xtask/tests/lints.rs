@@ -93,6 +93,34 @@ fn l005_exempts_sanctioned_modules() {
 }
 
 #[test]
+fn l006_fires_on_io_result_in_core() {
+    let findings = analyze_source(
+        "crates/core/src/l006_io_result.rs",
+        &fixture("l006_io_result.rs"),
+        FileClass::Library,
+    );
+    let fired: Vec<_> = findings.iter().map(|f| f.lint).collect();
+    // One finding per library `io::Result` mention (the use + the return
+    // type inside cfg(test) stay silent; the signature fires once).
+    assert_eq!(fired, ["L006"]);
+}
+
+#[test]
+fn l006_exempts_substrate_crates() {
+    for path in [
+        "crates/txdb/src/binfmt.rs",
+        "crates/apriori/src/levelwise.rs",
+        "crates/demo/src/lib.rs",
+    ] {
+        let findings = analyze_source(path, &fixture("l006_io_result.rs"), FileClass::Library);
+        assert!(
+            findings.is_empty(),
+            "{path} may use io::Result, got {findings:?}"
+        );
+    }
+}
+
+#[test]
 fn allow_comments_suppress_with_a_paper_trail() {
     let fired = lints_fired("allowed.rs", FileClass::Library);
     assert!(
@@ -124,6 +152,17 @@ fn every_registered_lint_has_a_firing_fixture() {
     ] {
         covered.extend(lints_fired(name, FileClass::Library));
     }
+    // L006 is path-scoped to the core crate, so its fixture is analyzed
+    // under a core path.
+    covered.extend(
+        analyze_source(
+            "crates/core/src/l006_io_result.rs",
+            &fixture("l006_io_result.rs"),
+            FileClass::Library,
+        )
+        .iter()
+        .map(|f| f.lint),
+    );
     for lint in xtask::lints::LINTS {
         assert!(
             covered.contains(&lint.id),

@@ -16,4 +16,27 @@ cargo test -q
 echo "==> xtask analyze --deny-all"
 cargo run -q --release -p xtask -- analyze --deny-all
 
+echo "==> fault-injection smoke (checkpoint/resume round trip)"
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+NEGRULES=./target/release/negrules
+"$NEGRULES" generate --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --transactions 300 --seed 11 > /dev/null
+"$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --min-support 0.05 --max-size 2 --out "$SMOKE/clean.csv" > /dev/null
+# A run with an injected permanent fault must fail but leave checkpoints.
+if "$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --min-support 0.05 --max-size 2 --checkpoint-dir "$SMOKE/ckpt" \
+  --inject-fail-pass 2 > /dev/null 2>&1; then
+  echo "smoke: injected run unexpectedly succeeded" >&2
+  exit 1
+fi
+[ -n "$(ls -A "$SMOKE/ckpt")" ] || { echo "smoke: no checkpoints written" >&2; exit 1; }
+# Resuming from those checkpoints must reproduce the clean output exactly.
+"$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --min-support 0.05 --max-size 2 --checkpoint-dir "$SMOKE/ckpt" \
+  --out "$SMOKE/resumed.csv" > /dev/null
+diff "$SMOKE/clean.csv" "$SMOKE/resumed.csv"
+echo "smoke: resumed output byte-identical to the clean run"
+
 echo "ci: all checks passed"
