@@ -6,19 +6,31 @@
 use crate::count::CountingBackend;
 use crate::itemset::LargeItemsets;
 use crate::levelwise::{GenLevelMiner, GenStrategy};
+use crate::parallel::Parallelism;
 use crate::MinSupport;
 use negassoc_taxonomy::Taxonomy;
 use negassoc_txdb::TransactionSource;
 use std::io;
 
-/// Mine all generalized large itemsets with the Basic algorithm.
+/// Mine all generalized large itemsets with the Basic algorithm. Every
+/// counting pass uses the worker pool `parallelism` selects; the result is
+/// identical for every policy.
 pub fn basic<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
     min_support: MinSupport,
     backend: CountingBackend,
+    parallelism: Parallelism,
 ) -> io::Result<LargeItemsets> {
-    GenLevelMiner::new(source, tax, min_support, GenStrategy::Basic, backend)?.run_to_completion()
+    GenLevelMiner::new(
+        source,
+        tax,
+        min_support,
+        GenStrategy::Basic,
+        backend,
+        parallelism,
+    )?
+    .run_to_completion()
 }
 
 #[cfg(test)]
@@ -59,7 +71,14 @@ pub(crate) mod tests {
     fn sa95_running_example() {
         let (tax, db, [clothes, jackets, _ski, footwear, shoes, boots]) = sa95();
         // minsup = 2 transactions (30% of 6, rounded like the paper).
-        let large = basic(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        let large = basic(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
 
         // Singles: jackets(2), clothes(3), shoes(3), boots(2), footwear(5).
         assert_eq!(large.support_of(&[jackets]), Some(2));
@@ -99,7 +118,14 @@ pub(crate) mod tests {
         db.add([ItemId(2), ItemId(5)]);
         let db = db.build();
 
-        let gen = basic(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        let gen = basic(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
         let flat =
             crate::apriori::apriori(&db, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
         assert_eq!(gen.total(), flat.total());
@@ -117,6 +143,7 @@ pub(crate) mod tests {
             &tax,
             MinSupport::Fraction(0.5),
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap();
         assert_eq!(large.total(), 0);

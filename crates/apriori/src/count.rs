@@ -123,7 +123,7 @@ pub fn count_mixed<S: TransactionSource + ?Sized>(
         .collect())
 }
 
-fn items_of(candidates: &[Itemset]) -> FxHashSet<ItemId> {
+pub(crate) fn items_of(candidates: &[Itemset]) -> FxHashSet<ItemId> {
     let mut s = FxHashSet::default();
     for c in candidates {
         s.extend(c.items().iter().copied());
@@ -131,8 +131,9 @@ fn items_of(candidates: &[Itemset]) -> FxHashSet<ItemId> {
     s
 }
 
-/// One size's counting structure.
-enum Counter {
+/// One size's counting structure (shared with the parallel counting layer,
+/// where every worker owns one per candidate size).
+pub(crate) enum Counter {
     Tree(HashTree),
     Map {
         k: usize,
@@ -141,7 +142,7 @@ enum Counter {
 }
 
 impl Counter {
-    fn build(k: usize, candidates: Vec<Itemset>, backend: CountingBackend) -> Self {
+    pub(crate) fn build(k: usize, candidates: Vec<Itemset>, backend: CountingBackend) -> Self {
         match backend {
             CountingBackend::HashTree => Counter::Tree(HashTree::build(k, candidates)),
             CountingBackend::SubsetHashMap => {
@@ -151,14 +152,14 @@ impl Counter {
         }
     }
 
-    fn count(&mut self, items: &[ItemId]) {
+    pub(crate) fn count(&mut self, items: &[ItemId]) {
         match self {
             Counter::Tree(t) => t.count_transaction(items),
             Counter::Map { k, map } => count_into_map(items, *k, map),
         }
     }
 
-    fn into_counts(self) -> Vec<(Itemset, u64)> {
+    pub(crate) fn into_counts(self) -> Vec<(Itemset, u64)> {
         match self {
             Counter::Tree(t) => t.into_counts(),
             Counter::Map { map, .. } => map.into_iter().collect(),

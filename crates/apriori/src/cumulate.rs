@@ -17,6 +17,7 @@
 use crate::count::CountingBackend;
 use crate::itemset::LargeItemsets;
 use crate::levelwise::{GenLevelMiner, GenStrategy};
+use crate::parallel::Parallelism;
 use crate::MinSupport;
 use negassoc_taxonomy::Taxonomy;
 use negassoc_txdb::TransactionSource;
@@ -26,6 +27,7 @@ use std::io;
 ///
 /// ```
 /// use negassoc_apriori::{cumulate::cumulate, count::CountingBackend, MinSupport};
+/// use negassoc_apriori::parallel::Parallelism;
 /// use negassoc_taxonomy::TaxonomyBuilder;
 /// use negassoc_txdb::TransactionDbBuilder;
 ///
@@ -41,7 +43,14 @@ use std::io;
 /// db.add([cola, juice]);
 /// let db = db.build();
 ///
-/// let large = cumulate(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+/// let large = cumulate(
+///     &db,
+///     &tax,
+///     MinSupport::Count(2),
+///     CountingBackend::HashTree,
+///     Parallelism::Sequential,
+/// )
+/// .unwrap();
 /// // The category "drinks" is supported by every transaction even though
 /// // it never appears literally.
 /// assert_eq!(large.support_of(&[drinks]), Some(3));
@@ -52,9 +61,17 @@ pub fn cumulate<S: TransactionSource + ?Sized>(
     tax: &Taxonomy,
     min_support: MinSupport,
     backend: CountingBackend,
+    parallelism: Parallelism,
 ) -> io::Result<LargeItemsets> {
-    GenLevelMiner::new(source, tax, min_support, GenStrategy::Cumulate, backend)?
-        .run_to_completion()
+    GenLevelMiner::new(
+        source,
+        tax,
+        min_support,
+        GenStrategy::Cumulate,
+        backend,
+        parallelism,
+    )?
+    .run_to_completion()
 }
 
 #[cfg(test)]
@@ -68,8 +85,22 @@ mod tests {
     fn matches_basic_on_sa95_example() {
         let (tax, db, _) = sa95();
         for ms in [1u64, 2, 3, 4] {
-            let a = basic(&db, &tax, MinSupport::Count(ms), CountingBackend::HashTree).unwrap();
-            let b = cumulate(&db, &tax, MinSupport::Count(ms), CountingBackend::HashTree).unwrap();
+            let a = basic(
+                &db,
+                &tax,
+                MinSupport::Count(ms),
+                CountingBackend::HashTree,
+                Parallelism::Sequential,
+            )
+            .unwrap();
+            let b = cumulate(
+                &db,
+                &tax,
+                MinSupport::Count(ms),
+                CountingBackend::HashTree,
+                Parallelism::Sequential,
+            )
+            .unwrap();
             assert_eq!(a.total(), b.total(), "minsup {ms}");
             for (set, sup) in a.iter() {
                 assert_eq!(b.support_of_set(set), Some(sup), "minsup {ms}, {set:?}");
@@ -81,10 +112,24 @@ mod tests {
     fn same_pass_count_as_basic() {
         let (tax, db, _) = sa95();
         let pc = PassCounter::new(db);
-        cumulate(&pc, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        cumulate(
+            &pc,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
         let cumulate_passes = pc.passes();
         pc.reset();
-        basic(&pc, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        basic(
+            &pc,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
         assert_eq!(cumulate_passes, pc.passes());
     }
 
@@ -98,6 +143,7 @@ mod tests {
             &tax,
             MinSupport::Count(3),
             CountingBackend::SubsetHashMap,
+            Parallelism::Sequential,
         )
         .unwrap();
         assert_eq!(large.support_of(&[clothes]), Some(3));
@@ -113,6 +159,7 @@ mod tests {
             &tax,
             MinSupport::Fraction(0.1),
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap();
         assert_eq!(large.total(), 0);

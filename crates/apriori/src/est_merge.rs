@@ -11,10 +11,11 @@
 //! interleaves with the Stratify family, which the paper under reproduction
 //! does not use. See DESIGN.md for the exact construction.
 
-use crate::count::{count_mixed, CountingBackend};
+use crate::count::CountingBackend;
 use crate::gen::{apriori_gen, pairs_of};
 use crate::generalized::{extend_full, prune_ancestor_pairs, AncestorTable};
 use crate::itemset::{Itemset, LargeItemsets};
+use crate::parallel::{count_mixed_parallel, Parallelism};
 use crate::MinSupport;
 use negassoc_taxonomy::fxhash::FxHashSet;
 use negassoc_taxonomy::{ItemId, Taxonomy};
@@ -60,12 +61,20 @@ pub struct EstMergeStats {
 }
 
 /// Mine all generalized large itemsets with EstMerge.
+///
+/// Batch-counting passes over the full database use the worker pool
+/// `parallelism` selects. The sampling pass (pass 1) always runs
+/// sequentially: the sample is drawn by an RNG advanced per transaction,
+/// so its contents depend on stream order — which only the sequential
+/// scan pins down. Sample-estimation scans are in-memory and cheap, so
+/// they stay sequential too. Results are identical for every policy.
 pub fn est_merge<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
     min_support: MinSupport,
     backend: CountingBackend,
     config: EstMergeConfig,
+    parallelism: Parallelism,
 ) -> io::Result<(LargeItemsets, EstMergeStats)> {
     assert!(
         (0.0..=1.0).contains(&config.sample_fraction),
@@ -136,9 +145,16 @@ pub fn est_merge<S: TransactionSource + ?Sized>(
             Vec::new()
         } else {
             stats.passes += 1;
-            let mut mapper =
+            let mapper =
                 |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, &ancestors, out);
-            count_mixed(source, std::mem::take(&mut batch), backend, &mut mapper)?
+            count_mixed_parallel(
+                source,
+                std::mem::take(&mut batch),
+                backend,
+                &mapper,
+                parallelism,
+            )?
+            .counts
         };
 
         let mut levels_with_news: Vec<usize> = Vec::new();
@@ -210,7 +226,7 @@ fn split_by_estimate(
         return Ok((candidates, Vec::new()));
     }
     let mut mapper = |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, ancestors, out);
-    let counted = count_mixed(sample, candidates, backend, &mut mapper)?;
+    let counted = crate::count::count_mixed(sample, candidates, backend, &mut mapper)?;
     let scale = num_transactions as f64 / sample.len() as f64;
     // negassoc-lint: allow(L005) -- sample-scaled threshold; supports are exact in f64 up to 2^53
     let threshold = safety_factor * minsup as f64;
@@ -245,7 +261,14 @@ mod tests {
     #[test]
     fn matches_basic_regardless_of_sampling() {
         let (tax, db, _) = sa95();
-        let reference = basic(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        let reference = basic(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
         for (frac, seed) in [(0.0, 1u64), (0.5, 2), (1.0, 3), (0.3, 42)] {
             let (got, _stats) = est_merge(
                 &db,
@@ -257,6 +280,7 @@ mod tests {
                     safety_factor: 0.9,
                     seed,
                 },
+                Parallelism::Threads(if seed % 2 == 0 { 3 } else { 1 }),
             )
             .unwrap();
             assert_same_large(&reference, &got);
@@ -275,6 +299,7 @@ mod tests {
                 sample_fraction: 0.0,
                 ..EstMergeConfig::default()
             },
+            Parallelism::Sequential,
         )
         .unwrap();
         assert_eq!(stats.sample_size, 0);
@@ -295,6 +320,7 @@ mod tests {
                 safety_factor: 1.0,
                 seed: 7,
             },
+            Parallelism::Sequential,
         )
         .unwrap();
         // With the whole database as the sample and safety factor 1, the
@@ -318,6 +344,7 @@ mod tests {
             MinSupport::Count(2),
             CountingBackend::HashTree,
             cfg,
+            Parallelism::Sequential,
         )
         .unwrap();
         let (b, sb) = est_merge(
@@ -326,6 +353,7 @@ mod tests {
             MinSupport::Count(2),
             CountingBackend::HashTree,
             cfg,
+            Parallelism::Sequential,
         )
         .unwrap();
         assert_same_large(&a, &b);
@@ -342,6 +370,7 @@ mod tests {
             MinSupport::Count(2),
             CountingBackend::HashTree,
             EstMergeConfig::default(),
+            Parallelism::Sequential,
         )
         .unwrap();
         assert_eq!(stats.passes, pc.passes());

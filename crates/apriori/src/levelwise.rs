@@ -6,17 +6,19 @@
 //! [`GenLevelMiner`] exposes exactly that stepping; [`crate::basic`] and
 //! [`crate::cumulate`] are thin run-to-completion wrappers around it.
 
-use crate::count::{count_candidates, CountingBackend};
+use crate::count::CountingBackend;
 use crate::gen::{apriori_gen, pairs_of};
 use crate::generalized::{
     extend_filtered, extend_full, items_of_candidates, prune_ancestor_pairs, AncestorTable,
 };
 use crate::itemset::{Itemset, LargeItemsets};
+use crate::parallel::{count_items_parallel, count_mixed_parallel, Parallelism, PassStats};
 use crate::MinSupport;
 use negassoc_taxonomy::{ItemId, Taxonomy};
 use negassoc_txdb::TransactionSource;
 use std::fmt;
 use std::io;
+use std::time::Instant;
 
 /// A level's candidate set outgrew the configured cap (see
 /// [`GenLevelMiner::with_candidate_cap`]). Carried inside an
@@ -87,6 +89,7 @@ pub struct GenLevelMiner<'a, S: TransactionSource + ?Sized> {
     ancestors: AncestorTable,
     strategy: GenStrategy,
     backend: CountingBackend,
+    parallelism: Parallelism,
     minsup: u64,
     large: LargeItemsets,
     large_1: Vec<ItemId>,
@@ -94,6 +97,7 @@ pub struct GenLevelMiner<'a, S: TransactionSource + ?Sized> {
     next_k: usize,
     done: bool,
     candidate_cap: Option<usize>,
+    pass_stats: Vec<PassStats>,
 }
 
 impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
@@ -104,20 +108,21 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
         min_support: MinSupport,
         strategy: GenStrategy,
         backend: CountingBackend,
+        parallelism: Parallelism,
     ) -> io::Result<Self> {
         let ancestors = AncestorTable::new(tax);
-        let mut counts: Vec<u64> = vec![0; tax.len()];
-        let mut num_transactions = 0u64;
-        let mut buf: Vec<ItemId> = Vec::new();
-        source.pass(&mut |t| {
-            num_transactions += 1;
-            extend_full(t.items(), &ancestors, &mut buf);
-            for &it in &buf {
-                if let Some(c) = counts.get_mut(it.index()) {
-                    *c += 1;
-                }
-            }
-        })?;
+        let started = Instant::now();
+        let mapper = |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, &ancestors, out);
+        let (counts, num_transactions) =
+            count_items_parallel(source, tax.len(), &mapper, parallelism)?;
+        let pass_stats = vec![PassStats {
+            pass: 1,
+            label: "L1".to_string(),
+            candidates: tax.len(),
+            transactions: num_transactions,
+            threads: parallelism.resolve(),
+            wall: started.elapsed(),
+        }];
         let minsup = min_support.to_count(num_transactions);
         let mut large = LargeItemsets::new(num_transactions, minsup);
         let mut large_1 = Vec::new();
@@ -134,6 +139,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             ancestors,
             strategy,
             backend,
+            parallelism,
             minsup,
             large,
             large_1,
@@ -141,6 +147,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             next_k: 2,
             done,
             candidate_cap: None,
+            pass_stats,
         })
     }
 
@@ -177,6 +184,19 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
         &self.ancestors
     }
 
+    /// Telemetry for every counting pass this miner has made so far, in
+    /// execution order. Pass numbers are local to this miner instance
+    /// (a resumed miner starts again at 1 — it makes no level-1 pass, so
+    /// its first entry is whatever level it counts first).
+    pub fn pass_stats(&self) -> &[PassStats] {
+        &self.pass_stats
+    }
+
+    /// Drain the collected pass telemetry, leaving the miner's log empty.
+    pub fn take_pass_stats(&mut self) -> Vec<PassStats> {
+        std::mem::take(&mut self.pass_stats)
+    }
+
     /// Export the stepping state for checkpointing. No database pass.
     pub fn state(&self) -> MinerState {
         let mut large: Vec<(Itemset, u64)> =
@@ -204,6 +224,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
         tax: &Taxonomy,
         strategy: GenStrategy,
         backend: CountingBackend,
+        parallelism: Parallelism,
         state: MinerState,
     ) -> Self {
         let ancestors = AncestorTable::new(tax);
@@ -221,6 +242,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             ancestors,
             strategy,
             backend,
+            parallelism,
             minsup: state.minsup,
             large,
             large_1,
@@ -228,6 +250,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             next_k: state.next_k,
             done: state.done,
             candidate_cap: None,
+            pass_stats: Vec::new(),
         }
     }
 
@@ -257,24 +280,45 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
                 .into());
             }
         }
-        let counted = match self.strategy {
+        let started = Instant::now();
+        let run = match self.strategy {
             GenStrategy::Basic => {
                 let ancestors = &self.ancestors;
-                let mut mapper =
+                let mapper =
                     |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, ancestors, out);
-                count_candidates(self.source, candidates, self.backend, &mut mapper)?
+                count_mixed_parallel(
+                    self.source,
+                    candidates,
+                    self.backend,
+                    &mapper,
+                    self.parallelism,
+                )?
             }
             GenStrategy::Cumulate => {
                 let needed = items_of_candidates(&candidates);
                 let ancestors = &self.ancestors;
-                let mut mapper = |items: &[ItemId], out: &mut Vec<ItemId>| {
+                let mapper = |items: &[ItemId], out: &mut Vec<ItemId>| {
                     extend_filtered(items, ancestors, &needed, out)
                 };
-                count_candidates(self.source, candidates, self.backend, &mut mapper)?
+                count_mixed_parallel(
+                    self.source,
+                    candidates,
+                    self.backend,
+                    &mapper,
+                    self.parallelism,
+                )?
             }
         };
+        self.pass_stats.push(PassStats {
+            pass: self.pass_stats.len() as u64 + 1,
+            label: format!("L{k}"),
+            candidates: run.counts.len(),
+            transactions: run.transactions,
+            threads: run.threads,
+            wall: started.elapsed(),
+        });
         self.frontier.clear();
-        for (set, count) in counted {
+        for (set, count) in run.counts {
             if count >= self.minsup {
                 self.frontier.push(set.clone());
                 self.large.insert(set, count);
@@ -311,6 +355,7 @@ mod tests {
                 MinSupport::Count(2),
                 GenStrategy::Cumulate,
                 CountingBackend::HashTree,
+                Parallelism::Sequential,
             )
             .unwrap();
             let mut per_level = Vec::new();
@@ -327,6 +372,7 @@ mod tests {
             MinSupport::Count(2),
             GenStrategy::Cumulate,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap()
         .run_to_completion()
@@ -344,6 +390,7 @@ mod tests {
             MinSupport::Count(2),
             GenStrategy::Cumulate,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap()
         .with_candidate_cap(Some(0));
@@ -366,6 +413,7 @@ mod tests {
             MinSupport::Count(2),
             GenStrategy::Cumulate,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap()
         .with_candidate_cap(Some(1000))
@@ -385,6 +433,7 @@ mod tests {
             MinSupport::Count(2),
             GenStrategy::Cumulate,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap()
         .run_to_completion()
@@ -398,6 +447,7 @@ mod tests {
                 MinSupport::Count(2),
                 GenStrategy::Cumulate,
                 CountingBackend::HashTree,
+                Parallelism::Sequential,
             )
             .unwrap();
             m.state()
@@ -409,6 +459,7 @@ mod tests {
             &tax,
             GenStrategy::Cumulate,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
             state,
         )
         .run_to_completion()
@@ -427,6 +478,7 @@ mod tests {
             MinSupport::Count(2),
             GenStrategy::Cumulate,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap()
         .state();
@@ -435,6 +487,7 @@ mod tests {
             &tax,
             GenStrategy::Cumulate,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
             a.clone(),
         )
         .state();
@@ -450,6 +503,7 @@ mod tests {
             MinSupport::Count(100),
             GenStrategy::Basic,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap();
         assert!(m.is_done());

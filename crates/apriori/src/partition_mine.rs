@@ -17,15 +17,17 @@
 //! (candidates containing an item and its ancestor are pruned as in
 //! [`crate::cumulate`]).
 
-use crate::count::{count_mixed, CountingBackend};
+use crate::count::CountingBackend;
 use crate::gen::{apriori_gen, pairs_of};
 use crate::generalized::{
     extend_filtered, items_of_candidates, prune_ancestor_pairs, AncestorTable,
 };
 use crate::itemset::{Itemset, LargeItemsets};
+use crate::parallel::{count_mixed_parallel, identity_sync_mapper, Parallelism};
 use crate::MinSupport;
 use negassoc_taxonomy::fxhash::FxHashSet;
 use negassoc_taxonomy::{ItemId, Taxonomy};
+use negassoc_txdb::block::parallel_map;
 use negassoc_txdb::partition::partitions;
 use negassoc_txdb::vertical::TidListIndex;
 use negassoc_txdb::TransactionDb;
@@ -33,6 +35,13 @@ use std::io;
 
 /// Mine all (generalized, when `tax` is given) large itemsets with the
 /// Partition algorithm over `num_partitions` partitions.
+///
+/// With a multi-threaded [`Parallelism`] policy, phase 1 mines partitions
+/// concurrently (each worker builds and mines its own TID-list indexes)
+/// and the phase-2 verification pass runs on the shared worker-pool
+/// counter. Local results are unioned in partition order and the global
+/// candidate set is sorted before counting, so the result — and every
+/// downstream byte of output — is identical for every policy.
 ///
 /// # Panics
 /// Panics when `num_partitions == 0`.
@@ -42,6 +51,7 @@ pub fn partition_mine(
     min_support: MinSupport,
     num_partitions: usize,
     backend: CountingBackend,
+    parallelism: Parallelism,
 ) -> io::Result<LargeItemsets> {
     assert!(num_partitions > 0, "need at least one partition");
     let total = db.len() as u64;
@@ -54,20 +64,23 @@ pub fn partition_mine(
     };
     let ancestors = tax.map(AncestorTable::new);
 
-    // Phase 1: locally large itemsets, unioned.
-    let mut global_candidates: FxHashSet<Itemset> = FxHashSet::default();
-    for part in partitions(db, num_partitions) {
+    // Phase 1: locally large itemsets, mined per partition (concurrently
+    // when allowed) and unioned in partition order.
+    let parts = partitions(db, num_partitions);
+    let ancestors_ref = ancestors.as_ref();
+    let locals = parallel_map(parts, parallelism.resolve(), |part| -> io::Result<_> {
         let index = match tax {
             Some(t) => TidListIndex::build_generalized(&part, t)?,
             None => TidListIndex::build(&part)?,
         };
         let local_minsup = ((frac * part.len() as f64).ceil() as u64).max(1);
-        local_mine(
-            &index,
-            local_minsup,
-            ancestors.as_ref(),
-            &mut global_candidates,
-        );
+        let mut local: FxHashSet<Itemset> = FxHashSet::default();
+        local_mine(&index, local_minsup, ancestors_ref, &mut local);
+        Ok(local)
+    });
+    let mut global_candidates: FxHashSet<Itemset> = FxHashSet::default();
+    for local in locals {
+        global_candidates.extend(local?);
     }
 
     // Phase 2: one exact counting pass over the whole database.
@@ -75,17 +88,20 @@ pub fn partition_mine(
     if global_candidates.is_empty() {
         return Ok(large);
     }
-    let candidates: Vec<Itemset> = global_candidates.into_iter().collect();
+    let mut candidates: Vec<Itemset> = global_candidates.into_iter().collect();
+    // Sorted candidates decouple the verification pass (and the insertion
+    // order of everything downstream) from hash-set iteration order.
+    candidates.sort_unstable();
     let counted = match &ancestors {
         Some(anc) => {
             let needed = items_of_candidates(&candidates);
-            let mut mapper =
+            let mapper =
                 |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, anc, &needed, out);
-            count_mixed(db, candidates, backend, &mut mapper)?
+            count_mixed_parallel(db, candidates, backend, &mapper, parallelism)?
         }
-        None => count_mixed(db, candidates, backend, &mut crate::count::identity_mapper)?,
+        None => count_mixed_parallel(db, candidates, backend, &identity_sync_mapper, parallelism)?,
     };
-    for (set, count) in counted {
+    for (set, count) in counted.counts {
         if count >= global_minsup {
             large.insert(set, count);
         }
@@ -174,6 +190,7 @@ mod tests {
                 MinSupport::Count(2),
                 parts,
                 CountingBackend::HashTree,
+                Parallelism::Threads(parts),
             )
             .unwrap();
             assert_same(&reference, &got);
@@ -183,8 +200,14 @@ mod tests {
     #[test]
     fn generalized_matches_cumulate() {
         let (tax, db, _) = sa95();
-        let reference =
-            cumulate(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        let reference = cumulate(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
         for parts in [1, 2, 3] {
             let got = partition_mine(
                 &db,
@@ -192,6 +215,7 @@ mod tests {
                 MinSupport::Count(2),
                 parts,
                 CountingBackend::SubsetHashMap,
+                Parallelism::Threads(2),
             )
             .unwrap();
             assert_same(&reference, &got);
@@ -207,6 +231,7 @@ mod tests {
             MinSupport::Fraction(0.1),
             4,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap();
         assert_eq!(got.total(), 0);
@@ -222,6 +247,7 @@ mod tests {
             MinSupport::Fraction(0.5),
             2,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap();
         assert_same(&reference, &got);
@@ -237,6 +263,7 @@ mod tests {
             MinSupport::Count(2),
             0,
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         );
     }
 }

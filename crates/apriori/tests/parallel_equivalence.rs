@@ -1,0 +1,143 @@
+//! Determinism contract of the parallel counting layer: for every thread
+//! count, every backend, and every source — in-memory or streamed through
+//! faults and retries — parallel counts are *exactly* the sequential
+//! counts, in the same candidate order.
+
+use negassoc_apriori::count::{count_mixed, identity_mapper, CountingBackend};
+use negassoc_apriori::parallel::{count_mixed_parallel, identity_sync_mapper, Parallelism};
+use negassoc_apriori::{basic::basic, Itemset, MinSupport};
+use negassoc_taxonomy::{ItemId, Taxonomy, TaxonomyBuilder};
+use negassoc_txdb::fault::{FaultPlan, FaultySource, RetryPolicy, RetryingSource};
+use negassoc_txdb::{TransactionDb, TransactionDbBuilder};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const ITEMS: u32 = 16;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn arb_db() -> impl Strategy<Value = TransactionDb> {
+    prop::collection::vec(prop::collection::vec(0..ITEMS, 0..7), 1..60).prop_map(|txs| {
+        let mut b = TransactionDbBuilder::new();
+        for t in txs {
+            b.add(t.into_iter().map(ItemId));
+        }
+        b.build()
+    })
+}
+
+fn arb_candidates() -> impl Strategy<Value = Vec<Itemset>> {
+    prop::collection::btree_set(prop::collection::btree_set(0..ITEMS, 1..4), 1..20).prop_map(
+        |cands| {
+            cands
+                .iter()
+                .map(|c| Itemset::from_unsorted(c.iter().map(|&i| ItemId(i)).collect()))
+                .collect()
+        },
+    )
+}
+
+fn flat_taxonomy() -> Taxonomy {
+    let mut tb = TaxonomyBuilder::new();
+    for i in 0..ITEMS {
+        tb.add_root(&format!("item{i}"));
+    }
+    tb.build()
+}
+
+proptest! {
+    /// In-memory source: 1/2/4/8 worker threads and both backends all
+    /// reproduce the sequential counts in the sequential order.
+    #[test]
+    fn every_thread_count_matches_sequential(
+        db in arb_db(),
+        candidates in arb_candidates(),
+    ) {
+        for backend in [CountingBackend::HashTree, CountingBackend::SubsetHashMap] {
+            // The sequential entry point emits per-size groups in hash
+            // order; sort both sides to compare the (itemset, count) sets.
+            let mut sequential =
+                count_mixed(&db, candidates.clone(), backend, &mut identity_mapper).unwrap();
+            sequential.sort();
+            for threads in THREAD_COUNTS {
+                let run = count_mixed_parallel(
+                    &db,
+                    candidates.clone(),
+                    backend,
+                    &identity_sync_mapper,
+                    Parallelism::Threads(threads),
+                )
+                .unwrap();
+                // The parallel entry point guarantees input order.
+                let order: Vec<&Itemset> = run.counts.iter().map(|(c, _)| c).collect();
+                prop_assert_eq!(order, candidates.iter().collect::<Vec<_>>());
+                let mut parallel = run.counts;
+                parallel.sort();
+                prop_assert_eq!(&parallel, &sequential, "{:?} x{}", backend, threads);
+            }
+        }
+    }
+
+    /// Streamed source healing injected transient faults mid-pass: the
+    /// retry layer's exactly-once delivery keeps parallel counts exact at
+    /// every thread count.
+    #[test]
+    fn faulty_retrying_stream_matches_sequential(
+        db in arb_db(),
+        candidates in arb_candidates(),
+        seed in any::<u64>(),
+    ) {
+        let backend = CountingBackend::HashTree;
+        let mut sequential =
+            count_mixed(&db, candidates.clone(), backend, &mut identity_mapper).unwrap();
+        sequential.sort();
+        for threads in THREAD_COUNTS {
+            // A fresh faulty stream per run: the pass counter advances on
+            // every attempt, so reuse would shift which pass faults.
+            let faulty = FaultySource::new(
+                &db,
+                FaultPlan::seeded_transient(seed, 2, db.len() as u64, 3),
+            );
+            let healed = RetryingSource::new(faulty, RetryPolicy::new(8, Duration::ZERO));
+            let run = count_mixed_parallel(
+                &healed,
+                candidates.clone(),
+                backend,
+                &identity_sync_mapper,
+                Parallelism::Threads(threads),
+            )
+            .unwrap();
+            let mut parallel = run.counts;
+            parallel.sort();
+            prop_assert_eq!(&parallel, &sequential, "x{}", threads);
+        }
+    }
+
+    /// The whole miner, not just one pass: Basic over a flat taxonomy is
+    /// identical for every parallelism policy.
+    #[test]
+    fn miner_output_is_thread_count_invariant(db in arb_db(), minsup in 1u64..5) {
+        let tax = flat_taxonomy();
+        let reference = basic(
+            &db,
+            &tax,
+            MinSupport::Count(minsup),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        for threads in THREAD_COUNTS {
+            let parallel = basic(
+                &db,
+                &tax,
+                MinSupport::Count(minsup),
+                CountingBackend::SubsetHashMap,
+                Parallelism::Threads(threads),
+            )
+            .unwrap();
+            prop_assert_eq!(parallel.total(), reference.total());
+            for (set, sup) in reference.iter() {
+                prop_assert_eq!(parallel.support_of_set(set), Some(sup));
+            }
+        }
+    }
+}

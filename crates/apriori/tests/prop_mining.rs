@@ -2,6 +2,7 @@
 
 use negassoc_apriori::count::{count_candidates, identity_mapper, CountingBackend};
 use negassoc_apriori::est_merge::{est_merge, EstMergeConfig};
+use negassoc_apriori::parallel::Parallelism;
 use negassoc_apriori::{apriori::apriori, basic::basic, cumulate::cumulate};
 use negassoc_apriori::{HashTree, Itemset, MinSupport};
 use negassoc_taxonomy::{ItemId, Taxonomy, TaxonomyBuilder};
@@ -139,15 +140,29 @@ proptest! {
         seed in any::<u64>(),
         parts in 1usize..5,
     ) {
-        let a = basic(&db, &tax, MinSupport::Count(minsup), CountingBackend::HashTree).unwrap();
-        let b = cumulate(&db, &tax, MinSupport::Count(minsup), CountingBackend::SubsetHashMap)
-            .unwrap();
+        let a = basic(
+            &db,
+            &tax,
+            MinSupport::Count(minsup),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        let b = cumulate(
+            &db,
+            &tax,
+            MinSupport::Count(minsup),
+            CountingBackend::SubsetHashMap,
+            Parallelism::Threads(2),
+        )
+        .unwrap();
         let (c, _) = est_merge(
             &db,
             &tax,
             MinSupport::Count(minsup),
             CountingBackend::HashTree,
             EstMergeConfig { sample_fraction: 0.5, safety_factor: 0.9, seed },
+            Parallelism::Threads(3),
         )
         .unwrap();
         let d = negassoc_apriori::partition_mine::partition_mine(
@@ -156,6 +171,7 @@ proptest! {
             MinSupport::Count(minsup),
             parts,
             CountingBackend::HashTree,
+            Parallelism::Auto,
         )
         .unwrap();
         prop_assert_eq!(a.total(), b.total());
@@ -188,17 +204,15 @@ proptest! {
         )
         .unwrap();
         sequential.sort();
-        let identity = |items: &[ItemId], buf: &mut Vec<ItemId>| {
-            buf.clear();
-            buf.extend_from_slice(items);
-        };
-        let mut parallel = negassoc_apriori::parallel::count_mixed_parallel(
+        let run = negassoc_apriori::parallel::count_mixed_parallel(
             &db,
             candidates,
             CountingBackend::HashTree,
-            &identity,
-            threads,
-        );
+            &negassoc_apriori::parallel::identity_sync_mapper,
+            negassoc_apriori::parallel::Parallelism::Threads(threads),
+        )
+        .unwrap();
+        let mut parallel = run.counts;
         parallel.sort();
         prop_assert_eq!(sequential, parallel);
     }
@@ -207,7 +221,14 @@ proptest! {
     /// containing any descendant.
     #[test]
     fn generalized_supports_are_exact(db in arb_db(), tax in arb_taxonomy()) {
-        let large = cumulate(&db, &tax, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        let large = cumulate(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
         for (set, sup) in large.iter() {
             // Brute force: a transaction supports `set` when, for every
             // member, it contains the member or one of its descendants.

@@ -2,6 +2,8 @@
 //! paper §2.2.2) and the §2.5 memory cap. Compression prunes small items
 //! before candidate generation; the cap trades memory for extra passes.
 
+#![allow(missing_docs)] // criterion_group! expands to an undocumented pub fn
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use negassoc::{MinerConfig, NegativeMiner};
 use negassoc_apriori::MinSupport;

@@ -2,9 +2,12 @@
 //! per-candidate hash map on a positive mining run, and vertical TID-list
 //! counting of a fixed candidate set.
 
+#![allow(missing_docs)] // criterion_group! expands to an undocumented pub fn
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use negassoc_apriori::count::{count_with_tidlists, CountingBackend};
 use negassoc_apriori::cumulate::cumulate;
+use negassoc_apriori::parallel::Parallelism;
 use negassoc_apriori::{Itemset, MinSupport};
 use negassoc_bench::short_dataset;
 use negassoc_txdb::vertical::TidListIndex;
@@ -24,8 +27,14 @@ fn bench(c: &mut Criterion) {
             &backend,
             |b, &backend| {
                 b.iter(|| {
-                    let large = cumulate(&ds.db, &ds.taxonomy, MinSupport::Fraction(0.02), backend)
-                        .unwrap();
+                    let large = cumulate(
+                        &ds.db,
+                        &ds.taxonomy,
+                        MinSupport::Fraction(0.02),
+                        backend,
+                        Parallelism::Sequential,
+                    )
+                    .unwrap();
                     black_box(large.total())
                 })
             },
@@ -39,6 +48,7 @@ fn bench(c: &mut Criterion) {
         &ds.taxonomy,
         MinSupport::Fraction(0.02),
         CountingBackend::HashTree,
+        Parallelism::Sequential,
     )
     .unwrap();
     let candidates: Vec<Itemset> = large.iter().map(|(s, _)| s.clone()).collect();
@@ -50,28 +60,24 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    // Multi-threaded counting over partitions (identity mapper: flat
-    // candidate counting; taxonomy extension per thread is exercised by the
-    // positive-miner variants above).
-    let identity = |items: &[negassoc_taxonomy::ItemId],
-                    buf: &mut Vec<negassoc_taxonomy::ItemId>| {
-        buf.clear();
-        buf.extend_from_slice(items);
-    };
+    // Multi-threaded counting (identity mapper: flat candidate counting;
+    // taxonomy extension per thread is exercised by the positive-miner
+    // variants above).
     for threads in [1usize, 2, 4] {
         group.bench_with_input(
             BenchmarkId::new("parallel_hash_tree", threads),
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let counted = negassoc_apriori::parallel::count_mixed_parallel(
+                    let run = negassoc_apriori::parallel::count_mixed_parallel(
                         &ds.db,
                         candidates.clone(),
                         CountingBackend::HashTree,
-                        &identity,
-                        threads,
-                    );
-                    black_box(counted.len())
+                        &negassoc_apriori::parallel::identity_sync_mapper,
+                        Parallelism::Threads(threads),
+                    )
+                    .unwrap();
+                    black_box(run.counts.len())
                 })
             },
         );

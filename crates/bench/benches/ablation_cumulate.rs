@@ -2,9 +2,12 @@
 //! EstMerge). Cumulate's ancestor filtering should dominate Basic on the
 //! deep "Tall" taxonomy, where full ancestor extension is most expensive.
 
+#![allow(missing_docs)] // criterion_group! expands to an undocumented pub fn
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::est_merge::{est_merge, EstMergeConfig};
+use negassoc_apriori::parallel::Parallelism;
 use negassoc_apriori::{basic::basic, cumulate::cumulate, MinSupport};
 use negassoc_bench::{short_dataset, tall_dataset};
 use std::hint::black_box;
@@ -22,6 +25,7 @@ fn bench(c: &mut Criterion) {
                         &ds.taxonomy,
                         MinSupport::Fraction(0.02),
                         CountingBackend::HashTree,
+                        Parallelism::Sequential,
                     )
                     .unwrap()
                     .total(),
@@ -36,6 +40,7 @@ fn bench(c: &mut Criterion) {
                         &ds.taxonomy,
                         MinSupport::Fraction(0.02),
                         CountingBackend::HashTree,
+                        Parallelism::Sequential,
                     )
                     .unwrap()
                     .total(),
@@ -50,6 +55,7 @@ fn bench(c: &mut Criterion) {
                     MinSupport::Fraction(0.02),
                     CountingBackend::HashTree,
                     EstMergeConfig::default(),
+                    Parallelism::Sequential,
                 )
                 .unwrap();
                 black_box(large.total())
@@ -64,6 +70,7 @@ fn bench(c: &mut Criterion) {
                         MinSupport::Fraction(0.02),
                         4,
                         CountingBackend::HashTree,
+                        Parallelism::Sequential,
                     )
                     .unwrap()
                     .total(),

@@ -5,6 +5,8 @@
 //! transactions and two sweep points; the full-scale sweep lives in the
 //! `paper` binary (`paper -- fig5`).
 
+#![allow(missing_docs)] // criterion_group! expands to an undocumented pub fn
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use negassoc::config::Driver;
 use negassoc::{MinerConfig, NegativeMiner};

@@ -3,6 +3,8 @@
 //! deep taxonomy produces far more generalized large itemsets than "Short"
 //! at the same support — the paper's explanation for its longer runtimes.
 
+#![allow(missing_docs)] // criterion_group! expands to an undocumented pub fn
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use negassoc::config::Driver;
 use negassoc::{MinerConfig, NegativeMiner};

@@ -5,9 +5,12 @@
 //! the scaled-down dataset's itemset counts benchable (the 2,000-
 //! transaction scale is denser than the full Table 4 data).
 
+#![allow(missing_docs)] // criterion_group! expands to an undocumented pub fn
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use negassoc::candidates::{CandidateGenerator, CandidateSet};
 use negassoc_apriori::count::CountingBackend;
+use negassoc_apriori::parallel::Parallelism;
 use negassoc_apriori::MinSupport;
 use negassoc_bench::{short_dataset, tall_dataset, PAPER_MIN_RI};
 use std::hint::black_box;
@@ -21,6 +24,7 @@ fn bench(c: &mut Criterion) {
             &ds.taxonomy,
             MinSupport::Fraction(0.03),
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .unwrap();
         group.bench_with_input(

@@ -7,13 +7,15 @@
 //! ```
 //!
 //! Subcommands: `params` (Tables 3–4), `tables` (worked example Tables
-//! 1–2), `counts` (§3.2 itemset counts), `fig5`, `fig6`, `fig7`, `all`.
+//! 1–2), `counts` (§3.2 itemset counts), `fig5`, `fig6`, `fig7`, `all`,
+//! and `counting` (sequential-vs-threaded pass timings, written to
+//! `BENCH_counting.json`).
 //! `--scale N` runs on N transactions instead of the full 50,000 (the
 //! qualitative shapes survive scaling; the full size takes minutes).
 
 use negassoc_bench::{
-    fig7_series, itemset_counts, secs, short_dataset, tall_dataset, FIG56_SUPPORTS_PCT,
-    FIG7_SUPPORT_PCT,
+    counting_bench, fig7_series, itemset_counts, secs, short_dataset, tall_dataset,
+    FIG56_SUPPORTS_PCT, FIG7_SUPPORT_PCT,
 };
 use std::process::ExitCode;
 
@@ -62,6 +64,12 @@ fn main() -> ExitCode {
         "fig5" => fig56(false, scale),
         "fig6" => fig56(true, scale),
         "fig7" => fig7(scale, support_pct),
+        "counting" => {
+            if let Err(e) = counting(scale) {
+                eprintln!("counting bench: {e}");
+                return ExitCode::from(1);
+            }
+        }
         "all" => {
             params();
             tables();
@@ -71,7 +79,9 @@ fn main() -> ExitCode {
             fig7(scale, support_pct);
         }
         other => {
-            eprintln!("unknown command {other:?} (params|tables|counts|fig5|fig6|fig7|all)");
+            eprintln!(
+                "unknown command {other:?} (params|tables|counts|fig5|fig6|fig7|counting|all)"
+            );
             return ExitCode::from(2);
         }
     }
@@ -304,4 +314,40 @@ fn fig7(scale: Option<usize>, support_pct: f64) {
         }
     }
     println!("  (paper: normalized candidates grow with size; fanout 9 > fanout 3)");
+}
+
+/// The parallel-counting benchmark: run the same mining job sequentially
+/// and with 2/4 worker threads, print the per-pass table, and write the
+/// machine-readable result to `BENCH_counting.json`.
+fn counting(scale: Option<usize>) -> std::io::Result<()> {
+    let transactions = scale.unwrap_or(4_000);
+    let bench = counting_bench(transactions, &[1, 2, 4]);
+    println!("== parallel counting: sequential vs worker pool ==");
+    println!(
+        "{} transactions, available parallelism {}",
+        bench.transactions, bench.available_parallelism
+    );
+    println!(
+        "{:>7} {:>5} {:<9} {:>10} {:>12} {:>9}",
+        "threads", "pass", "label", "candidates", "transactions", "wall"
+    );
+    for r in &bench.rows {
+        println!(
+            "{:>7} {:>5} {:<9} {:>10} {:>12} {:>8}s",
+            r.threads,
+            r.pass,
+            r.label,
+            r.candidates,
+            r.transactions,
+            secs(r.wall)
+        );
+    }
+    for t in [2usize, 4] {
+        if let Some(sp) = bench.speedup(t) {
+            println!("speedup x{t}: {sp:.3}");
+        }
+    }
+    std::fs::write("BENCH_counting.json", bench.to_json())?;
+    println!("wrote BENCH_counting.json");
+    Ok(())
 }

@@ -11,6 +11,7 @@ use negassoc::candidates::{CandidateGenerator, CandidateSet};
 use negassoc::config::Driver;
 use negassoc::{MinerConfig, NegativeMiner};
 use negassoc_apriori::count::CountingBackend;
+use negassoc_apriori::parallel::Parallelism;
 use negassoc_apriori::MinSupport;
 use negassoc_datagen::{generate, presets, Dataset, GenParams};
 use std::time::Duration;
@@ -200,6 +201,7 @@ pub fn fig7_series(ds: &Dataset, min_support_pct: f64) -> Fig7Series {
         &ds.taxonomy,
         MinSupport::Fraction(min_support_pct / 100.0),
         CountingBackend::HashTree,
+        Parallelism::Sequential,
     )
     .expect("positive mining");
     let generator = CandidateGenerator::new(&ds.taxonomy, &large, PAPER_MIN_RI);
@@ -232,6 +234,7 @@ pub fn itemset_counts(short: &Dataset, tall: &Dataset, min_support_pct: f64) -> 
             &ds.taxonomy,
             MinSupport::Fraction(min_support_pct / 100.0),
             CountingBackend::HashTree,
+            Parallelism::Sequential,
         )
         .expect("positive mining")
         .total()
@@ -242,6 +245,142 @@ pub fn itemset_counts(short: &Dataset, tall: &Dataset, min_support_pct: f64) -> 
 /// Render a duration in seconds with millisecond resolution.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
+}
+
+/// One measured counting pass of the parallel-counting benchmark.
+#[derive(Clone, Debug)]
+pub struct CountingPassRow {
+    /// Worker threads the pass ran with (1 = sequential path).
+    pub threads: usize,
+    /// Pass number within its run.
+    pub pass: u64,
+    /// Pass label (`L1`, `L2`, …, `negative`).
+    pub label: String,
+    /// Candidates counted in the pass.
+    pub candidates: usize,
+    /// Transactions scanned.
+    pub transactions: u64,
+    /// Wall time of the pass.
+    pub wall: Duration,
+}
+
+/// The parallel-counting benchmark: end-to-end negative mining on the
+/// paper's synthetic generator, once per thread policy, reporting every
+/// counting pass's wall time.
+#[derive(Clone, Debug)]
+pub struct CountingBench {
+    /// Transactions in the generated dataset.
+    pub transactions: usize,
+    /// What `Parallelism::Auto` resolves to on this machine.
+    pub available_parallelism: usize,
+    /// Every pass of every run.
+    pub rows: Vec<CountingPassRow>,
+}
+
+impl CountingBench {
+    /// Total counting wall time of one thread policy's run.
+    pub fn total_wall(&self, threads: usize) -> Duration {
+        self.rows
+            .iter()
+            .filter(|r| r.threads == threads)
+            .map(|r| r.wall)
+            .sum()
+    }
+
+    /// Sequential wall time divided by the `threads`-worker wall time
+    /// (> 1 means the workers won). `None` when either run is missing.
+    pub fn speedup(&self, threads: usize) -> Option<f64> {
+        let seq = self.total_wall(1).as_secs_f64();
+        let par = self.total_wall(threads).as_secs_f64();
+        (seq > 0.0 && par > 0.0).then(|| seq / par)
+    }
+
+    /// Render as a JSON document (hand-rolled; the workspace carries no
+    /// serializer dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"transactions\": {},\n", self.transactions));
+        out.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        out.push_str("  \"passes\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"pass\": {}, \"label\": \"{}\", \"candidates\": {}, \
+                 \"transactions\": {}, \"wall_s\": {:.6}}}{comma}\n",
+                r.threads,
+                r.pass,
+                r.label,
+                r.candidates,
+                r.transactions,
+                r.wall.as_secs_f64()
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"total_wall_s\": {");
+        let mut threads: Vec<usize> = self.rows.iter().map(|r| r.threads).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        for (i, &t) in threads.iter().enumerate() {
+            let comma = if i + 1 == threads.len() { "" } else { ", " };
+            out.push_str(&format!(
+                "\"{t}\": {:.6}{comma}",
+                self.total_wall(t).as_secs_f64()
+            ));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "  \"speedup_vs_sequential\": {{{}}}\n",
+            threads
+                .iter()
+                .filter(|&&t| t != 1)
+                .map(|&t| format!("\"{t}\": {:.3}", self.speedup(t).unwrap_or(0.0)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Run the counting benchmark: the same mining configuration once per
+/// thread policy in `thread_counts` (1 = sequential), on the "Short"
+/// dataset scaled to `transactions`.
+pub fn counting_bench(transactions: usize, thread_counts: &[usize]) -> CountingBench {
+    let ds = short_dataset(Some(transactions));
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let parallelism = if threads <= 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Threads(threads)
+        };
+        let out = NegativeMiner::new(MinerConfig {
+            min_support: MinSupport::Fraction(0.015),
+            min_ri: PAPER_MIN_RI,
+            driver: Driver::Improved,
+            max_negative_size: Some(3),
+            parallelism,
+            ..MinerConfig::default()
+        })
+        .mine(&ds.db, &ds.taxonomy)
+        .expect("counting bench run");
+        rows.extend(out.report.pass_stats.iter().map(|s| CountingPassRow {
+            threads,
+            pass: s.pass,
+            label: s.label.clone(),
+            candidates: s.candidates,
+            transactions: s.transactions,
+            wall: s.wall,
+        }));
+    }
+    CountingBench {
+        transactions,
+        available_parallelism: Parallelism::Auto.resolve(),
+        rows,
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! `negrules mine` — positive generalized association rules (Cumulate +
 //! ap-genrules), the baseline view negative mining builds on.
 
-use crate::commands::itemset_names;
+use crate::commands::{itemset_names, parse_parallelism};
 use crate::io::{load_db_opts, load_taxonomy};
 use crate::opts::Opts;
 use negassoc_apriori::count::CountingBackend;
@@ -17,6 +17,7 @@ const KNOWN: &[&str] = &[
     "algorithm",
     "partitions",
     "r-interest",
+    "threads",
     "salvage!",
     "audit!",
 ];
@@ -35,19 +36,29 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
     let top: usize = opts.parse_or("top", 20).map_err(|e| e.to_string())?;
 
     let min_support = MinSupport::Fraction(min_support);
+    let parallelism = parse_parallelism(&opts)?;
     let large = match opts.get("algorithm") {
-        None | Some("cumulate") => {
-            negassoc_apriori::cumulate::cumulate(&db, &tax, min_support, CountingBackend::HashTree)
-        }
-        Some("basic") => {
-            negassoc_apriori::basic::basic(&db, &tax, min_support, CountingBackend::HashTree)
-        }
+        None | Some("cumulate") => negassoc_apriori::cumulate::cumulate(
+            &db,
+            &tax,
+            min_support,
+            CountingBackend::HashTree,
+            parallelism,
+        ),
+        Some("basic") => negassoc_apriori::basic::basic(
+            &db,
+            &tax,
+            min_support,
+            CountingBackend::HashTree,
+            parallelism,
+        ),
         Some("estmerge") => negassoc_apriori::est_merge::est_merge(
             &db,
             &tax,
             min_support,
             CountingBackend::HashTree,
             Default::default(),
+            parallelism,
         )
         .map(|(large, _)| large),
         Some("partition") => {
@@ -58,6 +69,7 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
                 min_support,
                 parts,
                 CountingBackend::HashTree,
+                parallelism,
             )
         }
         Some(other) => {

@@ -5,6 +5,8 @@ pub(crate) mod mine;
 pub(crate) mod negatives;
 pub(crate) mod stats;
 
+use crate::opts::Opts;
+use negassoc_apriori::parallel::{Parallelism, PassStats};
 use negassoc_apriori::Itemset;
 use negassoc_taxonomy::Taxonomy;
 
@@ -22,4 +24,40 @@ pub(crate) fn itemset_names(tax: &Taxonomy, set: &Itemset) -> String {
         })
         .collect::<Vec<_>>()
         .join(" + ")
+}
+
+/// Resolve `--threads N|auto` into a [`Parallelism`] policy. Absent means
+/// sequential; the counts are identical for every choice, only wall time
+/// differs.
+pub(crate) fn parse_parallelism(opts: &Opts) -> Result<Parallelism, String> {
+    match opts.get("threads") {
+        None => Ok(Parallelism::Sequential),
+        Some("auto") => Ok(Parallelism::Auto),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Parallelism::Threads(n)),
+            _ => Err(format!(
+                "invalid --threads {v:?} (a positive count, or `auto`)"
+            )),
+        },
+    }
+}
+
+/// Print the per-pass counting telemetry table (`--pass-stats`).
+pub(crate) fn print_pass_stats(stats: &[PassStats]) {
+    if stats.is_empty() {
+        println!("no per-pass telemetry (phase does not decompose into level passes)");
+        return;
+    }
+    println!("pass  label     candidates  transactions  threads      wall");
+    for s in stats {
+        println!(
+            "{:>4}  {:<8}  {:>10}  {:>12}  {:>7}  {:>8.3}s",
+            s.pass,
+            s.label,
+            s.candidates,
+            s.transactions,
+            s.threads,
+            s.wall.as_secs_f64()
+        );
+    }
 }

@@ -1,6 +1,6 @@
 //! `negrules negatives` — the paper's negative association rules.
 
-use crate::commands::itemset_names;
+use crate::commands::{itemset_names, parse_parallelism, print_pass_stats};
 use crate::io::{load_db_opts, load_taxonomy};
 use crate::opts::{parse_bytes, Opts};
 use negassoc::config::{Driver, GenAlgorithm};
@@ -24,9 +24,11 @@ const KNOWN: &[&str] = &[
     "checkpoint-dir",
     "max-memory",
     "inject-fail-pass",
+    "threads",
     "salvage!",
     "no-compress!",
     "audit!",
+    "pass-stats!",
 ];
 
 pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
@@ -89,6 +91,7 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
         max_candidates_per_pass,
         memory_budget,
         compress_taxonomy: !opts.flag("no-compress"),
+        parallelism: parse_parallelism(&opts)?,
         ..MinerConfig::default()
     };
     let miner = NegativeMiner::new(config);
@@ -130,6 +133,9 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
         "large itemsets: {}   negative candidates: {} (of {} generated)   negative itemsets: {}",
         rep.large_itemsets, rep.candidates.unique, rep.candidates.generated, rep.negative_itemsets
     );
+    if opts.flag("pass-stats") {
+        print_pass_stats(&rep.pass_stats);
+    }
 
     let mut rules = outcome.rules;
     // Itemset tiebreaks make the listing (and any CSV diffed by the CI

@@ -31,12 +31,15 @@ const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
              --data PATH --taxonomy PATH [--min-support F=0.01]
              [--min-conf F=0.6] [--top N=20]
              [--algorithm basic|cumulate|estmerge|partition]
-             [--partitions N=4] [--r-interest R] [--salvage] [--audit]
+             [--partitions N=4] [--r-interest R] [--threads N|auto]
+             [--salvage] [--audit]
   negatives  strong negative association rules (Savasere et al., ICDE '98)
              --data PATH --taxonomy PATH [--min-support F=0.01]
              [--min-ri F=0.5] [--driver naive|improved]
              [--algorithm basic|cumulate|estmerge] [--max-size K]
              [--cap N] [--top N=20] [--out rules.csv] [--no-compress]
+             [--threads N|auto]      (worker threads per counting pass)
+             [--pass-stats]          (per-pass counting telemetry table)
              [--checkpoint-dir DIR]  (persist progress; resume after a crash)
              [--max-memory BYTES]    (degrade instead of OOM; K/M/G suffixes)
              [--inject-fail-pass N]  (fault injection for testing recovery)

@@ -254,6 +254,10 @@ impl CheckpointManager {
 /// A stable fingerprint of everything that shapes a run's state: the
 /// config knobs, the taxonomy's shape, and the database size. Two runs
 /// with equal fingerprints produce interchangeable checkpoints.
+///
+/// [`MinerConfig::parallelism`] is deliberately *not* hashed: worker
+/// counts change wall time, never counts, so a checkpoint written by a
+/// sequential run must resume under `--threads N` (and vice versa).
 fn fingerprint(config: &MinerConfig, tax: &Taxonomy, num_transactions: Option<u64>) -> u64 {
     let mut buf = Vec::new();
     match config.min_support {
@@ -462,6 +466,32 @@ mod tests {
         fn drop(&mut self) {
             std::fs::remove_dir_all(&self.0).ok();
         }
+    }
+
+    #[test]
+    fn fingerprint_ignores_parallelism() {
+        use negassoc_apriori::parallel::Parallelism;
+        let t = tax();
+        let base = MinerConfig::default();
+        let fp = fingerprint(&base, &t, Some(100));
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Threads(1),
+            Parallelism::Threads(8),
+            Parallelism::Auto,
+        ] {
+            let cfg = MinerConfig {
+                parallelism,
+                ..base
+            };
+            assert_eq!(fingerprint(&cfg, &t, Some(100)), fp, "{parallelism:?}");
+        }
+        // Anything that changes the mined result still changes the tag.
+        let other = MinerConfig {
+            min_ri: base.min_ri + 0.125,
+            ..base
+        };
+        assert_ne!(fingerprint(&other, &t, Some(100)), fp);
     }
 
     fn tax() -> Taxonomy {

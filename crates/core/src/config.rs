@@ -4,6 +4,7 @@
 use crate::error::Error;
 use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::est_merge::EstMergeConfig;
+use negassoc_apriori::parallel::Parallelism;
 use negassoc_apriori::MinSupport;
 
 /// Which generalized large-itemset algorithm feeds the negative miner
@@ -74,6 +75,14 @@ pub struct MinerConfig {
     /// only), and what cannot be degraded returns
     /// [`crate::Error::Budget`]. `None` means unbounded.
     pub memory_budget: Option<usize>,
+    /// Worker-pool policy for every support-counting pass (positive
+    /// levels, negative confirmation, partitioned fallback). Exact counts
+    /// and byte-identical output are guaranteed for every policy, so this
+    /// is purely a wall-clock knob. Deliberately **excluded** from the
+    /// checkpoint fingerprint: a run interrupted at `--threads 1` may
+    /// resume at `--threads 8` (or vice versa) and still produce the same
+    /// rules.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MinerConfig {
@@ -88,6 +97,7 @@ impl Default for MinerConfig {
             compress_taxonomy: true,
             max_negative_size: None,
             memory_budget: None,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -131,6 +141,13 @@ impl MinerConfig {
                 )));
             }
         }
+        if self.parallelism == Parallelism::Threads(0) {
+            return Err(Error::Config(
+                "parallelism of 0 threads cannot make progress; use 1 or more \
+                 (or `auto`)"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -170,6 +187,13 @@ mod tests {
         c.memory_budget = Some(64);
         assert!(c.validate().is_err());
         c.memory_budget = Some(64 * 1024 * 1024);
+        c.validate().unwrap();
+
+        c.parallelism = Parallelism::Threads(0);
+        assert!(c.validate().is_err());
+        c.parallelism = Parallelism::Threads(4);
+        c.validate().unwrap();
+        c.parallelism = Parallelism::Auto;
         c.validate().unwrap();
     }
 

@@ -5,16 +5,21 @@
 use crate::candidates::{Derivation, NegativeCandidate, NegativeItemset};
 use crate::error::Error;
 use crate::expected::is_negative;
-use negassoc_apriori::count::{count_mixed, CountingBackend};
+use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::generalized::{extend_filtered, items_of_candidates, AncestorTable};
+use negassoc_apriori::parallel::{count_mixed_parallel, Parallelism, PassStats};
 use negassoc_apriori::Itemset;
 use negassoc_taxonomy::fxhash::FxHashMap;
 use negassoc_taxonomy::ItemId;
 use negassoc_txdb::TransactionSource;
+use std::time::Instant;
 
 /// Count all `candidates` (mixed sizes, categories allowed) and keep the
-/// negative ones. Returns the negative itemsets and the number of database
-/// passes made (`ceil(len / cap)`, or 1 without a cap).
+/// negative ones. Returns the negative itemsets, the number of database
+/// passes made (`ceil(len / cap)`, or 1 without a cap), and one
+/// [`PassStats`] entry per pass (telemetry; pass numbers are local to this
+/// call and renumbered by the driver).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
     source: &S,
     ancestors: &AncestorTable,
@@ -23,31 +28,46 @@ pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
     cap: Option<usize>,
     min_support_count: u64,
     min_ri: f64,
-) -> Result<(Vec<NegativeItemset>, u64), Error> {
+    parallelism: Parallelism,
+) -> Result<(Vec<NegativeItemset>, u64, Vec<PassStats>), Error> {
     if candidates.is_empty() {
-        return Ok((Vec::new(), 0));
+        return Ok((Vec::new(), 0, Vec::new()));
     }
     let chunk_size = cap.unwrap_or(candidates.len()).max(1);
     let mut negatives = Vec::new();
     let mut passes = 0u64;
+    let mut stats = Vec::new();
     let mut remaining = candidates;
     while !remaining.is_empty() {
         let tail = remaining.split_off(chunk_size.min(remaining.len()));
         let chunk = std::mem::replace(&mut remaining, tail);
         passes += 1;
-        count_chunk(
+        let started = Instant::now();
+        let chunk_len = chunk.len();
+        let run = count_chunk(
             source,
             ancestors,
             chunk,
             backend,
             min_support_count,
             min_ri,
+            parallelism,
             &mut negatives,
         )?;
+        stats.push(PassStats {
+            pass: passes,
+            label: "negative".to_string(),
+            candidates: chunk_len,
+            transactions: run.0,
+            threads: run.1,
+            wall: started.elapsed(),
+        });
     }
-    Ok((negatives, passes))
+    Ok((negatives, passes, stats))
 }
 
+/// Count one chunk; returns `(transactions scanned, threads used)`.
+#[allow(clippy::too_many_arguments)]
 fn count_chunk<S: TransactionSource + ?Sized>(
     source: &S,
     ancestors: &AncestorTable,
@@ -55,8 +75,9 @@ fn count_chunk<S: TransactionSource + ?Sized>(
     backend: CountingBackend,
     min_support_count: u64,
     min_ri: f64,
+    parallelism: Parallelism,
     negatives: &mut Vec<NegativeItemset>,
-) -> Result<(), Error> {
+) -> Result<(u64, usize), Error> {
     let mut expected: FxHashMap<Itemset, (f64, Derivation)> = FxHashMap::default();
     let mut itemsets: Vec<Itemset> = Vec::with_capacity(chunk.len());
     for c in chunk {
@@ -66,10 +87,11 @@ fn count_chunk<S: TransactionSource + ?Sized>(
     // Candidates may contain categories; transactions must be extended with
     // exactly the ancestors the candidates can use (the Cumulate filter).
     let needed = items_of_candidates(&itemsets);
-    let mut mapper =
+    let mapper =
         |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, ancestors, &needed, out);
-    let counted = count_mixed(source, itemsets, backend, &mut mapper).map_err(Error::Io)?;
-    for (set, actual) in counted {
+    let run =
+        count_mixed_parallel(source, itemsets, backend, &mapper, parallelism).map_err(Error::Io)?;
+    for (set, actual) in run.counts {
         // Every counted set was registered above; a miss means the counting
         // backend fabricated an itemset, and skipping it is the only output
         // that cannot lie.
@@ -88,7 +110,7 @@ fn count_chunk<S: TransactionSource + ?Sized>(
             });
         }
     }
-    Ok(())
+    Ok((run.transactions, run.threads))
 }
 
 #[cfg(test)]
@@ -142,7 +164,7 @@ mod tests {
         ];
 
         // minsup 5, min_ri 0.5 -> negativity threshold 2.5.
-        let (negs, passes) = confirm_negatives(
+        let (negs, passes, stats) = confirm_negatives(
             &pc,
             &ancestors,
             candidates.clone(),
@@ -150,8 +172,13 @@ mod tests {
             None,
             5,
             0.5,
+            Parallelism::Sequential,
         )
         .unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].candidates, 3);
+        assert_eq!(stats[0].transactions, 20);
+        assert_eq!(stats[0].threads, 1);
         assert_eq!(passes, 1);
         assert_eq!(pc.passes(), 1);
         // {a,b}: actual 0, deviation 8 >= 2.5 -> negative.
@@ -167,7 +194,7 @@ mod tests {
 
         // With a cap of 1 candidate per pass: 3 passes, same negatives.
         pc.reset();
-        let (negs2, passes2) = confirm_negatives(
+        let (negs2, passes2, stats2) = confirm_negatives(
             &pc,
             &ancestors,
             candidates,
@@ -175,9 +202,12 @@ mod tests {
             Some(1),
             5,
             0.5,
+            Parallelism::Threads(2),
         )
         .unwrap();
         assert_eq!(passes2, 3);
+        assert_eq!(stats2.len(), 3);
+        assert!(stats2.iter().all(|s| s.threads == 2 && s.candidates == 1));
         assert_eq!(pc.passes(), 3);
         assert_eq!(negs2.len(), 2);
     }
@@ -188,7 +218,7 @@ mod tests {
         let ancestors = AncestorTable::new(&tax);
         let db = TransactionDbBuilder::new().build();
         let pc = PassCounter::new(db);
-        let (negs, passes) = confirm_negatives(
+        let (negs, passes, stats) = confirm_negatives(
             &pc,
             &ancestors,
             Vec::new(),
@@ -196,8 +226,10 @@ mod tests {
             None,
             1,
             0.5,
+            Parallelism::Sequential,
         )
         .unwrap();
+        assert!(stats.is_empty());
         assert!(negs.is_empty());
         assert_eq!(passes, 0);
         assert_eq!(pc.passes(), 0);

@@ -17,13 +17,14 @@ use crate::checkpoint::{CheckpointManager, NegativeCheckpoint, PositiveCheckpoin
 use crate::config::{GenAlgorithm, MinerConfig};
 use crate::counting::confirm_negatives;
 use crate::error::Error;
-use crate::naive::DriverOutcome;
+use crate::naive::{renumber, DriverOutcome};
 use crate::substitutes::SubstituteKnowledge;
 use negassoc_apriori::est_merge::est_merge;
 use negassoc_apriori::generalized::AncestorTable;
 use negassoc_apriori::levelwise::{
     CandidateBudgetExceeded, GenLevelMiner, GenStrategy, MinerState,
 };
+use negassoc_apriori::parallel::PassStats;
 use negassoc_apriori::partition_mine::partition_mine;
 use negassoc_apriori::{Itemset, LargeItemsets};
 use negassoc_taxonomy::fxhash::FxHashSet;
@@ -79,25 +80,28 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
     // every size at once — or whatever part of that a checkpoint already
     // paid for.
     let positive_start = Instant::now();
-    let (large, mut passes, levels, prepared) = match resume {
+    let (large, mut passes, levels, mut pass_stats, prepared) = match resume {
         Resume::Negative(saved) => {
             let large = large_of(&saved.positive.state);
+            // The checkpoint paid for the positive passes; there is no
+            // telemetry to report for work this run did not do.
             (
                 large,
                 saved.positive.passes,
                 saved.positive.levels,
+                Vec::new(),
                 Some((saved.candidates, saved.stats)),
             )
         }
         Resume::Positive(saved) if positive_strategy(config).is_some() => {
             let attempt = resume_positive(source, tax, config, saved, ckpt);
-            let (l, p, lv) = positive_or_degraded(attempt, source, tax, config)?;
-            (l, p, lv, None)
+            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config)?;
+            (l, p, lv, st, None)
         }
         Resume::Positive(_) | Resume::Fresh => {
             let attempt = mine_positive(source, tax, config, ckpt);
-            let (l, p, lv) = positive_or_degraded(attempt, source, tax, config)?;
-            (l, p, lv, None)
+            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config)?;
+            (l, p, lv, st, None)
         }
     };
     let positive_time = positive_start.elapsed();
@@ -124,7 +128,7 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
 
     // Phase 3: a single counting pass (or several under the memory cap).
     let ancestors = AncestorTable::new(tax);
-    let (negatives, neg_passes) = confirm_negatives(
+    let (negatives, neg_passes, neg_stats) = confirm_negatives(
         source,
         &ancestors,
         cands,
@@ -132,8 +136,11 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
         counting_cap(config),
         large.min_support_count(),
         config.min_ri,
+        config.parallelism,
     )?;
     passes += neg_passes;
+    pass_stats.extend(neg_stats);
+    renumber(&mut pass_stats);
     let negative_time = negative_start.elapsed();
 
     Ok(DriverOutcome {
@@ -144,6 +151,7 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
         levels,
         positive_time,
         negative_time,
+        pass_stats,
     })
 }
 
@@ -178,11 +186,11 @@ fn check_candidate_budget(len: usize, size: usize, cap: Option<usize>) -> Result
 /// in-memory database; otherwise surface a typed [`Error::Budget`] so the
 /// caller can decide, instead of letting the process OOM-abort.
 fn positive_or_degraded<S: TransactionSource + ?Sized>(
-    result: Result<(LargeItemsets, u64, u64), Error>,
+    result: Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error>,
     source: &S,
     tax: &Taxonomy,
     config: &MinerConfig,
-) -> Result<(LargeItemsets, u64, u64), Error> {
+) -> Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error> {
     let err = match result {
         Ok(ok) => return Ok(ok),
         Err(e) => e,
@@ -201,10 +209,19 @@ fn positive_or_degraded<S: TransactionSource + ?Sized>(
     let budget = config.memory_budget.unwrap_or(usize::MAX).max(1);
     let est_db_bytes = (db.avg_len() * db.len() as f64 * 16.0) as usize;
     let parts = (est_db_bytes / budget + 2).clamp(2, 64);
-    let large = partition_mine(db, Some(tax), config.min_support, parts, config.backend)?;
+    let large = partition_mine(
+        db,
+        Some(tax),
+        config.min_support,
+        parts,
+        config.backend,
+        config.parallelism,
+    )?;
     let levels = large.max_level() as u64;
-    // Partition makes exactly two full passes regardless of depth.
-    Ok((large, 2, levels))
+    // Partition makes exactly two full passes regardless of depth. Its
+    // phase structure (local mining + one verification pass) does not map
+    // onto per-level pass telemetry, so it reports none.
+    Ok((large, 2, levels, Vec::new()))
 }
 
 /// The level-wise strategy of the configured algorithm, `None` for
@@ -272,12 +289,18 @@ fn mine_positive<S: TransactionSource + ?Sized>(
     tax: &Taxonomy,
     config: &MinerConfig,
     ckpt: Option<&CheckpointManager>,
-) -> Result<(LargeItemsets, u64, u64), Error> {
+) -> Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error> {
     match positive_strategy(config) {
         Some(strategy) => {
-            let mut miner =
-                GenLevelMiner::new(source, tax, config.min_support, strategy, config.backend)?
-                    .with_candidate_cap(budget_candidate_cap(config));
+            let mut miner = GenLevelMiner::new(
+                source,
+                tax,
+                config.min_support,
+                strategy,
+                config.backend,
+                config.parallelism,
+            )?
+            .with_candidate_cap(budget_candidate_cap(config));
             let mut passes = 1u64;
             let mut levels = 1u64;
             if let Some(c) = ckpt {
@@ -288,7 +311,8 @@ fn mine_positive<S: TransactionSource + ?Sized>(
                 })?;
             }
             step_to_completion(&mut miner, &mut passes, &mut levels, ckpt)?;
-            Ok((miner.large().clone(), passes, levels))
+            let stats = miner.take_pass_stats();
+            Ok((miner.large().clone(), passes, levels, stats))
         }
         None => {
             let GenAlgorithm::EstMerge(est_config) = config.algorithm else {
@@ -296,10 +320,19 @@ fn mine_positive<S: TransactionSource + ?Sized>(
                     "positive_strategy returned None for a level-wise algorithm".into(),
                 ));
             };
-            let (large, stats) =
-                est_merge(source, tax, config.min_support, config.backend, est_config)?;
+            let (large, stats) = est_merge(
+                source,
+                tax,
+                config.min_support,
+                config.backend,
+                est_config,
+                config.parallelism,
+            )?;
             let levels = large.max_level() as u64;
-            Ok((large, stats.passes, levels))
+            // EstMerge batches candidates across levels and interleaves
+            // sample scans, so its passes do not decompose into per-level
+            // telemetry; only the ledger count is reported.
+            Ok((large, stats.passes, levels, Vec::new()))
         }
     }
 }
@@ -311,18 +344,26 @@ fn resume_positive<S: TransactionSource + ?Sized>(
     config: &MinerConfig,
     saved: PositiveCheckpoint,
     ckpt: Option<&CheckpointManager>,
-) -> Result<(LargeItemsets, u64, u64), Error> {
+) -> Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error> {
     let Some(strategy) = positive_strategy(config) else {
         return Err(Error::Invariant(
             "resume_positive called for a non-level-wise algorithm".into(),
         ));
     };
-    let mut miner = GenLevelMiner::resume(source, tax, strategy, config.backend, saved.state)
-        .with_candidate_cap(budget_candidate_cap(config));
+    let mut miner = GenLevelMiner::resume(
+        source,
+        tax,
+        strategy,
+        config.backend,
+        config.parallelism,
+        saved.state,
+    )
+    .with_candidate_cap(budget_candidate_cap(config));
     let mut passes = saved.passes;
     let mut levels = saved.levels;
     step_to_completion(&mut miner, &mut passes, &mut levels, ckpt)?;
-    Ok((miner.large().clone(), passes, levels))
+    let stats = miner.take_pass_stats();
+    Ok((miner.large().clone(), passes, levels, stats))
 }
 
 /// Phase 2: compress the taxonomy (optionally) and generate candidates from

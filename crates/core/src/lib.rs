@@ -91,4 +91,5 @@ pub use candidates::{CandidateStats, NegativeCandidate, NegativeItemset};
 pub use config::{GenAlgorithm, MinerConfig};
 pub use error::{Error, NegAssocError};
 pub use miner::{MiningOutcome, MiningReport, NegativeMiner};
+pub use negassoc_apriori::parallel::{Parallelism, PassStats};
 pub use rules::NegativeRule;

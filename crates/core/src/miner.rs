@@ -9,6 +9,7 @@ use crate::improved::run_improved_with_checkpoints;
 use crate::naive::run_naive;
 use crate::rules::{generate_negative_rules, NegativeRule};
 use crate::substitutes::SubstituteKnowledge;
+use negassoc_apriori::parallel::PassStats;
 use negassoc_apriori::LargeItemsets;
 use negassoc_taxonomy::Taxonomy;
 use negassoc_txdb::TransactionSource;
@@ -51,6 +52,12 @@ pub struct MiningReport {
     pub negative_time: Duration,
     /// Wall time of rule generation.
     pub rule_time: Duration,
+    /// Per-pass counting telemetry in execution order (candidates counted,
+    /// transactions scanned, worker threads used, wall time). Empty for
+    /// phases that do not decompose into per-level passes (EstMerge
+    /// positive mining, the partition fallback) and for passes a resumed
+    /// run skipped thanks to a checkpoint.
+    pub pass_stats: Vec<PassStats>,
 }
 
 impl std::fmt::Display for MiningReport {
@@ -191,6 +198,7 @@ impl NegativeMiner {
             positive_time: outcome.positive_time,
             negative_time: outcome.negative_time,
             rule_time,
+            pass_stats: outcome.pass_stats,
         };
         Ok(MiningOutcome {
             large: outcome.large,

@@ -11,6 +11,7 @@ use crate::config::{GenAlgorithm, MinerConfig};
 use crate::counting::confirm_negatives;
 use crate::error::Error;
 use negassoc_apriori::levelwise::{GenLevelMiner, GenStrategy};
+use negassoc_apriori::parallel::PassStats;
 use negassoc_apriori::LargeItemsets;
 use negassoc_taxonomy::Taxonomy;
 use negassoc_txdb::TransactionSource;
@@ -29,6 +30,19 @@ pub(crate) struct DriverOutcome {
     pub positive_time: Duration,
     /// Wall time spent generating and counting negative candidates.
     pub negative_time: Duration,
+    /// Per-pass counting telemetry, in execution order with 1-based pass
+    /// numbers. May be empty for paths that do not stream through the
+    /// instrumented counter (EstMerge positive phase, checkpoint-resumed
+    /// work already paid for).
+    pub pass_stats: Vec<PassStats>,
+}
+
+/// Renumber `stats` 1..=n in place (drivers splice together stats from
+/// sub-phases whose local numbering restarts).
+pub(crate) fn renumber(stats: &mut [PassStats]) {
+    for (i, s) in stats.iter_mut().enumerate() {
+        s.pass = i as u64 + 1;
+    }
 }
 
 /// Run the naive driver.
@@ -47,8 +61,16 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
         }
     };
     let positive_start = Instant::now();
-    let mut miner = GenLevelMiner::new(source, tax, config.min_support, strategy, config.backend)?;
+    let mut miner = GenLevelMiner::new(
+        source,
+        tax,
+        config.min_support,
+        strategy,
+        config.backend,
+        config.parallelism,
+    )?;
     let mut positive_time = positive_start.elapsed();
+    let mut pass_stats: Vec<PassStats> = miner.take_pass_stats();
     let mut negative_time = Duration::ZERO;
     let mut passes = 1u64; // level-1 pass
     let mut levels = 1u64;
@@ -61,6 +83,7 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
         let positive_start = Instant::now();
         let found = miner.mine_next_level()?;
         positive_time += positive_start.elapsed();
+        pass_stats.extend(miner.take_pass_stats());
         let found = match found {
             // No pass is made when no positive candidates exist.
             None => break,
@@ -85,7 +108,7 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
         generator.extend_from_level(level, &mut set)?;
         let (cands, stats) = set.into_candidates();
         merge_stats(&mut candidate_stats, &stats);
-        let (mut negs, neg_passes) = confirm_negatives(
+        let (mut negs, neg_passes, neg_stats) = confirm_negatives(
             source,
             miner.ancestors(),
             cands,
@@ -93,12 +116,15 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
             config.max_candidates_per_pass,
             miner.large().min_support_count(),
             config.min_ri,
+            config.parallelism,
         )?;
         passes += neg_passes;
+        pass_stats.extend(neg_stats);
         negatives.append(&mut negs);
         negative_time += negative_start.elapsed();
     }
 
+    renumber(&mut pass_stats);
     Ok(DriverOutcome {
         large: miner.large().clone(),
         negatives,
@@ -107,6 +133,7 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
         levels,
         positive_time,
         negative_time,
+        pass_stats,
     })
 }
 
@@ -174,6 +201,15 @@ mod tests {
         assert_eq!(out.passes, pc.passes());
         // 2n shape: item pass + (positive pass + negative pass) for level 2.
         assert_eq!(out.passes, 3);
+        // Telemetry mirrors the pass ledger exactly: L1, L2, negative.
+        assert_eq!(out.pass_stats.len(), 3);
+        let labels: Vec<&str> = out.pass_stats.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["L1", "L2", "negative"]);
+        for (i, s) in out.pass_stats.iter().enumerate() {
+            assert_eq!(s.pass, i as u64 + 1);
+            assert_eq!(s.transactions, 70);
+            assert_eq!(s.threads, 1);
+        }
 
         // {pepsi, chips} (or {coke, nuts}) should be negative: expectation
         // from {drinks, snacks} or sibling substitution is high, actual 0.

@@ -1,0 +1,467 @@
+//! Fixed-size transaction blocks and a scoped worker-pool pass executor.
+//!
+//! Support counting dominates every pass of the paper's pipeline, and
+//! per-partition counts merge additively (Savasere et al., VLDB '95;
+//! Agrawal & Shafer's count distribution, TKDE '96). This module supplies
+//! the substrate both facts rest on:
+//!
+//! * [`Parallelism`] — the policy knob every miner takes (sequential,
+//!   a fixed thread count, or whatever the machine offers),
+//! * [`TransactionBlock`] — an owned, flat batch of consecutive
+//!   transactions cut from any [`TransactionSource`] stream,
+//! * [`parallel_pass`] — one database pass fanned out over
+//!   `std::thread::scope` workers through a bounded channel.
+//!
+//! The executor works for *streamed* sources because the producer — the
+//! caller's thread — is the only one that touches the source: it runs the
+//! single `pass`, copies transactions into blocks, and hands the blocks to
+//! workers. Workers never share mutable state on the hot path; each owns
+//! its private accumulator (`W`) and the only lock taken is a
+//! block-granularity pop from the shared queue. Results are combined by
+//! the caller after all workers finish, in spawn order, so any additive
+//! merge is deterministic.
+//!
+//! This is the one module allowed to create threads (xtask lint L007
+//! forbids bare `std::thread::spawn` everywhere; scoped workers confine
+//! every thread's lifetime to the pass that spawned it).
+
+use crate::scan::TransactionSource;
+use crate::transaction::Transaction;
+use negassoc_taxonomy::ItemId;
+use std::io;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Transactions per block handed to a worker. Large enough that the
+/// per-block channel/lock traffic is noise, small enough that a handful of
+/// in-flight blocks fit comfortably in cache.
+pub const DEFAULT_BLOCK_SIZE: usize = 1024;
+
+/// How many worker threads a counting pass may use.
+///
+/// Whatever the policy, counts are **exact** and results are byte-identical
+/// to a sequential run: blocks partition the stream, per-block tallies are
+/// order-independent `u64` additions, and the final merge visits workers in
+/// spawn order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One thread, no channel, no worker pool (the default).
+    #[default]
+    Sequential,
+    /// Exactly this many worker threads (`0` is treated as `1`; the miner
+    /// configuration layer rejects it earlier with a proper error).
+    Threads(usize),
+    /// `std::thread::available_parallelism`, falling back to one thread
+    /// when the runtime cannot tell.
+    Auto,
+}
+
+impl Parallelism {
+    /// The concrete worker count this policy resolves to (always ≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// An owned, contiguous run of transactions cut from a source's pass.
+///
+/// Flat storage (one item array plus offsets) mirrors
+/// [`crate::TransactionDb`]; `start` records the run's position in the
+/// stream so consumers that care about absolute transaction positions
+/// (e.g. parallel TID-list construction) can reconstruct them as
+/// `start + index_in_block`.
+#[derive(Clone, Debug, Default)]
+pub struct TransactionBlock {
+    start: u64,
+    tids: Vec<u64>,
+    items: Vec<ItemId>,
+    offsets: Vec<usize>,
+}
+
+impl TransactionBlock {
+    /// An empty block whose first transaction will sit at stream position
+    /// `start`.
+    pub fn with_start(start: u64) -> Self {
+        Self {
+            start,
+            tids: Vec::new(),
+            items: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Stream position of the block's first transaction.
+    #[inline]
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Number of transactions in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// `true` when the block holds no transactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// Append a copy of `t`.
+    pub fn push(&mut self, t: Transaction<'_>) {
+        self.tids.push(t.tid());
+        self.items.extend_from_slice(t.items());
+        self.offsets.push(self.items.len());
+    }
+
+    /// Empty the block (keeping its allocations) and move it to stream
+    /// position `start`.
+    pub fn reset(&mut self, start: u64) {
+        self.start = start;
+        self.tids.clear();
+        self.items.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
+    /// The transactions of the block, in stream order.
+    pub fn iter(&self) -> impl Iterator<Item = Transaction<'_>> {
+        (0..self.len()).map(move |i| {
+            Transaction::new(
+                self.tids[i],
+                &self.items[self.offsets[i]..self.offsets[i + 1]],
+            )
+        })
+    }
+}
+
+impl TransactionSource for TransactionBlock {
+    fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+        for t in self.iter() {
+            f(t);
+        }
+        Ok(())
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.len() as u64)
+    }
+}
+
+/// Map `f` over `items` on up to `threads` scoped workers, returning the
+/// results **in input order** (so any downstream fold is deterministic).
+///
+/// Items are dealt out in contiguous chunks, one per worker; with
+/// `threads <= 1` (or a single chunk) everything runs inline on the
+/// caller. This is the coarse-grained sibling of [`parallel_pass`], used
+/// where the unit of work is bigger than a transaction block — e.g. mining
+/// whole database partitions independently. A worker panic is re-raised on
+/// the caller.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    if threads <= 1 || n <= chunk {
+        return items.into_iter().map(f).collect();
+    }
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(rs) => out.extend(rs),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        out
+    })
+}
+
+/// One database pass, fanned out over `threads` scoped workers.
+///
+/// The calling thread is the producer: it runs `source.pass` once, slices
+/// the stream into blocks of `block_size` transactions and feeds them to a
+/// bounded channel. Each worker builds its private state with
+/// `make_worker`, folds blocks into it with `process`, and reduces it to a
+/// result with `finish`. Returns the per-worker results **in spawn order**
+/// plus the number of transactions scanned.
+///
+/// With `threads <= 1` no thread, channel or lock is involved: the same
+/// `make_worker`/`process`/`finish` cycle runs inline on the caller, so
+/// sequential and parallel executions share one code path and one answer.
+///
+/// A worker panic is re-raised on the caller; an `Err` from the source's
+/// pass is returned after the workers have drained and exited.
+pub fn parallel_pass<S, W, R, FNew, FProc, FFin>(
+    source: &S,
+    threads: usize,
+    block_size: usize,
+    make_worker: FNew,
+    process: FProc,
+    finish: FFin,
+) -> io::Result<(Vec<R>, u64)>
+where
+    S: TransactionSource + ?Sized,
+    R: Send,
+    FNew: Fn() -> W + Sync,
+    FProc: Fn(&mut W, &TransactionBlock) + Sync,
+    FFin: Fn(W) -> R + Sync,
+{
+    let block_size = block_size.max(1);
+    if threads <= 1 {
+        let mut worker = make_worker();
+        let mut block = TransactionBlock::with_start(0);
+        let mut total = 0u64;
+        source.pass(&mut |t| {
+            block.push(t);
+            total += 1;
+            if block.len() >= block_size {
+                process(&mut worker, &block);
+                let next = block.start() + block.len() as u64;
+                block.reset(next);
+            }
+        })?;
+        if !block.is_empty() {
+            process(&mut worker, &block);
+        }
+        return Ok((vec![finish(worker)], total));
+    }
+
+    // Bounded: the producer stays at most a few blocks ahead, so a
+    // streamed source never balloons into memory. Declared outside the
+    // scope so worker borrows outlive every spawned thread.
+    let (tx, rx) = mpsc::sync_channel::<TransactionBlock>(threads * 2);
+    let rx = Mutex::new(rx);
+    let (results, total, pass_result) = std::thread::scope(|scope| {
+        let rx = &rx;
+        let make_worker = &make_worker;
+        let process = &process;
+        let finish = &finish;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut worker = make_worker();
+                    loop {
+                        // The lock is held across recv(): blocked waiters
+                        // simply queue behind it, which serializes only the
+                        // *pop*, never the counting work.
+                        let next = {
+                            let guard = match rx.lock() {
+                                Ok(g) => g,
+                                // A sibling panicked while holding the
+                                // lock; the queue itself is still sound.
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            guard.recv()
+                        };
+                        match next {
+                            Ok(block) => process(&mut worker, &block),
+                            Err(_) => break, // producer hung up: done
+                        }
+                    }
+                    finish(worker)
+                })
+            })
+            .collect();
+
+        let mut total = 0u64;
+        let mut block = TransactionBlock::with_start(0);
+        let mut receivers_gone = false;
+        let pass_result = source.pass(&mut |t| {
+            if receivers_gone {
+                return;
+            }
+            block.push(t);
+            total += 1;
+            if block.len() >= block_size {
+                let next = block.start() + block.len() as u64;
+                let full = std::mem::replace(&mut block, TransactionBlock::with_start(next));
+                // send only fails when every worker died (panicked); the
+                // join below re-raises that panic.
+                receivers_gone = tx.send(full).is_err();
+            }
+        });
+        if !receivers_gone && !block.is_empty() {
+            let _ = tx.send(block);
+        }
+        drop(tx); // hang up: workers drain the queue and finish
+
+        let mut results = Vec::with_capacity(handles.len());
+        for handle in handles {
+            match handle.join() {
+                Ok(r) => results.push(r),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        (results, total, pass_result)
+    });
+    pass_result?;
+    Ok((results, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TransactionDb, TransactionDbBuilder};
+
+    fn sample_db(n: usize) -> TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        for i in 0..n {
+            b.add([ItemId((i % 5) as u32), ItemId(7 + (i % 3) as u32)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::Sequential.resolve(), 1);
+        assert_eq!(Parallelism::Threads(4).resolve(), 4);
+        assert_eq!(Parallelism::Threads(0).resolve(), 1);
+        assert!(Parallelism::Auto.resolve() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Sequential);
+    }
+
+    #[test]
+    fn block_roundtrips_transactions() {
+        let db = sample_db(3);
+        let mut block = TransactionBlock::with_start(10);
+        db.pass(&mut |t| block.push(t)).unwrap();
+        assert_eq!(block.len(), 3);
+        assert_eq!(block.start(), 10);
+        assert!(!block.is_empty());
+        let collected: Vec<(u64, Vec<ItemId>)> = block
+            .iter()
+            .map(|t| (t.tid(), t.items().to_vec()))
+            .collect();
+        let mut expect = Vec::new();
+        db.pass(&mut |t| expect.push((t.tid(), t.items().to_vec())))
+            .unwrap();
+        assert_eq!(collected, expect);
+        // Blocks are themselves sources.
+        assert_eq!(block.len_hint(), Some(3));
+        let mut n = 0;
+        TransactionSource::pass(&block, &mut |_| n += 1).unwrap();
+        assert_eq!(n, 3);
+        block.reset(99);
+        assert!(block.is_empty());
+        assert_eq!(block.start(), 99);
+    }
+
+    /// Sum of all item values, counted per block, must be independent of
+    /// thread count and block size.
+    #[test]
+    fn executor_matches_sequential_fold() {
+        let db = sample_db(257); // deliberately not a block multiple
+        let mut expect = 0u64;
+        db.pass(&mut |t| expect += t.items().iter().map(|i| u64::from(i.0)).sum::<u64>())
+            .unwrap();
+        for threads in [1, 2, 4, 8] {
+            for block_size in [1, 3, 64, 1024] {
+                let (parts, total) = parallel_pass(
+                    &db,
+                    threads,
+                    block_size,
+                    || 0u64,
+                    |acc, block| {
+                        block.iter().for_each(|t| {
+                            *acc += t.items().iter().map(|i| u64::from(i.0)).sum::<u64>()
+                        })
+                    },
+                    |acc| acc,
+                )
+                .unwrap();
+                assert_eq!(total, 257, "threads {threads} block {block_size}");
+                assert_eq!(
+                    parts.iter().sum::<u64>(),
+                    expect,
+                    "threads {threads} block {block_size}"
+                );
+                assert_eq!(parts.len(), threads.max(1));
+            }
+        }
+    }
+
+    /// Block starts partition the stream exactly: every position is
+    /// delivered once, regardless of which worker got which block.
+    #[test]
+    fn block_starts_cover_the_stream() {
+        let db = sample_db(100);
+        let (parts, total) = parallel_pass(
+            &db,
+            3,
+            7,
+            Vec::new,
+            |acc: &mut Vec<u64>, block| {
+                acc.extend((0..block.len()).map(|i| block.start() + i as u64))
+            },
+            |acc| acc,
+        )
+        .unwrap();
+        let mut positions: Vec<u64> = parts.into_iter().flatten().collect();
+        positions.sort_unstable();
+        assert_eq!(total, 100);
+        assert_eq!(positions, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn source_errors_propagate() {
+        struct Failing;
+        impl TransactionSource for Failing {
+            fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+                let items = [ItemId(1)];
+                f(Transaction::new(0, &items));
+                Err(io::Error::new(io::ErrorKind::Other, "boom"))
+            }
+        }
+        for threads in [1, 4] {
+            let err = parallel_pass(&Failing, threads, 8, || (), |_, _| (), |_| ())
+                .err()
+                .map(|e| e.to_string());
+            assert_eq!(err.as_deref(), Some("boom"), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u32> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|&i| u64::from(i) * 3 + 1).collect();
+        for threads in [1, 2, 4, 16, 64] {
+            let got = parallel_map(items.clone(), threads, |i| u64::from(i) * 3 + 1);
+            assert_eq!(got, expect, "threads {threads}");
+        }
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(empty, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn empty_source_yields_one_result_per_worker() {
+        let db = TransactionDbBuilder::new().build();
+        let (parts, total) = parallel_pass(&db, 2, 16, || 1u32, |_, _| (), |w| w).unwrap();
+        assert_eq!(total, 0);
+        assert_eq!(parts, vec![1, 1]);
+    }
+}

@@ -17,6 +17,9 @@
 //!   fault injection ([`fault::FaultySource`], [`fault::FaultyReader`])
 //!   and bounded retry ([`fault::RetryPolicy`], [`fault::RetryingSource`])
 //!   so the multi-pass miners survive transient I/O failures,
+//! * [`block`] — fixed-size transaction blocks plus the scoped worker-pool
+//!   pass executor ([`block::parallel_pass`]) and the [`Parallelism`]
+//!   policy behind every multi-threaded counting pass,
 //! * [`partition`] — horizontal partitioning for memory-bounded or parallel
 //!   counting,
 //! * [`vertical`] — TID-list (inverted) indexes with intersection-based
@@ -40,6 +43,7 @@
 //! ```
 
 pub mod binfmt;
+pub mod block;
 pub mod crc32;
 pub mod fault;
 pub mod partition;
@@ -52,6 +56,7 @@ mod database;
 mod scan;
 mod transaction;
 
+pub use block::Parallelism;
 pub use database::{TransactionDb, TransactionDbBuilder};
 pub use scan::{PassCounter, TransactionSource};
 pub use transaction::Transaction;

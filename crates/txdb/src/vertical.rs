@@ -8,6 +8,7 @@
 //! one pass that builds the index, any number of candidate itemsets can be
 //! counted without touching the database again.
 
+use crate::block::{parallel_pass, Parallelism, DEFAULT_BLOCK_SIZE};
 use crate::scan::TransactionSource;
 use negassoc_taxonomy::{ItemId, Taxonomy};
 use std::io;
@@ -48,7 +49,84 @@ impl TidListIndex {
         Self::build_inner(source, Some(taxonomy))
     }
 
-    fn build_inner<S: TransactionSource>(
+    /// [`Self::build`] / [`Self::build_generalized`] with a worker pool:
+    /// each worker indexes whole transaction blocks (absolute positions,
+    /// so lists from different blocks never interleave) and the blocks are
+    /// merged back in stream order. The result is identical to the
+    /// sequential build — same lists, same order — for any thread count,
+    /// including over streamed sources.
+    pub fn build_with<S: TransactionSource + ?Sized>(
+        source: &S,
+        taxonomy: Option<&Taxonomy>,
+        parallelism: Parallelism,
+    ) -> io::Result<Self> {
+        let threads = parallelism.resolve();
+        if threads <= 1 {
+            return Self::build_inner(source, taxonomy);
+        }
+        // Worker state: (block start, per-item positions) per block seen,
+        // plus an overflow marker for positions beyond u32.
+        type BlockLists = (u64, Vec<Vec<u32>>);
+        let seed_len = taxonomy.map_or(0, Taxonomy::len);
+        let (parts, total) = parallel_pass(
+            source,
+            threads,
+            DEFAULT_BLOCK_SIZE,
+            || (Vec::<BlockLists>::new(), false),
+            |(blocks, overflow), block| {
+                let mut lists: Vec<Vec<u32>> = vec![Vec::new(); seed_len];
+                for (i, t) in block.iter().enumerate() {
+                    let Ok(pos) = u32::try_from(block.start() + i as u64) else {
+                        *overflow = true;
+                        return;
+                    };
+                    for &item in t.items() {
+                        let idx = item.index();
+                        if idx >= lists.len() {
+                            lists.resize_with(idx + 1, Vec::new);
+                        }
+                        push_unique(&mut lists[idx], pos);
+                        if let Some(tax) = taxonomy {
+                            for anc in tax.ancestors(item) {
+                                push_unique(&mut lists[anc.index()], pos);
+                            }
+                        }
+                    }
+                }
+                blocks.push((block.start(), lists));
+            },
+            |state| state,
+        )?;
+        if total > u64::from(u32::MAX) || parts.iter().any(|(_, overflow)| *overflow) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "TID-list index supports at most u32::MAX transactions",
+            ));
+        }
+        // Stitch the blocks back together in stream order. Positions are
+        // absolute and blocks are disjoint, so per-item concatenation in
+        // block order reproduces the sequential build's sorted lists.
+        let mut blocks: Vec<BlockLists> =
+            parts.into_iter().flat_map(|(blocks, _)| blocks).collect();
+        blocks.sort_unstable_by_key(|(start, _)| *start);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); seed_len];
+        for (_, block_lists) in blocks {
+            if block_lists.len() > lists.len() {
+                lists.resize_with(block_lists.len(), Vec::new);
+            }
+            for (idx, mut positions) in block_lists.into_iter().enumerate() {
+                if !positions.is_empty() {
+                    lists[idx].append(&mut positions);
+                }
+            }
+        }
+        Ok(Self {
+            lists,
+            num_transactions: total,
+        })
+    }
+
+    fn build_inner<S: TransactionSource + ?Sized>(
         source: &S,
         taxonomy: Option<&Taxonomy>,
     ) -> io::Result<Self> {
@@ -229,6 +307,45 @@ mod tests {
         assert_eq!(idx.num_transactions(), 0);
         assert_eq!(idx.support(&ids(&[0])), 0);
         assert_eq!(idx.support(&[]), 0);
+    }
+
+    /// The parallel build must reproduce the sequential one exactly —
+    /// same lists in the same order — flat and generalized, at any
+    /// thread count.
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let mut tb = TaxonomyBuilder::new();
+        let cat = tb.add_root("cat");
+        let l1 = tb.add_child(cat, "l1").unwrap();
+        let l2 = tb.add_child(cat, "l2").unwrap();
+        let tax = tb.build();
+
+        let mut b = TransactionDbBuilder::new();
+        for i in 0..500u32 {
+            match i % 3 {
+                0 => b.add([l1]),
+                1 => b.add([l2]),
+                _ => b.add([l1, l2]),
+            };
+        }
+        let db = b.build();
+
+        let flat_seq = TidListIndex::build(&db).unwrap();
+        let gen_seq = TidListIndex::build_generalized(&db, &tax).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let p = Parallelism::Threads(threads);
+            let flat_par = TidListIndex::build_with(&db, None, p).unwrap();
+            let gen_par = TidListIndex::build_with(&db, Some(&tax), p).unwrap();
+            assert_eq!(flat_par.num_transactions(), flat_seq.num_transactions());
+            assert_eq!(flat_par.lists, flat_seq.lists, "flat, {threads} threads");
+            assert_eq!(
+                gen_par.lists, gen_seq.lists,
+                "generalized, {threads} threads"
+            );
+        }
+        // The policy default is the sequential path.
+        let via_default = TidListIndex::build_with(&db, None, Parallelism::Sequential).unwrap();
+        assert_eq!(via_default.lists, flat_seq.lists);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The negassoc custom lints, L001–L006.
+//! The negassoc custom lints, L001–L007.
 //!
 //! Each lint matches token patterns from [`crate::lexer`] against the
 //! workspace's invariants (documented in DESIGN.md "Invariants & static
@@ -12,6 +12,7 @@
 //! | L004 | `Itemset` values are built through its sorting/dedup constructors only |
 //! | L005 | lossy `as` casts on support counters live only in sanctioned helpers (`counting.rs`, `expected.rs`) |
 //! | L006 | the core crate returns `Result<_, NegAssocError>`, never `io::Result` — I/O errors convert at the txdb boundary |
+//! | L007 | no bare `thread::spawn` — worker threads are scoped and live only in `txdb/src/block.rs`, the one audited counting pool |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/` directories
 //! and `#[cfg(test)]` modules. Any finding can be suppressed with a
@@ -63,6 +64,11 @@ pub const LINTS: &[Lint] = &[
         summary: "io::Result in the core crate; return Result<_, NegAssocError> instead",
         library_only: true,
     },
+    Lint {
+        id: "L007",
+        summary: "bare thread::spawn outside txdb's block module; use the scoped counting pool",
+        library_only: true,
+    },
 ];
 
 /// One diagnostic.
@@ -102,6 +108,7 @@ pub fn lint_file(path: &str, lexed: &LexedFile, class: FileClass) -> Vec<Finding
         l004_itemset_literal(path, lexed, &in_test, &mut findings);
         l005_lossy_casts(path, lexed, &in_test, &mut findings);
         l006_io_result(path, lexed, &in_test, &mut findings);
+        l007_thread_spawn(path, lexed, &in_test, &mut findings);
     }
     // Apply allow directives (same line or the line above the finding).
     findings.retain(|f| {
@@ -369,6 +376,46 @@ fn l006_io_result(
                 message: "io::Result in the core crate bypasses the typed error; \
                           return Result<_, NegAssocError> and convert io::Error at \
                           the txdb boundary"
+                    .into(),
+            });
+        }
+    }
+}
+
+fn l007_thread_spawn(
+    path: &str,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    // The one sanctioned spawn site: the scoped worker pool behind every
+    // parallel counting pass. Free-running `thread::spawn` threads outlive
+    // their borrow scope, dodge the pool's panic propagation, and make
+    // counts racy; everything else routes through `parallel_pass` /
+    // `parallel_map`.
+    if path.ends_with("txdb/src/block.rs") {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "thread" || in_test(t.line) {
+            continue;
+        }
+        // `thread::spawn` and `std::thread::spawn` both end with these
+        // three tokens; `scope.spawn(..)` / `s.spawn(..)` use `.` and
+        // never match.
+        let is_spawn = toks.get(i + 1).is_some_and(|n| n.text == "::")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokenKind::Ident && n.text == "spawn");
+        if is_spawn {
+            findings.push(Finding {
+                lint: "L007",
+                path: path.into(),
+                line: t.line,
+                message: "bare thread::spawn escapes the audited counting pool; \
+                          use negassoc_txdb::block::parallel_pass / parallel_map \
+                          (scoped workers, deterministic merge)"
                     .into(),
             });
         }

@@ -1,0 +1,29 @@
+//! L007 fixture: bare `thread::spawn` (fully qualified or via `use`) must
+//! fire in library code; scoped `s.spawn` inside `thread::scope` must not.
+
+use std::thread;
+
+pub fn rogue_workers() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    let h2 = thread::spawn(|| 2 + 2);
+    let _ = h2.join();
+}
+
+pub fn scoped_is_fine(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    thread::scope(|s| {
+        let h = s.spawn(|| xs.iter().sum::<u64>());
+        total = h.join().unwrap_or(0);
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        let h = std::thread::spawn(|| ());
+        h.join().unwrap();
+    }
+}

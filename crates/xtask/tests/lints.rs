@@ -121,6 +121,29 @@ fn l006_exempts_substrate_crates() {
 }
 
 #[test]
+fn l007_fires_on_bare_thread_spawn() {
+    let fired = lints_fired("l007_thread_spawn.rs", FileClass::Library);
+    assert_eq!(
+        fired,
+        ["L007", "L007"],
+        "std::thread::spawn and thread::spawn; scoped s.spawn stays silent"
+    );
+}
+
+#[test]
+fn l007_exempts_the_counting_pool_module() {
+    let findings = analyze_source(
+        "crates/txdb/src/block.rs",
+        &fixture("l007_thread_spawn.rs"),
+        FileClass::Library,
+    );
+    assert!(
+        findings.is_empty(),
+        "block.rs is the sanctioned spawn site, got {findings:?}"
+    );
+}
+
+#[test]
 fn allow_comments_suppress_with_a_paper_trail() {
     let fired = lints_fired("allowed.rs", FileClass::Library);
     assert!(
@@ -149,6 +172,7 @@ fn every_registered_lint_has_a_firing_fixture() {
         "l003_panics.rs",
         "l004_itemset.rs",
         "l005_cast.rs",
+        "l007_thread_spawn.rs",
     ] {
         covered.extend(lints_fired(name, FileClass::Library));
     }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Benchmark stages that record the perf trajectory as BENCH_*.json
+# artifacts in the repo root. Heavier than ci.sh; run on demand.
+#
+#   scripts/bench.sh            # default scale (4,000 transactions)
+#   BENCH_SCALE=20000 scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-4000}"
+
+echo "==> cargo build --release (bench harness)"
+cargo build -q --release -p negassoc-bench
+
+echo "==> parallel counting: sequential vs 2/4 worker threads (scale $SCALE)"
+./target/release/paper counting --scale "$SCALE"
+
+echo "==> BENCH_counting.json"
+# The artifact is the record; surface the headline so the run log has it
+# too. Speedup > 1 needs real cores: on a single-CPU machine the worker
+# pool can only add overhead, and the JSON will honestly say so.
+grep -E '"available_parallelism"|"total_wall_s"|"speedup_vs_sequential"' BENCH_counting.json
+
+echo "bench: artifacts written"

@@ -39,4 +39,24 @@ fi
 diff "$SMOKE/clean.csv" "$SMOKE/resumed.csv"
 echo "smoke: resumed output byte-identical to the clean run"
 
+echo "==> multi-thread smoke (worker-pool counting, crash + threaded resume)"
+# Determinism contract: worker threads change wall time, never output.
+"$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --min-support 0.05 --max-size 2 --threads 4 --pass-stats \
+  --out "$SMOKE/threads4.csv" > /dev/null
+diff "$SMOKE/clean.csv" "$SMOKE/threads4.csv"
+# Crash a threaded run mid-pass, then resume it threaded: still identical.
+if "$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --min-support 0.05 --max-size 2 --threads 4 --checkpoint-dir "$SMOKE/ckpt-mt" \
+  --inject-fail-pass 2 > /dev/null 2>&1; then
+  echo "smoke: threaded injected run unexpectedly succeeded" >&2
+  exit 1
+fi
+[ -n "$(ls -A "$SMOKE/ckpt-mt")" ] || { echo "smoke: no threaded checkpoints" >&2; exit 1; }
+"$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --min-support 0.05 --max-size 2 --threads 4 --checkpoint-dir "$SMOKE/ckpt-mt" \
+  --out "$SMOKE/threads4-resumed.csv" > /dev/null
+diff "$SMOKE/clean.csv" "$SMOKE/threads4-resumed.csv"
+echo "smoke: threaded runs byte-identical to the sequential run"
+
 echo "ci: all checks passed"

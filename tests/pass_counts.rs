@@ -94,8 +94,14 @@ fn improved_is_positive_passes_plus_one() {
     let (tax, db) = deep_scenario();
     // Measure pure positive mining passes with the same algorithm.
     let pc = PassCounter::new(db);
-    negassoc_apriori::cumulate::cumulate(&pc, &tax, MinSupport::Fraction(0.15), Default::default())
-        .unwrap();
+    negassoc_apriori::cumulate::cumulate(
+        &pc,
+        &tax,
+        MinSupport::Fraction(0.15),
+        Default::default(),
+        Default::default(),
+    )
+    .unwrap();
     let positive_passes = pc.passes();
 
     pc.reset();
