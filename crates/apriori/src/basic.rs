@@ -22,13 +22,28 @@ pub fn basic<S: TransactionSource + ?Sized>(
     backend: CountingBackend,
     parallelism: Parallelism,
 ) -> io::Result<LargeItemsets> {
-    GenLevelMiner::new(
+    basic_with_ctrl(source, tax, min_support, backend, parallelism, None)
+}
+
+/// [`basic`] under an optional cancel token: every pass checks `ctrl` at
+/// block boundaries and a cancelled run returns the token's
+/// [`io::ErrorKind::Interrupted`] error (see [`negassoc_txdb::ctrl`]).
+pub fn basic_with_ctrl<S: TransactionSource + ?Sized>(
+    source: &S,
+    tax: &Taxonomy,
+    min_support: MinSupport,
+    backend: CountingBackend,
+    parallelism: Parallelism,
+    ctrl: Option<&negassoc_txdb::ctrl::CancelToken>,
+) -> io::Result<LargeItemsets> {
+    GenLevelMiner::new_with_ctrl(
         source,
         tax,
         min_support,
         GenStrategy::Basic,
         backend,
         parallelism,
+        ctrl,
     )?
     .run_to_completion()
 }

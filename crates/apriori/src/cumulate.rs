@@ -63,13 +63,28 @@ pub fn cumulate<S: TransactionSource + ?Sized>(
     backend: CountingBackend,
     parallelism: Parallelism,
 ) -> io::Result<LargeItemsets> {
-    GenLevelMiner::new(
+    cumulate_with_ctrl(source, tax, min_support, backend, parallelism, None)
+}
+
+/// [`cumulate`] under an optional cancel token: every pass checks `ctrl`
+/// at block boundaries and a cancelled run returns the token's
+/// [`io::ErrorKind::Interrupted`] error (see [`negassoc_txdb::ctrl`]).
+pub fn cumulate_with_ctrl<S: TransactionSource + ?Sized>(
+    source: &S,
+    tax: &Taxonomy,
+    min_support: MinSupport,
+    backend: CountingBackend,
+    parallelism: Parallelism,
+    ctrl: Option<&negassoc_txdb::ctrl::CancelToken>,
+) -> io::Result<LargeItemsets> {
+    GenLevelMiner::new_with_ctrl(
         source,
         tax,
         min_support,
         GenStrategy::Cumulate,
         backend,
         parallelism,
+        ctrl,
     )?
     .run_to_completion()
 }

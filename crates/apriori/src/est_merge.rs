@@ -15,7 +15,7 @@ use crate::count::CountingBackend;
 use crate::gen::{apriori_gen, pairs_of};
 use crate::generalized::{extend_full, prune_ancestor_pairs, AncestorTable};
 use crate::itemset::{Itemset, LargeItemsets};
-use crate::parallel::{count_mixed_parallel, Parallelism};
+use crate::parallel::{count_mixed_parallel_ctrl, Parallelism};
 use crate::MinSupport;
 use negassoc_taxonomy::fxhash::FxHashSet;
 use negassoc_taxonomy::{ItemId, Taxonomy};
@@ -76,10 +76,32 @@ pub fn est_merge<S: TransactionSource + ?Sized>(
     config: EstMergeConfig,
     parallelism: Parallelism,
 ) -> io::Result<(LargeItemsets, EstMergeStats)> {
+    est_merge_with_ctrl(source, tax, min_support, backend, config, parallelism, None)
+}
+
+/// [`est_merge`] under an optional cancel token: `ctrl` is checked before
+/// each full-database batch pass (and at block boundaries within it); a
+/// cancelled run returns the token's [`io::ErrorKind::Interrupted`] error
+/// (see [`negassoc_txdb::ctrl`]). The sequential sampling pass is guarded
+/// at its boundaries — it is one pass, the same interruption granularity
+/// every other miner offers.
+#[allow(clippy::too_many_arguments)]
+pub fn est_merge_with_ctrl<S: TransactionSource + ?Sized>(
+    source: &S,
+    tax: &Taxonomy,
+    min_support: MinSupport,
+    backend: CountingBackend,
+    config: EstMergeConfig,
+    parallelism: Parallelism,
+    ctrl: Option<&negassoc_txdb::ctrl::CancelToken>,
+) -> io::Result<(LargeItemsets, EstMergeStats)> {
     assert!(
         (0.0..=1.0).contains(&config.sample_fraction),
         "sample_fraction must be in [0, 1]"
     );
+    if let Some(c) = ctrl {
+        c.check()?;
+    }
     let ancestors = AncestorTable::new(tax);
     let mut stats = EstMergeStats::default();
 
@@ -140,6 +162,9 @@ pub fn est_merge<S: TransactionSource + ?Sized>(
     )?;
 
     while !batch.is_empty() || !deferred_next.is_empty() {
+        if let Some(c) = ctrl {
+            c.check()?;
+        }
         // One full-database pass counts this batch (mixed sizes).
         let counted = if batch.is_empty() {
             Vec::new()
@@ -147,12 +172,13 @@ pub fn est_merge<S: TransactionSource + ?Sized>(
             stats.passes += 1;
             let mapper =
                 |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, &ancestors, out);
-            count_mixed_parallel(
+            count_mixed_parallel_ctrl(
                 source,
                 std::mem::take(&mut batch),
                 backend,
                 &mapper,
                 parallelism,
+                ctrl,
             )?
             .counts
         };

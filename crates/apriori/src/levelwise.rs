@@ -12,7 +12,9 @@ use crate::generalized::{
     extend_filtered, extend_full, items_of_candidates, prune_ancestor_pairs, AncestorTable,
 };
 use crate::itemset::{Itemset, LargeItemsets};
-use crate::parallel::{count_items_parallel, count_mixed_parallel, Parallelism, PassStats};
+use crate::parallel::{
+    count_items_parallel_ctrl, count_mixed_parallel_ctrl, CancelToken, Parallelism, PassStats,
+};
 use crate::MinSupport;
 use negassoc_taxonomy::{ItemId, Taxonomy};
 use negassoc_txdb::TransactionSource;
@@ -98,6 +100,7 @@ pub struct GenLevelMiner<'a, S: TransactionSource + ?Sized> {
     done: bool,
     candidate_cap: Option<usize>,
     pass_stats: Vec<PassStats>,
+    ctrl: Option<&'a CancelToken>,
 }
 
 impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
@@ -110,11 +113,35 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
         backend: CountingBackend,
         parallelism: Parallelism,
     ) -> io::Result<Self> {
+        Self::new_with_ctrl(
+            source,
+            tax,
+            min_support,
+            strategy,
+            backend,
+            parallelism,
+            None,
+        )
+    }
+
+    /// [`Self::new`] under a cancel token: the level-1 pass and every
+    /// subsequent [`Self::mine_next_level`] check `ctrl` at block and pass
+    /// boundaries; a cancelled step returns the token's
+    /// [`io::ErrorKind::Interrupted`] error and consumes no miner state.
+    pub fn new_with_ctrl(
+        source: &'a S,
+        tax: &Taxonomy,
+        min_support: MinSupport,
+        strategy: GenStrategy,
+        backend: CountingBackend,
+        parallelism: Parallelism,
+        ctrl: Option<&'a CancelToken>,
+    ) -> io::Result<Self> {
         let ancestors = AncestorTable::new(tax);
         let started = Instant::now();
         let mapper = |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, &ancestors, out);
         let (counts, num_transactions) =
-            count_items_parallel(source, tax.len(), &mapper, parallelism)?;
+            count_items_parallel_ctrl(source, tax.len(), &mapper, parallelism, ctrl)?;
         let pass_stats = vec![PassStats {
             pass: 1,
             label: "L1".to_string(),
@@ -148,6 +175,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             done,
             candidate_cap: None,
             pass_stats,
+            ctrl,
         })
     }
 
@@ -160,6 +188,14 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
     /// never fails.
     pub fn with_candidate_cap(mut self, cap: Option<usize>) -> Self {
         self.candidate_cap = cap;
+        self
+    }
+
+    /// Attach (or detach) a cancel token after construction — the resume
+    /// path's counterpart to [`Self::new_with_ctrl`], since
+    /// [`Self::resume`] makes no pass of its own.
+    pub fn with_ctrl(mut self, ctrl: Option<&'a CancelToken>) -> Self {
+        self.ctrl = ctrl;
         self
     }
 
@@ -251,6 +287,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             done: state.done,
             candidate_cap: None,
             pass_stats: Vec::new(),
+            ctrl: None,
         }
     }
 
@@ -259,6 +296,9 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
     pub fn mine_next_level(&mut self) -> io::Result<Option<usize>> {
         if self.done {
             return Ok(None);
+        }
+        if let Some(c) = self.ctrl {
+            c.check()?;
         }
         let k = self.next_k;
         let candidates = if k == 2 {
@@ -286,12 +326,13 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
                 let ancestors = &self.ancestors;
                 let mapper =
                     |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, ancestors, out);
-                count_mixed_parallel(
+                count_mixed_parallel_ctrl(
                     self.source,
                     candidates,
                     self.backend,
                     &mapper,
                     self.parallelism,
+                    self.ctrl,
                 )?
             }
             GenStrategy::Cumulate => {
@@ -300,12 +341,13 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
                 let mapper = |items: &[ItemId], out: &mut Vec<ItemId>| {
                     extend_filtered(items, ancestors, &needed, out)
                 };
-                count_mixed_parallel(
+                count_mixed_parallel_ctrl(
                     self.source,
                     candidates,
                     self.backend,
                     &mapper,
                     self.parallelism,
+                    self.ctrl,
                 )?
             }
         };

@@ -24,12 +24,13 @@ use crate::count::{items_of, Counter, CountingBackend};
 use crate::itemset::Itemset;
 use negassoc_taxonomy::fxhash::{FxHashMap, FxHashSet};
 use negassoc_taxonomy::ItemId;
-use negassoc_txdb::block::{parallel_pass, DEFAULT_BLOCK_SIZE};
+use negassoc_txdb::block::{parallel_pass_ctrl, DEFAULT_BLOCK_SIZE};
 use negassoc_txdb::TransactionSource;
 use std::io;
 use std::time::Duration;
 
 pub use negassoc_txdb::block::Parallelism;
+pub use negassoc_txdb::ctrl::CancelToken;
 
 /// A transaction mapper shareable across counting workers (the `Sync`
 /// sibling of [`crate::count::Mapper`]): transforms a transaction's items
@@ -92,6 +93,21 @@ pub fn count_mixed_parallel<S: TransactionSource + ?Sized>(
     mapper: &SyncMapper<'_>,
     parallelism: Parallelism,
 ) -> io::Result<PassRun> {
+    count_mixed_parallel_ctrl(source, candidates, backend, mapper, parallelism, None)
+}
+
+/// [`count_mixed_parallel`] with cooperative cancellation: the pool checks
+/// `ctrl` at block boundaries and a cancelled pass returns the token's
+/// [`io::ErrorKind::Interrupted`] error instead of partial counts (see
+/// [`negassoc_txdb::ctrl`]).
+pub fn count_mixed_parallel_ctrl<S: TransactionSource + ?Sized>(
+    source: &S,
+    candidates: Vec<Itemset>,
+    backend: CountingBackend,
+    mapper: &SyncMapper<'_>,
+    parallelism: Parallelism,
+    ctrl: Option<&CancelToken>,
+) -> io::Result<PassRun> {
     let threads = parallelism.resolve();
     if candidates.is_empty() {
         return Ok(PassRun {
@@ -128,10 +144,11 @@ pub fn count_mixed_parallel<S: TransactionSource + ?Sized>(
         scratch: Vec<ItemId>,
     }
 
-    let (parts, transactions) = parallel_pass(
+    let (parts, transactions) = parallel_pass_ctrl(
         source,
         threads,
         DEFAULT_BLOCK_SIZE,
+        ctrl,
         || Worker {
             counters: groups
                 .iter()
@@ -202,11 +219,24 @@ pub fn count_items_parallel<S: TransactionSource + ?Sized>(
     mapper: &SyncMapper<'_>,
     parallelism: Parallelism,
 ) -> io::Result<(Vec<u64>, u64)> {
+    count_items_parallel_ctrl(source, num_items, mapper, parallelism, None)
+}
+
+/// [`count_items_parallel`] with cooperative cancellation (see
+/// [`count_mixed_parallel_ctrl`]).
+pub fn count_items_parallel_ctrl<S: TransactionSource + ?Sized>(
+    source: &S,
+    num_items: usize,
+    mapper: &SyncMapper<'_>,
+    parallelism: Parallelism,
+    ctrl: Option<&CancelToken>,
+) -> io::Result<(Vec<u64>, u64)> {
     let threads = parallelism.resolve();
-    let (parts, transactions) = parallel_pass(
+    let (parts, transactions) = parallel_pass_ctrl(
         source,
         threads,
         DEFAULT_BLOCK_SIZE,
+        ctrl,
         || (vec![0u64; num_items], Vec::<ItemId>::new()),
         |(counts, buf), block| {
             for t in block.iter() {

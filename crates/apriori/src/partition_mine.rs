@@ -23,7 +23,7 @@ use crate::generalized::{
     extend_filtered, items_of_candidates, prune_ancestor_pairs, AncestorTable,
 };
 use crate::itemset::{Itemset, LargeItemsets};
-use crate::parallel::{count_mixed_parallel, identity_sync_mapper, Parallelism};
+use crate::parallel::{count_mixed_parallel_ctrl, identity_sync_mapper, CancelToken, Parallelism};
 use crate::MinSupport;
 use negassoc_taxonomy::fxhash::FxHashSet;
 use negassoc_taxonomy::{ItemId, Taxonomy};
@@ -53,6 +53,33 @@ pub fn partition_mine(
     backend: CountingBackend,
     parallelism: Parallelism,
 ) -> io::Result<LargeItemsets> {
+    partition_mine_ctrl(
+        db,
+        tax,
+        min_support,
+        num_partitions,
+        backend,
+        parallelism,
+        None,
+    )
+}
+
+/// [`partition_mine`] under an optional cancel token: phase 1 checks
+/// `ctrl` before mining each partition and phase 2 checks it at block
+/// boundaries; a cancelled run returns the token's
+/// [`io::ErrorKind::Interrupted`] error (see [`negassoc_txdb::ctrl`]).
+///
+/// # Panics
+/// Panics when `num_partitions == 0`.
+pub fn partition_mine_ctrl(
+    db: &TransactionDb,
+    tax: Option<&Taxonomy>,
+    min_support: MinSupport,
+    num_partitions: usize,
+    backend: CountingBackend,
+    parallelism: Parallelism,
+    ctrl: Option<&CancelToken>,
+) -> io::Result<LargeItemsets> {
     assert!(num_partitions > 0, "need at least one partition");
     let total = db.len() as u64;
     let global_minsup = min_support.to_count(total);
@@ -69,6 +96,9 @@ pub fn partition_mine(
     let parts = partitions(db, num_partitions);
     let ancestors_ref = ancestors.as_ref();
     let locals = parallel_map(parts, parallelism.resolve(), |part| -> io::Result<_> {
+        if let Some(c) = ctrl {
+            c.check()?;
+        }
         let index = match tax {
             Some(t) => TidListIndex::build_generalized(&part, t)?,
             None => TidListIndex::build(&part)?,
@@ -76,6 +106,9 @@ pub fn partition_mine(
         let local_minsup = ((frac * part.len() as f64).ceil() as u64).max(1);
         let mut local: FxHashSet<Itemset> = FxHashSet::default();
         local_mine(&index, local_minsup, ancestors_ref, &mut local);
+        if let Some(c) = ctrl {
+            c.record_progress(part.len() as u64);
+        }
         Ok(local)
     });
     let mut global_candidates: FxHashSet<Itemset> = FxHashSet::default();
@@ -97,9 +130,16 @@ pub fn partition_mine(
             let needed = items_of_candidates(&candidates);
             let mapper =
                 |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, anc, &needed, out);
-            count_mixed_parallel(db, candidates, backend, &mapper, parallelism)?
+            count_mixed_parallel_ctrl(db, candidates, backend, &mapper, parallelism, ctrl)?
         }
-        None => count_mixed_parallel(db, candidates, backend, &identity_sync_mapper, parallelism)?,
+        None => count_mixed_parallel_ctrl(
+            db,
+            candidates,
+            backend,
+            &identity_sync_mapper,
+            parallelism,
+            ctrl,
+        )?,
     };
     for (set, count) in counted.counts {
         if count >= global_minsup {

@@ -8,13 +8,14 @@
 //!
 //! Subcommands: `params` (Tables 3–4), `tables` (worked example Tables
 //! 1–2), `counts` (§3.2 itemset counts), `fig5`, `fig6`, `fig7`, `all`,
-//! and `counting` (sequential-vs-threaded pass timings, written to
-//! `BENCH_counting.json`).
+//! `counting` (sequential-vs-threaded pass timings, written to
+//! `BENCH_counting.json`), and `ctrl` (cancel-token overhead, written to
+//! `BENCH_ctrl.json`).
 //! `--scale N` runs on N transactions instead of the full 50,000 (the
 //! qualitative shapes survive scaling; the full size takes minutes).
 
 use negassoc_bench::{
-    counting_bench, fig7_series, itemset_counts, secs, short_dataset, tall_dataset,
+    counting_bench, ctrl_bench, fig7_series, itemset_counts, secs, short_dataset, tall_dataset,
     FIG56_SUPPORTS_PCT, FIG7_SUPPORT_PCT,
 };
 use std::process::ExitCode;
@@ -70,6 +71,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         }
+        "ctrl" => {
+            if let Err(e) = ctrl(scale) {
+                eprintln!("ctrl bench: {e}");
+                return ExitCode::from(1);
+            }
+        }
         "all" => {
             params();
             tables();
@@ -80,7 +87,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown command {other:?} (params|tables|counts|fig5|fig6|fig7|counting|all)"
+                "unknown command {other:?} (params|tables|counts|fig5|fig6|fig7|counting|ctrl|all)"
             );
             return ExitCode::from(2);
         }
@@ -349,5 +356,28 @@ fn counting(scale: Option<usize>) -> std::io::Result<()> {
     }
     std::fs::write("BENCH_counting.json", bench.to_json())?;
     println!("wrote BENCH_counting.json");
+    Ok(())
+}
+
+/// The control-plane overhead benchmark: the same mining job with no
+/// cancel token vs under a fully armed `RunControl`, written to
+/// `BENCH_ctrl.json`. The run control plane's acceptance bar is < 2%
+/// median overhead.
+fn ctrl(scale: Option<usize>) -> std::io::Result<()> {
+    let transactions = scale.unwrap_or(4_000);
+    let bench = ctrl_bench(transactions, 5);
+    println!("== run control plane: token-check overhead ==");
+    println!(
+        "{} transactions, {} repetitions per variant",
+        bench.transactions, bench.repetitions
+    );
+    println!(
+        "median baseline {:.3}s, median armed {:.3}s, overhead {:+.3}%",
+        bench.median_baseline_s(),
+        bench.median_controlled_s(),
+        bench.overhead_pct()
+    );
+    std::fs::write("BENCH_ctrl.json", bench.to_json())?;
+    println!("wrote BENCH_ctrl.json");
     Ok(())
 }

@@ -9,7 +9,7 @@
 
 use negassoc::candidates::{CandidateGenerator, CandidateSet};
 use negassoc::config::Driver;
-use negassoc::{MinerConfig, NegativeMiner};
+use negassoc::{Deadline, MinerConfig, NegativeMiner, RunControl};
 use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::parallel::Parallelism;
 use negassoc_apriori::MinSupport;
@@ -380,6 +380,135 @@ pub fn counting_bench(transactions: usize, thread_counts: &[usize]) -> CountingB
         transactions,
         available_parallelism: Parallelism::Auto.resolve(),
         rows,
+    }
+}
+
+/// The control-plane overhead benchmark: the same improved-driver mining
+/// job with no cancel token at all (baseline) and under a fully armed
+/// [`RunControl`] — live watchdog thread, far-future deadline, stall
+/// window, interrupt flag — so every block and pass boundary pays its
+/// token check. The acceptance bar for the run control plane is
+/// `overhead_pct < 2`.
+#[derive(Clone, Debug)]
+pub struct CtrlBench {
+    /// Transactions in the generated dataset.
+    pub transactions: usize,
+    /// Timed repetitions per variant (interleaved to share cache state).
+    pub repetitions: usize,
+    /// Wall seconds of each baseline (no token) run.
+    pub baseline_s: Vec<f64>,
+    /// Wall seconds of each armed-control run.
+    pub controlled_s: Vec<f64>,
+}
+
+impl CtrlBench {
+    fn median(samples: &[f64]) -> f64 {
+        let mut s = samples.to_vec();
+        s.sort_by(f64::total_cmp);
+        match s.len() {
+            0 => 0.0,
+            n if n % 2 == 1 => s[n / 2],
+            n => (s[n / 2 - 1] + s[n / 2]) / 2.0,
+        }
+    }
+
+    /// Median baseline wall time, seconds.
+    pub fn median_baseline_s(&self) -> f64 {
+        Self::median(&self.baseline_s)
+    }
+
+    /// Median armed-control wall time, seconds.
+    pub fn median_controlled_s(&self) -> f64 {
+        Self::median(&self.controlled_s)
+    }
+
+    /// Median token-check overhead, percent of the baseline (negative
+    /// means the difference drowned in run-to-run noise).
+    pub fn overhead_pct(&self) -> f64 {
+        let base = self.median_baseline_s();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (self.median_controlled_s() / base - 1.0) * 100.0
+    }
+
+    /// Render as a JSON document (hand-rolled; the workspace carries no
+    /// serializer dependency).
+    pub fn to_json(&self) -> String {
+        let list = |xs: &[f64]| {
+            xs.iter()
+                .map(|x| format!("{x:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"transactions\": {},\n", self.transactions));
+        out.push_str(&format!("  \"repetitions\": {},\n", self.repetitions));
+        out.push_str(&format!(
+            "  \"baseline_s\": [{}],\n",
+            list(&self.baseline_s)
+        ));
+        out.push_str(&format!(
+            "  \"controlled_s\": [{}],\n",
+            list(&self.controlled_s)
+        ));
+        out.push_str(&format!(
+            "  \"median_baseline_s\": {:.6},\n",
+            self.median_baseline_s()
+        ));
+        out.push_str(&format!(
+            "  \"median_controlled_s\": {:.6},\n",
+            self.median_controlled_s()
+        ));
+        out.push_str(&format!("  \"overhead_pct\": {:.3}\n", self.overhead_pct()));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Run the control-plane overhead benchmark on the "Short" dataset scaled
+/// to `transactions`, `repetitions` interleaved pairs of runs.
+pub fn ctrl_bench(transactions: usize, repetitions: usize) -> CtrlBench {
+    let ds = short_dataset(Some(transactions));
+    let config = MinerConfig {
+        min_support: MinSupport::Fraction(0.015),
+        min_ri: PAPER_MIN_RI,
+        driver: Driver::Improved,
+        max_negative_size: Some(3),
+        ..MinerConfig::default()
+    };
+    let miner = NegativeMiner::new(config);
+    let mut baseline_s = Vec::with_capacity(repetitions);
+    let mut controlled_s = Vec::with_capacity(repetitions);
+    for _ in 0..repetitions {
+        let start = std::time::Instant::now();
+        let base = miner.mine(&ds.db, &ds.taxonomy).expect("baseline run");
+        baseline_s.push(start.elapsed().as_secs_f64());
+
+        // Far-future triggers: the watchdog thread lives, the token is
+        // checked everywhere, nothing ever fires.
+        let ctrl = RunControl::new()
+            .with_deadline(Deadline::after(Duration::from_secs(3_600)))
+            .with_stall_window(Duration::from_secs(3_600))
+            .with_interrupt_flag(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(
+                false,
+            )));
+        let start = std::time::Instant::now();
+        let ctrled = miner
+            .mine_with_controls(&ds.db, &ds.taxonomy, None, None, &ctrl)
+            .expect("controlled run");
+        controlled_s.push(start.elapsed().as_secs_f64());
+        assert_eq!(
+            base.rules.len(),
+            ctrled.rules.len(),
+            "control plane changed the answer"
+        );
+    }
+    CtrlBench {
+        transactions,
+        repetitions,
+        baseline_s,
+        controlled_s,
     }
 }
 

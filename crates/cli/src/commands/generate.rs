@@ -1,5 +1,6 @@
 //! `negrules generate` — synthesize a dataset with the §3.1 generator.
 
+use crate::exit::CliError;
 use crate::io::{save_db, save_taxonomy};
 use crate::opts::Opts;
 use negassoc_datagen::{generate, presets, GenParams};
@@ -17,23 +18,27 @@ const KNOWN: &[&str] = &[
     "seed",
 ];
 
-pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
-    let data_path = opts.require("data").map_err(|e| e.to_string())?;
-    let tax_path = opts.require("taxonomy").map_err(|e| e.to_string())?;
+pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
+    let opts = Opts::parse(args, KNOWN)?;
+    let data_path = opts.require("data")?;
+    let tax_path = opts.require("taxonomy")?;
 
     let mut params: GenParams = match opts.get("preset") {
         None => GenParams::default(),
         Some("short") => presets::short(),
         Some("tall") => presets::tall(),
-        Some(other) => return Err(format!("unknown preset {other:?} (short|tall)")),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown preset {other:?} (short|tall)"
+            )))
+        }
     };
     macro_rules! override_param {
         ($key:literal, $field:ident, $ty:ty) => {
             if let Some(v) = opts.get($key) {
                 params.$field = v
                     .parse::<$ty>()
-                    .map_err(|_| format!("invalid --{}: {v:?}", $key))?;
+                    .map_err(|_| CliError::Usage(format!("invalid --{}: {v:?}", $key)))?;
             }
         };
     }

@@ -2,6 +2,7 @@
 //! ap-genrules), the baseline view negative mining builds on.
 
 use crate::commands::{itemset_names, parse_parallelism};
+use crate::exit::CliError;
 use crate::io::{load_db_opts, load_taxonomy};
 use crate::opts::Opts;
 use negassoc_apriori::count::CountingBackend;
@@ -22,21 +23,16 @@ const KNOWN: &[&str] = &[
     "audit!",
 ];
 
-pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
-    let db = load_db_opts(
-        opts.require("data").map_err(|e| e.to_string())?,
-        opts.flag("salvage"),
-    )?;
-    let tax = load_taxonomy(opts.require("taxonomy").map_err(|e| e.to_string())?)?;
-    let min_support: f64 = opts
-        .parse_or("min-support", 0.01)
-        .map_err(|e| e.to_string())?;
-    let min_conf: f64 = opts.parse_or("min-conf", 0.6).map_err(|e| e.to_string())?;
-    let top: usize = opts.parse_or("top", 20).map_err(|e| e.to_string())?;
+pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
+    let opts = Opts::parse(args, KNOWN)?;
+    let db = load_db_opts(opts.require("data")?, opts.flag("salvage"))?;
+    let tax = load_taxonomy(opts.require("taxonomy")?)?;
+    let min_support: f64 = opts.parse_or("min-support", 0.01)?;
+    let min_conf: f64 = opts.parse_or("min-conf", 0.6)?;
+    let top: usize = opts.parse_or("top", 20)?;
 
     let min_support = MinSupport::Fraction(min_support);
-    let parallelism = parse_parallelism(&opts)?;
+    let parallelism = parse_parallelism(&opts).map_err(CliError::Usage)?;
     let large = match opts.get("algorithm") {
         None | Some("cumulate") => negassoc_apriori::cumulate::cumulate(
             &db,
@@ -62,7 +58,7 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
         )
         .map(|(large, _)| large),
         Some("partition") => {
-            let parts: usize = opts.parse_or("partitions", 4).map_err(|e| e.to_string())?;
+            let parts: usize = opts.parse_or("partitions", 4)?;
             negassoc_apriori::partition_mine::partition_mine(
                 &db,
                 Some(&tax),
@@ -73,9 +69,9 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
             )
         }
         Some(other) => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown algorithm {other:?} (basic|cumulate|estmerge|partition)"
-            ))
+            )))
         }
     }
     .map_err(|e| e.to_string())?;

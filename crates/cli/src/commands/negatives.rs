@@ -1,14 +1,17 @@
 //! `negrules negatives` — the paper's negative association rules.
 
 use crate::commands::{itemset_names, parse_parallelism, print_pass_stats};
+use crate::exit::CliError;
 use crate::io::{load_db_opts, load_taxonomy};
 use crate::opts::{parse_bytes, Opts};
+use crate::signal;
 use negassoc::config::{Driver, GenAlgorithm};
-use negassoc::{MinerConfig, NegativeMiner};
+use negassoc::{Deadline, Error, MinerConfig, NegativeMiner, RunControl};
 use negassoc_apriori::MinSupport;
 use negassoc_txdb::fault::{FaultPlan, FaultySource, SourceFault, SourceFaultKind};
 use negassoc_txdb::TransactionSource;
 use std::path::Path;
+use std::time::Duration;
 
 const KNOWN: &[&str] = &[
     "data",
@@ -22,6 +25,8 @@ const KNOWN: &[&str] = &[
     "top",
     "out",
     "checkpoint-dir",
+    "deadline",
+    "stall-timeout",
     "max-memory",
     "inject-fail-pass",
     "threads",
@@ -31,56 +36,80 @@ const KNOWN: &[&str] = &[
     "pass-stats!",
 ];
 
-pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
-    let db = load_db_opts(
-        opts.require("data").map_err(|e| e.to_string())?,
-        opts.flag("salvage"),
-    )?;
-    let tax = load_taxonomy(opts.require("taxonomy").map_err(|e| e.to_string())?)?;
-    let min_support: f64 = opts
-        .parse_or("min-support", 0.01)
-        .map_err(|e| e.to_string())?;
-    let min_ri: f64 = opts.parse_or("min-ri", 0.5).map_err(|e| e.to_string())?;
-    let top: usize = opts.parse_or("top", 20).map_err(|e| e.to_string())?;
+/// Parse a non-negative, finite seconds value (`--deadline`,
+/// `--stall-timeout`) into a [`Duration`]; anything else is a usage error.
+fn parse_seconds(opts: &Opts, key: &str) -> Result<Option<Duration>, CliError> {
+    let Some(v) = opts.get(key) else {
+        return Ok(None);
+    };
+    match v.parse::<f64>() {
+        Ok(secs) if secs.is_finite() && secs >= 0.0 => Ok(Some(Duration::from_secs_f64(secs))),
+        _ => Err(CliError::Usage(format!(
+            "invalid --{key} {v:?} (non-negative seconds)"
+        ))),
+    }
+}
+
+pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
+    let opts = Opts::parse(args, KNOWN)?;
+    let min_support: f64 = opts.parse_or("min-support", 0.01)?;
+    let min_ri: f64 = opts.parse_or("min-ri", 0.5)?;
+    let top: usize = opts.parse_or("top", 20)?;
 
     let driver = match opts.get("driver") {
         None | Some("improved") => Driver::Improved,
         Some("naive") => Driver::Naive,
-        Some(other) => return Err(format!("unknown driver {other:?} (naive|improved)")),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown driver {other:?} (naive|improved)"
+            )))
+        }
     };
     let algorithm = match opts.get("algorithm") {
         None | Some("cumulate") => GenAlgorithm::Cumulate,
         Some("basic") => GenAlgorithm::Basic,
         Some("estmerge") => GenAlgorithm::EstMerge(Default::default()),
         Some(other) => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown algorithm {other:?} (basic|cumulate|estmerge)"
-            ))
+            )))
         }
     };
     let max_negative_size = match opts.get("max-size") {
         None => None,
-        Some(v) => Some(v.parse().map_err(|_| format!("invalid --max-size {v:?}"))?),
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("invalid --max-size {v:?}")))?,
+        ),
     };
     let max_candidates_per_pass = match opts.get("cap") {
         None => None,
-        Some(v) => Some(v.parse().map_err(|_| format!("invalid --cap {v:?}"))?),
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("invalid --cap {v:?}")))?,
+        ),
     };
     let memory_budget = match opts.get("max-memory") {
         None => None,
-        Some(v) => Some(
-            parse_bytes(v)
-                .ok_or_else(|| format!("invalid --max-memory {v:?} (bytes, or K/M/G suffix)"))?,
-        ),
+        Some(v) => Some(parse_bytes(v).ok_or_else(|| {
+            CliError::Usage(format!(
+                "invalid --max-memory {v:?} (bytes, or K/M/G suffix)"
+            ))
+        })?),
     };
     let inject_fail_pass: Option<u64> = match opts.get("inject-fail-pass") {
         None => None,
         Some(v) => Some(
             v.parse()
-                .map_err(|_| format!("invalid --inject-fail-pass {v:?}"))?,
+                .map_err(|_| CliError::Usage(format!("invalid --inject-fail-pass {v:?}")))?,
         ),
     };
+    let deadline = parse_seconds(&opts, "deadline")?;
+    let stall_timeout = parse_seconds(&opts, "stall-timeout")?;
+
+    // Options validated; only now touch the filesystem.
+    let db = load_db_opts(opts.require("data")?, opts.flag("salvage"))?;
+    let tax = load_taxonomy(opts.require("taxonomy")?)?;
 
     let config = MinerConfig {
         min_support: MinSupport::Fraction(min_support),
@@ -91,13 +120,28 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
         max_candidates_per_pass,
         memory_budget,
         compress_taxonomy: !opts.flag("no-compress"),
-        parallelism: parse_parallelism(&opts)?,
+        parallelism: parse_parallelism(&opts).map_err(CliError::Usage)?,
         ..MinerConfig::default()
     };
     let miner = NegativeMiner::new(config);
-    let mine = |source: &dyn TransactionSource| match opts.get("checkpoint-dir") {
-        Some(dir) => miner.mine_with_recovery(source, &tax, None, Path::new(dir)),
-        None => miner.mine(source, &tax),
+
+    // One control plane for the whole run: Ctrl-C, --deadline and
+    // --stall-timeout all trip the same token, and the run winds down at
+    // the next pass/block boundary through the checkpoint-aware exit path.
+    let mut ctrl = RunControl::new();
+    if let Some(window) = deadline {
+        ctrl = ctrl.with_deadline(Deadline::after(window));
+    }
+    if let Some(window) = stall_timeout {
+        ctrl = ctrl.with_stall_window(window);
+    }
+    if let Some(flag) = signal::interrupt_flag() {
+        ctrl = ctrl.with_interrupt_flag(flag);
+    }
+
+    let checkpoint_dir = opts.get("checkpoint-dir").map(Path::new);
+    let mine = |source: &dyn TransactionSource| {
+        miner.mine_with_controls(source, &tax, None, checkpoint_dir, &ctrl)
     };
     let outcome = match inject_fail_pass {
         // Deterministic fault injection for exercising checkpoint/resume
@@ -113,7 +157,20 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
         }
         None => mine(&db),
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| match e {
+        Error::Cancelled { .. } => {
+            let mut msg = e.to_string();
+            if let Error::Cancelled {
+                checkpoint: Some(_),
+                ..
+            } = &e
+            {
+                msg.push_str("; re-run the same command to resume");
+            }
+            CliError::Interrupted(msg)
+        }
+        other => CliError::Failure(other.to_string()),
+    })?;
     if opts.flag("audit") {
         // Re-derive every reported support and RI from a raw scan;
         // refuses to print uncertified numbers.

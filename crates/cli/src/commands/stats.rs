@@ -1,16 +1,17 @@
 //! `negrules stats` — summarize a transaction file (and optionally its
 //! taxonomy).
 
+use crate::exit::CliError;
 use crate::io::{load_db_opts, load_taxonomy};
 use crate::opts::Opts;
 use negassoc_txdb::stats::{collect, top_items};
 
 const KNOWN: &[&str] = &["data", "taxonomy", "top", "salvage!"];
 
-pub(crate) fn run(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, KNOWN).map_err(|e| e.to_string())?;
-    let data_path = opts.require("data").map_err(|e| e.to_string())?;
-    let top_n: usize = opts.parse_or("top", 10).map_err(|e| e.to_string())?;
+pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
+    let opts = Opts::parse(args, KNOWN)?;
+    let data_path = opts.require("data")?;
+    let top_n: usize = opts.parse_or("top", 10)?;
 
     let db = load_db_opts(data_path, opts.flag("salvage"))?;
     let (s, counts) = collect(&db).map_err(|e| e.to_string())?;

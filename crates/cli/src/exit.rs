@@ -1,0 +1,78 @@
+//! The CLI's exit-code contract.
+//!
+//! | code | meaning                                                |
+//! |------|--------------------------------------------------------|
+//! | 0    | run completed                                          |
+//! | 1    | run failed                                             |
+//! | 2    | usage error (bad command line)                         |
+//! | 3    | interrupted cooperatively (SIGINT, `--deadline`, stall) |
+//!
+//! Exit 3 means the run stopped cleanly at a pass boundary; when a
+//! `--checkpoint-dir` was given the message names the directory to resume
+//! from, and re-running the same command finishes the job with output
+//! identical to an uninterrupted run.
+
+use crate::opts::OptError;
+
+/// A command failure, tagged with the exit code it maps to.
+#[derive(Debug)]
+pub(crate) enum CliError {
+    /// Bad arguments — exit 2.
+    Usage(String),
+    /// The run failed — exit 1.
+    Failure(String),
+    /// The run was cancelled cooperatively — exit 3. The message carries
+    /// the reason, completeness, and (when available) how to resume.
+    Interrupted(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub(crate) fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Failure(_) => 1,
+            CliError::Interrupted(_) => 3,
+        }
+    }
+
+    /// The human-readable message (printed to stderr).
+    pub(crate) fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Failure(m) | CliError::Interrupted(m) => m,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Failure(msg)
+    }
+}
+
+impl From<OptError> for CliError {
+    fn from(e: OptError) -> Self {
+        CliError::Usage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        assert_eq!(CliError::Usage("u".into()).exit_code(), 2);
+        assert_eq!(CliError::Failure("f".into()).exit_code(), 1);
+        assert_eq!(CliError::Interrupted("i".into()).exit_code(), 3);
+    }
+
+    #[test]
+    fn conversions_pick_the_right_class() {
+        let from_string: CliError = String::from("boom").into();
+        assert!(matches!(from_string, CliError::Failure(_)));
+        let from_opt: CliError = OptError::Unknown("nope".into()).into();
+        assert!(matches!(from_opt, CliError::Usage(_)));
+        assert!(from_opt.message().contains("--nope"));
+    }
+}

@@ -15,9 +15,12 @@
 //! ```
 
 mod commands;
+mod exit;
 mod io;
 mod opts;
+mod signal;
 
+use exit::CliError;
 use std::process::ExitCode;
 
 const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
@@ -40,14 +43,23 @@ const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
              [--cap N] [--top N=20] [--out rules.csv] [--no-compress]
              [--threads N|auto]      (worker threads per counting pass)
              [--pass-stats]          (per-pass counting telemetry table)
-             [--checkpoint-dir DIR]  (persist progress; resume after a crash)
+             [--checkpoint-dir DIR]  (persist progress; resume after a crash
+                                      or an interrupt)
+             [--deadline SECS]       (cancel cooperatively when the wall
+                                      clock runs out; exits 3)
+             [--stall-timeout SECS]  (cancel when counting stops making
+                                      progress for SECS; exits 3)
              [--max-memory BYTES]    (degrade instead of OOM; K/M/G suffixes)
              [--inject-fail-pass N]  (fault injection for testing recovery)
              [--salvage]  (skip corrupt .nadb blocks, report exact lost TIDs)
              [--audit]    (re-derive every reported number from a raw scan)
 
 Transaction files: .nadb (binary) or whitespace text, one basket per line.
-Taxonomy files: `name<TAB>parent` per line, `-` for roots.";
+Taxonomy files: `name<TAB>parent` per line, `-` for roots.
+
+Exit codes: 0 complete; 1 error; 2 usage; 3 interrupted (SIGINT, deadline,
+or stall) — with --checkpoint-dir the interrupted run leaves a resumable
+checkpoint and re-running the same command finishes with identical output.";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -65,13 +77,20 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::from(1)
+        Err(err) => {
+            let prefix = match &err {
+                CliError::Usage(_) => "usage error",
+                CliError::Failure(_) => "error",
+                CliError::Interrupted(_) => "interrupted",
+            };
+            eprintln!("{prefix}: {}", err.message());
+            ExitCode::from(err.exit_code())
         }
     }
 }

@@ -1,0 +1,82 @@
+//! The SIGINT → cancel-token bridge, dependency-free.
+//!
+//! Ctrl-C must not kill the process mid-pass: the handler only flips a
+//! shared atomic flag, and the run control's watchdog (see
+//! [`negassoc::ctrl`]) polls that flag and cancels the token, so the run
+//! winds down cooperatively at the next block boundary and exits through
+//! the normal checkpoint-aware error path (exit code 3).
+//!
+//! The handler body is async-signal-safe: one relaxed-free atomic store,
+//! no allocation, no locks. The flag cell is initialized *before* the
+//! handler is installed, so the handler's `OnceLock::get` is a plain
+//! atomic load that can never race initialization.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static INTERRUPTED: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(flag) = INTERRUPTED.get() {
+        flag.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(unix)]
+fn install_handler() -> bool {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIG_ERR: usize = usize::MAX;
+    // SAFETY: `signal(2)` is async-signal-safe to install, the handler is a
+    // valid `extern "C" fn(i32)` for the life of the process, and its body
+    // performs only an atomic store (see module docs).
+    #[allow(unsafe_code)]
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize) != SIG_ERR
+    }
+}
+
+#[cfg(not(unix))]
+fn install_handler() -> bool {
+    false
+}
+
+/// Install the SIGINT handler (idempotent) and return the flag it sets.
+/// `None` when the platform has no handler support — the caller simply
+/// runs uninterruptible, losing nothing else.
+pub(crate) fn interrupt_flag() -> Option<Arc<AtomicBool>> {
+    let flag = INTERRUPTED.get_or_init(|| Arc::new(AtomicBool::new(false)));
+    if install_handler() {
+        Some(Arc::clone(flag))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(unix)]
+    fn handler_sets_the_shared_flag() {
+        let flag = interrupt_flag().expect("unix installs a SIGINT handler");
+        assert!(!flag.load(Ordering::Acquire));
+        // Invoke the handler directly instead of raising a real SIGINT,
+        // which would kill the whole test binary if installation raced.
+        on_sigint(2);
+        assert!(flag.load(Ordering::Acquire));
+        flag.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn repeated_installs_share_one_flag() {
+        let a = interrupt_flag();
+        let b = interrupt_flag();
+        if let (Some(a), Some(b)) = (a, b) {
+            assert!(Arc::ptr_eq(&a, &b));
+        }
+    }
+}

@@ -193,23 +193,39 @@ fn helpful_errors() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("negrules"));
 
-    // Unknown command.
+    // Unknown command: usage error, exit 2.
     let out = negrules().arg("frobnicate").output().unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    // Missing required option.
+    // Missing required option: usage error, exit 2.
     let out = negrules().args(["stats"]).output().unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
 
-    // Unknown option is rejected, not ignored.
+    // Unknown option is rejected (exit 2), not ignored.
     let out = negrules()
         .args(["stats", "--data", "x", "--bogus", "1"])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+
+    // A bad --deadline is a usage error too.
+    let out = negrules()
+        .args([
+            "negatives",
+            "--data",
+            "x",
+            "--taxonomy",
+            "y",
+            "--deadline",
+            "-3",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deadline"));
 
     // Help works.
     let out = negrules().arg("help").output().unwrap();

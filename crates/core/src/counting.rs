@@ -7,7 +7,7 @@ use crate::error::Error;
 use crate::expected::is_negative;
 use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::generalized::{extend_filtered, items_of_candidates, AncestorTable};
-use negassoc_apriori::parallel::{count_mixed_parallel, Parallelism, PassStats};
+use negassoc_apriori::parallel::{count_mixed_parallel_ctrl, CancelToken, Parallelism, PassStats};
 use negassoc_apriori::Itemset;
 use negassoc_taxonomy::fxhash::FxHashMap;
 use negassoc_taxonomy::ItemId;
@@ -19,6 +19,10 @@ use std::time::Instant;
 /// passes made (`ceil(len / cap)`, or 1 without a cap), and one
 /// [`PassStats`] entry per pass (telemetry; pass numbers are local to this
 /// call and renumbered by the driver).
+///
+/// `ctrl` is checked before every chunk pass (and at block boundaries
+/// within it); a cancelled run returns the token's error without any
+/// partial negatives.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
     source: &S,
@@ -29,6 +33,7 @@ pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
     min_support_count: u64,
     min_ri: f64,
     parallelism: Parallelism,
+    ctrl: Option<&CancelToken>,
 ) -> Result<(Vec<NegativeItemset>, u64, Vec<PassStats>), Error> {
     if candidates.is_empty() {
         return Ok((Vec::new(), 0, Vec::new()));
@@ -39,6 +44,9 @@ pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
     let mut stats = Vec::new();
     let mut remaining = candidates;
     while !remaining.is_empty() {
+        if let Some(c) = ctrl {
+            c.check().map_err(Error::Io)?;
+        }
         let tail = remaining.split_off(chunk_size.min(remaining.len()));
         let chunk = std::mem::replace(&mut remaining, tail);
         passes += 1;
@@ -52,6 +60,7 @@ pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
             min_support_count,
             min_ri,
             parallelism,
+            ctrl,
             &mut negatives,
         )?;
         stats.push(PassStats {
@@ -76,6 +85,7 @@ fn count_chunk<S: TransactionSource + ?Sized>(
     min_support_count: u64,
     min_ri: f64,
     parallelism: Parallelism,
+    ctrl: Option<&CancelToken>,
     negatives: &mut Vec<NegativeItemset>,
 ) -> Result<(u64, usize), Error> {
     let mut expected: FxHashMap<Itemset, (f64, Derivation)> = FxHashMap::default();
@@ -89,8 +99,8 @@ fn count_chunk<S: TransactionSource + ?Sized>(
     let needed = items_of_candidates(&itemsets);
     let mapper =
         |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, ancestors, &needed, out);
-    let run =
-        count_mixed_parallel(source, itemsets, backend, &mapper, parallelism).map_err(Error::Io)?;
+    let run = count_mixed_parallel_ctrl(source, itemsets, backend, &mapper, parallelism, ctrl)
+        .map_err(Error::Io)?;
     for (set, actual) in run.counts {
         // Every counted set was registered above; a miss means the counting
         // backend fabricated an itemset, and skipping it is the only output
@@ -173,6 +183,7 @@ mod tests {
             5,
             0.5,
             Parallelism::Sequential,
+            None,
         )
         .unwrap();
         assert_eq!(stats.len(), 1);
@@ -203,6 +214,7 @@ mod tests {
             5,
             0.5,
             Parallelism::Threads(2),
+            None,
         )
         .unwrap();
         assert_eq!(passes2, 3);
@@ -227,6 +239,7 @@ mod tests {
             1,
             0.5,
             Parallelism::Sequential,
+            None,
         )
         .unwrap();
         assert!(stats.is_empty());

@@ -1,8 +1,11 @@
 //! The workspace error type, [`Error`] (aliased as [`NegAssocError`]),
-//! covering I/O, configuration, numeric, invariant, and audit failures.
+//! covering I/O, configuration, numeric, invariant, audit, and
+//! cancellation failures.
 
+use crate::ctrl::{CancelReason, Completeness};
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 
 /// Errors from the negative-association miner.
 ///
@@ -28,6 +31,19 @@ pub enum Error {
     /// A runtime audit (`negassoc::audit`) refused to certify mining
     /// output; the message pins the first discrepancy found.
     Audit(String),
+    /// The run was cancelled cooperatively (see [`crate::ctrl`]): user
+    /// interrupt, deadline, or stall. No partial counts escape — the
+    /// fields say why it stopped and how much durable, resumable state a
+    /// checkpointed run left behind.
+    Cancelled {
+        /// Why the run's [`crate::ctrl::CancelToken`] was tripped.
+        reason: CancelReason,
+        /// Directory holding the resumable checkpoint, when one exists
+        /// (pass it back to [`crate::NegativeMiner::mine_with_recovery`]).
+        checkpoint: Option<PathBuf>,
+        /// How far the run's durable state reaches.
+        completeness: Completeness,
+    },
 }
 
 /// The canonical name for [`Error`] across the workspace.
@@ -42,6 +58,17 @@ impl fmt::Display for Error {
             Error::Invariant(msg) => write!(f, "broken mining invariant: {msg}"),
             Error::Budget(msg) => write!(f, "memory budget exceeded: {msg}"),
             Error::Audit(msg) => write!(f, "audit failed: {msg}"),
+            Error::Cancelled {
+                reason,
+                checkpoint,
+                completeness,
+            } => {
+                write!(f, "run cancelled ({reason}); {completeness}")?;
+                match checkpoint {
+                    Some(dir) => write!(f, "; resumable checkpoint at {}", dir.display()),
+                    None => Ok(()),
+                }
+            }
         }
     }
 }
@@ -54,7 +81,8 @@ impl std::error::Error for Error {
             | Error::Numeric(_)
             | Error::Invariant(_)
             | Error::Budget(_)
-            | Error::Audit(_) => None,
+            | Error::Audit(_)
+            | Error::Cancelled { .. } => None,
         }
     }
 }
@@ -92,6 +120,32 @@ mod tests {
         for e in [n, i, a, b] {
             assert!(std::error::Error::source(&e).is_none());
         }
+    }
+
+    #[test]
+    fn cancelled_renders_reason_checkpoint_and_completeness() {
+        let with_ckpt = Error::Cancelled {
+            reason: CancelReason::DeadlineExceeded,
+            checkpoint: Some(PathBuf::from("/tmp/ckpt")),
+            completeness: Completeness::PositivePartial {
+                next_level: 3,
+                passes: 2,
+            },
+        };
+        let shown = with_ckpt.to_string();
+        assert!(shown.contains("deadline exceeded"), "{shown}");
+        assert!(shown.contains("level 3"), "{shown}");
+        assert!(shown.contains("/tmp/ckpt"), "{shown}");
+        assert!(std::error::Error::source(&with_ckpt).is_none());
+
+        let bare = Error::Cancelled {
+            reason: CancelReason::UserInterrupt,
+            checkpoint: None,
+            completeness: Completeness::NoCheckpoint,
+        };
+        let shown = bare.to_string();
+        assert!(shown.contains("user interrupt"), "{shown}");
+        assert!(!shown.contains("resumable checkpoint at"), "{shown}");
     }
 
     #[test]

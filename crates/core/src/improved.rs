@@ -19,13 +19,13 @@ use crate::counting::confirm_negatives;
 use crate::error::Error;
 use crate::naive::{renumber, DriverOutcome};
 use crate::substitutes::SubstituteKnowledge;
-use negassoc_apriori::est_merge::est_merge;
+use negassoc_apriori::est_merge::est_merge_with_ctrl;
 use negassoc_apriori::generalized::AncestorTable;
 use negassoc_apriori::levelwise::{
     CandidateBudgetExceeded, GenLevelMiner, GenStrategy, MinerState,
 };
-use negassoc_apriori::parallel::PassStats;
-use negassoc_apriori::partition_mine::partition_mine;
+use negassoc_apriori::parallel::{CancelToken, PassStats};
+use negassoc_apriori::partition_mine::partition_mine_ctrl;
 use negassoc_apriori::{Itemset, LargeItemsets};
 use negassoc_taxonomy::fxhash::FxHashSet;
 use negassoc_taxonomy::{FilteredTaxonomy, ItemId, Taxonomy};
@@ -64,12 +64,17 @@ fn budget_overflow(e: &Error) -> Option<CandidateBudgetExceeded> {
 /// Run the improved driver, optionally checkpointing after every completed
 /// pass and resuming from the latest trustworthy checkpoint in the
 /// manager's directory.
+///
+/// `ctrl` (when given) is checked at every pass, level, and candidate-chunk
+/// boundary; a cancelled run errors out without partial results, leaving
+/// whatever checkpoints its completed passes already persisted.
 pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
     config: &MinerConfig,
     substitutes: Option<&SubstituteKnowledge>,
     ckpt: Option<&CheckpointManager>,
+    ctrl: Option<&CancelToken>,
 ) -> Result<DriverOutcome, Error> {
     let resume = match ckpt {
         Some(c) => c.load_latest(),
@@ -94,13 +99,13 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
             )
         }
         Resume::Positive(saved) if positive_strategy(config).is_some() => {
-            let attempt = resume_positive(source, tax, config, saved, ckpt);
-            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config)?;
+            let attempt = resume_positive(source, tax, config, saved, ckpt, ctrl);
+            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config, ctrl)?;
             (l, p, lv, st, None)
         }
         Resume::Positive(_) | Resume::Fresh => {
-            let attempt = mine_positive(source, tax, config, ckpt);
-            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config)?;
+            let attempt = mine_positive(source, tax, config, ckpt, ctrl);
+            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config, ctrl)?;
             (l, p, lv, st, None)
         }
     };
@@ -110,7 +115,7 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
     let (cands, candidate_stats) = match prepared {
         Some(ready) => ready,
         None => {
-            let (cands, stats) = generate_all_candidates(tax, &large, config, substitutes)?;
+            let (cands, stats) = generate_all_candidates(tax, &large, config, substitutes, ctrl)?;
             if let Some(c) = ckpt {
                 c.save_negative(&NegativeCheckpoint {
                     positive: PositiveCheckpoint {
@@ -137,6 +142,7 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
         large.min_support_count(),
         config.min_ri,
         config.parallelism,
+        ctrl,
     )?;
     passes += neg_passes;
     pass_stats.extend(neg_stats);
@@ -190,6 +196,7 @@ fn positive_or_degraded<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
     config: &MinerConfig,
+    ctrl: Option<&CancelToken>,
 ) -> Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error> {
     let err = match result {
         Ok(ok) => return Ok(ok),
@@ -209,13 +216,14 @@ fn positive_or_degraded<S: TransactionSource + ?Sized>(
     let budget = config.memory_budget.unwrap_or(usize::MAX).max(1);
     let est_db_bytes = (db.avg_len() * db.len() as f64 * 16.0) as usize;
     let parts = (est_db_bytes / budget + 2).clamp(2, 64);
-    let large = partition_mine(
+    let large = partition_mine_ctrl(
         db,
         Some(tax),
         config.min_support,
         parts,
         config.backend,
         config.parallelism,
+        ctrl,
     )?;
     let levels = large.max_level() as u64;
     // Partition makes exactly two full passes regardless of depth. Its
@@ -289,16 +297,18 @@ fn mine_positive<S: TransactionSource + ?Sized>(
     tax: &Taxonomy,
     config: &MinerConfig,
     ckpt: Option<&CheckpointManager>,
+    ctrl: Option<&CancelToken>,
 ) -> Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error> {
     match positive_strategy(config) {
         Some(strategy) => {
-            let mut miner = GenLevelMiner::new(
+            let mut miner = GenLevelMiner::new_with_ctrl(
                 source,
                 tax,
                 config.min_support,
                 strategy,
                 config.backend,
                 config.parallelism,
+                ctrl,
             )?
             .with_candidate_cap(budget_candidate_cap(config));
             let mut passes = 1u64;
@@ -320,13 +330,14 @@ fn mine_positive<S: TransactionSource + ?Sized>(
                     "positive_strategy returned None for a level-wise algorithm".into(),
                 ));
             };
-            let (large, stats) = est_merge(
+            let (large, stats) = est_merge_with_ctrl(
                 source,
                 tax,
                 config.min_support,
                 config.backend,
                 est_config,
                 config.parallelism,
+                ctrl,
             )?;
             let levels = large.max_level() as u64;
             // EstMerge batches candidates across levels and interleaves
@@ -344,6 +355,7 @@ fn resume_positive<S: TransactionSource + ?Sized>(
     config: &MinerConfig,
     saved: PositiveCheckpoint,
     ckpt: Option<&CheckpointManager>,
+    ctrl: Option<&CancelToken>,
 ) -> Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error> {
     let Some(strategy) = positive_strategy(config) else {
         return Err(Error::Invariant(
@@ -358,6 +370,7 @@ fn resume_positive<S: TransactionSource + ?Sized>(
         config.parallelism,
         saved.state,
     )
+    .with_ctrl(ctrl)
     .with_candidate_cap(budget_candidate_cap(config));
     let mut passes = saved.passes;
     let mut levels = saved.levels;
@@ -373,6 +386,7 @@ fn generate_all_candidates(
     large: &LargeItemsets,
     config: &MinerConfig,
     substitutes: Option<&SubstituteKnowledge>,
+    ctrl: Option<&CancelToken>,
 ) -> Result<
     (
         Vec<crate::candidates::NegativeCandidate>,
@@ -401,6 +415,9 @@ fn generate_all_candidates(
             generator = generator.with_substitutes(subs);
         }
         for k in 2..=max_size {
+            if let Some(c) = ctrl {
+                c.check().map_err(Error::Io)?;
+            }
             generator.extend_from_level(k, &mut set)?;
             check_candidate_budget(set.len(), k, cap)?;
         }
@@ -410,6 +427,9 @@ fn generate_all_candidates(
             generator = generator.with_substitutes(subs);
         }
         for k in 2..=max_size {
+            if let Some(c) = ctrl {
+                c.check().map_err(Error::Io)?;
+            }
             generator.extend_from_level(k, &mut set)?;
             check_candidate_budget(set.len(), k, cap)?;
         }
@@ -429,7 +449,7 @@ mod tests {
         config: &MinerConfig,
         substitutes: Option<&SubstituteKnowledge>,
     ) -> Result<DriverOutcome, Error> {
-        run_improved_with_checkpoints(source, tax, config, substitutes, None)
+        run_improved_with_checkpoints(source, tax, config, substitutes, None, None)
     }
 
     use negassoc_apriori::MinSupport;
@@ -482,7 +502,7 @@ mod tests {
         assert!(!out.negatives.is_empty());
         let naive_out = {
             pc.reset();
-            crate::naive::run_naive(&pc, &tax, &config()).unwrap()
+            crate::naive::run_naive(&pc, &tax, &config(), None).unwrap()
         };
         // With a single negative level the counts can tie, but improved
         // never loses. (The strict `2n` vs `n + 1` separation is pinned by
@@ -494,7 +514,7 @@ mod tests {
     fn same_negatives_as_naive() {
         let (tax, db) = scenario();
         let a = run_improved(&db, &tax, &config(), None).unwrap();
-        let b = crate::naive::run_naive(&db, &tax, &config()).unwrap();
+        let b = crate::naive::run_naive(&db, &tax, &config(), None).unwrap();
         let norm = |v: &[crate::candidates::NegativeItemset]| {
             let mut x: Vec<(Vec<ItemId>, u64)> = v
                 .iter()

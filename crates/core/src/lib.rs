@@ -76,6 +76,7 @@ pub mod audit;
 pub mod candidates;
 pub mod checkpoint;
 pub mod config;
+pub mod ctrl;
 pub mod error;
 pub mod expected;
 pub mod improved;
@@ -89,6 +90,7 @@ mod counting;
 
 pub use candidates::{CandidateStats, NegativeCandidate, NegativeItemset};
 pub use config::{GenAlgorithm, MinerConfig};
+pub use ctrl::{CancelReason, CancelToken, Completeness, Deadline, RunControl, Watchdog};
 pub use error::{Error, NegAssocError};
 pub use miner::{MiningOutcome, MiningReport, NegativeMiner};
 pub use negassoc_apriori::parallel::{Parallelism, PassStats};

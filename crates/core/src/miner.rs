@@ -2,8 +2,9 @@
 //! negative itemsets + negative rules + a run report out.
 
 use crate::candidates::{CandidateStats, NegativeItemset};
-use crate::checkpoint::CheckpointManager;
+use crate::checkpoint::{CheckpointManager, Resume};
 use crate::config::{Driver, MinerConfig};
+use crate::ctrl::{cancellation_reason, CancelToken, Completeness, RunControl};
 use crate::error::Error;
 use crate::improved::run_improved_with_checkpoints;
 use crate::naive::run_naive;
@@ -129,7 +130,7 @@ impl NegativeMiner {
         tax: &Taxonomy,
         substitutes: Option<&SubstituteKnowledge>,
     ) -> Result<MiningOutcome, Error> {
-        self.mine_inner(source, tax, substitutes, None)
+        self.mine_inner(source, tax, substitutes, None, None)
     }
 
     /// Mine with checkpoint/resume: after every completed database pass
@@ -160,9 +161,76 @@ impl NegativeMiner {
             ));
         }
         let manager = CheckpointManager::new(checkpoint_dir, &self.config, tax, source.len_hint())?;
-        let outcome = self.mine_inner(source, tax, substitutes, Some(&manager))?;
+        let outcome = self.mine_inner(source, tax, substitutes, Some(&manager), None)?;
         manager.clear()?;
         Ok(outcome)
+    }
+
+    /// Mine under a [`RunControl`]: the run stops cooperatively — at the
+    /// next pass, level, or block boundary — when the control's token is
+    /// cancelled by a user interrupt, an expired deadline, or the stall
+    /// watchdog, and returns [`Error::Cancelled`] carrying the reason, the
+    /// checkpoint directory (when one survives) and an explicit
+    /// [`Completeness`] status. No partial counts escape a cancelled run.
+    ///
+    /// With `checkpoint_dir` set this behaves like
+    /// [`Self::mine_with_recovery`] (improved driver required): every
+    /// completed pass is durably checkpointed, so a cancelled run can be
+    /// resumed — by calling this again or `mine_with_recovery` with the
+    /// same directory — to byte-identical output. Without a directory,
+    /// cancellation simply abandons the run
+    /// ([`Completeness::NoCheckpoint`]).
+    pub fn mine_with_controls<S: TransactionSource + ?Sized>(
+        &self,
+        source: &S,
+        tax: &Taxonomy,
+        substitutes: Option<&SubstituteKnowledge>,
+        checkpoint_dir: Option<&Path>,
+        ctrl: &RunControl,
+    ) -> Result<MiningOutcome, Error> {
+        self.config.validate()?;
+        let manager = match checkpoint_dir {
+            Some(dir) => {
+                if self.config.driver != Driver::Improved {
+                    return Err(Error::Config(
+                        "checkpoint/resume requires the improved driver \
+                         (the naive driver interleaves phases per level)"
+                            .into(),
+                    ));
+                }
+                Some(CheckpointManager::new(
+                    dir,
+                    &self.config,
+                    tax,
+                    source.len_hint(),
+                )?)
+            }
+            None => None,
+        };
+        // Keep the guard alive for the whole run; dropping it joins the
+        // monitor thread.
+        let _watchdog = ctrl.arm();
+        // Pre-flight: a token already tripped (an expired deadline, a
+        // Ctrl-C during argument parsing) must cancel before the first
+        // pass ever touches the source.
+        if let Err(e) = ctrl.token().check() {
+            return Err(decorate_cancellation(Error::Io(e), manager.as_ref()));
+        }
+        match self.mine_inner(
+            source,
+            tax,
+            substitutes,
+            manager.as_ref(),
+            Some(ctrl.token()),
+        ) {
+            Ok(outcome) => {
+                if let Some(m) = &manager {
+                    m.clear()?;
+                }
+                Ok(outcome)
+            }
+            Err(err) => Err(decorate_cancellation(err, manager.as_ref())),
+        }
     }
 
     fn mine_inner<S: TransactionSource + ?Sized>(
@@ -171,14 +239,20 @@ impl NegativeMiner {
         tax: &Taxonomy,
         substitutes: Option<&SubstituteKnowledge>,
         checkpoints: Option<&CheckpointManager>,
+        ctrl: Option<&CancelToken>,
     ) -> Result<MiningOutcome, Error> {
         self.config.validate()?;
         let start = Instant::now();
         let outcome = match self.config.driver {
-            Driver::Naive => run_naive(source, tax, &self.config)?,
-            Driver::Improved => {
-                run_improved_with_checkpoints(source, tax, &self.config, substitutes, checkpoints)?
-            }
+            Driver::Naive => run_naive(source, tax, &self.config, ctrl)?,
+            Driver::Improved => run_improved_with_checkpoints(
+                source,
+                tax,
+                &self.config,
+                substitutes,
+                checkpoints,
+                ctrl,
+            )?,
         };
         let mining_time = start.elapsed();
 
@@ -206,6 +280,39 @@ impl NegativeMiner {
             rules,
             report,
         })
+    }
+}
+
+/// Turn a cancellation riding the error chain into the typed
+/// [`Error::Cancelled`], attaching whatever durable state the checkpoint
+/// manager can vouch for. Non-cancellation errors pass through untouched.
+fn decorate_cancellation(err: Error, manager: Option<&CheckpointManager>) -> Error {
+    let Some(reason) = cancellation_reason(&err) else {
+        return err;
+    };
+    let (checkpoint, completeness) = match manager {
+        None => (None, Completeness::NoCheckpoint),
+        Some(m) => match m.load_latest() {
+            Resume::Fresh => (None, Completeness::NoCheckpoint),
+            Resume::Positive(p) => (
+                Some(m.dir().to_path_buf()),
+                Completeness::PositivePartial {
+                    next_level: p.state.next_k,
+                    passes: p.passes,
+                },
+            ),
+            Resume::Negative(n) => (
+                Some(m.dir().to_path_buf()),
+                Completeness::NegativePending {
+                    candidates: n.candidates.len(),
+                },
+            ),
+        },
+    };
+    Error::Cancelled {
+        reason,
+        checkpoint,
+        completeness,
     }
 }
 

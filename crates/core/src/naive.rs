@@ -11,7 +11,7 @@ use crate::config::{GenAlgorithm, MinerConfig};
 use crate::counting::confirm_negatives;
 use crate::error::Error;
 use negassoc_apriori::levelwise::{GenLevelMiner, GenStrategy};
-use negassoc_apriori::parallel::PassStats;
+use negassoc_apriori::parallel::{CancelToken, PassStats};
 use negassoc_apriori::LargeItemsets;
 use negassoc_taxonomy::Taxonomy;
 use negassoc_txdb::TransactionSource;
@@ -45,11 +45,13 @@ pub(crate) fn renumber(stats: &mut [PassStats]) {
     }
 }
 
-/// Run the naive driver.
+/// Run the naive driver. `ctrl` (when given) is checked at every pass and
+/// level boundary; a cancelled run errors without partial results.
 pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
     config: &MinerConfig,
+    ctrl: Option<&CancelToken>,
 ) -> Result<DriverOutcome, Error> {
     let strategy = match config.algorithm {
         GenAlgorithm::Basic => GenStrategy::Basic,
@@ -61,13 +63,14 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
         }
     };
     let positive_start = Instant::now();
-    let mut miner = GenLevelMiner::new(
+    let mut miner = GenLevelMiner::new_with_ctrl(
         source,
         tax,
         config.min_support,
         strategy,
         config.backend,
         config.parallelism,
+        ctrl,
     )?;
     let mut positive_time = positive_start.elapsed();
     let mut pass_stats: Vec<PassStats> = miner.take_pass_stats();
@@ -117,6 +120,7 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
             miner.large().min_support_count(),
             config.min_ri,
             config.parallelism,
+            ctrl,
         )?;
         passes += neg_passes;
         pass_stats.extend(neg_stats);
@@ -193,7 +197,7 @@ mod tests {
             driver: crate::config::Driver::Naive,
             ..MinerConfig::default()
         };
-        let out = run_naive(&pc, &tax, &config).unwrap();
+        let out = run_naive(&pc, &tax, &config, None).unwrap();
 
         // Levels: 1-itemsets and 2-itemsets are large; no level-3 positive
         // candidates survive apriori-gen, so no third positive pass.
@@ -229,7 +233,7 @@ mod tests {
             ..MinerConfig::default()
         };
         assert!(matches!(
-            run_naive(&db, &tax, &config),
+            run_naive(&db, &tax, &config, None),
             Err(Error::Config(_))
         ));
     }
@@ -243,7 +247,7 @@ mod tests {
             max_negative_size: Some(2),
             ..MinerConfig::default()
         };
-        let out = run_naive(&db, &tax, &config).unwrap();
+        let out = run_naive(&db, &tax, &config, None).unwrap();
         for n in &out.negatives {
             assert!(n.itemset.len() <= 2);
         }
@@ -253,7 +257,7 @@ mod tests {
     fn empty_database() {
         let (tax, _) = scenario();
         let db = TransactionDbBuilder::new().build();
-        let out = run_naive(&db, &tax, &MinerConfig::default()).unwrap();
+        let out = run_naive(&db, &tax, &MinerConfig::default(), None).unwrap();
         assert_eq!(out.large.total(), 0);
         assert!(out.negatives.is_empty());
         assert_eq!(out.passes, 1);

@@ -24,13 +24,23 @@
 //! This is the one module allowed to create threads (xtask lint L007
 //! forbids bare `std::thread::spawn` everywhere; scoped workers confine
 //! every thread's lifetime to the pass that spawned it).
+//!
+//! A pass can be cancelled cooperatively: [`parallel_pass_ctrl`] takes an
+//! optional [`CancelToken`] that the producer checks between blocks and
+//! workers check between pops (the pop switches from a blocking `recv()`
+//! to a short `recv_timeout`, so a cancelled pool wakes and drains within
+//! one poll interval instead of blocking forever). A cancelled pass
+//! returns the token's [`crate::ctrl::Cancellation`] as an
+//! [`io::ErrorKind::Interrupted`] error — never partial counts.
 
+use crate::ctrl::CancelToken;
 use crate::scan::TransactionSource;
 use crate::transaction::Transaction;
 use negassoc_taxonomy::ItemId;
 use std::io;
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Transactions per block handed to a worker. Large enough that the
 /// per-block channel/lock traffic is noise, small enough that a handful of
@@ -231,42 +241,117 @@ where
     FProc: Fn(&mut W, &TransactionBlock) + Sync,
     FFin: Fn(W) -> R + Sync,
 {
+    parallel_pass_ctrl(
+        source,
+        threads,
+        block_size,
+        None,
+        make_worker,
+        process,
+        finish,
+    )
+}
+
+/// How long a worker waits on the queue before re-checking the cancel
+/// token. Bounds cancellation latency on an idle pool; on a busy pool the
+/// token is checked after every block instead.
+const CTRL_POLL: Duration = Duration::from_millis(20);
+
+/// The one send path to the worker pool: a failure means every receiver is
+/// gone (workers panicked, or all broke out on cancellation), and both
+/// producer sites must record it the same way so the pass stops feeding a
+/// dead pool. The join loop re-raises any worker panic afterwards.
+fn send_or_note_gone(
+    tx: &mpsc::SyncSender<TransactionBlock>,
+    block: TransactionBlock,
+    receivers_gone: &mut bool,
+) {
+    *receivers_gone = tx.send(block).is_err();
+}
+
+/// [`parallel_pass`] with cooperative cancellation.
+///
+/// When `ctrl` is `Some`, the token is consulted at block granularity on
+/// every thread involved: the producer stops slicing the stream, workers
+/// stop popping (their blocking `recv()` becomes a [`CTRL_POLL`]
+/// `recv_timeout`, so even an idle worker wakes promptly), and the pass
+/// returns the token's cancellation error. Counting progress is reported
+/// back through [`CancelToken::record_progress`] — one unit per
+/// transaction — which is what the stall watchdog listens to.
+///
+/// A cancelled pass never returns partial tallies: any cancellation
+/// observed before return yields `Err`, and the caller's own completed
+/// state (e.g. previously checkpointed passes) is the only survivor.
+pub fn parallel_pass_ctrl<S, W, R, FNew, FProc, FFin>(
+    source: &S,
+    threads: usize,
+    block_size: usize,
+    ctrl: Option<&CancelToken>,
+    make_worker: FNew,
+    process: FProc,
+    finish: FFin,
+) -> io::Result<(Vec<R>, u64)>
+where
+    S: TransactionSource + ?Sized,
+    R: Send,
+    FNew: Fn() -> W + Sync,
+    FProc: Fn(&mut W, &TransactionBlock) + Sync,
+    FFin: Fn(W) -> R + Sync,
+{
     let block_size = block_size.max(1);
     if threads <= 1 {
         let mut worker = make_worker();
         let mut block = TransactionBlock::with_start(0);
         let mut total = 0u64;
+        let mut cancelled = false;
         source.pass(&mut |t| {
+            if cancelled {
+                return;
+            }
             block.push(t);
             total += 1;
             if block.len() >= block_size {
                 process(&mut worker, &block);
+                if let Some(c) = ctrl {
+                    c.record_progress(block.len() as u64);
+                    cancelled = c.is_cancelled();
+                }
                 let next = block.start() + block.len() as u64;
                 block.reset(next);
             }
         })?;
+        if let Some(c) = ctrl {
+            c.check()?;
+        }
         if !block.is_empty() {
             process(&mut worker, &block);
+            if let Some(c) = ctrl {
+                c.record_progress(block.len() as u64);
+            }
         }
         return Ok((vec![finish(worker)], total));
     }
 
     // Bounded: the producer stays at most a few blocks ahead, so a
-    // streamed source never balloons into memory. Declared outside the
-    // scope so worker borrows outlive every spawned thread.
+    // streamed source never balloons into memory. The receiver is owned
+    // collectively by the workers (one Arc handle each, dropped on exit —
+    // normal, cancelled or panicking), so "every worker is gone" is
+    // observable by the producer as a failed send even while it is blocked
+    // on the full channel: the blocked-waiters path wakes instead of
+    // waiting forever.
     let (tx, rx) = mpsc::sync_channel::<TransactionBlock>(threads * 2);
-    let rx = Mutex::new(rx);
+    let rx = std::sync::Arc::new(Mutex::new(rx));
     let (results, total, pass_result) = std::thread::scope(|scope| {
-        let rx = &rx;
         let make_worker = &make_worker;
         let process = &process;
         let finish = &finish;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
+                let rx = std::sync::Arc::clone(&rx);
                 scope.spawn(move || {
                     let mut worker = make_worker();
                     loop {
-                        // The lock is held across recv(): blocked waiters
+                        // The lock is held across the pop: blocked waiters
                         // simply queue behind it, which serializes only the
                         // *pop*, never the counting work.
                         let next = {
@@ -276,23 +361,57 @@ where
                                 // lock; the queue itself is still sound.
                                 Err(poisoned) => poisoned.into_inner(),
                             };
-                            guard.recv()
+                            match ctrl {
+                                // No token: a plain blocking recv(); the
+                                // producer's hang-up is the only wake-up
+                                // needed.
+                                None => guard.recv().map_err(|_| None),
+                                // With a token the pop must wake on its own
+                                // to notice cancellation even when the
+                                // producer is stuck upstream.
+                                Some(c) => guard.recv_timeout(CTRL_POLL).map_err(|e| match e {
+                                    mpsc::RecvTimeoutError::Timeout => Some(c),
+                                    mpsc::RecvTimeoutError::Disconnected => None,
+                                }),
+                            }
                         };
                         match next {
-                            Ok(block) => process(&mut worker, &block),
-                            Err(_) => break, // producer hung up: done
+                            Ok(block) => {
+                                process(&mut worker, &block);
+                                if let Some(c) = ctrl {
+                                    c.record_progress(block.len() as u64);
+                                    if c.is_cancelled() {
+                                        break;
+                                    }
+                                }
+                            }
+                            // Producer hung up and the queue is drained.
+                            Err(None) => break,
+                            // Poll expired: drop the lock, re-check, wait
+                            // again. Breaking drops our receiver handle,
+                            // which is what unblocks a producer stuck in
+                            // send() on a full channel.
+                            Err(Some(c)) => {
+                                if c.is_cancelled() {
+                                    break;
+                                }
+                            }
                         }
                     }
                     finish(worker)
                 })
             })
             .collect();
+        // The workers hold the only remaining receiver handles; releasing
+        // the producer's keeps the pool's lifetime honest.
+        drop(rx);
 
         let mut total = 0u64;
         let mut block = TransactionBlock::with_start(0);
         let mut receivers_gone = false;
+        let mut cancelled = false;
         let pass_result = source.pass(&mut |t| {
-            if receivers_gone {
+            if receivers_gone || cancelled {
                 return;
             }
             block.push(t);
@@ -300,13 +419,12 @@ where
             if block.len() >= block_size {
                 let next = block.start() + block.len() as u64;
                 let full = std::mem::replace(&mut block, TransactionBlock::with_start(next));
-                // send only fails when every worker died (panicked); the
-                // join below re-raises that panic.
-                receivers_gone = tx.send(full).is_err();
+                send_or_note_gone(&tx, full, &mut receivers_gone);
+                cancelled = ctrl.is_some_and(CancelToken::is_cancelled);
             }
         });
-        if !receivers_gone && !block.is_empty() {
-            let _ = tx.send(block);
+        if !receivers_gone && !cancelled && !block.is_empty() {
+            send_or_note_gone(&tx, block, &mut receivers_gone);
         }
         drop(tx); // hang up: workers drain the queue and finish
 
@@ -320,6 +438,9 @@ where
         (results, total, pass_result)
     });
     pass_result?;
+    if let Some(c) = ctrl {
+        c.check()?;
+    }
     Ok((results, total))
 }
 
@@ -463,5 +584,107 @@ mod tests {
         let (parts, total) = parallel_pass(&db, 2, 16, || 1u32, |_, _| (), |w| w).unwrap();
         assert_eq!(total, 0);
         assert_eq!(parts, vec![1, 1]);
+    }
+
+    /// Regression for the blocked-waiters path: with every worker dead
+    /// from a panic and the bounded channel full, the producer's `send`
+    /// must fail (receiver dropped with the last worker) instead of
+    /// blocking forever, and the join must re-raise the panic.
+    #[test]
+    fn worker_panic_unblocks_a_full_channel_producer() {
+        // Plenty of one-transaction blocks versus a channel of depth
+        // threads * 2 = 4 guarantees the producer hits a full channel.
+        let db = sample_db(10_000);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_pass(&db, 2, 1, || (), |_, _| panic!("worker died"), |_| ())
+        }));
+        let payload = result.expect_err("the worker panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "worker died");
+    }
+
+    use crate::ctrl::{cancellation_of, CancelReason, CancelToken};
+
+    #[test]
+    fn pre_cancelled_token_fails_the_pass_on_any_thread_count() {
+        let db = sample_db(500);
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            token.cancel(CancelReason::DeadlineExceeded);
+            let err = parallel_pass_ctrl(&db, threads, 16, Some(&token), || 0u64, |_, _| (), |w| w)
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted, "threads {threads}");
+            assert_eq!(
+                cancellation_of(&err),
+                Some(CancelReason::DeadlineExceeded),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_mid_pass_errors_and_the_pool_drains() {
+        let db = sample_db(50_000);
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let trip = token.clone();
+            // The worker itself trips the token after the first block it
+            // sees: producer and siblings must all notice and wind down.
+            let err = parallel_pass_ctrl(
+                &db,
+                threads,
+                16,
+                Some(&token),
+                || (),
+                move |_, _| {
+                    trip.cancel(CancelReason::UserInterrupt);
+                },
+                |_| (),
+            )
+            .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted, "threads {threads}");
+            assert_eq!(
+                cancellation_of(&err),
+                Some(CancelReason::UserInterrupt),
+                "threads {threads}"
+            );
+            assert!(token.progress() > 0, "processed blocks must heartbeat");
+            assert!(
+                token.progress() < 50_000,
+                "threads {threads}: cancellation must stop the pass early"
+            );
+        }
+    }
+
+    #[test]
+    fn live_token_changes_nothing_and_heartbeats() {
+        let db = sample_db(257);
+        let mut expect = 0u64;
+        db.pass(&mut |t| expect += t.items().iter().map(|i| u64::from(i.0)).sum::<u64>())
+            .unwrap();
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let (parts, total) = parallel_pass_ctrl(
+                &db,
+                threads,
+                64,
+                Some(&token),
+                || 0u64,
+                |acc, block| {
+                    block
+                        .iter()
+                        .for_each(|t| *acc += t.items().iter().map(|i| u64::from(i.0)).sum::<u64>())
+                },
+                |acc| acc,
+            )
+            .unwrap();
+            assert_eq!(total, 257, "threads {threads}");
+            assert_eq!(parts.iter().sum::<u64>(), expect, "threads {threads}");
+            assert_eq!(token.progress(), 257, "threads {threads}");
+            assert!(!token.is_cancelled());
+        }
     }
 }

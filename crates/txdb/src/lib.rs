@@ -20,6 +20,9 @@
 //! * [`block`] — fixed-size transaction blocks plus the scoped worker-pool
 //!   pass executor ([`block::parallel_pass`]) and the [`Parallelism`]
 //!   policy behind every multi-threaded counting pass,
+//! * [`ctrl`] — cooperative run control: the lock-free
+//!   [`ctrl::CancelToken`] checked at block/pass boundaries, wall-clock
+//!   [`ctrl::Deadline`]s and the [`ctrl::Watchdog`] stall monitor,
 //! * [`partition`] — horizontal partitioning for memory-bounded or parallel
 //!   counting,
 //! * [`vertical`] — TID-list (inverted) indexes with intersection-based
@@ -45,6 +48,7 @@
 pub mod binfmt;
 pub mod block;
 pub mod crc32;
+pub mod ctrl;
 pub mod fault;
 pub mod partition;
 pub mod stats;

@@ -34,11 +34,18 @@ impl<S: TransactionSource> ThrottledSource<S> {
     /// Wrap `inner`, estimating its serialized size with one (unthrottled)
     /// pass: roughly two varint bytes per item plus a few per transaction,
     /// matching the `binfmt` encoding.
+    ///
+    /// The bandwidth must be positive and finite; anything else (zero,
+    /// negative, NaN, infinite) is an [`io::ErrorKind::InvalidInput`]
+    /// error rather than a panic — this is library code and the value
+    /// typically arrives from a CLI flag.
     pub fn new(inner: S, bytes_per_sec: f64) -> io::Result<Self> {
-        assert!(
-            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
-            "bandwidth must be positive"
-        );
+        if !(bytes_per_sec > 0.0 && bytes_per_sec.is_finite()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("throttle bandwidth must be positive and finite, got {bytes_per_sec}"),
+            ));
+        }
         let mut items = 0u64;
         let mut transactions = 0u64;
         inner.pass(&mut |t| {
@@ -137,8 +144,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bandwidth must be positive")]
-    fn rejects_nonpositive_bandwidth() {
-        let _ = ThrottledSource::new(db(1), 0.0);
+    fn rejects_nonfinite_or_nonpositive_bandwidth_without_panicking() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = match ThrottledSource::new(db(1), bad) {
+                Err(e) => e,
+                Ok(_) => panic!("bandwidth {bad} must be rejected"),
+            };
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "bandwidth {bad}");
+            assert!(
+                err.to_string().contains("bandwidth must be positive"),
+                "bandwidth {bad}: {err}"
+            );
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! The negassoc custom lints, L001–L007.
+//! The negassoc custom lints, L001–L008.
 //!
 //! Each lint matches token patterns from [`crate::lexer`] against the
 //! workspace's invariants (documented in DESIGN.md "Invariants & static
@@ -13,6 +13,7 @@
 //! | L005 | lossy `as` casts on support counters live only in sanctioned helpers (`counting.rs`, `expected.rs`) |
 //! | L006 | the core crate returns `Result<_, NegAssocError>`, never `io::Result` — I/O errors convert at the txdb boundary |
 //! | L007 | no bare `thread::spawn` — worker threads are scoped and live only in `txdb/src/block.rs`, the one audited counting pool |
+//! | L008 | no `process::exit` and no unbounded `.recv()` outside `txdb/src/block.rs` — raw exits skip Drop (checkpoint flush, watchdog join) and the exit-code contract; blocking receives can never observe a `CancelToken` |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/` directories
 //! and `#[cfg(test)]` modules. Any finding can be suppressed with a
@@ -69,6 +70,12 @@ pub const LINTS: &[Lint] = &[
         summary: "bare thread::spawn outside txdb's block module; use the scoped counting pool",
         library_only: true,
     },
+    Lint {
+        id: "L008",
+        summary: "process::exit or unbounded .recv() outside txdb's block module; \
+                  both defeat cooperative cancellation",
+        library_only: true,
+    },
 ];
 
 /// One diagnostic.
@@ -109,6 +116,7 @@ pub fn lint_file(path: &str, lexed: &LexedFile, class: FileClass) -> Vec<Finding
         l005_lossy_casts(path, lexed, &in_test, &mut findings);
         l006_io_result(path, lexed, &in_test, &mut findings);
         l007_thread_spawn(path, lexed, &in_test, &mut findings);
+        l008_uncancellable_waits(path, lexed, &in_test, &mut findings);
     }
     // Apply allow directives (same line or the line above the finding).
     findings.retain(|f| {
@@ -416,6 +424,63 @@ fn l007_thread_spawn(
                 message: "bare thread::spawn escapes the audited counting pool; \
                           use negassoc_txdb::block::parallel_pass / parallel_map \
                           (scoped workers, deterministic merge)"
+                    .into(),
+            });
+        }
+    }
+}
+
+fn l008_uncancellable_waits(
+    path: &str,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    // The audited counting pool owns the one sanctioned blocking receive:
+    // its drain loop pairs `recv_timeout` with token polls, and the bare
+    // `recv` sits on the explicitly token-free fast path. Everywhere else
+    // a raw `process::exit` skips Drop (checkpoint flush, watchdog join)
+    // and the CLI's exit-code contract, and an unbounded `.recv()` parks a
+    // thread where no `CancelToken` can ever reach it.
+    if path.ends_with("txdb/src/block.rs") {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if in_test(t.line) {
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && t.text == "process"
+            && toks.get(i + 1).is_some_and(|n| n.text == "::")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokenKind::Ident && n.text == "exit")
+        {
+            findings.push(Finding {
+                lint: "L008",
+                path: path.into(),
+                line: t.line,
+                message: "raw process::exit skips Drop (checkpoint flush, watchdog \
+                          join) and the exit-code contract; return a CliError / \
+                          ExitCode up the stack instead"
+                    .into(),
+            });
+        }
+        if t.text == "."
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Ident && n.text == "recv")
+            && toks.get(i + 2).is_some_and(|n| n.text == "(")
+            && toks.get(i + 3).is_some_and(|n| n.text == ")")
+        {
+            findings.push(Finding {
+                lint: "L008",
+                path: path.into(),
+                line: t.line,
+                message: "unbounded .recv() blocks where no CancelToken can reach \
+                          it; use recv_timeout with a token poll (see the drain \
+                          loop in negassoc_txdb::block)"
                     .into(),
             });
         }

@@ -5,7 +5,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "xtask <analyze|help> [options]
 
-  analyze    run the L001-L006 invariant lints over the workspace
+  analyze    run the L001-L008 invariant lints over the workspace
              --json       machine-readable output
              --deny-all   exit nonzero when any finding remains
              --list       print the lint registry and exit

@@ -1,0 +1,45 @@
+//! L008 fixture: a raw `process::exit` and an unbounded `.recv()` must
+//! fire in library code; `recv_timeout`/`try_recv` (cancellation-aware
+//! waits) and `ExitCode` returns must not.
+
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub fn rage_quit(code: i32) {
+    std::process::exit(code);
+}
+
+pub fn deaf_wait(rx: &mpsc::Receiver<u64>) -> Option<u64> {
+    rx.recv().ok()
+}
+
+pub fn polite_wait(rx: &mpsc::Receiver<u64>) -> Option<u64> {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(v) => return Some(v),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+pub fn peek(rx: &mpsc::Receiver<u64>) -> Option<u64> {
+    rx.try_recv().ok()
+}
+
+pub fn clean_exit() -> ExitCode {
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc;
+
+    #[test]
+    fn tests_may_block() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(1u64).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

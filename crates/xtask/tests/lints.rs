@@ -144,6 +144,29 @@ fn l007_exempts_the_counting_pool_module() {
 }
 
 #[test]
+fn l008_fires_on_process_exit_and_unbounded_recv() {
+    let fired = lints_fired("l008_uncancellable.rs", FileClass::Library);
+    assert_eq!(
+        fired,
+        ["L008", "L008"],
+        "process::exit and bare .recv(); recv_timeout/try_recv stay silent"
+    );
+}
+
+#[test]
+fn l008_exempts_the_counting_pool_module() {
+    let findings = analyze_source(
+        "crates/txdb/src/block.rs",
+        &fixture("l008_uncancellable.rs"),
+        FileClass::Library,
+    );
+    assert!(
+        findings.is_empty(),
+        "block.rs owns the sanctioned drain recv, got {findings:?}"
+    );
+}
+
+#[test]
 fn allow_comments_suppress_with_a_paper_trail() {
     let fired = lints_fired("allowed.rs", FileClass::Library);
     assert!(
@@ -173,6 +196,7 @@ fn every_registered_lint_has_a_firing_fixture() {
         "l004_itemset.rs",
         "l005_cast.rs",
         "l007_thread_spawn.rs",
+        "l008_uncancellable.rs",
     ] {
         covered.extend(lints_fired(name, FileClass::Library));
     }

@@ -21,4 +21,16 @@ echo "==> BENCH_counting.json"
 # pool can only add overhead, and the JSON will honestly say so.
 grep -E '"available_parallelism"|"total_wall_s"|"speedup_vs_sequential"' BENCH_counting.json
 
+echo "==> run control plane: cancel-token overhead (scale $SCALE)"
+./target/release/paper ctrl --scale "$SCALE"
+
+echo "==> BENCH_ctrl.json"
+# The control plane's acceptance bar: armed token checks must cost < 2%
+# median wall time over the token-free baseline.
+grep -E '"median_baseline_s"|"median_controlled_s"|"overhead_pct"' BENCH_ctrl.json
+pct="$(sed -n 's/.*"overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' BENCH_ctrl.json)"
+awk -v p="$pct" 'BEGIN { exit !(p < 2.0) }' \
+  || { echo "bench: token-check overhead ${pct}% >= 2% bar" >&2; exit 1; }
+echo "bench: control-plane overhead ${pct}% (< 2% bar)"
+
 echo "bench: artifacts written"

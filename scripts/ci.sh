@@ -39,6 +39,30 @@ fi
 diff "$SMOKE/clean.csv" "$SMOKE/resumed.csv"
 echo "smoke: resumed output byte-identical to the clean run"
 
+echo "==> chaos soak (seeded cancel/fault/thread schedules, bitwise resume)"
+cargo test -q --release -p negassoc --test chaos_soak
+
+echo "==> interrupt smoke (exit-code contract: deadline cancel, resume)"
+# An expired deadline must exit 3 (interrupted) — not 0, not 1 — and with
+# --checkpoint-dir the re-run must finish with output identical to clean.
+set +e
+"$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --min-support 0.05 --max-size 2 --checkpoint-dir "$SMOKE/ckpt-int" \
+  --deadline 0 > /dev/null 2> "$SMOKE/int.err"
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+  echo "smoke: --deadline 0 exited $rc, want 3" >&2
+  cat "$SMOKE/int.err" >&2
+  exit 1
+fi
+grep -q "interrupted" "$SMOKE/int.err" || { echo "smoke: missing interrupt notice" >&2; exit 1; }
+"$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --min-support 0.05 --max-size 2 --checkpoint-dir "$SMOKE/ckpt-int" \
+  --out "$SMOKE/after-interrupt.csv" > /dev/null
+diff "$SMOKE/clean.csv" "$SMOKE/after-interrupt.csv"
+echo "smoke: interrupted run exited 3, resume byte-identical to the clean run"
+
 echo "==> multi-thread smoke (worker-pool counting, crash + threaded resume)"
 # Determinism contract: worker threads change wall time, never output.
 "$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
