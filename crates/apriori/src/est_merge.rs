@@ -15,10 +15,11 @@ use crate::count::CountingBackend;
 use crate::gen::{apriori_gen, pairs_of};
 use crate::generalized::{extend_full, prune_ancestor_pairs, AncestorTable};
 use crate::itemset::{Itemset, LargeItemsets};
-use crate::parallel::{count_mixed_parallel_ctrl, Parallelism};
+use crate::parallel::{count_mixed_parallel_ctrl, Obs, Parallelism, PassStats};
 use crate::MinSupport;
 use negassoc_taxonomy::fxhash::FxHashSet;
 use negassoc_taxonomy::{ItemId, Taxonomy};
+use negassoc_txdb::obs::{metric, Event};
 use negassoc_txdb::{TransactionDb, TransactionDbBuilder, TransactionSource};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -76,7 +77,16 @@ pub fn est_merge<S: TransactionSource + ?Sized>(
     config: EstMergeConfig,
     parallelism: Parallelism,
 ) -> io::Result<(LargeItemsets, EstMergeStats)> {
-    est_merge_with_ctrl(source, tax, min_support, backend, config, parallelism, None)
+    est_merge_with_ctrl(
+        source,
+        tax,
+        min_support,
+        backend,
+        config,
+        parallelism,
+        None,
+        &Obs::disabled(),
+    )
 }
 
 /// [`est_merge`] under an optional cancel token: `ctrl` is checked before
@@ -84,7 +94,8 @@ pub fn est_merge<S: TransactionSource + ?Sized>(
 /// cancelled run returns the token's [`io::ErrorKind::Interrupted`] error
 /// (see [`negassoc_txdb::ctrl`]). The sequential sampling pass is guarded
 /// at its boundaries — it is one pass, the same interruption granularity
-/// every other miner offers.
+/// every other miner offers. Pass start/end events for the sampling pass
+/// (`"est_sample"`) and every batch pass (`"est_batch"`) flow to `obs`.
 #[allow(clippy::too_many_arguments)]
 pub fn est_merge_with_ctrl<S: TransactionSource + ?Sized>(
     source: &S,
@@ -94,6 +105,7 @@ pub fn est_merge_with_ctrl<S: TransactionSource + ?Sized>(
     config: EstMergeConfig,
     parallelism: Parallelism,
     ctrl: Option<&negassoc_txdb::ctrl::CancelToken>,
+    obs: &Obs,
 ) -> io::Result<(LargeItemsets, EstMergeStats)> {
     assert!(
         (0.0..=1.0).contains(&config.sample_fraction),
@@ -106,6 +118,11 @@ pub fn est_merge_with_ctrl<S: TransactionSource + ?Sized>(
     let mut stats = EstMergeStats::default();
 
     // Pass 1: exact item counts + sample collection.
+    let started = std::time::Instant::now();
+    obs.emit(|| Event::PassStart {
+        label: "est_sample".to_string(),
+        candidates: tax.len(),
+    });
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut sample_builder = TransactionDbBuilder::new();
     let mut counts: Vec<u64> = vec![0; tax.len()];
@@ -124,6 +141,17 @@ pub fn est_merge_with_ctrl<S: TransactionSource + ?Sized>(
         }
     })?;
     stats.passes = 1;
+    obs.emit(|| Event::PassEnd {
+        stats: PassStats {
+            pass: 1,
+            label: "est_sample".to_string(),
+            candidates: tax.len(),
+            transactions: num_transactions,
+            threads: 1,
+            wall: started.elapsed(),
+        },
+    });
+    obs.bump(metric::PASSES_COMPLETED, 1);
     let sample: TransactionDb = sample_builder.build();
     stats.sample_size = sample.len() as u64;
 
@@ -170,17 +198,36 @@ pub fn est_merge_with_ctrl<S: TransactionSource + ?Sized>(
             Vec::new()
         } else {
             stats.passes += 1;
+            let batch_size = batch.len();
+            let pass_no = stats.passes;
+            obs.emit(|| Event::PassStart {
+                label: "est_batch".to_string(),
+                candidates: batch_size,
+            });
+            let pass_started = std::time::Instant::now();
             let mapper =
                 |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, &ancestors, out);
-            count_mixed_parallel_ctrl(
+            let run = count_mixed_parallel_ctrl(
                 source,
                 std::mem::take(&mut batch),
                 backend,
                 &mapper,
                 parallelism,
                 ctrl,
-            )?
-            .counts
+                obs,
+            )?;
+            obs.emit(|| Event::PassEnd {
+                stats: PassStats {
+                    pass: pass_no,
+                    label: "est_batch".to_string(),
+                    candidates: batch_size,
+                    transactions: run.transactions,
+                    threads: run.threads,
+                    wall: pass_started.elapsed(),
+                },
+            });
+            obs.bump(metric::PASSES_COMPLETED, 1);
+            run.counts
         };
 
         let mut levels_with_news: Vec<usize> = Vec::new();

@@ -13,10 +13,11 @@ use crate::generalized::{
 };
 use crate::itemset::{Itemset, LargeItemsets};
 use crate::parallel::{
-    count_items_parallel_ctrl, count_mixed_parallel_ctrl, CancelToken, Parallelism, PassStats,
+    count_items_parallel_ctrl, count_mixed_parallel_ctrl, CancelToken, Obs, Parallelism, PassStats,
 };
 use crate::MinSupport;
 use negassoc_taxonomy::{ItemId, Taxonomy};
+use negassoc_txdb::obs::{metric, Event};
 use negassoc_txdb::TransactionSource;
 use std::fmt;
 use std::io;
@@ -101,6 +102,7 @@ pub struct GenLevelMiner<'a, S: TransactionSource + ?Sized> {
     candidate_cap: Option<usize>,
     pass_stats: Vec<PassStats>,
     ctrl: Option<&'a CancelToken>,
+    obs: Obs,
 }
 
 impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
@@ -137,11 +139,42 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
         parallelism: Parallelism,
         ctrl: Option<&'a CancelToken>,
     ) -> io::Result<Self> {
+        Self::new_observed(
+            source,
+            tax,
+            min_support,
+            strategy,
+            backend,
+            parallelism,
+            ctrl,
+            Obs::disabled(),
+        )
+    }
+
+    /// [`Self::new_with_ctrl`] with an observability handle: the level-1
+    /// pass made here (and every subsequent level) emits
+    /// [`Event::PassStart`]/[`Event::PassEnd`] to `obs`, and the block
+    /// layer below it reports dispatch/merge and scan counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_observed(
+        source: &'a S,
+        tax: &Taxonomy,
+        min_support: MinSupport,
+        strategy: GenStrategy,
+        backend: CountingBackend,
+        parallelism: Parallelism,
+        ctrl: Option<&'a CancelToken>,
+        obs: Obs,
+    ) -> io::Result<Self> {
         let ancestors = AncestorTable::new(tax);
         let started = Instant::now();
+        obs.emit(|| Event::PassStart {
+            label: "L1".to_string(),
+            candidates: tax.len(),
+        });
         let mapper = |items: &[ItemId], out: &mut Vec<ItemId>| extend_full(items, &ancestors, out);
         let (counts, num_transactions) =
-            count_items_parallel_ctrl(source, tax.len(), &mapper, parallelism, ctrl)?;
+            count_items_parallel_ctrl(source, tax.len(), &mapper, parallelism, ctrl, &obs)?;
         let pass_stats = vec![PassStats {
             pass: 1,
             label: "L1".to_string(),
@@ -150,6 +183,11 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             threads: parallelism.resolve(),
             wall: started.elapsed(),
         }];
+        obs.emit(|| Event::PassEnd {
+            stats: pass_stats[0].clone(),
+        });
+        obs.bump(metric::PASSES_COMPLETED, 1);
+        obs.gauge(metric::LAST_PASS_CANDIDATES, tax.len() as u64);
         let minsup = min_support.to_count(num_transactions);
         let mut large = LargeItemsets::new(num_transactions, minsup);
         let mut large_1 = Vec::new();
@@ -176,6 +214,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             candidate_cap: None,
             pass_stats,
             ctrl,
+            obs,
         })
     }
 
@@ -196,6 +235,14 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
     /// [`Self::resume`] makes no pass of its own.
     pub fn with_ctrl(mut self, ctrl: Option<&'a CancelToken>) -> Self {
         self.ctrl = ctrl;
+        self
+    }
+
+    /// Attach an observability handle after construction — the resume
+    /// path's counterpart to [`Self::new_observed`], since
+    /// [`Self::resume`] makes no pass of its own.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -288,6 +335,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             candidate_cap: None,
             pass_stats: Vec::new(),
             ctrl: None,
+            obs: Obs::disabled(),
         }
     }
 
@@ -306,6 +354,10 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
         } else {
             apriori_gen(&self.frontier)
         };
+        self.obs.emit(|| Event::CandidateSet {
+            label: format!("L{k}"),
+            size: candidates.len(),
+        });
         if candidates.is_empty() {
             self.done = true;
             return Ok(None);
@@ -321,6 +373,10 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
             }
         }
         let started = Instant::now();
+        self.obs.emit(|| Event::PassStart {
+            label: format!("L{k}"),
+            candidates: candidates.len(),
+        });
         let run = match self.strategy {
             GenStrategy::Basic => {
                 let ancestors = &self.ancestors;
@@ -333,6 +389,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
                     &mapper,
                     self.parallelism,
                     self.ctrl,
+                    &self.obs,
                 )?
             }
             GenStrategy::Cumulate => {
@@ -348,17 +405,25 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
                     &mapper,
                     self.parallelism,
                     self.ctrl,
+                    &self.obs,
                 )?
             }
         };
-        self.pass_stats.push(PassStats {
+        let stats = PassStats {
             pass: self.pass_stats.len() as u64 + 1,
             label: format!("L{k}"),
             candidates: run.counts.len(),
             transactions: run.transactions,
             threads: run.threads,
             wall: started.elapsed(),
+        };
+        self.obs.emit(|| Event::PassEnd {
+            stats: stats.clone(),
         });
+        self.obs.bump(metric::PASSES_COMPLETED, 1);
+        self.obs
+            .gauge(metric::LAST_PASS_CANDIDATES, stats.candidates as u64);
+        self.pass_stats.push(stats);
         self.frontier.clear();
         for (set, count) in run.counts {
             if count >= self.minsup {

@@ -27,10 +27,10 @@ use negassoc_taxonomy::ItemId;
 use negassoc_txdb::block::{parallel_pass_ctrl, DEFAULT_BLOCK_SIZE};
 use negassoc_txdb::TransactionSource;
 use std::io;
-use std::time::Duration;
 
 pub use negassoc_txdb::block::Parallelism;
 pub use negassoc_txdb::ctrl::CancelToken;
+pub use negassoc_txdb::obs::{Obs, PassStats};
 
 /// A transaction mapper shareable across counting workers (the `Sync`
 /// sibling of [`crate::count::Mapper`]): transforms a transaction's items
@@ -56,24 +56,6 @@ pub struct PassRun {
     pub threads: usize,
 }
 
-/// Telemetry for one database pass, as surfaced through the miner report
-/// and the CLI `--pass-stats` table.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct PassStats {
-    /// 1-based pass number within the run.
-    pub pass: u64,
-    /// What the pass was for (e.g. `"L1"`, `"L3"`, `"negative"`).
-    pub label: String,
-    /// Candidates counted in the pass.
-    pub candidates: usize,
-    /// Transactions scanned.
-    pub transactions: u64,
-    /// Worker threads used.
-    pub threads: usize,
-    /// Wall-clock time of the pass.
-    pub wall: Duration,
-}
-
 /// Count supports of mixed-size `candidates` in a single pass of `source`
 /// using the worker pool `parallelism` resolves to.
 ///
@@ -93,13 +75,22 @@ pub fn count_mixed_parallel<S: TransactionSource + ?Sized>(
     mapper: &SyncMapper<'_>,
     parallelism: Parallelism,
 ) -> io::Result<PassRun> {
-    count_mixed_parallel_ctrl(source, candidates, backend, mapper, parallelism, None)
+    count_mixed_parallel_ctrl(
+        source,
+        candidates,
+        backend,
+        mapper,
+        parallelism,
+        None,
+        &Obs::disabled(),
+    )
 }
 
 /// [`count_mixed_parallel`] with cooperative cancellation: the pool checks
 /// `ctrl` at block boundaries and a cancelled pass returns the token's
 /// [`io::ErrorKind::Interrupted`] error instead of partial counts (see
-/// [`negassoc_txdb::ctrl`]).
+/// [`negassoc_txdb::ctrl`]). Block dispatch/merge events and the scan
+/// counters flow to `obs` (see [`negassoc_txdb::obs`]).
 pub fn count_mixed_parallel_ctrl<S: TransactionSource + ?Sized>(
     source: &S,
     candidates: Vec<Itemset>,
@@ -107,6 +98,7 @@ pub fn count_mixed_parallel_ctrl<S: TransactionSource + ?Sized>(
     mapper: &SyncMapper<'_>,
     parallelism: Parallelism,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
 ) -> io::Result<PassRun> {
     let threads = parallelism.resolve();
     if candidates.is_empty() {
@@ -149,6 +141,7 @@ pub fn count_mixed_parallel_ctrl<S: TransactionSource + ?Sized>(
         threads,
         DEFAULT_BLOCK_SIZE,
         ctrl,
+        obs,
         || Worker {
             counters: groups
                 .iter()
@@ -219,7 +212,14 @@ pub fn count_items_parallel<S: TransactionSource + ?Sized>(
     mapper: &SyncMapper<'_>,
     parallelism: Parallelism,
 ) -> io::Result<(Vec<u64>, u64)> {
-    count_items_parallel_ctrl(source, num_items, mapper, parallelism, None)
+    count_items_parallel_ctrl(
+        source,
+        num_items,
+        mapper,
+        parallelism,
+        None,
+        &Obs::disabled(),
+    )
 }
 
 /// [`count_items_parallel`] with cooperative cancellation (see
@@ -230,6 +230,7 @@ pub fn count_items_parallel_ctrl<S: TransactionSource + ?Sized>(
     mapper: &SyncMapper<'_>,
     parallelism: Parallelism,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
 ) -> io::Result<(Vec<u64>, u64)> {
     let threads = parallelism.resolve();
     let (parts, transactions) = parallel_pass_ctrl(
@@ -237,6 +238,7 @@ pub fn count_items_parallel_ctrl<S: TransactionSource + ?Sized>(
         threads,
         DEFAULT_BLOCK_SIZE,
         ctrl,
+        obs,
         || (vec![0u64; num_items], Vec::<ItemId>::new()),
         |(counts, buf), block| {
             for t in block.iter() {

@@ -23,11 +23,14 @@ use crate::generalized::{
     extend_filtered, items_of_candidates, prune_ancestor_pairs, AncestorTable,
 };
 use crate::itemset::{Itemset, LargeItemsets};
-use crate::parallel::{count_mixed_parallel_ctrl, identity_sync_mapper, CancelToken, Parallelism};
+use crate::parallel::{
+    count_mixed_parallel_ctrl, identity_sync_mapper, CancelToken, Obs, Parallelism, PassStats,
+};
 use crate::MinSupport;
 use negassoc_taxonomy::fxhash::FxHashSet;
 use negassoc_taxonomy::{ItemId, Taxonomy};
 use negassoc_txdb::block::parallel_map;
+use negassoc_txdb::obs::{metric, Event};
 use negassoc_txdb::partition::partitions;
 use negassoc_txdb::vertical::TidListIndex;
 use negassoc_txdb::TransactionDb;
@@ -61,6 +64,7 @@ pub fn partition_mine(
         backend,
         parallelism,
         None,
+        &Obs::disabled(),
     )
 }
 
@@ -68,9 +72,12 @@ pub fn partition_mine(
 /// `ctrl` before mining each partition and phase 2 checks it at block
 /// boundaries; a cancelled run returns the token's
 /// [`io::ErrorKind::Interrupted`] error (see [`negassoc_txdb::ctrl`]).
+/// The phase-2 verification pass reports to `obs` under the
+/// `"partition_verify"` label.
 ///
 /// # Panics
 /// Panics when `num_partitions == 0`.
+#[allow(clippy::too_many_arguments)]
 pub fn partition_mine_ctrl(
     db: &TransactionDb,
     tax: Option<&Taxonomy>,
@@ -79,6 +86,7 @@ pub fn partition_mine_ctrl(
     backend: CountingBackend,
     parallelism: Parallelism,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
 ) -> io::Result<LargeItemsets> {
     assert!(num_partitions > 0, "need at least one partition");
     let total = db.len() as u64;
@@ -125,12 +133,22 @@ pub fn partition_mine_ctrl(
     // Sorted candidates decouple the verification pass (and the insertion
     // order of everything downstream) from hash-set iteration order.
     candidates.sort_unstable();
+    let verify_size = candidates.len();
+    obs.emit(|| Event::CandidateSet {
+        label: "partition_verify".to_string(),
+        size: verify_size,
+    });
+    obs.emit(|| Event::PassStart {
+        label: "partition_verify".to_string(),
+        candidates: verify_size,
+    });
+    let verify_started = std::time::Instant::now();
     let counted = match &ancestors {
         Some(anc) => {
             let needed = items_of_candidates(&candidates);
             let mapper =
                 |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, anc, &needed, out);
-            count_mixed_parallel_ctrl(db, candidates, backend, &mapper, parallelism, ctrl)?
+            count_mixed_parallel_ctrl(db, candidates, backend, &mapper, parallelism, ctrl, obs)?
         }
         None => count_mixed_parallel_ctrl(
             db,
@@ -139,8 +157,20 @@ pub fn partition_mine_ctrl(
             &identity_sync_mapper,
             parallelism,
             ctrl,
+            obs,
         )?,
     };
+    obs.emit(|| Event::PassEnd {
+        stats: PassStats {
+            pass: 2,
+            label: "partition_verify".to_string(),
+            candidates: verify_size,
+            transactions: counted.transactions,
+            threads: counted.threads,
+            wall: verify_started.elapsed(),
+        },
+    });
+    obs.bump(metric::PASSES_COMPLETED, 1);
     for (set, count) in counted.counts {
         if count >= global_minsup {
             large.insert(set, count);

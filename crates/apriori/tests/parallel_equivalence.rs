@@ -8,6 +8,7 @@ use negassoc_apriori::parallel::{count_mixed_parallel, identity_sync_mapper, Par
 use negassoc_apriori::{basic::basic, Itemset, MinSupport};
 use negassoc_taxonomy::{ItemId, Taxonomy, TaxonomyBuilder};
 use negassoc_txdb::fault::{FaultPlan, FaultySource, RetryPolicy, RetryingSource};
+use negassoc_txdb::obs::{MetricKind, Metrics};
 use negassoc_txdb::{TransactionDb, TransactionDbBuilder};
 use proptest::prelude::*;
 use std::time::Duration;
@@ -109,6 +110,57 @@ proptest! {
             let mut parallel = run.counts;
             parallel.sort();
             prop_assert_eq!(&parallel, &sequential, "x{}", threads);
+        }
+    }
+
+    /// The metrics registry obeys the same determinism contract as the
+    /// counts themselves: dealing one increment stream across 1/2/4/8
+    /// worker shards (on real threads) and absorbing them in either
+    /// order reproduces the sequential totals exactly.
+    #[test]
+    fn metrics_shard_merge_matches_sequential(
+        increments in prop::collection::vec((0usize..4, 1u64..100), 0..200),
+        absorb_reversed in any::<bool>(),
+    ) {
+        let names = ["a", "b", "c", "d"];
+        let sequential = Metrics::new();
+        let ids: Vec<_> = names
+            .iter()
+            .map(|n| sequential.register(n, MetricKind::Counter))
+            .collect();
+        for &(slot, n) in &increments {
+            sequential.add(ids[slot], n);
+        }
+
+        for threads in THREAD_COUNTS {
+            let merged = Metrics::new();
+            let merged_ids: Vec<_> = names
+                .iter()
+                .map(|n| merged.register(n, MetricKind::Counter))
+                .collect();
+            let mut shards: Vec<_> = (0..threads).map(|_| merged.shard()).collect();
+            // Deal increments round-robin, as the block dispatcher deals
+            // transaction blocks to workers.
+            std::thread::scope(|scope| {
+                for (w, shard) in shards.iter_mut().enumerate() {
+                    let increments = &increments;
+                    let merged_ids = &merged_ids;
+                    scope.spawn(move || {
+                        for (i, &(slot, n)) in increments.iter().enumerate() {
+                            if i % threads == w {
+                                shard.add(merged_ids[slot], n);
+                            }
+                        }
+                    });
+                }
+            });
+            if absorb_reversed {
+                shards.reverse();
+            }
+            for shard in &shards {
+                merged.absorb(shard);
+            }
+            prop_assert_eq!(merged.snapshot(), sequential.snapshot(), "x{}", threads);
         }
     }
 

@@ -9,14 +9,15 @@
 //! Subcommands: `params` (Tables 3–4), `tables` (worked example Tables
 //! 1–2), `counts` (§3.2 itemset counts), `fig5`, `fig6`, `fig7`, `all`,
 //! `counting` (sequential-vs-threaded pass timings, written to
-//! `BENCH_counting.json`), and `ctrl` (cancel-token overhead, written to
-//! `BENCH_ctrl.json`).
+//! `BENCH_counting.json`), `ctrl` (cancel-token overhead, written to
+//! `BENCH_ctrl.json`), and `obs` (trace-emission overhead with a no-op
+//! sink, written to `BENCH_obs.json`).
 //! `--scale N` runs on N transactions instead of the full 50,000 (the
 //! qualitative shapes survive scaling; the full size takes minutes).
 
 use negassoc_bench::{
-    counting_bench, ctrl_bench, fig7_series, itemset_counts, secs, short_dataset, tall_dataset,
-    FIG56_SUPPORTS_PCT, FIG7_SUPPORT_PCT,
+    counting_bench, ctrl_bench, fig7_series, itemset_counts, obs_bench, secs, short_dataset,
+    tall_dataset, FIG56_SUPPORTS_PCT, FIG7_SUPPORT_PCT,
 };
 use std::process::ExitCode;
 
@@ -77,6 +78,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         }
+        "obs" => {
+            if let Err(e) = obs(scale) {
+                eprintln!("obs bench: {e}");
+                return ExitCode::from(1);
+            }
+        }
         "all" => {
             params();
             tables();
@@ -87,7 +94,8 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown command {other:?} (params|tables|counts|fig5|fig6|fig7|counting|ctrl|all)"
+                "unknown command {other:?} \
+                 (params|tables|counts|fig5|fig6|fig7|counting|ctrl|obs|all)"
             );
             return ExitCode::from(2);
         }
@@ -379,5 +387,28 @@ fn ctrl(scale: Option<usize>) -> std::io::Result<()> {
     );
     std::fs::write("BENCH_ctrl.json", bench.to_json())?;
     println!("wrote BENCH_ctrl.json");
+    Ok(())
+}
+
+/// The observability overhead benchmark: the same mining job with no
+/// observer vs with a no-op trace sink attached, written to
+/// `BENCH_obs.json`. The obs layer's acceptance bar is < 2% median
+/// overhead (DESIGN.md §11).
+fn obs(scale: Option<usize>) -> std::io::Result<()> {
+    let transactions = scale.unwrap_or(4_000);
+    let bench = obs_bench(transactions, 5);
+    println!("== observability layer: no-op-sink emission overhead ==");
+    println!(
+        "{} transactions, {} repetitions per variant",
+        bench.transactions, bench.repetitions
+    );
+    println!(
+        "median baseline {:.3}s, median observed {:.3}s, overhead {:+.3}%",
+        bench.median_baseline_s(),
+        bench.median_observed_s(),
+        bench.overhead_pct()
+    );
+    std::fs::write("BENCH_obs.json", bench.to_json())?;
+    println!("wrote BENCH_obs.json");
     Ok(())
 }

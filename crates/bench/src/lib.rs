@@ -9,12 +9,18 @@
 
 use negassoc::candidates::{CandidateGenerator, CandidateSet};
 use negassoc::config::Driver;
+use negassoc::obs::{json_num, Event, NoopSink, Obs, RingBufferSink};
 use negassoc::{Deadline, MinerConfig, NegativeMiner, RunControl};
 use negassoc_apriori::count::CountingBackend;
-use negassoc_apriori::parallel::Parallelism;
+use negassoc_apriori::parallel::{Parallelism, PassStats};
 use negassoc_apriori::MinSupport;
 use negassoc_datagen::{generate, presets, Dataset, GenParams};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Ring capacity for per-run trace recording: generously above the event
+/// count of any bench-sized run (a full mine emits a few events per pass).
+const EVENT_RING_CAPACITY: usize = 4096;
 
 /// The MinSup sweep of Figures 5 and 6 (percent).
 pub const FIG56_SUPPORTS_PCT: &[f64] = &[2.0, 1.5, 1.0, 0.75, 0.5];
@@ -242,39 +248,79 @@ pub fn itemset_counts(short: &Dataset, tall: &Dataset, min_support_pct: f64) -> 
     (count(short), count(tall))
 }
 
-/// Render a duration in seconds with millisecond resolution.
+/// Render a duration in seconds with millisecond resolution. A nonzero
+/// duration below the resolution renders as `< 0.001` instead of a
+/// misleading `0.000`: these strings are for human tables only, and every
+/// derived ratio in this crate is computed from the `Duration`s
+/// themselves, never parsed back from the rendering.
 pub fn secs(d: Duration) -> String {
-    format!("{:.3}", d.as_secs_f64())
+    if !d.is_zero() && d < Duration::from_millis(1) {
+        "< 0.001".to_owned()
+    } else {
+        format!("{:.3}", d.as_secs_f64())
+    }
 }
 
-/// One measured counting pass of the parallel-counting benchmark.
-#[derive(Clone, Debug)]
-pub struct CountingPassRow {
-    /// Worker threads the pass ran with (1 = sequential path).
-    pub threads: usize,
-    /// Pass number within its run.
-    pub pass: u64,
-    /// Pass label (`L1`, `L2`, …, `negative`).
-    pub label: String,
-    /// Candidates counted in the pass.
-    pub candidates: usize,
-    /// Transactions scanned.
-    pub transactions: u64,
-    /// Wall time of the pass.
-    pub wall: Duration,
+/// Median of a sample list (0.0 when empty).
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    match s.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => s[n / 2],
+        n => (s[n / 2 - 1] + s[n / 2]) / 2.0,
+    }
+}
+
+/// Extract completed-pass telemetry from recorded trace events,
+/// renumbered `1..=n`: sub-phases restart their local pass numbering, and
+/// the chronological `pass_end` order *is* the run order, so the result
+/// matches the renumbered `pass_stats` of the run's own report exactly.
+pub fn pass_rows_from_events(events: &[Event]) -> Vec<PassStats> {
+    let mut rows: Vec<PassStats> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::PassEnd { stats } => Some(stats.clone()),
+            _ => None,
+        })
+        .collect();
+    for (i, r) in rows.iter_mut().enumerate() {
+        r.pass = i as u64 + 1;
+    }
+    rows
+}
+
+/// Collect the wall-second samples named `which` from recorded
+/// [`Event::Sample`]s, in repetition order.
+fn samples_from_events(events: &[Event], which: &str) -> Vec<f64> {
+    let mut samples: Vec<(usize, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Sample { name, index, wall } if name == which => {
+                Some((*index, wall.as_secs_f64()))
+            }
+            _ => None,
+        })
+        .collect();
+    samples.sort_by_key(|&(i, _)| i);
+    samples.into_iter().map(|(_, w)| w).collect()
 }
 
 /// The parallel-counting benchmark: end-to-end negative mining on the
 /// paper's synthetic generator, once per thread policy, reporting every
-/// counting pass's wall time.
+/// counting pass's wall time. Rows are the workspace-wide [`PassStats`]
+/// telemetry type, reconstructed from each run's recorded `pass_end`
+/// trace events (DESIGN.md §11) — the bench consumes the observability
+/// layer instead of keeping a private duplicate of it.
 #[derive(Clone, Debug)]
 pub struct CountingBench {
     /// Transactions in the generated dataset.
     pub transactions: usize,
     /// What `Parallelism::Auto` resolves to on this machine.
     pub available_parallelism: usize,
-    /// Every pass of every run.
-    pub rows: Vec<CountingPassRow>,
+    /// Every pass of every run, in run order (renumbered `1..=n` per run;
+    /// `threads` distinguishes the runs).
+    pub rows: Vec<PassStats>,
 }
 
 impl CountingBench {
@@ -296,7 +342,9 @@ impl CountingBench {
     }
 
     /// Render as a JSON document (hand-rolled; the workspace carries no
-    /// serializer dependency).
+    /// serializer dependency). Every float routes through
+    /// [`json_num`], so a non-finite value (e.g. an undefined speedup)
+    /// emits `null`, never the illegal bare `NaN`/`inf`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"transactions\": {},\n", self.transactions));
@@ -309,13 +357,13 @@ impl CountingBench {
             let comma = if i + 1 == self.rows.len() { "" } else { "," };
             out.push_str(&format!(
                 "    {{\"threads\": {}, \"pass\": {}, \"label\": \"{}\", \"candidates\": {}, \
-                 \"transactions\": {}, \"wall_s\": {:.6}}}{comma}\n",
+                 \"transactions\": {}, \"wall_s\": {}}}{comma}\n",
                 r.threads,
                 r.pass,
                 r.label,
                 r.candidates,
                 r.transactions,
-                r.wall.as_secs_f64()
+                json_num(r.wall.as_secs_f64(), 6)
             ));
         }
         out.push_str("  ],\n");
@@ -326,8 +374,8 @@ impl CountingBench {
         for (i, &t) in threads.iter().enumerate() {
             let comma = if i + 1 == threads.len() { "" } else { ", " };
             out.push_str(&format!(
-                "\"{t}\": {:.6}{comma}",
-                self.total_wall(t).as_secs_f64()
+                "\"{t}\": {}{comma}",
+                json_num(self.total_wall(t).as_secs_f64(), 6)
             ));
         }
         out.push_str("},\n");
@@ -336,7 +384,12 @@ impl CountingBench {
             threads
                 .iter()
                 .filter(|&&t| t != 1)
-                .map(|&t| format!("\"{t}\": {:.3}", self.speedup(t).unwrap_or(0.0)))
+                .map(|&t| {
+                    format!(
+                        "\"{t}\": {}",
+                        json_num(self.speedup(t).unwrap_or(f64::NAN), 3)
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
@@ -357,7 +410,12 @@ pub fn counting_bench(transactions: usize, thread_counts: &[usize]) -> CountingB
         } else {
             Parallelism::Threads(threads)
         };
-        let out = NegativeMiner::new(MinerConfig {
+        // Record the run's trace events and rebuild the rows from them:
+        // the JSON artifact derives from the same telemetry stream every
+        // other consumer sees, not from a privileged side channel.
+        let ring = Arc::new(RingBufferSink::new(EVENT_RING_CAPACITY));
+        let ctrl = RunControl::new().with_observer(Obs::disabled().with_sink(ring.clone()));
+        NegativeMiner::new(MinerConfig {
             min_support: MinSupport::Fraction(0.015),
             min_ri: PAPER_MIN_RI,
             driver: Driver::Improved,
@@ -365,16 +423,9 @@ pub fn counting_bench(transactions: usize, thread_counts: &[usize]) -> CountingB
             parallelism,
             ..MinerConfig::default()
         })
-        .mine(&ds.db, &ds.taxonomy)
+        .mine_with_controls(&ds.db, &ds.taxonomy, None, None, &ctrl)
         .expect("counting bench run");
-        rows.extend(out.report.pass_stats.iter().map(|s| CountingPassRow {
-            threads,
-            pass: s.pass,
-            label: s.label.clone(),
-            candidates: s.candidates,
-            transactions: s.transactions,
-            wall: s.wall,
-        }));
+        rows.extend(pass_rows_from_events(&ring.snapshot()));
     }
     CountingBench {
         transactions,
@@ -402,24 +453,28 @@ pub struct CtrlBench {
 }
 
 impl CtrlBench {
-    fn median(samples: &[f64]) -> f64 {
-        let mut s = samples.to_vec();
-        s.sort_by(f64::total_cmp);
-        match s.len() {
-            0 => 0.0,
-            n if n % 2 == 1 => s[n / 2],
-            n => (s[n / 2 - 1] + s[n / 2]) / 2.0,
+    /// Reconstruct a bench result from recorded [`Event::Sample`]s
+    /// (names `"baseline"` and `"controlled"`) — the JSON artifact
+    /// derives from the trace record, not a side channel.
+    pub fn from_events(transactions: usize, events: &[Event]) -> Self {
+        let baseline_s = samples_from_events(events, "baseline");
+        let controlled_s = samples_from_events(events, "controlled");
+        Self {
+            transactions,
+            repetitions: baseline_s.len().max(controlled_s.len()),
+            baseline_s,
+            controlled_s,
         }
     }
 
     /// Median baseline wall time, seconds.
     pub fn median_baseline_s(&self) -> f64 {
-        Self::median(&self.baseline_s)
+        median(&self.baseline_s)
     }
 
     /// Median armed-control wall time, seconds.
     pub fn median_controlled_s(&self) -> f64 {
-        Self::median(&self.controlled_s)
+        median(&self.controlled_s)
     }
 
     /// Median token-check overhead, percent of the baseline (negative
@@ -433,11 +488,12 @@ impl CtrlBench {
     }
 
     /// Render as a JSON document (hand-rolled; the workspace carries no
-    /// serializer dependency).
+    /// serializer dependency). Floats route through [`json_num`]:
+    /// non-finite values emit `null`, never a bare `NaN`/`inf`.
     pub fn to_json(&self) -> String {
         let list = |xs: &[f64]| {
             xs.iter()
-                .map(|x| format!("{x:.6}"))
+                .map(|&x| json_num(x, 6))
                 .collect::<Vec<_>>()
                 .join(", ")
         };
@@ -453,14 +509,17 @@ impl CtrlBench {
             list(&self.controlled_s)
         ));
         out.push_str(&format!(
-            "  \"median_baseline_s\": {:.6},\n",
-            self.median_baseline_s()
+            "  \"median_baseline_s\": {},\n",
+            json_num(self.median_baseline_s(), 6)
         ));
         out.push_str(&format!(
-            "  \"median_controlled_s\": {:.6},\n",
-            self.median_controlled_s()
+            "  \"median_controlled_s\": {},\n",
+            json_num(self.median_controlled_s(), 6)
         ));
-        out.push_str(&format!("  \"overhead_pct\": {:.3}\n", self.overhead_pct()));
+        out.push_str(&format!(
+            "  \"overhead_pct\": {}\n",
+            json_num(self.overhead_pct(), 3)
+        ));
         out.push_str("}\n");
         out
     }
@@ -478,12 +537,19 @@ pub fn ctrl_bench(transactions: usize, repetitions: usize) -> CtrlBench {
         ..MinerConfig::default()
     };
     let miner = NegativeMiner::new(config);
-    let mut baseline_s = Vec::with_capacity(repetitions);
-    let mut controlled_s = Vec::with_capacity(repetitions);
-    for _ in 0..repetitions {
+    // Each repetition is recorded as an `Event::Sample` and the result is
+    // rebuilt from the recording, so the JSON artifact and the trace
+    // stream can never disagree.
+    let ring = Arc::new(RingBufferSink::new(EVENT_RING_CAPACITY));
+    let recorder = Obs::disabled().with_sink(ring.clone());
+    for rep in 0..repetitions {
         let start = std::time::Instant::now();
         let base = miner.mine(&ds.db, &ds.taxonomy).expect("baseline run");
-        baseline_s.push(start.elapsed().as_secs_f64());
+        recorder.emit(|| Event::Sample {
+            name: "baseline".to_owned(),
+            index: rep,
+            wall: start.elapsed(),
+        });
 
         // Far-future triggers: the watchdog thread lives, the token is
         // checked everywhere, nothing ever fires.
@@ -497,19 +563,154 @@ pub fn ctrl_bench(transactions: usize, repetitions: usize) -> CtrlBench {
         let ctrled = miner
             .mine_with_controls(&ds.db, &ds.taxonomy, None, None, &ctrl)
             .expect("controlled run");
-        controlled_s.push(start.elapsed().as_secs_f64());
+        recorder.emit(|| Event::Sample {
+            name: "controlled".to_owned(),
+            index: rep,
+            wall: start.elapsed(),
+        });
         assert_eq!(
             base.rules.len(),
             ctrled.rules.len(),
             "control plane changed the answer"
         );
     }
-    CtrlBench {
-        transactions,
-        repetitions,
-        baseline_s,
-        controlled_s,
+    CtrlBench::from_events(transactions, &ring.snapshot())
+}
+
+/// The observability overhead benchmark: the same improved-driver mining
+/// job under a plain [`RunControl`] (no observer — every emission point
+/// is a never-evaluated closure) and with a no-op sink attached (every
+/// event is built, dispatched, and discarded). The acceptance bar for
+/// the obs layer — enforced by `scripts/bench.sh`, same style as the
+/// armed-token gate — is `overhead_pct < 2`.
+#[derive(Clone, Debug)]
+pub struct ObsBench {
+    /// Transactions in the generated dataset.
+    pub transactions: usize,
+    /// Timed repetitions per variant (interleaved to share cache state).
+    pub repetitions: usize,
+    /// Wall seconds of each no-observer run.
+    pub baseline_s: Vec<f64>,
+    /// Wall seconds of each no-op-sink run.
+    pub observed_s: Vec<f64>,
+}
+
+impl ObsBench {
+    /// Reconstruct a bench result from recorded [`Event::Sample`]s
+    /// (names `"baseline"` and `"observed"`).
+    pub fn from_events(transactions: usize, events: &[Event]) -> Self {
+        let baseline_s = samples_from_events(events, "baseline");
+        let observed_s = samples_from_events(events, "observed");
+        Self {
+            transactions,
+            repetitions: baseline_s.len().max(observed_s.len()),
+            baseline_s,
+            observed_s,
+        }
     }
+
+    /// Median no-observer wall time, seconds.
+    pub fn median_baseline_s(&self) -> f64 {
+        median(&self.baseline_s)
+    }
+
+    /// Median no-op-sink wall time, seconds.
+    pub fn median_observed_s(&self) -> f64 {
+        median(&self.observed_s)
+    }
+
+    /// Median emission overhead, percent of the baseline (negative means
+    /// the difference drowned in run-to-run noise).
+    pub fn overhead_pct(&self) -> f64 {
+        let base = self.median_baseline_s();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (self.median_observed_s() / base - 1.0) * 100.0
+    }
+
+    /// Render as a JSON document; floats route through [`json_num`].
+    pub fn to_json(&self) -> String {
+        let list = |xs: &[f64]| {
+            xs.iter()
+                .map(|&x| json_num(x, 6))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"transactions\": {},\n", self.transactions));
+        out.push_str(&format!("  \"repetitions\": {},\n", self.repetitions));
+        out.push_str(&format!(
+            "  \"baseline_s\": [{}],\n",
+            list(&self.baseline_s)
+        ));
+        out.push_str(&format!(
+            "  \"observed_s\": [{}],\n",
+            list(&self.observed_s)
+        ));
+        out.push_str(&format!(
+            "  \"median_baseline_s\": {},\n",
+            json_num(self.median_baseline_s(), 6)
+        ));
+        out.push_str(&format!(
+            "  \"median_observed_s\": {},\n",
+            json_num(self.median_observed_s(), 6)
+        ));
+        out.push_str(&format!(
+            "  \"overhead_pct\": {}\n",
+            json_num(self.overhead_pct(), 3)
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Run the observability overhead benchmark on the "Short" dataset scaled
+/// to `transactions`, `repetitions` interleaved pairs of runs. Both
+/// variants run under the same plain `RunControl` so the comparison
+/// isolates the emission points themselves.
+pub fn obs_bench(transactions: usize, repetitions: usize) -> ObsBench {
+    let ds = short_dataset(Some(transactions));
+    let config = MinerConfig {
+        min_support: MinSupport::Fraction(0.015),
+        min_ri: PAPER_MIN_RI,
+        driver: Driver::Improved,
+        max_negative_size: Some(3),
+        ..MinerConfig::default()
+    };
+    let miner = NegativeMiner::new(config);
+    let ring = Arc::new(RingBufferSink::new(EVENT_RING_CAPACITY));
+    let recorder = Obs::disabled().with_sink(ring.clone());
+    for rep in 0..repetitions {
+        let ctrl = RunControl::new();
+        let start = std::time::Instant::now();
+        let base = miner
+            .mine_with_controls(&ds.db, &ds.taxonomy, None, None, &ctrl)
+            .expect("baseline run");
+        recorder.emit(|| Event::Sample {
+            name: "baseline".to_owned(),
+            index: rep,
+            wall: start.elapsed(),
+        });
+
+        let observed_ctrl =
+            RunControl::new().with_observer(Obs::disabled().with_sink(Arc::new(NoopSink)));
+        let start = std::time::Instant::now();
+        let observed = miner
+            .mine_with_controls(&ds.db, &ds.taxonomy, None, None, &observed_ctrl)
+            .expect("observed run");
+        recorder.emit(|| Event::Sample {
+            name: "observed".to_owned(),
+            index: rep,
+            wall: start.elapsed(),
+        });
+        assert_eq!(
+            base.rules.len(),
+            observed.rules.len(),
+            "the observer changed the answer"
+        );
+    }
+    ObsBench::from_events(transactions, &ring.snapshot())
 }
 
 #[cfg(test)]
@@ -536,6 +737,109 @@ mod tests {
             assert!(*large > 0);
             assert!((*norm - *cands as f64 / *large as f64).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn secs_renders_sub_millisecond_durations_honestly() {
+        assert_eq!(secs(Duration::ZERO), "0.000");
+        assert_eq!(secs(Duration::from_micros(400)), "< 0.001");
+        assert_eq!(secs(Duration::from_millis(1)), "0.001");
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+
+    #[test]
+    fn event_derived_rows_match_the_run_report() {
+        // The rows rebuilt from recorded pass_end events must equal the
+        // run's own renumbered pass_stats — same telemetry, two readers.
+        let ds = short_dataset(Some(400));
+        let ring = Arc::new(RingBufferSink::new(EVENT_RING_CAPACITY));
+        let ctrl = RunControl::new().with_observer(Obs::disabled().with_sink(ring.clone()));
+        let out = NegativeMiner::new(MinerConfig {
+            min_support: MinSupport::Fraction(0.05),
+            min_ri: PAPER_MIN_RI,
+            driver: Driver::Improved,
+            max_negative_size: Some(3),
+            ..MinerConfig::default()
+        })
+        .mine_with_controls(&ds.db, &ds.taxonomy, None, None, &ctrl)
+        .expect("mining");
+        let rows = pass_rows_from_events(&ring.snapshot());
+        assert!(!rows.is_empty());
+        assert_eq!(rows, out.report.pass_stats);
+    }
+
+    #[test]
+    fn bench_json_documents_parse_and_are_nonfinite_safe() {
+        // A bench with no sequential run has an undefined speedup; the
+        // document must say `null`, not `NaN`, and still parse.
+        let counting = CountingBench {
+            transactions: 10,
+            available_parallelism: 1,
+            rows: vec![PassStats {
+                pass: 1,
+                label: "L1".to_owned(),
+                candidates: 5,
+                transactions: 10,
+                threads: 2,
+                wall: Duration::from_micros(500),
+            }],
+        };
+        let doc = counting.to_json();
+        assert!(
+            doc.contains("\"speedup_vs_sequential\": {\"2\": null}"),
+            "{doc}"
+        );
+        xtask::json::parse(&doc).expect("counting json parses");
+
+        let ctrl = CtrlBench {
+            transactions: 10,
+            repetitions: 0,
+            baseline_s: Vec::new(),
+            controlled_s: Vec::new(),
+        };
+        xtask::json::parse(&ctrl.to_json()).expect("ctrl json parses");
+
+        let obs = ObsBench {
+            transactions: 10,
+            repetitions: 2,
+            baseline_s: vec![0.5, f64::INFINITY],
+            observed_s: vec![0.5, 0.6],
+        };
+        let doc = obs.to_json();
+        assert!(doc.contains("null"), "inf sample must render null: {doc}");
+        xtask::json::parse(&doc).expect("obs json parses");
+    }
+
+    #[test]
+    fn sample_events_round_trip_through_from_events() {
+        let wall = |ms| Duration::from_millis(ms);
+        let events = vec![
+            Event::Sample {
+                name: "controlled".to_owned(),
+                index: 1,
+                wall: wall(40),
+            },
+            Event::Sample {
+                name: "baseline".to_owned(),
+                index: 0,
+                wall: wall(10),
+            },
+            Event::Sample {
+                name: "baseline".to_owned(),
+                index: 1,
+                wall: wall(30),
+            },
+            Event::Sample {
+                name: "controlled".to_owned(),
+                index: 0,
+                wall: wall(20),
+            },
+        ];
+        let bench = CtrlBench::from_events(7, &events);
+        assert_eq!(bench.transactions, 7);
+        assert_eq!(bench.repetitions, 2);
+        assert_eq!(bench.baseline_s, vec![0.010, 0.030]);
+        assert_eq!(bench.controlled_s, vec![0.020, 0.040]);
     }
 
     #[test]

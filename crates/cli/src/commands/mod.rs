@@ -9,6 +9,7 @@ use crate::opts::Opts;
 use negassoc_apriori::parallel::{Parallelism, PassStats};
 use negassoc_apriori::Itemset;
 use negassoc_taxonomy::Taxonomy;
+use negassoc_txdb::obs::{Event, MetricKind, Metrics};
 
 /// Render an itemset through the taxonomy's names when possible, falling
 /// back to raw ids for items outside the taxonomy.
@@ -59,5 +60,45 @@ pub(crate) fn print_pass_stats(stats: &[PassStats]) {
             s.threads,
             s.wall.as_secs_f64()
         );
+    }
+}
+
+/// Print pass telemetry for an *interrupted* run from recorded trace
+/// events: only passes that recorded a `pass_end` appear (the in-flight
+/// pass never did), and the table is flagged as partial so its numbers are
+/// never mistaken for a complete run's.
+pub(crate) fn print_interrupted_pass_stats(events: &[Event]) {
+    let completed: Vec<PassStats> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::PassEnd { stats } => Some(stats.clone()),
+            _ => None,
+        })
+        .collect();
+    if completed.is_empty() {
+        println!("run interrupted before any pass completed; no pass telemetry");
+        return;
+    }
+    println!(
+        "run interrupted: {} completed pass(es); the in-flight pass is excluded",
+        completed.len()
+    );
+    print_pass_stats(&completed);
+}
+
+/// Print the metrics registry snapshot (`--metrics`), sorted by name.
+pub(crate) fn print_metrics(metrics: &Metrics) {
+    let snap = metrics.snapshot();
+    if snap.is_empty() {
+        println!("no metrics recorded");
+        return;
+    }
+    println!("metric                     kind     value");
+    for (name, kind, value) in snap {
+        let kind = match kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        println!("{name:<25}  {kind:<7}  {value:>8}");
     }
 }

@@ -1,16 +1,20 @@
 //! `negrules negatives` — the paper's negative association rules.
 
-use crate::commands::{itemset_names, parse_parallelism, print_pass_stats};
+use crate::commands::{
+    itemset_names, parse_parallelism, print_interrupted_pass_stats, print_metrics, print_pass_stats,
+};
 use crate::exit::CliError;
-use crate::io::{load_db_opts, load_taxonomy};
+use crate::io::{load_db_observed, load_taxonomy};
 use crate::opts::{parse_bytes, Opts};
 use crate::signal;
 use negassoc::config::{Driver, GenAlgorithm};
+use negassoc::obs::{JsonLinesSink, Metrics, Obs, RingBufferSink, TraceSink};
 use negassoc::{Deadline, Error, MinerConfig, NegativeMiner, RunControl};
 use negassoc_apriori::MinSupport;
 use negassoc_txdb::fault::{FaultPlan, FaultySource, SourceFault, SourceFaultKind};
 use negassoc_txdb::TransactionSource;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 const KNOWN: &[&str] = &[
@@ -30,11 +34,18 @@ const KNOWN: &[&str] = &[
     "max-memory",
     "inject-fail-pass",
     "threads",
+    "trace",
     "salvage!",
     "no-compress!",
     "audit!",
     "pass-stats!",
+    "metrics!",
 ];
+
+/// How many trace events the in-memory ring keeps for end-of-run reporting
+/// (`--pass-stats` on interrupted runs). Plenty for any realistic pass
+/// count; the JSON-lines file, when requested, keeps everything.
+const RING_CAPACITY: usize = 4096;
 
 /// Parse a non-negative, finite seconds value (`--deadline`,
 /// `--stall-timeout`) into a [`Duration`]; anything else is a usage error.
@@ -107,8 +118,34 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
     let deadline = parse_seconds(&opts, "deadline")?;
     let stall_timeout = parse_seconds(&opts, "stall-timeout")?;
 
+    // The observer: a JSON-lines trace file (--trace), a metrics registry
+    // (--metrics), and an in-memory event ring that lets --pass-stats
+    // report completed passes even when the run is interrupted. All three
+    // are off by default — the no-op observer costs nothing on the hot
+    // path (see DESIGN.md §11).
+    let mut obs = Obs::disabled();
+    let ring = Arc::new(RingBufferSink::new(RING_CAPACITY));
+    if opts.get("trace").is_some() || opts.flag("metrics") || opts.flag("pass-stats") {
+        obs = obs.with_sink(ring.clone());
+    }
+    let trace_sink = match opts.get("trace") {
+        Some(path) => {
+            let sink = Arc::new(
+                JsonLinesSink::create(path)
+                    .map_err(|e| CliError::Failure(format!("{path}: {e}")))?,
+            );
+            obs = obs.with_sink(sink.clone());
+            Some((path.to_string(), sink))
+        }
+        None => None,
+    };
+    let metrics = Arc::new(Metrics::new());
+    if opts.flag("metrics") {
+        obs = obs.with_metrics(metrics.clone());
+    }
+
     // Options validated; only now touch the filesystem.
-    let db = load_db_opts(opts.require("data")?, opts.flag("salvage"))?;
+    let db = load_db_observed(opts.require("data")?, opts.flag("salvage"), &obs)?;
     let tax = load_taxonomy(opts.require("taxonomy")?)?;
 
     let config = MinerConfig {
@@ -138,6 +175,7 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
     if let Some(flag) = signal::interrupt_flag() {
         ctrl = ctrl.with_interrupt_flag(flag);
     }
+    ctrl = ctrl.with_observer(obs.clone());
 
     let checkpoint_dir = opts.get("checkpoint-dir").map(Path::new);
     let mine = |source: &dyn TransactionSource| {
@@ -153,12 +191,22 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
                 at_transaction: 0,
                 kind: SourceFaultKind::PermanentError,
             }]);
-            mine(&FaultySource::new(&db, plan))
+            mine(&FaultySource::new(&db, plan).with_obs(obs.clone()))
         }
         None => mine(&db),
     }
     .map_err(|e| match e {
         Error::Cancelled { .. } => {
+            // An interrupted run still accounts for itself — but only for
+            // work that finished. Completed passes come from the event
+            // ring (the in-flight pass never recorded a pass_end) and the
+            // table is explicitly flagged as partial.
+            if opts.flag("pass-stats") {
+                print_interrupted_pass_stats(&ring.snapshot());
+            }
+            if opts.flag("metrics") {
+                print_metrics(&metrics);
+            }
             let mut msg = e.to_string();
             if let Error::Cancelled {
                 checkpoint: Some(_),
@@ -192,6 +240,19 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
     );
     if opts.flag("pass-stats") {
         print_pass_stats(&rep.pass_stats);
+    }
+    if opts.flag("metrics") {
+        print_metrics(&metrics);
+    }
+    if let Some((path, sink)) = &trace_sink {
+        sink.flush();
+        if sink.error() > 0 {
+            eprintln!(
+                "{path}: {} trace event(s) were dropped by write errors",
+                sink.error()
+            );
+        }
+        println!("wrote trace events to {path}");
     }
 
     let mut rules = outcome.rules;

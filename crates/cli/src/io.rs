@@ -7,6 +7,7 @@
 
 use negassoc_taxonomy::Taxonomy;
 use negassoc_txdb::binfmt::CorruptBlock;
+use negassoc_txdb::obs::{Event, Obs};
 use negassoc_txdb::TransactionDb;
 use std::fs::File;
 use std::io::BufReader;
@@ -18,11 +19,25 @@ use std::path::Path;
 /// `.nadb` file are skipped and the exact losses (block indices and TID
 /// ranges) are reported on stderr instead of failing the load.
 pub(crate) fn load_db_opts(path: &str, salvage: bool) -> Result<TransactionDb, String> {
+    load_db_observed(path, salvage, &Obs::disabled())
+}
+
+/// [`load_db_opts`] with an observer: a salvage load reports what it kept
+/// and dropped as an [`Event::Salvage`].
+pub(crate) fn load_db_observed(
+    path: &str,
+    salvage: bool,
+    obs: &Obs,
+) -> Result<TransactionDb, String> {
     let p = Path::new(path);
     if p.extension().is_some_and(|e| e == "nadb") {
         if salvage {
             let (db, report) =
                 negassoc_txdb::binfmt::load_salvage(p).map_err(|e| format!("{path}: {e}"))?;
+            obs.emit(|| Event::Salvage {
+                kept: report.recovered,
+                dropped: report.lost_transactions(),
+            });
             if !report.is_clean() {
                 eprint!("{path}: {report}");
             }

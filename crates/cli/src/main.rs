@@ -11,7 +11,7 @@
 //!                    [--driver naive|improved] [--algorithm basic|cumulate|estmerge]
 //!                    [--max-size K] [--cap N] [--top N] [--out rules.csv]
 //!                    [--checkpoint-dir DIR] [--max-memory BYTES] [--salvage]
-//!                    [--audit]
+//!                    [--audit] [--trace FILE] [--metrics] [--pass-stats]
 //! ```
 
 mod commands;
@@ -42,7 +42,11 @@ const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
              [--algorithm basic|cumulate|estmerge] [--max-size K]
              [--cap N] [--top N=20] [--out rules.csv] [--no-compress]
              [--threads N|auto]      (worker threads per counting pass)
-             [--pass-stats]          (per-pass counting telemetry table)
+             [--pass-stats]          (per-pass counting telemetry table;
+                                      on an interrupted run only completed
+                                      passes are shown, flagged as partial)
+             [--trace FILE]          (JSON-lines structured trace events)
+             [--metrics]             (named counters/gauges after the run)
              [--checkpoint-dir DIR]  (persist progress; resume after a crash
                                       or an interrupt)
              [--deadline SECS]       (cancel cooperatively when the wall

@@ -30,6 +30,7 @@ use negassoc_apriori::levelwise::MinerState;
 use negassoc_apriori::{Itemset, MinSupport};
 use negassoc_taxonomy::{ItemId, Taxonomy};
 use negassoc_txdb::crc32::crc32;
+use negassoc_txdb::obs::{metric, Event, Obs};
 use std::fs::{self, File};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -86,6 +87,7 @@ pub enum Resume {
 pub struct CheckpointManager {
     dir: PathBuf,
     fingerprint: u64,
+    obs: Obs,
 }
 
 impl CheckpointManager {
@@ -104,7 +106,15 @@ impl CheckpointManager {
         Ok(Self {
             fingerprint: fingerprint(config, tax, num_transactions),
             dir,
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attach an observer: checkpoint writes and loads are reported as
+    /// [`Event::CheckpointWrite`] / [`Event::CheckpointLoad`].
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The directory checkpoints live in.
@@ -163,9 +173,10 @@ impl CheckpointManager {
             (r_u8(&mut r)? == TAG_NEGATIVE).then_some(())?;
             decode_negative(&mut r)
         }) {
+            self.record_load("negative.nack", "negative");
             return Resume::Negative(ckpt);
         }
-        let mut best: Option<PositiveCheckpoint> = None;
+        let mut best: Option<(String, PositiveCheckpoint)> = None;
         for name in self.pass_files() {
             let Some(ckpt) = self.read_file(&name).and_then(|b| {
                 let mut r = b.as_slice();
@@ -176,15 +187,27 @@ impl CheckpointManager {
             };
             if best
                 .as_ref()
-                .map_or(true, |b| ckpt.state.next_k > b.state.next_k)
+                .map_or(true, |(_, b)| ckpt.state.next_k > b.state.next_k)
             {
-                best = Some(ckpt);
+                best = Some((name, ckpt));
             }
         }
         match best {
-            Some(c) => Resume::Positive(c),
+            Some((name, c)) => {
+                self.record_load(&name, "positive");
+                Resume::Positive(c)
+            }
             None => Resume::Fresh,
         }
+    }
+
+    /// Report a trusted checkpoint this run resumes from.
+    fn record_load(&self, name: &str, phase: &str) {
+        self.obs.emit(|| Event::CheckpointLoad {
+            file: name.to_string(),
+            resumed: phase.to_string(),
+        });
+        self.obs.bump(metric::CHECKPOINTS_LOADED, 1);
     }
 
     /// Delete this run's checkpoint files (call after a successful run so
@@ -228,6 +251,12 @@ impl CheckpointManager {
         f.sync_all()?;
         drop(f);
         fs::rename(&tmp, &path)?;
+        let bytes = out.len() as u64;
+        self.obs.emit(|| Event::CheckpointWrite {
+            file: name.to_string(),
+            bytes,
+        });
+        self.obs.bump(metric::CHECKPOINTS_WRITTEN, 1);
         Ok(())
     }
 

@@ -7,10 +7,13 @@ use crate::error::Error;
 use crate::expected::is_negative;
 use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::generalized::{extend_filtered, items_of_candidates, AncestorTable};
-use negassoc_apriori::parallel::{count_mixed_parallel_ctrl, CancelToken, Parallelism, PassStats};
+use negassoc_apriori::parallel::{
+    count_mixed_parallel_ctrl, CancelToken, Obs, Parallelism, PassStats,
+};
 use negassoc_apriori::Itemset;
 use negassoc_taxonomy::fxhash::FxHashMap;
 use negassoc_taxonomy::ItemId;
+use negassoc_txdb::obs::{metric, Event};
 use negassoc_txdb::TransactionSource;
 use std::time::Instant;
 
@@ -22,7 +25,8 @@ use std::time::Instant;
 ///
 /// `ctrl` is checked before every chunk pass (and at block boundaries
 /// within it); a cancelled run returns the token's error without any
-/// partial negatives.
+/// partial negatives. Each chunk pass reports to `obs` under the
+/// `"negative"` label.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
     source: &S,
@@ -34,10 +38,16 @@ pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
     min_ri: f64,
     parallelism: Parallelism,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
 ) -> Result<(Vec<NegativeItemset>, u64, Vec<PassStats>), Error> {
     if candidates.is_empty() {
         return Ok((Vec::new(), 0, Vec::new()));
     }
+    let total_candidates = candidates.len();
+    obs.emit(|| Event::CandidateSet {
+        label: "negative".to_string(),
+        size: total_candidates,
+    });
     let chunk_size = cap.unwrap_or(candidates.len()).max(1);
     let mut negatives = Vec::new();
     let mut passes = 0u64;
@@ -52,6 +62,10 @@ pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
         passes += 1;
         let started = Instant::now();
         let chunk_len = chunk.len();
+        obs.emit(|| Event::PassStart {
+            label: "negative".to_string(),
+            candidates: chunk_len,
+        });
         let run = count_chunk(
             source,
             ancestors,
@@ -61,16 +75,22 @@ pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
             min_ri,
             parallelism,
             ctrl,
+            obs,
             &mut negatives,
         )?;
-        stats.push(PassStats {
+        let pass_stats = PassStats {
             pass: passes,
             label: "negative".to_string(),
             candidates: chunk_len,
             transactions: run.0,
             threads: run.1,
             wall: started.elapsed(),
+        };
+        obs.emit(|| Event::PassEnd {
+            stats: pass_stats.clone(),
         });
+        obs.bump(metric::PASSES_COMPLETED, 1);
+        stats.push(pass_stats);
     }
     Ok((negatives, passes, stats))
 }
@@ -86,6 +106,7 @@ fn count_chunk<S: TransactionSource + ?Sized>(
     min_ri: f64,
     parallelism: Parallelism,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
     negatives: &mut Vec<NegativeItemset>,
 ) -> Result<(u64, usize), Error> {
     let mut expected: FxHashMap<Itemset, (f64, Derivation)> = FxHashMap::default();
@@ -99,7 +120,7 @@ fn count_chunk<S: TransactionSource + ?Sized>(
     let needed = items_of_candidates(&itemsets);
     let mapper =
         |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, ancestors, &needed, out);
-    let run = count_mixed_parallel_ctrl(source, itemsets, backend, &mapper, parallelism, ctrl)
+    let run = count_mixed_parallel_ctrl(source, itemsets, backend, &mapper, parallelism, ctrl, obs)
         .map_err(Error::Io)?;
     for (set, actual) in run.counts {
         // Every counted set was registered above; a miss means the counting
@@ -184,6 +205,7 @@ mod tests {
             0.5,
             Parallelism::Sequential,
             None,
+            &Obs::disabled(),
         )
         .unwrap();
         assert_eq!(stats.len(), 1);
@@ -215,6 +237,7 @@ mod tests {
             0.5,
             Parallelism::Threads(2),
             None,
+            &Obs::disabled(),
         )
         .unwrap();
         assert_eq!(passes2, 3);
@@ -240,6 +263,7 @@ mod tests {
             0.5,
             Parallelism::Sequential,
             None,
+            &Obs::disabled(),
         )
         .unwrap();
         assert!(stats.is_empty());

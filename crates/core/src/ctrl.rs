@@ -24,6 +24,7 @@ pub use negassoc_txdb::ctrl::{
 };
 
 use crate::error::Error;
+use negassoc_txdb::obs::Obs;
 use std::fmt;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -76,12 +77,18 @@ impl fmt::Display for Completeness {
 /// checkpoint-fingerprinted, so run control deliberately lives *outside*
 /// the configuration: two runs that differ only in deadline or interrupt
 /// wiring share checkpoints and produce identical output.
+///
+/// A [`RunControl`] also carries the run's observer ([`Obs`]): trace sinks
+/// and metrics attached with [`RunControl::with_observer`] receive every
+/// structured event the run emits. The default observer is disabled and
+/// costs nothing.
 #[derive(Clone, Debug, Default)]
 pub struct RunControl {
     token: CancelToken,
     deadline: Option<Deadline>,
     stall_window: Option<Duration>,
     interrupt: Option<Arc<AtomicBool>>,
+    obs: Obs,
 }
 
 impl RunControl {
@@ -111,6 +118,18 @@ impl RunControl {
     pub fn with_interrupt_flag(mut self, flag: Arc<AtomicBool>) -> Self {
         self.interrupt = Some(flag);
         self
+    }
+
+    /// Attach an observer: its sinks and metrics receive every structured
+    /// event the controlled run emits.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The run's observer (disabled unless [`Self::with_observer`] set one).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Spawn the watchdog for the configured triggers. Returns `None`

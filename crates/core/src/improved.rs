@@ -24,7 +24,7 @@ use negassoc_apriori::generalized::AncestorTable;
 use negassoc_apriori::levelwise::{
     CandidateBudgetExceeded, GenLevelMiner, GenStrategy, MinerState,
 };
-use negassoc_apriori::parallel::{CancelToken, PassStats};
+use negassoc_apriori::parallel::{CancelToken, Obs, PassStats};
 use negassoc_apriori::partition_mine::partition_mine_ctrl;
 use negassoc_apriori::{Itemset, LargeItemsets};
 use negassoc_taxonomy::fxhash::FxHashSet;
@@ -67,7 +67,8 @@ fn budget_overflow(e: &Error) -> Option<CandidateBudgetExceeded> {
 ///
 /// `ctrl` (when given) is checked at every pass, level, and candidate-chunk
 /// boundary; a cancelled run errors out without partial results, leaving
-/// whatever checkpoints its completed passes already persisted.
+/// whatever checkpoints its completed passes already persisted. Every
+/// counting pass reports to `obs`.
 pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
@@ -75,6 +76,7 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
     substitutes: Option<&SubstituteKnowledge>,
     ckpt: Option<&CheckpointManager>,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
 ) -> Result<DriverOutcome, Error> {
     let resume = match ckpt {
         Some(c) => c.load_latest(),
@@ -99,13 +101,13 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
             )
         }
         Resume::Positive(saved) if positive_strategy(config).is_some() => {
-            let attempt = resume_positive(source, tax, config, saved, ckpt, ctrl);
-            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config, ctrl)?;
+            let attempt = resume_positive(source, tax, config, saved, ckpt, ctrl, obs);
+            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config, ctrl, obs)?;
             (l, p, lv, st, None)
         }
         Resume::Positive(_) | Resume::Fresh => {
-            let attempt = mine_positive(source, tax, config, ckpt, ctrl);
-            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config, ctrl)?;
+            let attempt = mine_positive(source, tax, config, ckpt, ctrl, obs);
+            let (l, p, lv, st) = positive_or_degraded(attempt, source, tax, config, ctrl, obs)?;
             (l, p, lv, st, None)
         }
     };
@@ -143,6 +145,7 @@ pub(crate) fn run_improved_with_checkpoints<S: TransactionSource + ?Sized>(
         config.min_ri,
         config.parallelism,
         ctrl,
+        obs,
     )?;
     passes += neg_passes;
     pass_stats.extend(neg_stats);
@@ -197,6 +200,7 @@ fn positive_or_degraded<S: TransactionSource + ?Sized>(
     tax: &Taxonomy,
     config: &MinerConfig,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
 ) -> Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error> {
     let err = match result {
         Ok(ok) => return Ok(ok),
@@ -224,6 +228,7 @@ fn positive_or_degraded<S: TransactionSource + ?Sized>(
         config.backend,
         config.parallelism,
         ctrl,
+        obs,
     )?;
     let levels = large.max_level() as u64;
     // Partition makes exactly two full passes regardless of depth. Its
@@ -298,10 +303,11 @@ fn mine_positive<S: TransactionSource + ?Sized>(
     config: &MinerConfig,
     ckpt: Option<&CheckpointManager>,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
 ) -> Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error> {
     match positive_strategy(config) {
         Some(strategy) => {
-            let mut miner = GenLevelMiner::new_with_ctrl(
+            let mut miner = GenLevelMiner::new_observed(
                 source,
                 tax,
                 config.min_support,
@@ -309,6 +315,7 @@ fn mine_positive<S: TransactionSource + ?Sized>(
                 config.backend,
                 config.parallelism,
                 ctrl,
+                obs.clone(),
             )?
             .with_candidate_cap(budget_candidate_cap(config));
             let mut passes = 1u64;
@@ -338,6 +345,7 @@ fn mine_positive<S: TransactionSource + ?Sized>(
                 est_config,
                 config.parallelism,
                 ctrl,
+                obs,
             )?;
             let levels = large.max_level() as u64;
             // EstMerge batches candidates across levels and interleaves
@@ -349,6 +357,7 @@ fn mine_positive<S: TransactionSource + ?Sized>(
 }
 
 /// Continue positive mining from a checkpoint instead of from scratch.
+#[allow(clippy::too_many_arguments)]
 fn resume_positive<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
@@ -356,6 +365,7 @@ fn resume_positive<S: TransactionSource + ?Sized>(
     saved: PositiveCheckpoint,
     ckpt: Option<&CheckpointManager>,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
 ) -> Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error> {
     let Some(strategy) = positive_strategy(config) else {
         return Err(Error::Invariant(
@@ -371,6 +381,7 @@ fn resume_positive<S: TransactionSource + ?Sized>(
         saved.state,
     )
     .with_ctrl(ctrl)
+    .with_obs(obs.clone())
     .with_candidate_cap(budget_candidate_cap(config));
     let mut passes = saved.passes;
     let mut levels = saved.levels;
@@ -449,7 +460,15 @@ mod tests {
         config: &MinerConfig,
         substitutes: Option<&SubstituteKnowledge>,
     ) -> Result<DriverOutcome, Error> {
-        run_improved_with_checkpoints(source, tax, config, substitutes, None, None)
+        run_improved_with_checkpoints(
+            source,
+            tax,
+            config,
+            substitutes,
+            None,
+            None,
+            &Obs::disabled(),
+        )
     }
 
     use negassoc_apriori::MinSupport;
@@ -502,7 +521,7 @@ mod tests {
         assert!(!out.negatives.is_empty());
         let naive_out = {
             pc.reset();
-            crate::naive::run_naive(&pc, &tax, &config(), None).unwrap()
+            crate::naive::run_naive(&pc, &tax, &config(), None, &Obs::disabled()).unwrap()
         };
         // With a single negative level the counts can tie, but improved
         // never loses. (The strict `2n` vs `n + 1` separation is pinned by
@@ -514,7 +533,7 @@ mod tests {
     fn same_negatives_as_naive() {
         let (tax, db) = scenario();
         let a = run_improved(&db, &tax, &config(), None).unwrap();
-        let b = crate::naive::run_naive(&db, &tax, &config(), None).unwrap();
+        let b = crate::naive::run_naive(&db, &tax, &config(), None, &Obs::disabled()).unwrap();
         let norm = |v: &[crate::candidates::NegativeItemset]| {
             let mut x: Vec<(Vec<ItemId>, u64)> = v
                 .iter()

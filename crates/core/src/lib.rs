@@ -68,6 +68,8 @@
 //! * [`miner`] — the [`NegativeMiner`] facade tying it all together,
 //! * [`checkpoint`] — checksummed checkpoint/resume so interrupted runs
 //!   restart from the last completed pass,
+//! * [`obs`] — structured trace events, metrics, and pluggable sinks
+//!   (attach via [`ctrl::RunControl::with_observer`]),
 //! * [`audit`] — independent runtime certification of mining output
 //!   (feature `audit`, default-on).
 
@@ -82,6 +84,7 @@ pub mod expected;
 pub mod improved;
 pub mod miner;
 pub mod naive;
+pub mod obs;
 pub mod positive;
 pub mod rules;
 pub mod substitutes;

@@ -10,9 +10,10 @@ use crate::improved::run_improved_with_checkpoints;
 use crate::naive::run_naive;
 use crate::rules::{generate_negative_rules, NegativeRule};
 use crate::substitutes::SubstituteKnowledge;
-use negassoc_apriori::parallel::PassStats;
+use negassoc_apriori::parallel::{Obs, PassStats};
 use negassoc_apriori::LargeItemsets;
 use negassoc_taxonomy::Taxonomy;
+use negassoc_txdb::obs::Event;
 use negassoc_txdb::TransactionSource;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -130,7 +131,7 @@ impl NegativeMiner {
         tax: &Taxonomy,
         substitutes: Option<&SubstituteKnowledge>,
     ) -> Result<MiningOutcome, Error> {
-        self.mine_inner(source, tax, substitutes, None, None)
+        self.mine_inner(source, tax, substitutes, None, None, &Obs::disabled())
     }
 
     /// Mine with checkpoint/resume: after every completed database pass
@@ -161,7 +162,14 @@ impl NegativeMiner {
             ));
         }
         let manager = CheckpointManager::new(checkpoint_dir, &self.config, tax, source.len_hint())?;
-        let outcome = self.mine_inner(source, tax, substitutes, Some(&manager), None)?;
+        let outcome = self.mine_inner(
+            source,
+            tax,
+            substitutes,
+            Some(&manager),
+            None,
+            &Obs::disabled(),
+        )?;
         manager.clear()?;
         Ok(outcome)
     }
@@ -198,38 +206,50 @@ impl NegativeMiner {
                             .into(),
                     ));
                 }
-                Some(CheckpointManager::new(
-                    dir,
-                    &self.config,
-                    tax,
-                    source.len_hint(),
-                )?)
+                Some(
+                    CheckpointManager::new(dir, &self.config, tax, source.len_hint())?
+                        .with_obs(ctrl.obs().clone()),
+                )
             }
             None => None,
         };
         // Keep the guard alive for the whole run; dropping it joins the
         // monitor thread.
         let _watchdog = ctrl.arm();
+        let obs = ctrl.obs();
         // Pre-flight: a token already tripped (an expired deadline, a
         // Ctrl-C during argument parsing) must cancel before the first
         // pass ever touches the source.
         if let Err(e) = ctrl.token().check() {
-            return Err(decorate_cancellation(Error::Io(e), manager.as_ref()));
+            let err = decorate_cancellation(Error::Io(e), manager.as_ref(), obs);
+            obs.flush();
+            return Err(err);
         }
+        let started = Instant::now();
         match self.mine_inner(
             source,
             tax,
             substitutes,
             manager.as_ref(),
             Some(ctrl.token()),
+            obs,
         ) {
             Ok(outcome) => {
                 if let Some(m) = &manager {
                     m.clear()?;
                 }
+                obs.emit(|| Event::RunEnd {
+                    passes: outcome.report.passes,
+                    wall: started.elapsed(),
+                });
+                obs.flush();
                 Ok(outcome)
             }
-            Err(err) => Err(decorate_cancellation(err, manager.as_ref())),
+            Err(err) => {
+                let err = decorate_cancellation(err, manager.as_ref(), obs);
+                obs.flush();
+                Err(err)
+            }
         }
     }
 
@@ -240,11 +260,12 @@ impl NegativeMiner {
         substitutes: Option<&SubstituteKnowledge>,
         checkpoints: Option<&CheckpointManager>,
         ctrl: Option<&CancelToken>,
+        obs: &Obs,
     ) -> Result<MiningOutcome, Error> {
         self.config.validate()?;
         let start = Instant::now();
         let outcome = match self.config.driver {
-            Driver::Naive => run_naive(source, tax, &self.config, ctrl)?,
+            Driver::Naive => run_naive(source, tax, &self.config, ctrl, obs)?,
             Driver::Improved => run_improved_with_checkpoints(
                 source,
                 tax,
@@ -252,6 +273,7 @@ impl NegativeMiner {
                 substitutes,
                 checkpoints,
                 ctrl,
+                obs,
             )?,
         };
         let mining_time = start.elapsed();
@@ -285,11 +307,15 @@ impl NegativeMiner {
 
 /// Turn a cancellation riding the error chain into the typed
 /// [`Error::Cancelled`], attaching whatever durable state the checkpoint
-/// manager can vouch for. Non-cancellation errors pass through untouched.
-fn decorate_cancellation(err: Error, manager: Option<&CheckpointManager>) -> Error {
+/// manager can vouch for, and record the cancellation with `obs`.
+/// Non-cancellation errors pass through untouched.
+fn decorate_cancellation(err: Error, manager: Option<&CheckpointManager>, obs: &Obs) -> Error {
     let Some(reason) = cancellation_reason(&err) else {
         return err;
     };
+    obs.emit(|| Event::Cancelled {
+        reason: reason.to_string(),
+    });
     let (checkpoint, completeness) = match manager {
         None => (None, Completeness::NoCheckpoint),
         Some(m) => match m.load_latest() {

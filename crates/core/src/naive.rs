@@ -11,7 +11,7 @@ use crate::config::{GenAlgorithm, MinerConfig};
 use crate::counting::confirm_negatives;
 use crate::error::Error;
 use negassoc_apriori::levelwise::{GenLevelMiner, GenStrategy};
-use negassoc_apriori::parallel::{CancelToken, PassStats};
+use negassoc_apriori::parallel::{CancelToken, Obs, PassStats};
 use negassoc_apriori::LargeItemsets;
 use negassoc_taxonomy::Taxonomy;
 use negassoc_txdb::TransactionSource;
@@ -46,12 +46,14 @@ pub(crate) fn renumber(stats: &mut [PassStats]) {
 }
 
 /// Run the naive driver. `ctrl` (when given) is checked at every pass and
-/// level boundary; a cancelled run errors without partial results.
+/// level boundary; a cancelled run errors without partial results. Every
+/// counting pass reports to `obs`.
 pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
     source: &S,
     tax: &Taxonomy,
     config: &MinerConfig,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
 ) -> Result<DriverOutcome, Error> {
     let strategy = match config.algorithm {
         GenAlgorithm::Basic => GenStrategy::Basic,
@@ -63,7 +65,7 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
         }
     };
     let positive_start = Instant::now();
-    let mut miner = GenLevelMiner::new_with_ctrl(
+    let mut miner = GenLevelMiner::new_observed(
         source,
         tax,
         config.min_support,
@@ -71,6 +73,7 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
         config.backend,
         config.parallelism,
         ctrl,
+        obs.clone(),
     )?;
     let mut positive_time = positive_start.elapsed();
     let mut pass_stats: Vec<PassStats> = miner.take_pass_stats();
@@ -121,6 +124,7 @@ pub(crate) fn run_naive<S: TransactionSource + ?Sized>(
             config.min_ri,
             config.parallelism,
             ctrl,
+            obs,
         )?;
         passes += neg_passes;
         pass_stats.extend(neg_stats);
@@ -197,7 +201,7 @@ mod tests {
             driver: crate::config::Driver::Naive,
             ..MinerConfig::default()
         };
-        let out = run_naive(&pc, &tax, &config, None).unwrap();
+        let out = run_naive(&pc, &tax, &config, None, &Obs::disabled()).unwrap();
 
         // Levels: 1-itemsets and 2-itemsets are large; no level-3 positive
         // candidates survive apriori-gen, so no third positive pass.
@@ -233,7 +237,7 @@ mod tests {
             ..MinerConfig::default()
         };
         assert!(matches!(
-            run_naive(&db, &tax, &config, None),
+            run_naive(&db, &tax, &config, None, &Obs::disabled()),
             Err(Error::Config(_))
         ));
     }
@@ -247,7 +251,7 @@ mod tests {
             max_negative_size: Some(2),
             ..MinerConfig::default()
         };
-        let out = run_naive(&db, &tax, &config, None).unwrap();
+        let out = run_naive(&db, &tax, &config, None, &Obs::disabled()).unwrap();
         for n in &out.negatives {
             assert!(n.itemset.len() <= 2);
         }
@@ -257,7 +261,7 @@ mod tests {
     fn empty_database() {
         let (tax, _) = scenario();
         let db = TransactionDbBuilder::new().build();
-        let out = run_naive(&db, &tax, &MinerConfig::default(), None).unwrap();
+        let out = run_naive(&db, &tax, &MinerConfig::default(), None, &Obs::disabled()).unwrap();
         assert_eq!(out.large.total(), 0);
         assert!(out.negatives.is_empty());
         assert_eq!(out.passes, 1);

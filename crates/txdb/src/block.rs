@@ -34,6 +34,7 @@
 //! [`io::ErrorKind::Interrupted`] error — never partial counts.
 
 use crate::ctrl::CancelToken;
+use crate::obs::{metric, Event, MetricId, MetricKind, Metrics, Obs};
 use crate::scan::TransactionSource;
 use crate::transaction::Transaction;
 use negassoc_taxonomy::ItemId;
@@ -246,10 +247,26 @@ where
         threads,
         block_size,
         None,
+        &Obs::disabled(),
         make_worker,
         process,
         finish,
     )
+}
+
+/// The per-worker metric ids a pass registers up front (cold path), so
+/// the hot path is a plain shard increment.
+#[derive(Clone, Copy)]
+struct PassMetricIds {
+    blocks: MetricId,
+    transactions: MetricId,
+}
+
+fn pass_metric_ids(obs: &Obs) -> Option<PassMetricIds> {
+    obs.metrics().map(|m| PassMetricIds {
+        blocks: m.register(metric::BLOCKS_DISPATCHED, MetricKind::Counter),
+        transactions: m.register(metric::TRANSACTIONS_SCANNED, MetricKind::Counter),
+    })
 }
 
 /// How long a worker waits on the queue before re-checking the cancel
@@ -282,11 +299,20 @@ fn send_or_note_gone(
 /// A cancelled pass never returns partial tallies: any cancellation
 /// observed before return yields `Err`, and the caller's own completed
 /// state (e.g. previously checkpointed passes) is the only survivor.
+///
+/// Observability: `obs` sees one [`Event::BlockDispatch`] per block fed
+/// to the pool and one [`Event::BlockMerge`] when a completed pass
+/// merges its workers; the [`metric::BLOCKS_DISPATCHED`] and
+/// [`metric::TRANSACTIONS_SCANNED`] counters are accumulated in private
+/// per-worker [`crate::obs::MetricsShard`]s and absorbed at the merge —
+/// the same discipline as the count merge itself.
+#[allow(clippy::too_many_arguments)]
 pub fn parallel_pass_ctrl<S, W, R, FNew, FProc, FFin>(
     source: &S,
     threads: usize,
     block_size: usize,
     ctrl: Option<&CancelToken>,
+    obs: &Obs,
     make_worker: FNew,
     process: FProc,
     finish: FFin,
@@ -299,8 +325,10 @@ where
     FFin: Fn(W) -> R + Sync,
 {
     let block_size = block_size.max(1);
+    let metric_ids = pass_metric_ids(obs);
     if threads <= 1 {
         let mut worker = make_worker();
+        let mut shard = obs.metrics().map(Metrics::shard);
         let mut block = TransactionBlock::with_start(0);
         let mut total = 0u64;
         let mut cancelled = false;
@@ -311,7 +339,15 @@ where
             block.push(t);
             total += 1;
             if block.len() >= block_size {
+                obs.emit(|| Event::BlockDispatch {
+                    start: block.start(),
+                    transactions: block.len(),
+                });
                 process(&mut worker, &block);
+                if let (Some(s), Some(ids)) = (shard.as_mut(), metric_ids) {
+                    s.add(ids.blocks, 1);
+                    s.add(ids.transactions, block.len() as u64);
+                }
                 if let Some(c) = ctrl {
                     c.record_progress(block.len() as u64);
                     cancelled = c.is_cancelled();
@@ -324,11 +360,26 @@ where
             c.check()?;
         }
         if !block.is_empty() {
+            obs.emit(|| Event::BlockDispatch {
+                start: block.start(),
+                transactions: block.len(),
+            });
             process(&mut worker, &block);
+            if let (Some(s), Some(ids)) = (shard.as_mut(), metric_ids) {
+                s.add(ids.blocks, 1);
+                s.add(ids.transactions, block.len() as u64);
+            }
             if let Some(c) = ctrl {
                 c.record_progress(block.len() as u64);
             }
         }
+        if let (Some(m), Some(s)) = (obs.metrics(), shard.as_ref()) {
+            m.absorb(s);
+        }
+        obs.emit(|| Event::BlockMerge {
+            workers: 1,
+            transactions: total,
+        });
         return Ok((vec![finish(worker)], total));
     }
 
@@ -350,6 +401,7 @@ where
                 let rx = std::sync::Arc::clone(&rx);
                 scope.spawn(move || {
                     let mut worker = make_worker();
+                    let mut shard = obs.metrics().map(Metrics::shard);
                     loop {
                         // The lock is held across the pop: blocked waiters
                         // simply queue behind it, which serializes only the
@@ -378,6 +430,10 @@ where
                         match next {
                             Ok(block) => {
                                 process(&mut worker, &block);
+                                if let (Some(s), Some(ids)) = (shard.as_mut(), metric_ids) {
+                                    s.add(ids.blocks, 1);
+                                    s.add(ids.transactions, block.len() as u64);
+                                }
                                 if let Some(c) = ctrl {
                                     c.record_progress(block.len() as u64);
                                     if c.is_cancelled() {
@@ -398,6 +454,11 @@ where
                             }
                         }
                     }
+                    // Pass boundary: the private shard merges additively
+                    // into the shared registry, like the counts below.
+                    if let (Some(m), Some(s)) = (obs.metrics(), shard.as_ref()) {
+                        m.absorb(s);
+                    }
                     finish(worker)
                 })
             })
@@ -417,6 +478,10 @@ where
             block.push(t);
             total += 1;
             if block.len() >= block_size {
+                obs.emit(|| Event::BlockDispatch {
+                    start: block.start(),
+                    transactions: block.len(),
+                });
                 let next = block.start() + block.len() as u64;
                 let full = std::mem::replace(&mut block, TransactionBlock::with_start(next));
                 send_or_note_gone(&tx, full, &mut receivers_gone);
@@ -424,6 +489,10 @@ where
             }
         });
         if !receivers_gone && !cancelled && !block.is_empty() {
+            obs.emit(|| Event::BlockDispatch {
+                start: block.start(),
+                transactions: block.len(),
+            });
             send_or_note_gone(&tx, block, &mut receivers_gone);
         }
         drop(tx); // hang up: workers drain the queue and finish
@@ -441,6 +510,10 @@ where
     if let Some(c) = ctrl {
         c.check()?;
     }
+    obs.emit(|| Event::BlockMerge {
+        workers: results.len(),
+        transactions: total,
+    });
     Ok((results, total))
 }
 
@@ -614,8 +687,17 @@ mod tests {
         for threads in [1, 4] {
             let token = CancelToken::new();
             token.cancel(CancelReason::DeadlineExceeded);
-            let err = parallel_pass_ctrl(&db, threads, 16, Some(&token), || 0u64, |_, _| (), |w| w)
-                .unwrap_err();
+            let err = parallel_pass_ctrl(
+                &db,
+                threads,
+                16,
+                Some(&token),
+                &Obs::disabled(),
+                || 0u64,
+                |_, _| (),
+                |w| w,
+            )
+            .unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::Interrupted, "threads {threads}");
             assert_eq!(
                 cancellation_of(&err),
@@ -638,6 +720,7 @@ mod tests {
                 threads,
                 16,
                 Some(&token),
+                &Obs::disabled(),
                 || (),
                 move |_, _| {
                     trip.cancel(CancelReason::UserInterrupt);
@@ -659,6 +742,53 @@ mod tests {
         }
     }
 
+    /// The pool's observability: dispatch/merge events land in the sink
+    /// and worker shards merge to exact totals for any thread count.
+    #[test]
+    fn observed_pass_reports_blocks_and_exact_metrics() {
+        use crate::obs::{metric, MetricKind, RingBufferSink};
+        use std::sync::Arc;
+        let db = sample_db(257);
+        for threads in [1, 4] {
+            let ring = Arc::new(RingBufferSink::new(1024));
+            let metrics = Arc::new(Metrics::new());
+            let obs = Obs::disabled()
+                .with_sink(ring.clone())
+                .with_metrics(metrics.clone());
+            let (_, total) =
+                parallel_pass_ctrl(&db, threads, 64, None, &obs, || (), |_, _| (), |w| w).unwrap();
+            assert_eq!(total, 257);
+            let events = ring.snapshot();
+            let dispatched: u64 = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::BlockDispatch { transactions, .. } => Some(*transactions as u64),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(dispatched, 257, "threads {threads}");
+            assert!(
+                matches!(
+                    events.last(),
+                    Some(Event::BlockMerge {
+                        transactions: 257,
+                        ..
+                    })
+                ),
+                "threads {threads}: the merge closes the pass"
+            );
+            let snap = metrics.snapshot();
+            let value = |name: &str| snap.iter().find(|(n, _, _)| n == name).map(|(_, _, v)| *v);
+            assert_eq!(
+                value(metric::TRANSACTIONS_SCANNED),
+                Some(257),
+                "threads {threads}: shards merge to the sequential total"
+            );
+            assert_eq!(value(metric::BLOCKS_DISPATCHED), Some(257_u64.div_ceil(64)));
+            assert!(snap.iter().all(|(_, k, _)| *k == MetricKind::Counter));
+        }
+    }
+
     #[test]
     fn live_token_changes_nothing_and_heartbeats() {
         let db = sample_db(257);
@@ -672,6 +802,7 @@ mod tests {
                 threads,
                 64,
                 Some(&token),
+                &Obs::disabled(),
                 || 0u64,
                 |acc, block| {
                     block

@@ -23,6 +23,7 @@
 //! directly at the file layer.
 
 use crate::binfmt::CorruptBlock;
+use crate::obs::{metric, Event, Obs};
 use crate::scan::TransactionSource;
 use crate::transaction::Transaction;
 use negassoc_taxonomy::ItemId;
@@ -206,6 +207,7 @@ pub struct FaultySource<S> {
     inner: S,
     plan: FaultPlan,
     pass_no: Cell<u64>,
+    obs: Obs,
 }
 
 impl<S: TransactionSource> FaultySource<S> {
@@ -215,7 +217,15 @@ impl<S: TransactionSource> FaultySource<S> {
             inner,
             plan,
             pass_no: Cell::new(0),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observer: every fault that fires is reported as an
+    /// [`Event::FaultHit`] and counted under `faults.injected`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Passes attempted so far (including failed ones).
@@ -246,6 +256,13 @@ impl<S: TransactionSource> TransactionSource for FaultySource<S> {
                 if fault.pass != pass || fault.at_transaction != at {
                     continue;
                 }
+                self.obs.emit(|| Event::FaultHit {
+                    pass,
+                    transaction: at,
+                    kind: format!("{:?}", fault.kind),
+                    transient: !matches!(fault.kind, SourceFaultKind::PermanentError),
+                });
+                self.obs.bump(metric::FAULTS_INJECTED, 1);
                 match fault.kind {
                     SourceFaultKind::TransientError => {
                         pending = Some(io::Error::other(format!(
@@ -302,6 +319,7 @@ pub struct RetryingSource<S> {
     inner: S,
     policy: RetryPolicy,
     retries_used: Cell<u64>,
+    obs: Obs,
 }
 
 impl<S: TransactionSource> RetryingSource<S> {
@@ -311,7 +329,15 @@ impl<S: TransactionSource> RetryingSource<S> {
             inner,
             policy,
             retries_used: Cell::new(0),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observer: every retry is reported as an [`Event::Retry`]
+    /// and counted under `retries`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Total retries performed across all passes so far.
@@ -343,6 +369,12 @@ impl<S: TransactionSource> TransactionSource for RetryingSource<S> {
                 Err(e) if attempt < self.policy.max_retries && is_transient(&e) => {
                     self.policy.sleep(attempt);
                     attempt += 1;
+                    self.obs.emit(|| Event::Retry {
+                        attempt: u64::from(attempt),
+                        max: u64::from(self.policy.max_retries),
+                        error: e.to_string(),
+                    });
+                    self.obs.bump(metric::RETRIES, 1);
                     self.retries_used.set(self.retries_used.get() + 1);
                 }
                 Err(e) => return Err(e),
@@ -644,6 +676,57 @@ mod tests {
         // The failed read consumed inner bytes (as a real short read
         // would); what matters is the error fired exactly once.
         assert!(r.read(&mut buf).is_ok());
+    }
+
+    #[test]
+    fn observed_faults_and_retries_emit_events_and_metrics() {
+        use crate::obs::{metric, Metrics, RingBufferSink};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingBufferSink::new(16));
+        let metrics = Arc::new(Metrics::new());
+        let obs = Obs::disabled()
+            .with_sink(ring.clone())
+            .with_metrics(metrics.clone());
+        let plan = FaultPlan::new(vec![SourceFault {
+            pass: 0,
+            at_transaction: 2,
+            kind: SourceFaultKind::TransientError,
+        }]);
+        let retrying = RetryingSource::new(
+            FaultySource::new(db(6), plan).with_obs(obs.clone()),
+            RetryPolicy::new(2, Duration::ZERO),
+        )
+        .with_obs(obs);
+        assert_eq!(collect(&retrying).unwrap().len(), 6);
+
+        let events = ring.snapshot();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::FaultHit {
+                pass: 0,
+                transaction: 2,
+                transient: true,
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Retry {
+                attempt: 1,
+                max: 2,
+                ..
+            }
+        )));
+        let snap = metrics.snapshot();
+        let value = |name: &str| {
+            snap.iter()
+                .find(|(n, _, _)| n == name)
+                .map(|&(_, _, v)| v)
+                .unwrap_or(0)
+        };
+        assert_eq!(value(metric::FAULTS_INJECTED), 1);
+        assert_eq!(value(metric::RETRIES), 1);
     }
 
     #[test]

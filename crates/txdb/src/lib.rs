@@ -23,6 +23,9 @@
 //! * [`ctrl`] — cooperative run control: the lock-free
 //!   [`ctrl::CancelToken`] checked at block/pass boundaries, wall-clock
 //!   [`ctrl::Deadline`]s and the [`ctrl::Watchdog`] stall monitor,
+//! * [`obs`] — the observability substrate: structured [`obs::Event`]
+//!   trace records, the sharded [`obs::Metrics`] registry and pluggable
+//!   [`obs::TraceSink`]s behind the cheap [`obs::Obs`] handle,
 //! * [`partition`] — horizontal partitioning for memory-bounded or parallel
 //!   counting,
 //! * [`vertical`] — TID-list (inverted) indexes with intersection-based
@@ -50,6 +53,7 @@ pub mod block;
 pub mod crc32;
 pub mod ctrl;
 pub mod fault;
+pub mod obs;
 pub mod partition;
 pub mod stats;
 pub mod textfmt;

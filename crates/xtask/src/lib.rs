@@ -2,7 +2,7 @@
 //!
 //! Run as `cargo run -p xtask -- analyze`. The analyzer walks the
 //! workspace with `std::fs`, lexes each Rust file with a hand-rolled
-//! scanner, and applies the L001–L008 invariant lints (see
+//! scanner, and applies the L001–L009 invariant lints (see
 //! [`lints::LINTS`] and DESIGN.md "Invariants & static analysis").
 //!
 //! Design constraints that shaped it:

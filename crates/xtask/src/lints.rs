@@ -1,4 +1,4 @@
-//! The negassoc custom lints, L001–L008.
+//! The negassoc custom lints, L001–L009.
 //!
 //! Each lint matches token patterns from [`crate::lexer`] against the
 //! workspace's invariants (documented in DESIGN.md "Invariants & static
@@ -14,6 +14,7 @@
 //! | L006 | the core crate returns `Result<_, NegAssocError>`, never `io::Result` — I/O errors convert at the txdb boundary |
 //! | L007 | no bare `thread::spawn` — worker threads are scoped and live only in `txdb/src/block.rs`, the one audited counting pool |
 //! | L008 | no `process::exit` and no unbounded `.recv()` outside `txdb/src/block.rs` — raw exits skip Drop (checkpoint flush, watchdog join) and the exit-code contract; blocking receives can never observe a `CancelToken` |
+//! | L009 | no `println!`/`eprintln!` outside `crates/cli`, `crates/xtask`, and `bin/` targets — library crates report through return values and the obs layer (DESIGN.md §11), never the terminal |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/` directories
 //! and `#[cfg(test)]` modules. Any finding can be suppressed with a
@@ -76,6 +77,12 @@ pub const LINTS: &[Lint] = &[
                   both defeat cooperative cancellation",
         library_only: true,
     },
+    Lint {
+        id: "L009",
+        summary: "println!/eprintln! outside crates/cli, crates/xtask, and bin targets; \
+                  report through return values or the obs layer",
+        library_only: true,
+    },
 ];
 
 /// One diagnostic.
@@ -117,6 +124,7 @@ pub fn lint_file(path: &str, lexed: &LexedFile, class: FileClass) -> Vec<Finding
         l006_io_result(path, lexed, &in_test, &mut findings);
         l007_thread_spawn(path, lexed, &in_test, &mut findings);
         l008_uncancellable_waits(path, lexed, &in_test, &mut findings);
+        l009_println(path, lexed, &in_test, &mut findings);
     }
     // Apply allow directives (same line or the line above the finding).
     findings.retain(|f| {
@@ -482,6 +490,45 @@ fn l008_uncancellable_waits(
                           it; use recv_timeout with a token poll (see the drain \
                           loop in negassoc_txdb::block)"
                     .into(),
+            });
+        }
+    }
+}
+
+fn l009_println(
+    path: &str,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    // The CLI and the analyzer own the terminal; binaries (`src/bin/`)
+    // are presentation layers by definition. Everywhere else a stray
+    // `println!` interleaves with machine-read stdout (the `--trace`
+    // JSON-lines stream, the bench artifacts) and cannot be captured or
+    // redirected by callers; library crates report through return values
+    // and the obs layer instead.
+    if path.starts_with("crates/cli/")
+        || path.starts_with("crates/xtask/")
+        || path.contains("/bin/")
+    {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && (t.text == "println" || t.text == "eprintln")
+            && toks.get(i + 1).is_some_and(|n| n.text == "!")
+            && !in_test(t.line)
+        {
+            findings.push(Finding {
+                lint: "L009",
+                path: path.into(),
+                line: t.line,
+                message: format!(
+                    "`{}!` in library code writes to a terminal the caller never \
+                     offered; return the data or emit a trace event (negassoc::obs)",
+                    t.text
+                ),
             });
         }
     }

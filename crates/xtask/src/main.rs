@@ -1,15 +1,22 @@
-//! `cargo run -p xtask -- analyze` — the workspace static analyzer.
+//! `cargo run -p xtask -- analyze` — the workspace static analyzer —
+//! plus `validate-json`, the schema-free checker for every JSON document
+//! the workspace emits.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "xtask <analyze|help> [options]
+const USAGE: &str = "xtask <analyze|validate-json|help> [options]
 
-  analyze    run the L001-L008 invariant lints over the workspace
-             --json       machine-readable output
-             --deny-all   exit nonzero when any finding remains
-             --list       print the lint registry and exit
-             --root PATH  analyze PATH instead of the enclosing workspace
+  analyze        run the L001-L009 invariant lints over the workspace
+                 --json       machine-readable output
+                 --deny-all   exit nonzero when any finding remains
+                 --list       print the lint registry and exit
+                 --root PATH  analyze PATH instead of the enclosing workspace
+
+  validate-json  parse FILE and exit nonzero on the first syntax error
+                 FILE         the document (or stream) to check
+                 --lines      JSON-lines mode: one document per line,
+                              as written by `negrules … --trace FILE`
 
 Findings are suppressed by a justification comment on the same or the
 preceding line:  // negassoc-lint: allow(L00x) -- reason";
@@ -18,6 +25,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("analyze") => analyze(args.collect()),
+        Some("validate-json") => validate_json(args.collect()),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -25,6 +33,47 @@ fn main() -> ExitCode {
         Some(other) => {
             eprintln!("error: unknown task {other:?}\n\n{USAGE}");
             ExitCode::from(2)
+        }
+    }
+}
+
+fn validate_json(args: Vec<String>) -> ExitCode {
+    let mut lines = false;
+    let mut file: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--lines" => lines = true,
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_owned()),
+            other => {
+                eprintln!("error: unknown option {other:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: validate-json needs a file\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = if lines {
+        xtask::json::parse_lines(&text).map(|docs| format!("{} documents", docs.len()))
+    } else {
+        xtask::json::parse(&text).map(|_| "1 document".to_owned())
+    };
+    match outcome {
+        Ok(what) => {
+            println!("{file}: valid JSON ({what})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -1,0 +1,21 @@
+//! L009 fixture: terminal output from library code.
+
+/// Fires twice: a `println!` and an `eprintln!` in library code.
+pub fn chatty(n: usize) {
+    println!("processed {n} rows");
+    eprintln!("warning: {n} rows skipped");
+}
+
+/// Stays silent: formatting into a value is not terminal output.
+pub fn quiet(n: usize) -> String {
+    format!("processed {n} rows")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging output is fine here");
+        eprintln!("and here");
+    }
+}

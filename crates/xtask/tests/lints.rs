@@ -167,6 +167,31 @@ fn l008_exempts_the_counting_pool_module() {
 }
 
 #[test]
+fn l009_fires_on_library_println() {
+    let fired = lints_fired("l009_println.rs", FileClass::Library);
+    assert_eq!(
+        fired,
+        ["L009", "L009"],
+        "println! and eprintln!; format! and cfg(test) prints stay silent"
+    );
+}
+
+#[test]
+fn l009_exempts_the_terminal_owners() {
+    for path in [
+        "crates/cli/src/commands/mine.rs",
+        "crates/xtask/src/main.rs",
+        "crates/bench/src/bin/paper.rs",
+    ] {
+        let findings = analyze_source(path, &fixture("l009_println.rs"), FileClass::Library);
+        assert!(
+            findings.is_empty(),
+            "{path} owns its terminal, got {findings:?}"
+        );
+    }
+}
+
+#[test]
 fn allow_comments_suppress_with_a_paper_trail() {
     let fired = lints_fired("allowed.rs", FileClass::Library);
     assert!(
@@ -197,6 +222,7 @@ fn every_registered_lint_has_a_firing_fixture() {
         "l005_cast.rs",
         "l007_thread_spawn.rs",
         "l008_uncancellable.rs",
+        "l009_println.rs",
     ] {
         covered.extend(lints_fired(name, FileClass::Library));
     }

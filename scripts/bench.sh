@@ -33,4 +33,16 @@ awk -v p="$pct" 'BEGIN { exit !(p < 2.0) }' \
   || { echo "bench: token-check overhead ${pct}% >= 2% bar" >&2; exit 1; }
 echo "bench: control-plane overhead ${pct}% (< 2% bar)"
 
+echo "==> observability: no-op-sink overhead (scale $SCALE)"
+./target/release/paper obs --scale "$SCALE"
+
+echo "==> BENCH_obs.json"
+# The observability acceptance bar: emission points with a no-op sink
+# attached must cost < 2% median wall time over an unobserved run.
+grep -E '"median_baseline_s"|"median_observed_s"|"overhead_pct"' BENCH_obs.json
+opct="$(sed -n 's/.*"overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' BENCH_obs.json)"
+awk -v p="$opct" 'BEGIN { exit !(p < 2.0) }' \
+  || { echo "bench: no-op-sink overhead ${opct}% >= 2% bar" >&2; exit 1; }
+echo "bench: observability overhead ${opct}% (< 2% bar)"
+
 echo "bench: artifacts written"

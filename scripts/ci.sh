@@ -83,4 +83,18 @@ fi
 diff "$SMOKE/clean.csv" "$SMOKE/threads4-resumed.csv"
 echo "smoke: threaded runs byte-identical to the sequential run"
 
+echo "==> observability smoke (traced mine, JSON-lines validation)"
+# A traced run must emit JSON lines the workspace's own strict parser
+# accepts, and --metrics must surface the counter table.
+"$NEGRULES" negatives --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --min-support 0.05 --max-size 2 --threads 2 \
+  --trace "$SMOKE/trace.jsonl" --metrics > "$SMOKE/obs.out"
+[ -s "$SMOKE/trace.jsonl" ] || { echo "smoke: empty trace" >&2; exit 1; }
+cargo run -q --release -p xtask -- validate-json "$SMOKE/trace.jsonl" --lines
+grep -q '"event":"run_end"' "$SMOKE/trace.jsonl" \
+  || { echo "smoke: trace missing run_end" >&2; exit 1; }
+grep -q "passes.completed" "$SMOKE/obs.out" \
+  || { echo "smoke: --metrics table missing" >&2; exit 1; }
+echo "smoke: trace is valid JSON lines, metrics table present"
+
 echo "ci: all checks passed"

@@ -297,6 +297,80 @@ fn cancelling_at_every_pass_boundary_then_resuming_is_exact() {
     }
 }
 
+/// The interrupted-run telemetry contract behind the CLI's exit-code-3
+/// `--pass-stats` audit: a cancelled run's recorded trace carries a
+/// `pass_end` only for passes that completed their full scan — the
+/// in-flight pass announces a `pass_start` but never a `pass_end`, so a
+/// consumer that renders completed passes can never mistake a partial
+/// scan's numbers for real telemetry — and the cancellation itself is on
+/// the record.
+#[test]
+fn interrupted_run_records_only_completed_passes() {
+    use negassoc::obs::{Event, Obs, RingBufferSink};
+    use std::sync::Arc;
+
+    let (tax, db) = scenario();
+    let total = db.len() as u64;
+    let clean = NegativeMiner::new(config(Parallelism::Sequential))
+        .mine(&db, &tax)
+        .unwrap();
+    assert!(
+        clean.report.passes >= 2,
+        "scenario too shallow to interrupt"
+    );
+
+    // Cancel at the very first transaction of the first pass: at most one
+    // pass can complete before the control plane notices.
+    let dir = TmpDir::new("obs");
+    let ring = Arc::new(RingBufferSink::new(4096));
+    let ctrl = RunControl::new().with_observer(Obs::disabled().with_sink(ring.clone()));
+    let err = NegativeMiner::new(config(Parallelism::Threads(4)))
+        .mine_with_controls(
+            &CancelAt::new(&db, ctrl.token().clone(), 0, 0),
+            &tax,
+            None,
+            Some(&dir.0),
+            &ctrl,
+        )
+        .unwrap_err();
+    assert_cancellation_shape(&err);
+
+    let events = ring.snapshot();
+    let starts = events
+        .iter()
+        .filter(|e| matches!(e, Event::PassStart { .. }))
+        .count();
+    let completed: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::PassEnd { stats } => Some(stats.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(starts > 0, "the interrupted pass must announce itself");
+    assert!(
+        starts > completed.len(),
+        "the in-flight pass must not record a pass_end ({starts} starts vs {} ends)",
+        completed.len()
+    );
+    assert!(
+        (completed.len() as u64) < clean.report.passes,
+        "an interrupted run must not report a full pass table ({} vs {})",
+        completed.len(),
+        clean.report.passes
+    );
+    for s in &completed {
+        assert_eq!(
+            s.transactions, total,
+            "a recorded pass_end must describe a complete scan: {s:?}"
+        );
+    }
+    assert!(
+        events.iter().any(|e| matches!(e, Event::Cancelled { .. })),
+        "the cancellation must appear in the trace"
+    );
+}
+
 /// An already-expired deadline cancels before the first pass: typed error,
 /// deadline reason, no checkpoint, and an untouched source.
 #[test]
