@@ -156,6 +156,7 @@ impl<'a, S: TransactionSource + ?Sized> GenLevelMiner<'a, S> {
     /// [`Event::PassStart`]/[`Event::PassEnd`] to `obs`, and the block
     /// layer below it reports dispatch/merge and scan counters.
     #[allow(clippy::too_many_arguments)]
+    // negassoc-lint: allow(L010) -- the level-1 scan polls inside count_items_parallel_ctrl; the remaining loop is a bounded in-memory threshold sweep over item counts
     pub fn new_observed(
         source: &'a S,
         tax: &Taxonomy,

@@ -91,6 +91,7 @@ pub fn count_mixed_parallel<S: TransactionSource + ?Sized>(
 /// [`io::ErrorKind::Interrupted`] error instead of partial counts (see
 /// [`negassoc_txdb::ctrl`]). Block dispatch/merge events and the scan
 /// counters flow to `obs` (see [`negassoc_txdb::obs`]).
+// negassoc-lint: allow(L010) -- parallel_pass_ctrl polls at block boundaries; the loops here are candidate grouping and worker-closure counting over blocks it already dispatched
 pub fn count_mixed_parallel_ctrl<S: TransactionSource + ?Sized>(
     source: &S,
     candidates: Vec<Itemset>,
@@ -224,6 +225,7 @@ pub fn count_items_parallel<S: TransactionSource + ?Sized>(
 
 /// [`count_items_parallel`] with cooperative cancellation (see
 /// [`count_mixed_parallel_ctrl`]).
+// negassoc-lint: allow(L010) -- parallel_pass_ctrl polls at block boundaries; the worker closure counts one dispatched block and the merge loop is in-memory
 pub fn count_items_parallel_ctrl<S: TransactionSource + ?Sized>(
     source: &S,
     num_items: usize,

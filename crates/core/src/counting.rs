@@ -97,6 +97,7 @@ pub(crate) fn confirm_negatives<S: TransactionSource + ?Sized>(
 
 /// Count one chunk; returns `(transactions scanned, threads used)`.
 #[allow(clippy::too_many_arguments)]
+// negassoc-lint: allow(L010) -- the scan polls inside count_mixed_parallel_ctrl; the local loops are in-memory candidate bookkeeping before and after it
 fn count_chunk<S: TransactionSource + ?Sized>(
     source: &S,
     ancestors: &AncestorTable,

@@ -70,8 +70,7 @@ pub fn generate_taxonomy<R: RngExt + ?Sized>(rng: &mut R, params: &GenParams) ->
             for (parent, q) in frontier.iter().zip(&quota) {
                 for _ in 0..*q {
                     b.add_child(*parent, &format!("item-{leaf_counter}"))
-                        // "item-N" names are fresh by construction.
-                        // negassoc-lint: allow(L001)
+                        // negassoc-lint: allow(L001) -- "item-N" names are fresh by construction
                         .expect("generated names are unique");
                     leaf_counter += 1;
                 }
@@ -85,8 +84,7 @@ pub fn generate_taxonomy<R: RngExt + ?Sized>(rng: &mut R, params: &GenParams) ->
             for _ in 0..*c {
                 let id = b
                     .add_child(*parent, &format!("cat-{category_counter}"))
-                    // "cat-N" names are fresh by construction.
-                    // negassoc-lint: allow(L001)
+                    // negassoc-lint: allow(L001) -- "cat-N" names are fresh by construction
                     .expect("generated names are unique");
                 category_counter += 1;
                 next.push(id);

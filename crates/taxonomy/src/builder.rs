@@ -101,8 +101,7 @@ impl TaxonomyBuilder {
     /// Panics if the name is already taken; use [`Self::try_add_root`] to
     /// handle that case.
     pub fn add_root(&mut self, name: &str) -> ItemId {
-        // documented panicking convenience; try_add_root is the fallible twin
-        // negassoc-lint: allow(L001)
+        // negassoc-lint: allow(L001) -- documented panicking convenience; try_add_root is the fallible twin
         self.try_add_root(name).expect("duplicate root name")
     }
 

@@ -35,8 +35,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            // chunks_exact(8) guarantees the conversion to [u8; 8] succeeds
-            // negassoc-lint: allow(L001)
+            // negassoc-lint: allow(L001) -- chunks_exact(8) guarantees the [u8; 8] conversion succeeds
             self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
         let rest = chunks.remainder();

@@ -474,6 +474,7 @@ fn scan_v2_strict<R: Read>(
         let Some(header) = read_block_header(r, index)? else {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
+                // negassoc-lint: allow(L012) -- error construction on a path that returns immediately; at most one alloc per scan
                 format!("file ends after {delivered} of {count} transactions"),
             ));
         };
@@ -496,6 +497,7 @@ fn scan_v2_strict<R: Read>(
         if !slice.is_empty() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
+                // negassoc-lint: allow(L012) -- error construction on a path that returns immediately; at most one alloc per scan
                 format!("block {index} has trailing bytes after its transactions"),
             ));
         }

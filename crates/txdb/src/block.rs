@@ -391,6 +391,7 @@ where
     // on the full channel: the blocked-waiters path wakes instead of
     // waiting forever.
     let (tx, rx) = mpsc::sync_channel::<TransactionBlock>(threads * 2);
+    // negassoc-lint: allow(L012) -- this lock serializes only the queue pop (see the worker loop below), never the counting work itself
     let rx = std::sync::Arc::new(Mutex::new(rx));
     let (results, total, pass_result) = std::thread::scope(|scope| {
         let make_worker = &make_worker;

@@ -265,6 +265,7 @@ impl<S: TransactionSource> TransactionSource for FaultySource<S> {
                 self.obs.bump(metric::FAULTS_INJECTED, 1);
                 match fault.kind {
                     SourceFaultKind::TransientError => {
+                        // negassoc-lint: allow(L012) -- fault-trigger path; fires at most once per pass, then the scan is swallowed
                         pending = Some(io::Error::other(format!(
                             "{INJECTED}: transient error at pass {pass}, transaction {at}"
                         )));
@@ -273,6 +274,7 @@ impl<S: TransactionSource> TransactionSource for FaultySource<S> {
                     SourceFaultKind::PermanentError => {
                         pending = Some(io::Error::new(
                             io::ErrorKind::InvalidData,
+                            // negassoc-lint: allow(L012) -- fault-trigger path; fires at most once per pass, then the scan is swallowed
                             format!("{INJECTED}: permanent error at pass {pass}, transaction {at}"),
                         ));
                         return;
@@ -280,6 +282,7 @@ impl<S: TransactionSource> TransactionSource for FaultySource<S> {
                     SourceFaultKind::Truncate => {
                         pending = Some(io::Error::new(
                             io::ErrorKind::UnexpectedEof,
+                            // negassoc-lint: allow(L012) -- fault-trigger path; fires at most once per pass, then the scan is swallowed
                             format!("{INJECTED}: truncated at pass {pass}, transaction {at}"),
                         ));
                         return;

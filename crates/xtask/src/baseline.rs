@@ -1,0 +1,140 @@
+//! The suppression baseline: a checked-in list of grandfathered findings
+//! that `xtask analyze` subtracts before deciding the exit code.
+//!
+//! Inline allow directives are the preferred suppression — the reason
+//! sits next to the code. The baseline exists for the other case: a new
+//! lint landing on an existing tree with findings that are *real* but
+//! not this PR's work to fix. They stay visible here (reviewable, greppable,
+//! shrinking over time) instead of blocking the gate or being silenced
+//! with ad-hoc allows nobody revisits.
+//!
+//! Format, one finding per line (order irrelevant, `#` comments kept by
+//! hand): `L012 crates/txdb/src/scan.rs:87`. Entries match exactly on
+//! (lint, path, line); refresh with `xtask analyze --update-baseline`
+//! after intentional changes.
+
+use crate::lints::Finding;
+use std::io;
+use std::path::Path;
+
+/// One baseline entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint id.
+    pub lint: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// The baseline file name at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Parse a baseline file's text. Unparseable lines are ignored (a
+/// mangled entry resurfaces its finding, which is the safe direction).
+pub fn parse(text: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((lint, loc)) = line.split_once(char::is_whitespace) else {
+            continue;
+        };
+        let Some((path, lineno)) = loc.trim().rsplit_once(':') else {
+            continue;
+        };
+        let Ok(lineno) = lineno.parse::<u32>() else {
+            continue;
+        };
+        entries.push(Entry {
+            lint: lint.to_string(),
+            path: path.to_string(),
+            line: lineno,
+        });
+    }
+    entries
+}
+
+/// Load the baseline under `root`; a missing file is an empty baseline.
+pub fn load(root: &Path) -> Vec<Entry> {
+    match std::fs::read_to_string(root.join(BASELINE_FILE)) {
+        Ok(text) => parse(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Split `findings` into (kept, baselined-count): findings matching a
+/// baseline entry are dropped.
+pub fn filter(findings: Vec<Finding>, baseline: &[Entry]) -> (Vec<Finding>, usize) {
+    let before = findings.len();
+    let kept: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            !baseline
+                .iter()
+                .any(|e| e.lint == f.lint && e.path == f.path && e.line == f.line)
+        })
+        .collect();
+    let baselined = before - kept.len();
+    (kept, baselined)
+}
+
+/// Write `findings` as the new baseline under `root`.
+pub fn write(root: &Path, findings: &[Finding]) -> io::Result<()> {
+    let mut out = String::from(
+        "# negassoc lint baseline: grandfathered findings `xtask analyze` subtracts.\n\
+         # One `LINT path:line` per line; regenerate with `xtask analyze --update-baseline`.\n\
+         # Prefer fixing the code or an inline `negassoc-lint: allow(..) -- reason`;\n\
+         # entries here are acknowledged debt, expected to shrink.\n",
+    );
+    for f in findings {
+        out.push_str(&format!("{} {}:{}\n", f.lint, f.path, f.line));
+    }
+    std::fs::write(root.join(BASELINE_FILE), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_garbage() {
+        let entries = parse(
+            "# header\n\nL012 crates/txdb/src/scan.rs:87\nnot an entry\nL010 a/b.rs:notaline\n",
+        );
+        assert_eq!(
+            entries,
+            [Entry {
+                lint: "L012".into(),
+                path: "crates/txdb/src/scan.rs".into(),
+                line: 87,
+            }]
+        );
+    }
+
+    #[test]
+    fn filter_subtracts_exact_matches_only() {
+        let baseline = parse("L012 a.rs:5\n");
+        let findings = vec![
+            Finding {
+                lint: "L012",
+                path: "a.rs".into(),
+                line: 5,
+                message: "m".into(),
+            },
+            Finding {
+                lint: "L012",
+                path: "a.rs".into(),
+                line: 6,
+                message: "m".into(),
+            },
+        ];
+        let (kept, baselined) = filter(findings, &baseline);
+        assert_eq!(baselined, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 6);
+    }
+}

@@ -1,0 +1,496 @@
+//! The incremental analysis cache: per-file lex/parse/lint results keyed
+//! by content hash, so a warm `xtask analyze` re-lexes only what changed
+//! and CI stays sub-second.
+//!
+//! The cache stores exactly the *per-file* pipeline outputs — raw token
+//! findings, allow directives, and parsed [`FileFacts`] — never the
+//! cross-file results: the flow lints, suppression and baseline steps
+//! are pure in-memory passes over these facts and recompute every run
+//! (they are the part whose inputs span files, so caching them per file
+//! would be wrong).
+//!
+//! Format: one JSON document under `target/xtask/analyze-cache.json`,
+//! written with the workspace's own emitter and read back with its own
+//! strict parser. A missing, corrupt, or version-mismatched cache is
+//! treated as empty — the cache can only ever cost a re-lex, never an
+//! incorrect result.
+
+use crate::json::{self, Value};
+use crate::lexer::AllowDirective;
+use crate::lints::{lint_info, Finding};
+use crate::parser::{CallSite, EmitKind, EmitSite, FileFacts, FnFacts, Param, PollSite};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Bump when the lexer/parser/lint semantics change shape: a mismatch
+/// invalidates the whole cache.
+const CACHE_VERSION: u32 = 1;
+
+/// Everything the per-file pipeline produced for one source file.
+#[derive(Clone, Debug, Default)]
+pub struct FileRecord {
+    /// FNV-1a 64 hash of the file contents.
+    pub hash: u64,
+    /// Raw (unsuppressed) token-lint findings.
+    pub findings: Vec<Finding>,
+    /// Allow directives found in comments.
+    pub directives: Vec<AllowDirective>,
+    /// Parsed item facts.
+    pub facts: FileFacts,
+}
+
+/// The on-disk cache: rel path → record.
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// Records by workspace-relative path.
+    pub files: HashMap<String, FileRecord>,
+}
+
+/// FNV-1a 64-bit content hash (no dependencies, stable across runs).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Where the cache lives under a workspace root.
+pub fn cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("xtask").join("analyze-cache.json")
+}
+
+impl Cache {
+    /// Load from `path`; any failure yields an empty cache.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        let Ok(doc) = json::parse(&text) else {
+            return Cache::default();
+        };
+        if doc.get("version").and_then(Value::as_number) != Some(f64::from(CACHE_VERSION)) {
+            return Cache::default();
+        }
+        let mut cache = Cache::default();
+        let Some(Value::Object(files)) = doc.get("files") else {
+            return cache;
+        };
+        for (rel, v) in files {
+            if let Some(rec) = record_from_value(v) {
+                cache.files.insert(rel.clone(), rec);
+            }
+        }
+        cache
+    }
+
+    /// Write to `path`, creating parent directories. Best-effort: an
+    /// unwritable cache only costs the next run a re-lex.
+    pub fn store(&self, path: &Path) {
+        let mut files: Vec<(String, Value)> = self
+            .files
+            .iter()
+            .map(|(rel, rec)| (rel.clone(), record_to_value(rec)))
+            .collect();
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        let doc = Value::Object(vec![
+            ("version".into(), Value::Number(f64::from(CACHE_VERSION))),
+            ("files".into(), Value::Object(files)),
+        ]);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let _ = std::fs::write(path, doc.emit());
+    }
+}
+
+fn num(n: impl Into<f64>) -> Value {
+    Value::Number(n.into())
+}
+
+fn str_of(v: &Value) -> Option<String> {
+    v.as_str().map(str::to_string)
+}
+
+fn u32_of(v: &Value) -> Option<u32> {
+    v.as_number().map(|n| n as u32)
+}
+
+fn record_to_value(rec: &FileRecord) -> Value {
+    Value::Object(vec![
+        ("hash".into(), Value::String(format!("{:016x}", rec.hash))),
+        (
+            "findings".into(),
+            Value::Array(rec.findings.iter().map(finding_to_value).collect()),
+        ),
+        (
+            "directives".into(),
+            Value::Array(rec.directives.iter().map(directive_to_value).collect()),
+        ),
+        ("facts".into(), facts_to_value(&rec.facts)),
+    ])
+}
+
+fn record_from_value(v: &Value) -> Option<FileRecord> {
+    let hash = u64::from_str_radix(v.get("hash")?.as_str()?, 16).ok()?;
+    let findings = v
+        .get("findings")?
+        .as_array()?
+        .iter()
+        .map(finding_from_value)
+        .collect::<Option<Vec<_>>>()?;
+    let directives = v
+        .get("directives")?
+        .as_array()?
+        .iter()
+        .map(directive_from_value)
+        .collect::<Option<Vec<_>>>()?;
+    let facts = facts_from_value(v.get("facts")?)?;
+    Some(FileRecord {
+        hash,
+        findings,
+        directives,
+        facts,
+    })
+}
+
+fn finding_to_value(f: &Finding) -> Value {
+    Value::Object(vec![
+        ("lint".into(), Value::String(f.lint.into())),
+        ("path".into(), Value::String(f.path.clone())),
+        ("line".into(), num(f.line)),
+        ("message".into(), Value::String(f.message.clone())),
+    ])
+}
+
+fn finding_from_value(v: &Value) -> Option<Finding> {
+    let id = v.get("lint")?.as_str()?;
+    // Findings hold `&'static str` ids: map back through the registry
+    // and refuse records naming lints that no longer exist.
+    let info = lint_info(id);
+    if info.id != id {
+        return None;
+    }
+    Some(Finding {
+        lint: info.id,
+        path: str_of(v.get("path")?)?,
+        line: u32_of(v.get("line")?)?,
+        message: str_of(v.get("message")?)?,
+    })
+}
+
+fn directive_to_value(d: &AllowDirective) -> Value {
+    Value::Object(vec![
+        ("line".into(), num(d.line)),
+        (
+            "ids".into(),
+            Value::Array(d.ids.iter().map(|i| Value::String(i.clone())).collect()),
+        ),
+        ("reason".into(), Value::Bool(d.has_reason)),
+    ])
+}
+
+fn directive_from_value(v: &Value) -> Option<AllowDirective> {
+    Some(AllowDirective {
+        line: u32_of(v.get("line")?)?,
+        ids: v
+            .get("ids")?
+            .as_array()?
+            .iter()
+            .map(str_of)
+            .collect::<Option<Vec<_>>>()?,
+        has_reason: matches!(v.get("reason")?, Value::Bool(true)),
+    })
+}
+
+fn facts_to_value(facts: &FileFacts) -> Value {
+    let strings =
+        |items: &[String]| Value::Array(items.iter().map(|s| Value::String(s.clone())).collect());
+    Value::Object(vec![
+        (
+            "fns".into(),
+            Value::Array(facts.fns.iter().map(fn_to_value).collect()),
+        ),
+        ("mods".into(), strings(&facts.mods)),
+        ("uses".into(), strings(&facts.uses)),
+    ])
+}
+
+fn facts_from_value(v: &Value) -> Option<FileFacts> {
+    let strings = |v: &Value| -> Option<Vec<String>> { v.as_array()?.iter().map(str_of).collect() };
+    Some(FileFacts {
+        fns: v
+            .get("fns")?
+            .as_array()?
+            .iter()
+            .map(fn_from_value)
+            .collect::<Option<Vec<_>>>()?,
+        mods: strings(v.get("mods")?)?,
+        uses: strings(v.get("uses")?)?,
+    })
+}
+
+fn fn_to_value(f: &FnFacts) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::String(f.name.clone())),
+        ("qual".into(), Value::String(f.qual.clone())),
+        ("line".into(), num(f.line)),
+        ("cfg_test".into(), Value::Bool(f.in_cfg_test)),
+        (
+            "params".into(),
+            Value::Array(
+                f.params
+                    .iter()
+                    .map(|p| {
+                        Value::Object(vec![
+                            ("name".into(), Value::String(p.name.clone())),
+                            ("ty".into(), Value::String(p.ty.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("has_loop".into(), Value::Bool(f.has_loop)),
+        (
+            "polls".into(),
+            Value::Array(
+                f.polls
+                    .iter()
+                    .map(|p| Value::Array(vec![num(p.line), Value::Bool(p.in_loop)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "calls".into(),
+            Value::Array(
+                f.calls
+                    .iter()
+                    .map(|c| {
+                        Value::Object(vec![
+                            ("name".into(), Value::String(c.name.clone())),
+                            (
+                                "qual".into(),
+                                c.qual.clone().map_or(Value::Null, Value::String),
+                            ),
+                            ("method".into(), Value::Bool(c.method)),
+                            ("line".into(), num(c.line)),
+                            ("in_loop".into(), Value::Bool(c.in_loop)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "emits".into(),
+            Value::Array(
+                f.emits
+                    .iter()
+                    .map(|e| {
+                        Value::Array(vec![
+                            Value::String(
+                                match e.kind {
+                                    EmitKind::PassStart => "start",
+                                    EmitKind::PassEnd => "end",
+                                }
+                                .into(),
+                            ),
+                            num(e.line),
+                            num(e.order),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "returns".into(),
+            Value::Array(
+                f.returns
+                    .iter()
+                    .map(|&(line, order)| Value::Array(vec![num(line), num(order)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "locks".into(),
+            Value::Array(f.locks.iter().map(|&l| num(l)).collect()),
+        ),
+        (
+            "loop_allocs".into(),
+            Value::Array(
+                f.loop_allocs
+                    .iter()
+                    .map(|(line, what)| Value::Array(vec![num(*line), Value::String(what.clone())]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn fn_from_value(v: &Value) -> Option<FnFacts> {
+    Some(FnFacts {
+        name: str_of(v.get("name")?)?,
+        qual: str_of(v.get("qual")?)?,
+        line: u32_of(v.get("line")?)?,
+        in_cfg_test: matches!(v.get("cfg_test")?, Value::Bool(true)),
+        params: v
+            .get("params")?
+            .as_array()?
+            .iter()
+            .map(|p| {
+                Some(Param {
+                    name: str_of(p.get("name")?)?,
+                    ty: str_of(p.get("ty")?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        has_loop: matches!(v.get("has_loop")?, Value::Bool(true)),
+        polls: v
+            .get("polls")?
+            .as_array()?
+            .iter()
+            .map(|p| {
+                let pair = p.as_array()?;
+                Some(PollSite {
+                    line: u32_of(pair.first()?)?,
+                    in_loop: matches!(pair.get(1)?, Value::Bool(true)),
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        calls: v
+            .get("calls")?
+            .as_array()?
+            .iter()
+            .map(|c| {
+                Some(CallSite {
+                    name: str_of(c.get("name")?)?,
+                    qual: match c.get("qual")? {
+                        Value::Null => None,
+                        other => Some(str_of(other)?),
+                    },
+                    method: matches!(c.get("method")?, Value::Bool(true)),
+                    line: u32_of(c.get("line")?)?,
+                    in_loop: matches!(c.get("in_loop")?, Value::Bool(true)),
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        emits: v
+            .get("emits")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                let triple = e.as_array()?;
+                Some(EmitSite {
+                    kind: match triple.first()?.as_str()? {
+                        "start" => EmitKind::PassStart,
+                        "end" => EmitKind::PassEnd,
+                        _ => return None,
+                    },
+                    line: u32_of(triple.get(1)?)?,
+                    order: u32_of(triple.get(2)?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        returns: v
+            .get("returns")?
+            .as_array()?
+            .iter()
+            .map(|r| {
+                let pair = r.as_array()?;
+                Some((u32_of(pair.first()?)?, u32_of(pair.get(1)?)?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        locks: v
+            .get("locks")?
+            .as_array()?
+            .iter()
+            .map(u32_of)
+            .collect::<Option<Vec<_>>>()?,
+        loop_allocs: v
+            .get("loop_allocs")?
+            .as_array()?
+            .iter()
+            .map(|a| {
+                let pair = a.as_array()?;
+                Some((u32_of(pair.first()?)?, str_of(pair.get(1)?)?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::lints::{lint_file, FileClass};
+    use crate::parser::parse;
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let src = "fn hot(ctrl: Option<&CancelToken>) -> io::Result<()> {\n\
+                   // negassoc-lint: allow(L001) -- demo\n\
+                   let x = compute().unwrap();\n\
+                   for t in db() { ctrl.unwrap().check()?; emit(x, t); }\n\
+                   obs.emit(|| Event::PassStart { label: l(), candidates: 0 });\n\
+                   obs.emit(|| Event::PassEnd { stats: s() });\n\
+                   Ok(())\n}\n";
+        let lexed = lex(src);
+        let rec = FileRecord {
+            hash: fnv1a(src.as_bytes()),
+            findings: lint_file("crates/demo/src/hot.rs", &lexed, FileClass::Library),
+            directives: lexed.allows.clone(),
+            facts: parse(&lexed),
+        };
+        assert!(!rec.findings.is_empty() && !rec.directives.is_empty());
+        let emitted = record_to_value(&rec).emit();
+        let back = record_from_value(&json::parse(&emitted).unwrap()).unwrap();
+        assert_eq!(back.hash, rec.hash);
+        assert_eq!(back.findings, rec.findings);
+        assert_eq!(back.directives, rec.directives);
+        assert_eq!(back.facts, rec.facts);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_caches_load_empty() {
+        let dir = std::env::temp_dir().join("xtask-cache-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let p = dir.join("bad.json");
+        std::fs::write(&p, "{not json").unwrap();
+        assert!(Cache::load(&p).files.is_empty());
+        std::fs::write(&p, "{\"version\": 999, \"files\": {}}").unwrap();
+        assert!(Cache::load(&p).files.is_empty());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn store_then_load_preserves_records() {
+        let dir = std::env::temp_dir().join(format!("xtask-cache-rt-{}", std::process::id()));
+        let p = dir.join("cache.json");
+        let mut cache = Cache::default();
+        let src = "fn f() { let _ = x.unwrap(); }\n";
+        let lexed = lex(src);
+        cache.files.insert(
+            "crates/demo/src/f.rs".into(),
+            FileRecord {
+                hash: fnv1a(src.as_bytes()),
+                findings: lint_file("crates/demo/src/f.rs", &lexed, FileClass::Library),
+                directives: lexed.allows.clone(),
+                facts: parse(&lexed),
+            },
+        );
+        cache.store(&p);
+        let back = Cache::load(&p);
+        assert_eq!(back.files.len(), 1);
+        let rec = &back.files["crates/demo/src/f.rs"];
+        assert_eq!(rec.findings.len(), 1);
+        assert_eq!(rec.facts.fns.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

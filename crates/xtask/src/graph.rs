@@ -1,0 +1,190 @@
+//! A conservative call graph over the symbol table, plus the fixpoint
+//! propagations the flow lints run on it.
+//!
+//! Resolution is by name, not by type (there is no type checker here):
+//!
+//! * `recv.name(…)` and free `name(…)` calls edge to **every** workspace
+//!   fn named `name`;
+//! * `Qual::name(…)` with an uppercase qualifier edges only to
+//!   `impl Qual` methods — and to nothing at all when the workspace has
+//!   no such method (so `Arc::new`, `Vec::with_capacity` and friends do
+//!   not smear edges across every constructor in the tree);
+//! * lowercase qualifiers are module paths (`count::count_mixed`) and
+//!   fall back to bare-name resolution.
+//!
+//! Over-approximation is deliberate: for L010/L011 a *missing* edge
+//! means less delegation credit (the lint fires and an allow documents
+//! it), and for L012 an *extra* edge only widens the audited set.
+
+use crate::items::SymbolTable;
+
+/// Call edges, parallel to `SymbolTable::fns`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `callees[i]` = table indexes `i` may call. Deduplicated, sorted.
+    pub callees: Vec<Vec<usize>>,
+    /// Loop-scoped subset: callees invoked from inside a loop scope.
+    pub loop_callees: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph by resolving every recorded call site.
+    pub fn build(table: &SymbolTable) -> CallGraph {
+        let mut graph = CallGraph {
+            callees: vec![Vec::new(); table.fns.len()],
+            loop_callees: vec![Vec::new(); table.fns.len()],
+        };
+        for (i, entry) in table.fns.iter().enumerate() {
+            for call in &entry.facts.calls {
+                let targets: &[usize] = match &call.qual {
+                    Some(q) if q.chars().next().is_some_and(char::is_uppercase) => table
+                        .by_qual
+                        .get(&format!("{q}::{}", call.name))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]),
+                    _ => table
+                        .by_name
+                        .get(&call.name)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]),
+                };
+                for &t in targets {
+                    if t == i {
+                        continue;
+                    }
+                    graph.callees[i].push(t);
+                    if call.in_loop {
+                        graph.loop_callees[i].push(t);
+                    }
+                }
+            }
+        }
+        for list in graph
+            .callees
+            .iter_mut()
+            .chain(graph.loop_callees.iter_mut())
+        {
+            list.sort_unstable();
+            list.dedup();
+        }
+        graph
+    }
+
+    /// Forward closure: every fn reachable from the seed set (seeds
+    /// included) following callee edges.
+    pub fn reachable_from(&self, seeds: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.callees.len()];
+        let mut work: Vec<usize> = seeds.to_vec();
+        for &s in seeds {
+            seen[s] = true;
+        }
+        while let Some(i) = work.pop() {
+            for &c in &self.callees[i] {
+                if !seen[c] {
+                    seen[c] = true;
+                    work.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Backward fixpoint: a fn holds the property if it is seeded or if
+    /// any of its callees holds it ("calls a fn that transitively …").
+    pub fn propagate_to_callers(&self, seed: &[bool]) -> Vec<bool> {
+        let n = self.callees.len();
+        let mut marked = seed.to_vec();
+        // Reverse edges once, then drain a worklist.
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, cs) in self.callees.iter().enumerate() {
+            for &c in cs {
+                callers[c].push(i);
+            }
+        }
+        let mut work: Vec<usize> = (0..n).filter(|&i| marked[i]).collect();
+        while let Some(i) = work.pop() {
+            for &caller in &callers[i] {
+                if !marked[caller] {
+                    marked[caller] = true;
+                    work.push(caller);
+                }
+            }
+        }
+        marked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::SymbolTable;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn table(sources: &[(&str, &str)]) -> SymbolTable {
+        let files: Vec<(String, crate::parser::FileFacts)> = sources
+            .iter()
+            .map(|(p, s)| (p.to_string(), parse(&lex(s))))
+            .collect();
+        SymbolTable::build(&files)
+    }
+
+    fn idx(t: &SymbolTable, name: &str) -> usize {
+        t.by_name[name][0]
+    }
+
+    #[test]
+    fn name_and_qual_resolution() {
+        let t = table(&[
+            (
+                "a.rs",
+                "fn top() { helper(); Counter::build(); Arc::new(0); }\nfn helper() {}\n",
+            ),
+            (
+                "b.rs",
+                "impl Counter { fn build() {} }\nimpl Other { fn new() {} }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&t);
+        let top = idx(&t, "top");
+        assert!(g.callees[top].contains(&idx(&t, "helper")));
+        assert!(g.callees[top].contains(&idx(&t, "build")));
+        // `Arc::new` must NOT edge to `Other::new`: unknown uppercase
+        // qualifiers resolve to nothing.
+        assert!(!g.callees[top].contains(&idx(&t, "new")));
+    }
+
+    #[test]
+    fn module_path_calls_fall_back_to_names() {
+        let t = table(&[(
+            "a.rs",
+            "fn top() { count::count_mixed(); }\nfn count_mixed() {}\n",
+        )]);
+        let g = CallGraph::build(&t);
+        assert!(g.callees[idx(&t, "top")].contains(&idx(&t, "count_mixed")));
+    }
+
+    #[test]
+    fn poll_credit_propagates_to_callers() {
+        let t = table(&[(
+            "a.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c(t: &CancelToken) { t.check(); }\n",
+        )]);
+        let g = CallGraph::build(&t);
+        let seed: Vec<bool> = t.fns.iter().map(|e| !e.facts.polls.is_empty()).collect();
+        let polls = g.propagate_to_callers(&seed);
+        assert!(polls[idx(&t, "a")] && polls[idx(&t, "b")] && polls[idx(&t, "c")]);
+    }
+
+    #[test]
+    fn reachability_is_forward() {
+        let t = table(&[(
+            "a.rs",
+            "fn parallel_pass() { helper(); }\nfn helper() {}\nfn unrelated() { parallel_pass(); }\n",
+        )]);
+        let g = CallGraph::build(&t);
+        let reach = g.reachable_from(&[idx(&t, "parallel_pass")]);
+        assert!(reach[idx(&t, "helper")]);
+        assert!(!reach[idx(&t, "unrelated")], "callers are not reachable");
+    }
+}

@@ -1,0 +1,67 @@
+//! The workspace symbol table: every library function's facts, indexed
+//! for call resolution.
+//!
+//! Only `Library`-class files contribute — fixtures, benches and
+//! `#[cfg(test)]` helpers must never lend "polls the token" or "emits
+//! the end event" credit to production code, and the flow lints never
+//! report into them either.
+
+use crate::parser::{FileFacts, FnFacts};
+use std::collections::HashMap;
+
+/// One table entry: a function plus the file it lives in.
+#[derive(Clone, Debug)]
+pub struct FnEntry {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Parsed facts (signature + body summary).
+    pub facts: FnFacts,
+}
+
+/// The workspace symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All entries, in (path, line) order.
+    pub fns: Vec<FnEntry>,
+    /// Bare name → entry indexes.
+    pub by_name: HashMap<String, Vec<usize>>,
+    /// `Type::name` → entry indexes (impl methods only).
+    pub by_qual: HashMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Build the table from per-file facts of **library** files.
+    /// `#[cfg(test)]` functions are dropped here.
+    pub fn build(files: &[(String, FileFacts)]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (path, facts) in files {
+            for f in &facts.fns {
+                if f.in_cfg_test {
+                    continue;
+                }
+                table.fns.push(FnEntry {
+                    path: path.clone(),
+                    facts: f.clone(),
+                });
+            }
+        }
+        table
+            .fns
+            .sort_by(|a, b| (&a.path, a.facts.line).cmp(&(&b.path, b.facts.line)));
+        for (i, e) in table.fns.iter().enumerate() {
+            table
+                .by_name
+                .entry(e.facts.name.clone())
+                .or_default()
+                .push(i);
+            if e.facts.qual != e.facts.name {
+                table
+                    .by_qual
+                    .entry(e.facts.qual.clone())
+                    .or_default()
+                    .push(i);
+            }
+        }
+        table
+    }
+}

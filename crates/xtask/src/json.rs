@@ -30,8 +30,8 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Render an analysis as a JSON document:
-/// `{"files_scanned":N,"findings":[…],"counts":{"L001":n,…}}`.
+/// Render an analysis as a JSON document: findings (with severity),
+/// per-lint counts, and the scan/cache/walk accounting.
 pub fn render(analysis: &Analysis) -> String {
     let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
     for f in &analysis.findings {
@@ -40,6 +40,36 @@ pub fn render(analysis: &Analysis) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"files_scanned\": {},", analysis.files_scanned);
+    let _ = writeln!(out, "  \"library_files\": {},", analysis.library_files);
+    let _ = writeln!(
+        out,
+        "  \"test_support_files\": {},",
+        analysis.test_support_files
+    );
+    out.push_str("  \"skipped_dirs\": {");
+    for (i, (dir, n)) in analysis.skipped_dirs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape(dir), n);
+    }
+    if analysis.skipped_dirs.is_empty() {
+        out.push_str("},\n");
+    } else {
+        out.push_str("\n  },\n");
+    }
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}}},",
+        analysis.cache_hits, analysis.cache_misses
+    );
+    let _ = writeln!(out, "  \"baselined\": {},", analysis.baselined);
+    let _ = writeln!(
+        out,
+        "  \"deny\": {}, \"warn\": {},",
+        analysis.deny_count(),
+        analysis.warn_count()
+    );
     out.push_str("  \"findings\": [");
     for (i, f) in analysis.findings.iter().enumerate() {
         if i > 0 {
@@ -70,8 +100,10 @@ pub fn render(analysis: &Analysis) -> String {
 
 fn render_finding(f: &Finding) -> String {
     format!(
-        "{{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+        "{{\"lint\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+         \"message\": \"{}\"}}",
         escape(f.lint),
+        crate::lints::lint_info(f.lint).severity.label(),
         escape(&f.path),
         f.line,
         escape(&f.message)
@@ -102,6 +134,77 @@ impl Value {
         match self {
             Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line emission; `parse(emit(v)) == v` for every
+    /// value the workspace builds (numbers emit with enough precision to
+    /// round-trip the integer counters).
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::String(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.emit_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":", escape(k));
+                    v.emit_into(out);
+                }
+                out.push('}');
+            }
         }
     }
 }
@@ -311,14 +414,23 @@ impl Parser<'_> {
                     return Err(self.error("unescaped control character in string"))
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar. The input arrived as a
-                    // `&str` and the parser only advances by whole chars,
-                    // so `pos` is always on a char boundary.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume a run of plain characters in one slice —
+                    // per-char validation of the remaining input made
+                    // parsing quadratic on megabyte documents (the
+                    // analyze cache). `"`, `\` and control bytes never
+                    // occur inside a multi-byte UTF-8 sequence, so the
+                    // run always ends on a char boundary; the input
+                    // arrived as a `&str`, so the run itself is valid.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("bad UTF-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.error("bad UTF-8"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -411,6 +523,7 @@ mod tests {
                 message: "a \"quoted\" message".into(),
             }],
             files_scanned: 1,
+            ..Analysis::default()
         };
         let v = parse(&render(&one)).expect("render output parses");
         assert_eq!(v.get("files_scanned"), Some(&Value::Number(1.0)));
@@ -436,6 +549,7 @@ mod tests {
                 message: "msg".into(),
             }],
             files_scanned: 1,
+            ..Analysis::default()
         };
         let doc = render(&one);
         assert!(doc.contains("\"L001\": 1"));

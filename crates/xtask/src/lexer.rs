@@ -10,8 +10,6 @@
 //! exactly the right power for "call of `.unwrap()`" or "`==` near a
 //! support expression" and keeps the analyzer dependency-free.
 
-use std::collections::{HashMap, HashSet};
-
 /// Token classes the lints distinguish.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TokenKind {
@@ -40,16 +38,39 @@ pub struct Token {
     pub line: u32,
 }
 
+/// One `// negassoc-lint: allow(…)` directive pulled from a comment.
+///
+/// A directive suppresses findings on its own line and the line below.
+/// `has_reason` records whether a `-- reason` tail was present; L013
+/// treats a reasonless directive as a finding of its own.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Lint ids named inside `allow(…)`, in source order.
+    pub ids: Vec<String>,
+    /// Whether a `-- reason` (or `— reason`) tail follows the `)`.
+    pub has_reason: bool,
+}
+
 /// The lexed file: tokens plus the lint-allow directives found in
 /// comments.
 #[derive(Debug, Default)]
 pub struct LexedFile {
     /// All tokens, comments stripped.
     pub tokens: Vec<Token>,
-    /// `line -> lint ids` from `// negassoc-lint: allow(L001, …)`
-    /// directives; a directive suppresses findings on its own line and the
-    /// line below.
-    pub allows: HashMap<u32, HashSet<String>>,
+    /// Allow directives in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl LexedFile {
+    /// The directive ids covering `line` (its own line or the line above).
+    pub fn allows_on(&self, line: u32) -> impl Iterator<Item = &str> {
+        self.allows
+            .iter()
+            .filter(move |d| d.line == line || d.line == line.saturating_sub(1))
+            .flat_map(|d| d.ids.iter().map(String::as_str))
+    }
 }
 
 /// Multi-character operators merged into single tokens, longest first.
@@ -84,6 +105,24 @@ pub fn lex(source: &str) -> LexedFile {
                 collect_allow_directive(&source[i..end], line, &mut out.allows);
                 line += newlines;
                 i = end;
+            }
+            // Raw identifier `r#match`: one Ident token (keeping the
+            // `r#` prefix so a raw keyword never masquerades as the real
+            // one), not an `r` ident + `#` punct — and definitely not a
+            // raw-string opener.
+            b'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes.get(i + 2).is_some_and(|&b| is_ident_start(b)) =>
+            {
+                let mut j = i + 3;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[i..j].into(),
+                    line,
+                });
+                i = j;
             }
             b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
                 let (end, newlines, open) = skip_string_like(bytes, i);
@@ -345,9 +384,22 @@ fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
     }
 }
 
-/// Pull `negassoc-lint: allow(...)` ids out of a comment.
-fn collect_allow_directive(comment: &str, line: u32, allows: &mut HashMap<u32, HashSet<String>>) {
+/// Pull a `negassoc-lint: allow(...) -- reason` directive out of a
+/// comment. The reason tail may use `--`, `—` or `–` as the separator;
+/// what matters for L013 is that a non-empty justification follows.
+///
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) are skipped: they describe
+/// the directive syntax (this file does, several times) without enacting
+/// it. Ids must have the `L` + three digits shape; placeholders such as
+/// `L00x` or `…` in explanatory comments are not directives.
+fn collect_allow_directive(comment: &str, line: u32, allows: &mut Vec<AllowDirective>) {
     const MARKER: &str = "negassoc-lint:";
+    if ["///", "//!", "/**", "/*!"]
+        .iter()
+        .any(|d| comment.starts_with(d))
+    {
+        return;
+    }
     let Some(pos) = comment.find(MARKER) else {
         return;
     };
@@ -358,13 +410,32 @@ fn collect_allow_directive(comment: &str, line: u32, allows: &mut HashMap<u32, H
     let Some(end) = rest.find(')') else {
         return;
     };
-    let ids = allows.entry(line).or_default();
-    for id in rest[..end].split(',') {
-        let id = id.trim();
-        if !id.is_empty() {
-            ids.insert(id.to_string());
-        }
+    let ids: Vec<String> = rest[..end]
+        .split(',')
+        .map(str::trim)
+        .filter(|id| is_lint_id(id))
+        .map(str::to_string)
+        .collect();
+    if ids.is_empty() {
+        return;
     }
+    let mut tail = rest[end + 1..].trim();
+    if let Some(stripped) = tail.strip_suffix("*/") {
+        tail = stripped.trim();
+    }
+    let has_reason = ["--", "\u{2014}", "\u{2013}"]
+        .iter()
+        .any(|sep| tail.strip_prefix(sep).is_some_and(|r| !r.trim().is_empty()));
+    allows.push(AllowDirective {
+        line,
+        ids,
+        has_reason,
+    });
+}
+
+/// `L` followed by exactly three ASCII digits.
+fn is_lint_id(id: &str) -> bool {
+    id.len() == 4 && id.starts_with('L') && id.as_bytes()[1..].iter().all(u8::is_ascii_digit)
 }
 
 #[cfg(test)]
@@ -412,9 +483,87 @@ mod tests {
     #[test]
     fn allow_directives_are_collected() {
         let lexed = lex("foo(); // negassoc-lint: allow(L001, L005)\nbar();");
-        let ids = &lexed.allows[&1];
-        assert!(ids.contains("L001") && ids.contains("L005"));
-        assert!(!lexed.allows.contains_key(&2));
+        assert_eq!(lexed.allows.len(), 1);
+        let d = &lexed.allows[0];
+        assert_eq!(d.line, 1);
+        assert_eq!(d.ids, ["L001", "L005"]);
+        assert!(!d.has_reason, "no `--` tail, no reason");
+    }
+
+    #[test]
+    fn allow_reasons_accept_double_dash_and_dashes() {
+        for src in [
+            "// negassoc-lint: allow(L003) -- the invariant is checked above",
+            "// negassoc-lint: allow(L003) — the invariant is checked above",
+            "/* negassoc-lint: allow(L003) -- inside a block comment */",
+        ] {
+            assert!(lex(src).allows[0].has_reason, "{src:?}");
+        }
+        for src in [
+            "// negassoc-lint: allow(L003)",
+            "// negassoc-lint: allow(L003) --",
+            "// negassoc-lint: allow(L003) trailing words without a dash",
+        ] {
+            assert!(!lex(src).allows[0].has_reason, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_and_placeholder_ids_are_not_directives() {
+        // Doc comments document the syntax; they never enact it.
+        for src in [
+            "/// suppress with // negassoc-lint: allow(L001) -- reason",
+            "//! suppress with // negassoc-lint: allow(L001) -- reason",
+            "/*! negassoc-lint: allow(L001) -- reason */",
+            "/** negassoc-lint: allow(L001) -- reason */",
+            // Placeholder ids in explanatory comments are not lint ids.
+            "// negassoc-lint: allow(L00x) -- reason",
+            "// negassoc-lint: allow(...) -- reason",
+            "// negassoc-lint: allow(\u{2026}) -- reason",
+        ] {
+            assert!(lex(src).allows.is_empty(), "{src:?}");
+        }
+        // Invalid ids are dropped, valid ones in the same directive kept.
+        let lexed = lex("// negassoc-lint: allow(L001, L00x) -- reason");
+        assert_eq!(lexed.allows[0].ids, ["L001"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        // `r#ident`, a fenced raw string and a fenced raw byte string side
+        // by side: the identifiers survive intact, the literal contents
+        // leak no tokens.
+        let src = "let r#match = 1; let s = r#\"raw != \"#; let b = br#\"bytes == \"#; done";
+        let lexed = lex(src);
+        let t: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(t.contains(&"r#match"), "raw ident stays one token: {t:?}");
+        assert!(
+            !t.contains(&"match"),
+            "raw keyword must not surface as the real keyword: {t:?}"
+        );
+        assert!(!t.contains(&"!=") && !t.contains(&"=="), "{t:?}");
+        assert!(
+            t.contains(&"done"),
+            "lexing continues past both fences: {t:?}"
+        );
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2,
+            "exactly the two raw strings are literals"
+        );
+    }
+
+    #[test]
+    fn byte_char_adjacency_is_not_a_byte_string() {
+        // `b'x'` is a byte char; a plain ident `b` followed by a lifetime
+        // must not fuse with it.
+        let t = texts("let x = b'a'; f::<'b>(x)");
+        assert!(t.contains(&"b'".to_string()), "byte char literal: {t:?}");
+        assert!(t.contains(&"f".to_string()));
     }
 
     #[test]

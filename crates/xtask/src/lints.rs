@@ -1,8 +1,10 @@
-//! The negassoc custom lints, L001–L009.
+//! The negassoc custom lints: token-level L001–L009 (this module) and
+//! flow-level L010–L013 (checked in [`crate::flow`] over the item graph,
+//! registered here).
 //!
-//! Each lint matches token patterns from [`crate::lexer`] against the
-//! workspace's invariants (documented in DESIGN.md "Invariants & static
-//! analysis"):
+//! Each token lint matches token patterns from [`crate::lexer`] against
+//! the workspace's invariants (documented in DESIGN.md "Invariants &
+//! static analysis"):
 //!
 //! | id   | invariant |
 //! |------|-----------|
@@ -16,12 +18,59 @@
 //! | L008 | no `process::exit` and no unbounded `.recv()` outside `txdb/src/block.rs` — raw exits skip Drop (checkpoint flush, watchdog join) and the exit-code contract; blocking receives can never observe a `CancelToken` |
 //! | L009 | no `println!`/`eprintln!` outside `crates/cli`, `crates/xtask`, and `bin/` targets — library crates report through return values and the obs layer (DESIGN.md §11), never the terminal |
 //!
+//! The flow lints (see DESIGN.md §12 for semantics and caveats):
+//!
+//! | id   | invariant |
+//! |------|-----------|
+//! | L010 | a library fn taking `&CancelToken`/`RunControl` that loops must poll inside the loop, directly or through a callee that transitively polls |
+//! | L011 | a fn emitting `Event::PassStart` emits `Event::PassEnd` on every non-`?` return path (a callee that transitively emits the end counts) |
+//! | L012 | no `Mutex`/`RwLock` or allocation-in-loop in fns reachable from `parallel_pass`/`count_mixed_parallel` — counting workers use private structures merged afterwards (warn-level) |
+//! | L013 | every allow directive carries a `-- reason` and still suppresses a finding; stale or reasonless allows are findings |
+//!
 //! "Library code" excludes `tests/`, `benches/`, `examples/` directories
 //! and `#[cfg(test)]` modules. Any finding can be suppressed with a
 //! justification comment on the same or preceding line:
 //! `// negassoc-lint: allow(L00x) — reason`.
 
-use crate::lexer::{LexedFile, Token, TokenKind};
+use crate::lexer::{AllowDirective, LexedFile, Token, TokenKind};
+
+/// How a finding counts against the exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails `xtask analyze` (and CI).
+    Deny,
+    /// Reported, but only fails under `--deny-all`.
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case label used in output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// What the lint can see.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Single-file token patterns.
+    Token,
+    /// Whole-workspace item graph + call graph (`flow.rs`).
+    Flow,
+}
+
+impl LintLevel {
+    /// Lower-case label used in output.
+    pub fn label(self) -> &'static str {
+        match self {
+            LintLevel::Token => "token",
+            LintLevel::Flow => "flow",
+        }
+    }
+}
 
 /// A single lint rule.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +81,23 @@ pub struct Lint {
     pub summary: &'static str,
     /// Whether the lint only applies to library (non-test) code.
     pub library_only: bool,
+    /// Deny (CI-failing) or warn.
+    pub severity: Severity,
+    /// Token-level or cross-file flow-level.
+    pub level: LintLevel,
+}
+
+/// Registry lookup by id; unknown ids fall back to a deny/token stub so
+/// a stray finding is never silently downgraded.
+pub fn lint_info(id: &str) -> &'static Lint {
+    const UNKNOWN: Lint = Lint {
+        id: "L???",
+        summary: "unregistered lint id",
+        library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
+    };
+    LINTS.iter().find(|l| l.id == id).unwrap_or(&UNKNOWN)
 }
 
 /// The lint registry, in id order.
@@ -40,48 +106,99 @@ pub const LINTS: &[Lint] = &[
         id: "L001",
         summary: "unwrap()/expect() in library code; route through NegAssocError",
         library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
     },
     Lint {
         id: "L002",
         summary: "raw ==/!= on f64 support/RI values; use expected::approx_eq/approx_ge",
         library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
     },
     Lint {
         id: "L003",
         summary: "panic!/unreachable!/todo!/unimplemented! in library code",
         library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
     },
     Lint {
         id: "L004",
         summary: "Itemset built without its sorting/dedup constructors",
         library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
     },
     Lint {
         id: "L005",
         summary: "lossy `as` cast on a support counter outside counting.rs/expected.rs",
         library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
     },
     Lint {
         id: "L006",
         summary: "io::Result in the core crate; return Result<_, NegAssocError> instead",
         library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
     },
     Lint {
         id: "L007",
         summary: "bare thread::spawn outside txdb's block module; use the scoped counting pool",
         library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
     },
     Lint {
         id: "L008",
         summary: "process::exit or unbounded .recv() outside txdb's block module; \
                   both defeat cooperative cancellation",
         library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
     },
     Lint {
         id: "L009",
         summary: "println!/eprintln! outside crates/cli, crates/xtask, and bin targets; \
                   report through return values or the obs layer",
         library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Token,
+    },
+    Lint {
+        id: "L010",
+        summary: "fn takes &CancelToken/RunControl and loops without polling it in the \
+                  loop (directly or via a callee that transitively polls)",
+        library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Flow,
+    },
+    Lint {
+        id: "L011",
+        summary: "fn emits Event::PassStart without a matching PassEnd on every \
+                  non-`?` return path (call-graph delegation counts)",
+        library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Flow,
+    },
+    Lint {
+        id: "L012",
+        summary: "Mutex/RwLock or allocation-in-loop inside a fn reachable from \
+                  parallel_pass/count_mixed_parallel (workers use private structures, \
+                  DESIGN.md \u{00a7}9)",
+        library_only: true,
+        severity: Severity::Warn,
+        level: LintLevel::Flow,
+    },
+    Lint {
+        id: "L013",
+        summary: "negassoc-lint allow directive without a `-- reason`, or one that no \
+                  longer suppresses anything (stale)",
+        library_only: true,
+        severity: Severity::Deny,
+        level: LintLevel::Flow,
     },
 ];
 
@@ -108,9 +225,12 @@ pub enum FileClass {
     TestSupport,
 }
 
-/// Run every lint over one lexed file. `path` is workspace-relative and
-/// used both for diagnostics and for path-scoped exemptions (L004/L005
-/// sanction their implementation files).
+/// Run the token-level lints over one lexed file, returning **raw**
+/// (unsuppressed) findings. `path` is workspace-relative and used both
+/// for diagnostics and for path-scoped exemptions (L004/L005 sanction
+/// their implementation files). Suppression is a separate step —
+/// [`apply_allows`] — so the cross-file pipeline can pool token and flow
+/// findings before deciding which directives were actually used (L013).
 pub fn lint_file(path: &str, lexed: &LexedFile, class: FileClass) -> Vec<Finding> {
     let mut findings = Vec::new();
     if class == FileClass::Library {
@@ -126,22 +246,43 @@ pub fn lint_file(path: &str, lexed: &LexedFile, class: FileClass) -> Vec<Finding
         l008_uncancellable_waits(path, lexed, &in_test, &mut findings);
         l009_println(path, lexed, &in_test, &mut findings);
     }
-    // Apply allow directives (same line or the line above the finding).
-    findings.retain(|f| {
-        let allowed = |line: u32| {
-            lexed
-                .allows
-                .get(&line)
-                .is_some_and(|ids| ids.contains(f.lint))
-        };
-        !(allowed(f.line) || allowed(f.line.saturating_sub(1)))
-    });
     findings
+}
+
+/// Drop findings covered by an allow directive on the same line or the
+/// line above, and record which `(directive line, lint id)` pairs did
+/// suppress something — the input to L013's staleness check.
+pub fn apply_allows(
+    findings: &mut Vec<Finding>,
+    directives: &[AllowDirective],
+    used: &mut Vec<(u32, String)>,
+) {
+    findings.retain(|f| {
+        let mut hit = None;
+        for d in directives {
+            if (d.line == f.line || d.line == f.line.saturating_sub(1))
+                && d.ids.iter().any(|id| id == f.lint)
+            {
+                hit = Some(d.line);
+                break;
+            }
+        }
+        match hit {
+            Some(line) => {
+                let pair = (line, f.lint.to_string());
+                if !used.contains(&pair) {
+                    used.push(pair);
+                }
+                false
+            }
+            None => true,
+        }
+    });
 }
 
 /// Line spans (inclusive) of `#[cfg(test)] mod … { … }` items and other
 /// `#[cfg(test)]`-gated braced items.
-fn cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut spans = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -191,7 +332,12 @@ fn matches_seq(tokens: &[Token], from: usize, texts: &[&str]) -> bool {
 /// Index just past the token matching the opener at `open`. The opener
 /// need not be at `open` itself; the first `open_text` at or after `open`
 /// anchors the count.
-fn matching(tokens: &[Token], open: usize, open_text: &str, close_text: &str) -> Option<usize> {
+pub(crate) fn matching(
+    tokens: &[Token],
+    open: usize,
+    open_text: &str,
+    close_text: &str,
+) -> Option<usize> {
     let mut depth = 0usize;
     for (k, t) in tokens.iter().enumerate().skip(open) {
         if t.text == open_text {

@@ -7,11 +7,22 @@ use std::process::ExitCode;
 
 const USAGE: &str = "xtask <analyze|validate-json|help> [options]
 
-  analyze        run the L001-L009 invariant lints over the workspace
-                 --json       machine-readable output
-                 --deny-all   exit nonzero when any finding remains
-                 --list       print the lint registry and exit
-                 --root PATH  analyze PATH instead of the enclosing workspace
+  analyze        run the L001-L013 invariant lints over the workspace
+                 (token lints L001-L009, cross-file flow lints L010-L013)
+                 --json             machine-readable output
+                 --deny-all        treat warn-level findings as deny
+                 --list             print the lint registry (id, severity,
+                                    token/flow level) and exit
+                 --root PATH        analyze PATH instead of the enclosing
+                                    workspace
+                 --no-cache         ignore and do not write the incremental
+                                    cache (target/xtask/analyze-cache.json)
+                 --update-baseline  rewrite lint-baseline.txt from the
+                                    current findings and exit 0
+
+                 exit codes: 0 = clean (warn-level findings allowed unless
+                 --deny-all), 1 = deny-level findings remain (--deny-all:
+                 any findings at all), 2 = usage or I/O error
 
   validate-json  parse FILE and exit nonzero on the first syntax error
                  FILE         the document (or stream) to check
@@ -19,7 +30,9 @@ const USAGE: &str = "xtask <analyze|validate-json|help> [options]
                               as written by `negrules … --trace FILE`
 
 Findings are suppressed by a justification comment on the same or the
-preceding line:  // negassoc-lint: allow(L00x) -- reason";
+preceding line:  // negassoc-lint: allow(L00x) -- reason
+(L013 fails reasonless or stale allows), or grandfathered in
+lint-baseline.txt at the workspace root.";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -81,15 +94,30 @@ fn validate_json(args: Vec<String>) -> ExitCode {
 fn analyze(args: Vec<String>) -> ExitCode {
     let mut json = false;
     let mut deny_all = false;
+    let mut update_baseline = false;
+    let mut opts = xtask::AnalyzeOptions::default();
     let mut root: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--deny-all" => deny_all = true,
+            "--no-cache" => opts.use_cache = false,
+            "--update-baseline" => {
+                update_baseline = true;
+                // The new baseline is computed from findings *before*
+                // the old baseline subtracts anything.
+                opts.use_baseline = false;
+            }
             "--list" => {
                 for lint in xtask::lints::LINTS {
-                    println!("{}  {}", lint.id, lint.summary);
+                    println!(
+                        "{}  {:4}  {:5}  {}",
+                        lint.id,
+                        lint.severity.label(),
+                        lint.level.label(),
+                        lint.summary
+                    );
                 }
                 return ExitCode::SUCCESS;
             }
@@ -121,7 +149,7 @@ fn analyze(args: Vec<String>) -> ExitCode {
         }
     };
 
-    let analysis = match xtask::analyze_workspace(&root) {
+    let analysis = match xtask::analyze_workspace_opts(&root, opts) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -129,15 +157,13 @@ fn analyze(args: Vec<String>) -> ExitCode {
         }
     };
 
-    if json {
-        println!("{}", xtask::json::render(&analysis));
-    } else {
-        for f in &analysis.findings {
-            println!("{} {}:{}: {}", f.lint, f.path, f.line, f.message);
+    if update_baseline {
+        if let Err(e) = xtask::baseline::write(&root, &analysis.findings) {
+            eprintln!("error: writing baseline: {e}");
+            return ExitCode::from(2);
         }
         println!(
-            "analyzed {} files: {} finding{}",
-            analysis.files_scanned,
+            "baseline updated: {} finding{} grandfathered",
             analysis.findings.len(),
             if analysis.findings.len() == 1 {
                 ""
@@ -145,9 +171,42 @@ fn analyze(args: Vec<String>) -> ExitCode {
                 "s"
             }
         );
+        return ExitCode::SUCCESS;
     }
 
-    if deny_all && !analysis.findings.is_empty() {
+    if json {
+        println!("{}", xtask::json::render(&analysis));
+    } else {
+        for f in &analysis.findings {
+            println!(
+                "{} [{}] {}:{}: {}",
+                f.lint,
+                xtask::lints::lint_info(f.lint).severity.label(),
+                f.path,
+                f.line,
+                f.message
+            );
+        }
+        println!(
+            "analyzed {} files ({} library, {} test-support; cache {}/{}): \
+             {} deny, {} warn, {} baselined",
+            analysis.files_scanned,
+            analysis.library_files,
+            analysis.test_support_files,
+            analysis.cache_hits,
+            analysis.cache_hits + analysis.cache_misses,
+            analysis.deny_count(),
+            analysis.warn_count(),
+            analysis.baselined,
+        );
+    }
+
+    let failing = if deny_all {
+        analysis.findings.len()
+    } else {
+        analysis.deny_count()
+    };
+    if failing > 0 {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

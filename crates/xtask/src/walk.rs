@@ -2,6 +2,7 @@
 //! nothing but `std::fs`.
 
 use crate::lints::FileClass;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -30,21 +31,42 @@ const BENCH_CRATES: &[&str] = &["crates/bench/"];
 /// third-party stand-ins (not ours to lint).
 const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", ".claude"];
 
+/// The collected tree plus the accounting the JSON summary reports: a
+/// misclassified crate shows up as a suspicious class count or an
+/// unexpected skipped directory rather than being silently unlinted.
+#[derive(Debug, Default)]
+pub struct Walked {
+    /// Every `.rs` file, classified, in sorted `rel` order.
+    pub files: Vec<SourceFile>,
+    /// Directory name → times it was skipped (never descended into).
+    pub skipped_dirs: BTreeMap<String, usize>,
+}
+
+impl Walked {
+    /// Files classified `Library`.
+    pub fn library_count(&self) -> usize {
+        self.files
+            .iter()
+            .filter(|f| f.class == FileClass::Library)
+            .count()
+    }
+
+    /// Files classified `TestSupport`.
+    pub fn test_support_count(&self) -> usize {
+        self.files.len() - self.library_count()
+    }
+}
+
 /// Collect every `.rs` file under `root`, classified. Deterministic
 /// (sorted) order so diagnostics are stable run to run.
-pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
-    let mut out = Vec::new();
+pub fn collect(root: &Path) -> io::Result<Walked> {
+    let mut out = Walked::default();
     descend(root, root, false, &mut out)?;
-    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    out.files.sort_by(|a, b| a.rel.cmp(&b.rel));
     Ok(out)
 }
 
-fn descend(
-    root: &Path,
-    dir: &Path,
-    in_test_dir: bool,
-    out: &mut Vec<SourceFile>,
-) -> io::Result<()> {
+fn descend(root: &Path, dir: &Path, in_test_dir: bool, out: &mut Walked) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
@@ -56,6 +78,7 @@ fn descend(
             .unwrap_or_default();
         if path.is_dir() {
             if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                *out.skipped_dirs.entry(name).or_default() += 1;
                 continue;
             }
             let test_dir = in_test_dir || TEST_DIRS.contains(&name.as_str());
@@ -69,7 +92,7 @@ fn descend(
                 .collect::<Vec<_>>()
                 .join("/");
             let bench_crate = BENCH_CRATES.iter().any(|p| rel.starts_with(p));
-            out.push(SourceFile {
+            out.files.push(SourceFile {
                 path,
                 rel,
                 class: if in_test_dir || bench_crate {

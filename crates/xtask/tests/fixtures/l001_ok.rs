@@ -1,0 +1,21 @@
+// Fixture: L001 negative case — no bare unwrap/expect survives: the
+// alternatives, a justified allow, and test code are all silent.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn fine(v: Option<u64>) -> u64 {
+    v.unwrap_or(0) // `unwrap_or` is not `unwrap()`
+}
+
+pub fn allowed_with_paper_trail(v: Option<u64>) -> u64 {
+    // negassoc-lint: allow(L001) -- fixture: the caller established Some
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_here_are_fine() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

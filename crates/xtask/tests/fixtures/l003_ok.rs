@@ -1,0 +1,16 @@
+// Fixture: L003 negative case — the word panic in comments/strings and a
+// justified allow stay silent.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn fine() -> &'static str {
+    // A comment may say panic! without panicking.
+    "panic"
+}
+
+pub fn allowed_with_paper_trail(n: u64) -> u64 {
+    if n == 0 {
+        // negassoc-lint: allow(L003) -- fixture: n == 0 is unreachable by construction
+        panic!("zero support");
+    }
+    n
+}

@@ -1,0 +1,6 @@
+// Fixture: L004 — Itemset built from a raw tuple literal.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn bad_literal(items: Vec<ItemId>) -> Itemset {
+    Itemset(items)
+}

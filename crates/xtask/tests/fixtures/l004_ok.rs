@@ -1,9 +1,6 @@
-// Fixture: L004 — Itemset built from a raw tuple literal.
+// Fixture: L004 negative case — the sanctioned constructors and type
+// positions stay silent.
 // Never compiled; lexed as text by crates/xtask/tests/lints.rs.
-
-pub fn bad_literal(items: Vec<ItemId>) -> Itemset {
-    Itemset(items)
-}
 
 pub fn fine_constructors(items: Vec<ItemId>) -> Itemset {
     // Paths through the sorting/dedup constructors are the sanctioned way.

@@ -9,11 +9,3 @@ pub fn bad_widening(support: u64) -> f64 {
 pub fn bad_narrowing(minsup: u64) -> u32 {
     minsup as u32
 }
-
-pub fn fine_u64(actual: u32) -> u64 {
-    actual as u64 // widening to u64 is lossless
-}
-
-pub fn fine_other_name(count: u64) -> f64 {
-    count as f64 // not a support-counter identifier
-}

@@ -1,0 +1,11 @@
+// Fixture: L005 negative case — lossless widenings and non-support
+// identifiers stay silent.
+// Never compiled; lexed as text by crates/xtask/tests/lints.rs.
+
+pub fn fine_u64(actual: u32) -> u64 {
+    actual as u64 // widening to u64 is lossless
+}
+
+pub fn fine_other_name(count: u64) -> f64 {
+    count as f64 // not a support-counter identifier
+}

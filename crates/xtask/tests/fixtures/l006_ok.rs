@@ -1,0 +1,15 @@
+//! L006 negative fixture: typed errors in core library code, and
+//! `io::Result` confined to `#[cfg(test)]`, stay silent.
+
+pub fn typed_is_fine() -> Result<u64, String> {
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io;
+
+    fn helper() -> io::Result<()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,11 @@
+//! L007 fixture: bare `thread::spawn` (fully qualified or via `use`) must
+//! fire in library code.
+
+use std::thread;
+
+pub fn rogue_workers() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    let h2 = thread::spawn(|| 2 + 2);
+    let _ = h2.join();
+}

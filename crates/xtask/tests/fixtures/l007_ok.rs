@@ -1,14 +1,7 @@
-//! L007 fixture: bare `thread::spawn` (fully qualified or via `use`) must
-//! fire in library code; scoped `s.spawn` inside `thread::scope` must not.
+//! L007 negative fixture: scoped `s.spawn` inside `thread::scope` and
+//! test-module spawns stay silent.
 
 use std::thread;
-
-pub fn rogue_workers() {
-    let h = std::thread::spawn(|| 1 + 1);
-    let _ = h.join();
-    let h2 = thread::spawn(|| 2 + 2);
-    let _ = h2.join();
-}
 
 pub fn scoped_is_fine(xs: &[u64]) -> u64 {
     let mut total = 0;

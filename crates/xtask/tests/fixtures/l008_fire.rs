@@ -1,0 +1,12 @@
+//! L008 fixture: a raw `process::exit` and an unbounded `.recv()` must
+//! fire in library code.
+
+use std::sync::mpsc;
+
+pub fn rage_quit(code: i32) {
+    std::process::exit(code);
+}
+
+pub fn deaf_wait(rx: &mpsc::Receiver<u64>) -> Option<u64> {
+    rx.recv().ok()
+}

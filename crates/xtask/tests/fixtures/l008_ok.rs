@@ -1,18 +1,9 @@
-//! L008 fixture: a raw `process::exit` and an unbounded `.recv()` must
-//! fire in library code; `recv_timeout`/`try_recv` (cancellation-aware
-//! waits) and `ExitCode` returns must not.
+//! L008 negative fixture: `recv_timeout`/`try_recv` (cancellation-aware
+//! waits), `ExitCode` returns, and test-module blocking stay silent.
 
 use std::process::ExitCode;
 use std::sync::mpsc;
 use std::time::Duration;
-
-pub fn rage_quit(code: i32) {
-    std::process::exit(code);
-}
-
-pub fn deaf_wait(rx: &mpsc::Receiver<u64>) -> Option<u64> {
-    rx.recv().ok()
-}
 
 pub fn polite_wait(rx: &mpsc::Receiver<u64>) -> Option<u64> {
     loop {

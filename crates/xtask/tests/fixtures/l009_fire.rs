@@ -1,0 +1,7 @@
+//! L009 fixture: terminal output from library code.
+
+/// Fires twice: a `println!` and an `eprintln!` in library code.
+pub fn chatty(n: usize) {
+    println!("processed {n} rows");
+    eprintln!("warning: {n} rows skipped");
+}

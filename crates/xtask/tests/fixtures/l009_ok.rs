@@ -1,0 +1,15 @@
+//! L009 negative fixture: formatting into a value and test-module prints
+//! stay silent.
+
+pub fn quiet(n: usize) -> String {
+    format!("processed {n} rows")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging output is fine here");
+        eprintln!("and here");
+    }
+}

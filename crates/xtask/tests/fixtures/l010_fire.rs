@@ -1,0 +1,14 @@
+//! L010 fixture: a library fn takes a `&CancelToken` and loops without
+//! ever polling it — handing the token to a callee outside the loop (or
+//! merely carrying it) earns no credit.
+
+use negassoc_txdb::ctrl::CancelToken;
+
+pub fn scan_blocks(blocks: &[Vec<u64>], ctrl: &CancelToken) -> u64 {
+    let mut total = 0;
+    for b in blocks {
+        total += b.len() as u64;
+    }
+    let _ = ctrl;
+    total
+}

@@ -1,0 +1,30 @@
+//! L010 negative fixture: the loop polls the token directly, or calls —
+//! from inside the loop — a helper that transitively polls.
+
+use negassoc_txdb::ctrl::CancelToken;
+
+pub fn scan_blocks(blocks: &[Vec<u64>], ctrl: &CancelToken) -> io::Result<u64> {
+    let mut total = 0;
+    for b in blocks {
+        ctrl.check()?;
+        total += b.len() as u64;
+    }
+    Ok(total)
+}
+
+pub fn scan_delegating(blocks: &[Vec<u64>], ctrl: &CancelToken) -> io::Result<u64> {
+    let mut total = 0;
+    for b in blocks {
+        total += step(b, ctrl)?;
+    }
+    Ok(total)
+}
+
+fn step(b: &[u64], ctrl: &CancelToken) -> io::Result<u64> {
+    ctrl.check()?;
+    Ok(b.len() as u64)
+}
+
+pub fn no_loop_no_duty(ctrl: &CancelToken) -> bool {
+    ctrl.is_cancelled()
+}

@@ -1,0 +1,10 @@
+//! L011 fixture: a pass is started but never ended — neither here nor in
+//! any callee.
+
+pub fn run_pass(obs: &Obs, candidates: usize) -> u64 {
+    obs.emit(|| Event::PassStart {
+        label: "L2".to_string(),
+        candidates,
+    });
+    candidates as u64
+}

@@ -1,0 +1,36 @@
+//! L011 negative fixture: every started pass ends — directly, via `?`
+//! early exits (exempt by design: errors pair with RunEnd), or through a
+//! callee that transitively emits the end. Match *patterns* on the event
+//! enum are not emits.
+
+pub fn run_pass(obs: &Obs, candidates: usize) -> io::Result<()> {
+    obs.emit(|| Event::PassStart {
+        label: "L2".to_string(),
+        candidates,
+    });
+    let stats = compute_stats(candidates)?;
+    obs.emit(|| Event::PassEnd { stats });
+    Ok(())
+}
+
+pub fn run_pass_delegating(obs: &Obs, candidates: usize) {
+    obs.emit(|| Event::PassStart {
+        label: "L3".to_string(),
+        candidates,
+    });
+    finish_pass(obs);
+}
+
+fn finish_pass(obs: &Obs) {
+    obs.emit(|| Event::PassEnd {
+        stats: PassStats::default(),
+    });
+}
+
+pub fn classify(e: &Event) -> &'static str {
+    match e {
+        Event::PassStart { .. } => "start",
+        Event::PassEnd { .. } => "end",
+        _ => "other",
+    }
+}

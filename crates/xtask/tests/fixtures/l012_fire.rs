@@ -1,0 +1,14 @@
+//! L012 fixture: a hot-path root (name prefix `parallel_pass`) that
+//! mentions a Mutex and allocates inside its block loop.
+
+use std::sync::Mutex;
+
+pub fn parallel_pass_fixture(blocks: &[Vec<u64>]) -> u64 {
+    let shared = Mutex::new(0u64);
+    let mut total = 0;
+    for b in blocks {
+        let scratch: Vec<u64> = Vec::with_capacity(b.len());
+        total += scratch.capacity() as u64;
+    }
+    total + shared.into_inner().unwrap_or(0)
+}

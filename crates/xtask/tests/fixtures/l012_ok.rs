@@ -1,0 +1,13 @@
+//! L012 negative fixture: the same hot-path root with the scratch buffer
+//! hoisted out of the loop and no locks; workers keep private state.
+
+pub fn parallel_pass_fixture(blocks: &[Vec<u64>]) -> u64 {
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut total = 0;
+    for b in blocks {
+        scratch.clear();
+        scratch.extend(b.iter().copied());
+        total += scratch.len() as u64;
+    }
+    total
+}

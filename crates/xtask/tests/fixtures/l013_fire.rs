@@ -1,0 +1,12 @@
+//! L013 fixture: one allow that suppresses a real finding but carries no
+//! reason, and one reasoned allow that no longer suppresses anything.
+
+pub fn suppressed_but_undocumented(v: Option<u64>) -> u64 {
+    // negassoc-lint: allow(L001)
+    v.unwrap()
+}
+
+pub fn stale_allow(v: u64) -> u64 {
+    // negassoc-lint: allow(L003) -- this code stopped panicking long ago
+    v + 1
+}

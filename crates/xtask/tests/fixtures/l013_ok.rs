@@ -1,0 +1,6 @@
+//! L013 negative fixture: a reasoned allow that still earns its keep.
+
+pub fn documented(v: Option<u64>) -> u64 {
+    // negassoc-lint: allow(L001) -- fixture: the caller established Some
+    v.unwrap()
+}

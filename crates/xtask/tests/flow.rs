@@ -1,0 +1,205 @@
+//! Cross-file flow-lint tests: seeded mutations against the *real*
+//! mining sources, cross-file delegation, and the incremental cache.
+//!
+//! The mutation checks are the analyzer's canary: delete the token poll
+//! from `partition_mine_ctrl` and L010 must catch it; break the pass-end
+//! emit and L011 must. If either mutation sails through, the lints have
+//! rotted into decoration.
+
+use xtask::lints::FileClass;
+use xtask::{analyze_source, analyze_sources, SourceInput};
+
+const PARTITION_MINE: &str = "crates/apriori/src/partition_mine.rs";
+
+fn real_source(rel: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+}
+
+fn flow_findings(rel: &str, source: &str) -> Vec<&'static str> {
+    analyze_source(rel, source, FileClass::Library)
+        .iter()
+        .map(|f| f.lint)
+        .filter(|l| ["L010", "L011"].contains(l))
+        .collect()
+}
+
+#[test]
+fn partition_mine_as_written_is_clean() {
+    let source = real_source(PARTITION_MINE);
+    assert_eq!(
+        flow_findings(PARTITION_MINE, &source),
+        Vec::<&str>::new(),
+        "the shipped partition miner polls its token and pairs its pass events"
+    );
+}
+
+#[test]
+fn deleting_the_token_poll_is_one_l010() {
+    let source = real_source(PARTITION_MINE);
+    assert!(source.contains("c.check()?;"), "mutation anchor moved");
+    let mutated = source.replace("c.check()?;", "");
+    assert_eq!(
+        flow_findings(PARTITION_MINE, &mutated),
+        ["L010"],
+        "removing the only poll inside the per-partition loop must produce \
+         exactly one deny finding"
+    );
+}
+
+#[test]
+fn breaking_the_pass_end_emit_is_one_l011() {
+    let source = real_source(PARTITION_MINE);
+    assert_eq!(
+        source.matches("Event::PassEnd").count(),
+        1,
+        "mutation anchor moved"
+    );
+    let mutated = source.replace("Event::PassEnd", "Event::PassStart");
+    assert_eq!(
+        flow_findings(PARTITION_MINE, &mutated),
+        ["L011"],
+        "a pass that starts twice and never ends must produce exactly one \
+         deny finding"
+    );
+}
+
+#[test]
+fn l010_credit_crosses_files() {
+    // The loop's poll lives two files away: caller -> relay -> poller.
+    // Only the symbol table + call graph can connect them.
+    let caller = "use negassoc_txdb::ctrl::CancelToken;
+pub fn drive(blocks: &[Vec<u64>], ctrl: &CancelToken) -> io::Result<u64> {
+    let mut total = 0;
+    for b in blocks {
+        total += relay_step(b, ctrl)?;
+    }
+    Ok(total)
+}
+";
+    let relay = "pub fn relay_step(b: &[u64], ctrl: &CancelToken) -> io::Result<u64> {
+    poll_then_count(b, ctrl)
+}
+";
+    let poller = "pub fn poll_then_count(b: &[u64], ctrl: &CancelToken) -> io::Result<u64> {
+    ctrl.check()?;
+    Ok(b.len() as u64)
+}
+";
+    let inputs = [
+        SourceInput {
+            rel: "crates/demo/src/caller.rs",
+            source: caller,
+            class: FileClass::Library,
+        },
+        SourceInput {
+            rel: "crates/demo/src/relay.rs",
+            source: relay,
+            class: FileClass::Library,
+        },
+        SourceInput {
+            rel: "crates/demo/src/poller.rs",
+            source: poller,
+            class: FileClass::Library,
+        },
+    ];
+    let findings = analyze_sources(&inputs);
+    assert!(
+        findings.iter().all(|f| f.lint != "L010"),
+        "transitive poll credit must cross file boundaries, got {findings:?}"
+    );
+
+    // Sever the chain (the relay stops calling the poller) and the same
+    // caller is a finding again.
+    let broken_relay = "pub fn relay_step(b: &[u64], ctrl: &CancelToken) -> io::Result<u64> {
+    Ok(b.len() as u64)
+}
+";
+    let mut broken = inputs.clone();
+    broken[1].source = broken_relay;
+    let findings = analyze_sources(&broken);
+    let l010: Vec<_> = findings.iter().filter(|f| f.lint == "L010").collect();
+    assert_eq!(l010.len(), 1, "{findings:?}");
+    assert_eq!(l010[0].path, "crates/demo/src/caller.rs");
+}
+
+#[test]
+fn test_code_lends_no_poll_credit() {
+    // The polling helper exists only in a test-support file; the library
+    // caller must not be excused by it.
+    let caller = "use negassoc_txdb::ctrl::CancelToken;
+pub fn drive(blocks: &[Vec<u64>], ctrl: &CancelToken) -> u64 {
+    let mut total = 0;
+    for b in blocks {
+        total += helper(b, ctrl);
+    }
+    total
+}
+";
+    let helper = "pub fn helper(b: &[u64], ctrl: &CancelToken) -> u64 {
+    let _ = ctrl.is_cancelled();
+    b.len() as u64
+}
+";
+    let findings = analyze_sources(&[
+        SourceInput {
+            rel: "crates/demo/src/caller.rs",
+            source: caller,
+            class: FileClass::Library,
+        },
+        SourceInput {
+            rel: "crates/demo/tests/helper.rs",
+            source: helper,
+            class: FileClass::TestSupport,
+        },
+    ]);
+    let l010: Vec<_> = findings.iter().filter(|f| f.lint == "L010").collect();
+    assert_eq!(l010.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn warm_cache_serves_every_file_and_agrees() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join(format!("xtask-cache-test-{}", std::process::id()));
+    let src = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn bad(v: Option<u64>) -> u64 { v.unwrap() }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src.join("other.rs"),
+        "pub fn fine(v: Option<u64>) -> u64 { v.unwrap_or(0) }\n",
+    )
+    .unwrap();
+
+    let cold = xtask::analyze_workspace(&root).unwrap();
+    assert_eq!(cold.cache_misses, 2);
+    assert_eq!(cold.cache_hits, 0);
+
+    let warm = xtask::analyze_workspace(&root).unwrap();
+    assert_eq!(warm.cache_hits, 2, "unchanged files come from the cache");
+    assert_eq!(warm.cache_misses, 0);
+    let ids = |a: &xtask::Analysis| a.findings.iter().map(|f| f.lint).collect::<Vec<_>>();
+    assert_eq!(ids(&cold), ids(&warm), "cached and fresh results agree");
+    assert_eq!(ids(&cold), ["L001"]);
+
+    // Touching one file invalidates exactly that file.
+    std::fs::write(
+        src.join("other.rs"),
+        "pub fn fine(v: Option<u64>) -> u64 { v.unwrap_or(1) }\n",
+    )
+    .unwrap();
+    let touched = xtask::analyze_workspace(&root).unwrap();
+    assert_eq!(touched.cache_hits, 1);
+    assert_eq!(touched.cache_misses, 1);
+
+    std::fs::remove_dir_all(&root).ok();
+}

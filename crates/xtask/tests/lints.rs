@@ -1,12 +1,33 @@
-//! Fixture tests: one positive (lint fires) and one negative (clean or
-//! suppressed code passes) case per lint, pinned to the stable lint IDs.
+//! Fixture tests: every registered lint L001–L013 has a firing fixture
+//! (`lXXX_fire.rs`) and a clean/allowed fixture (`lXXX_ok.rs`) under
+//! `tests/fixtures/`, asserted from one parameterized test driven by the
+//! lint registry — registering a new lint without fixtures (or without an
+//! expected fire count below) fails this suite.
 //!
-//! Fixtures live in `tests/fixtures/` as real `.rs` sources so the lexer
-//! sees exactly what `analyze` would see in the tree; they are loaded as
-//! text, never compiled.
+//! Fixtures are real `.rs` sources so the lexer sees exactly what
+//! `analyze` would see in the tree; they are loaded as text, never
+//! compiled.
 
 use xtask::analyze_source;
 use xtask::lints::FileClass;
+
+/// Expected finding count of the *target* lint in its fire fixture. A
+/// new lint must be added here alongside its two fixture files.
+const FIRE_COUNTS: &[(&str, usize)] = &[
+    ("L001", 2), // unwrap + expect
+    ("L002", 2), // ri == and expected != comparisons
+    ("L003", 3), // panic!, unreachable!, todo!
+    ("L004", 1), // raw tuple-literal Itemset
+    ("L005", 2), // support as f64, minsup as u32
+    ("L006", 1), // io::Result signature in core library code
+    ("L007", 2), // std::thread::spawn + thread::spawn
+    ("L008", 2), // process::exit + bare .recv()
+    ("L009", 2), // println! + eprintln!
+    ("L010", 1), // token-carrying loop that never polls
+    ("L011", 1), // PassStart without PassEnd
+    ("L012", 2), // Mutex on the hot path + alloc in its loop
+    ("L013", 2), // reasonless allow + stale allow
+];
 
 fn fixture(name: &str) -> String {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -15,23 +36,89 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
 }
 
-fn lints_fired(name: &str, class: FileClass) -> Vec<&'static str> {
-    let findings = analyze_source(&format!("crates/demo/src/{name}"), &fixture(name), class);
-    findings.iter().map(|f| f.lint).collect()
+/// The workspace-relative path a lint's fixtures are analyzed under.
+/// L006 is scoped to the core crate, so its fixtures must live there;
+/// everything else runs under a neutral, unexempted path.
+fn analyze_path(lint: &str) -> &'static str {
+    match lint {
+        "L006" => "crates/core/src/fixture.rs",
+        _ => "crates/demo/src/fixture.rs",
+    }
+}
+
+fn count_of(lint: &str, rel: &str, source: &str) -> usize {
+    analyze_source(rel, source, FileClass::Library)
+        .iter()
+        .filter(|f| f.lint == lint)
+        .count()
 }
 
 #[test]
-fn l001_fires_on_unwrap_and_expect() {
-    let fired = lints_fired("l001_unwrap.rs", FileClass::Library);
-    assert_eq!(fired, ["L001", "L001"], "one unwrap + one expect");
+fn every_lint_has_fire_and_ok_fixtures() {
+    for lint in xtask::lints::LINTS {
+        let (_, expected) = FIRE_COUNTS
+            .iter()
+            .find(|(id, _)| *id == lint.id)
+            .unwrap_or_else(|| {
+                panic!(
+                    "lint {} has no FIRE_COUNTS entry; add fixtures too",
+                    lint.id
+                )
+            });
+        let stem = lint.id.to_lowercase();
+        let rel = analyze_path(lint.id);
+
+        let fire = fixture(&format!("{stem}_fire.rs"));
+        assert_eq!(
+            count_of(lint.id, rel, &fire),
+            *expected,
+            "{} firing fixture must produce exactly {expected} finding(s)",
+            lint.id
+        );
+
+        let ok = fixture(&format!("{stem}_ok.rs"));
+        assert_eq!(
+            count_of(lint.id, rel, &ok),
+            0,
+            "{} ok fixture must stay silent for {}",
+            lint.id,
+            lint.id
+        );
+    }
+}
+
+#[test]
+fn fixture_files_all_belong_to_a_lint() {
+    // The inverse of the parameterized test: a stray fixture (typo'd
+    // name, leftover from a removed lint) is an error, not dead weight.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        let stem = name
+            .strip_suffix("_fire.rs")
+            .or_else(|| name.strip_suffix("_ok.rs"))
+            .unwrap_or_else(|| panic!("fixture {name} is not lXXX_fire.rs / lXXX_ok.rs"));
+        let id = stem.to_uppercase();
+        assert!(
+            xtask::lints::LINTS.iter().any(|l| l.id == id),
+            "fixture {name} names unknown lint {id}"
+        );
+    }
 }
 
 #[test]
 fn l001_silent_in_test_support_and_cfg_test() {
-    assert!(lints_fired("l001_unwrap.rs", FileClass::TestSupport).is_empty());
+    let source = fixture("l001_fire.rs");
+    let findings = analyze_source(
+        "crates/demo/src/fixture.rs",
+        &source,
+        FileClass::TestSupport,
+    );
+    assert!(findings.is_empty(), "test-support files are exempt");
     // The same file carries a #[cfg(test)] module full of unwraps that the
-    // Library pass must not flag (the two findings above are outside it).
-    let source = fixture("l001_unwrap.rs");
+    // Library pass must not flag (the two findings counted by the
+    // parameterized test are outside it).
     assert!(
         source.contains("#[cfg(test)]"),
         "fixture must exercise cfg(test) masking"
@@ -39,37 +126,10 @@ fn l001_silent_in_test_support_and_cfg_test() {
 }
 
 #[test]
-fn l002_fires_on_raw_float_equality() {
-    let fired = lints_fired("l002_float_eq.rs", FileClass::Library);
-    assert_eq!(fired, ["L002", "L002"], "ri == and expected != comparisons");
-}
-
-#[test]
-fn l002_ignores_integer_guards() {
-    assert!(lints_fired("l002_int_guard.rs", FileClass::Library).is_empty());
-}
-
-#[test]
-fn l003_fires_on_panic_family() {
-    let fired = lints_fired("l003_panics.rs", FileClass::Library);
-    assert_eq!(
-        fired,
-        ["L003", "L003", "L003"],
-        "panic!, unreachable!, todo!"
-    );
-}
-
-#[test]
-fn l004_fires_on_raw_itemset_construction() {
-    let fired = lints_fired("l004_itemset.rs", FileClass::Library);
-    assert_eq!(fired, ["L004"]);
-}
-
-#[test]
 fn l004_exempts_the_defining_module() {
     let findings = analyze_source(
         "crates/apriori/src/itemset.rs",
-        &fixture("l004_itemset.rs"),
+        &fixture("l004_fire.rs"),
         FileClass::Library,
     );
     assert!(
@@ -79,30 +139,11 @@ fn l004_exempts_the_defining_module() {
 }
 
 #[test]
-fn l005_fires_on_lossy_support_cast() {
-    let fired = lints_fired("l005_cast.rs", FileClass::Library);
-    assert_eq!(fired, ["L005", "L005"], "support as f64 and minsup as u32");
-}
-
-#[test]
 fn l005_exempts_sanctioned_modules() {
     for exempt in ["crates/core/src/expected.rs", "crates/core/src/counting.rs"] {
-        let findings = analyze_source(exempt, &fixture("l005_cast.rs"), FileClass::Library);
+        let findings = analyze_source(exempt, &fixture("l005_fire.rs"), FileClass::Library);
         assert!(findings.is_empty(), "{exempt} is the sanctioned cast site");
     }
-}
-
-#[test]
-fn l006_fires_on_io_result_in_core() {
-    let findings = analyze_source(
-        "crates/core/src/l006_io_result.rs",
-        &fixture("l006_io_result.rs"),
-        FileClass::Library,
-    );
-    let fired: Vec<_> = findings.iter().map(|f| f.lint).collect();
-    // One finding per library `io::Result` mention (the use + the return
-    // type inside cfg(test) stay silent; the signature fires once).
-    assert_eq!(fired, ["L006"]);
 }
 
 #[test]
@@ -112,7 +153,7 @@ fn l006_exempts_substrate_crates() {
         "crates/apriori/src/levelwise.rs",
         "crates/demo/src/lib.rs",
     ] {
-        let findings = analyze_source(path, &fixture("l006_io_result.rs"), FileClass::Library);
+        let findings = analyze_source(path, &fixture("l006_fire.rs"), FileClass::Library);
         assert!(
             findings.is_empty(),
             "{path} may use io::Result, got {findings:?}"
@@ -121,59 +162,18 @@ fn l006_exempts_substrate_crates() {
 }
 
 #[test]
-fn l007_fires_on_bare_thread_spawn() {
-    let fired = lints_fired("l007_thread_spawn.rs", FileClass::Library);
-    assert_eq!(
-        fired,
-        ["L007", "L007"],
-        "std::thread::spawn and thread::spawn; scoped s.spawn stays silent"
-    );
-}
-
-#[test]
-fn l007_exempts_the_counting_pool_module() {
-    let findings = analyze_source(
-        "crates/txdb/src/block.rs",
-        &fixture("l007_thread_spawn.rs"),
-        FileClass::Library,
-    );
-    assert!(
-        findings.is_empty(),
-        "block.rs is the sanctioned spawn site, got {findings:?}"
-    );
-}
-
-#[test]
-fn l008_fires_on_process_exit_and_unbounded_recv() {
-    let fired = lints_fired("l008_uncancellable.rs", FileClass::Library);
-    assert_eq!(
-        fired,
-        ["L008", "L008"],
-        "process::exit and bare .recv(); recv_timeout/try_recv stay silent"
-    );
-}
-
-#[test]
-fn l008_exempts_the_counting_pool_module() {
-    let findings = analyze_source(
-        "crates/txdb/src/block.rs",
-        &fixture("l008_uncancellable.rs"),
-        FileClass::Library,
-    );
-    assert!(
-        findings.is_empty(),
-        "block.rs owns the sanctioned drain recv, got {findings:?}"
-    );
-}
-
-#[test]
-fn l009_fires_on_library_println() {
-    let fired = lints_fired("l009_println.rs", FileClass::Library);
-    assert_eq!(
-        fired,
-        ["L009", "L009"],
-        "println! and eprintln!; format! and cfg(test) prints stay silent"
-    );
+fn l007_and_l008_exempt_the_counting_pool_module() {
+    for name in ["l007_fire.rs", "l008_fire.rs"] {
+        let findings = analyze_source(
+            "crates/txdb/src/block.rs",
+            &fixture(name),
+            FileClass::Library,
+        );
+        assert!(
+            findings.is_empty(),
+            "block.rs owns the sanctioned spawn/recv, got {findings:?}"
+        );
+    }
 }
 
 #[test]
@@ -183,7 +183,7 @@ fn l009_exempts_the_terminal_owners() {
         "crates/xtask/src/main.rs",
         "crates/bench/src/bin/paper.rs",
     ] {
-        let findings = analyze_source(path, &fixture("l009_println.rs"), FileClass::Library);
+        let findings = analyze_source(path, &fixture("l009_fire.rs"), FileClass::Library);
         assert!(
             findings.is_empty(),
             "{path} owns its terminal, got {findings:?}"
@@ -192,12 +192,14 @@ fn l009_exempts_the_terminal_owners() {
 }
 
 #[test]
-fn allow_comments_suppress_with_a_paper_trail() {
-    let fired = lints_fired("allowed.rs", FileClass::Library);
-    assert!(
-        fired.is_empty(),
-        "every finding in the fixture carries an allow directive, got {fired:?}"
-    );
+fn l012_exempts_obs_sinks_and_the_analyzer_crate() {
+    for path in ["crates/txdb/src/obs.rs", "crates/xtask/src/demo.rs"] {
+        let findings = analyze_source(path, &fixture("l012_fire.rs"), FileClass::Library);
+        assert!(
+            findings.iter().all(|f| f.lint != "L012"),
+            "{path} is exempt from L012, got {findings:?}"
+        );
+    }
 }
 
 #[test]
@@ -208,40 +210,7 @@ fn allow_is_lint_specific() {
         .iter()
         .map(|f| f.lint)
         .collect::<Vec<_>>();
-    assert_eq!(fired, ["L003"]);
-}
-
-#[test]
-fn every_registered_lint_has_a_firing_fixture() {
-    let mut covered: Vec<&str> = Vec::new();
-    for name in [
-        "l001_unwrap.rs",
-        "l002_float_eq.rs",
-        "l003_panics.rs",
-        "l004_itemset.rs",
-        "l005_cast.rs",
-        "l007_thread_spawn.rs",
-        "l008_uncancellable.rs",
-        "l009_println.rs",
-    ] {
-        covered.extend(lints_fired(name, FileClass::Library));
-    }
-    // L006 is path-scoped to the core crate, so its fixture is analyzed
-    // under a core path.
-    covered.extend(
-        analyze_source(
-            "crates/core/src/l006_io_result.rs",
-            &fixture("l006_io_result.rs"),
-            FileClass::Library,
-        )
-        .iter()
-        .map(|f| f.lint),
-    );
-    for lint in xtask::lints::LINTS {
-        assert!(
-            covered.contains(&lint.id),
-            "lint {} has no fixture that makes it fire",
-            lint.id
-        );
-    }
+    // The unearned allow(L001) is itself a finding (stale + reasonless).
+    assert!(fired.contains(&"L003"), "{fired:?}");
+    assert!(!fired.contains(&"L001"), "{fired:?}");
 }

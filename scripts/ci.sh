@@ -10,15 +10,22 @@ cargo fmt --check
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
-
+# Lints run before the test suites: a lint violation is cheaper to
+# report than a full test run, and analyze is sub-second when the
+# incremental cache is warm.
 echo "==> xtask analyze --deny-all"
 cargo run -q --release -p xtask -- analyze --deny-all
 
-echo "==> fault-injection smoke (checkpoint/resume round trip)"
+echo "==> xtask analyze --json | xtask validate-json (report round-trip)"
 SMOKE="$(mktemp -d)"
 trap 'rm -rf "$SMOKE"' EXIT
+cargo run -q --release -p xtask -- analyze --json > "$SMOKE/analyze.json"
+cargo run -q --release -p xtask -- validate-json "$SMOKE/analyze.json"
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> fault-injection smoke (checkpoint/resume round trip)"
 NEGRULES=./target/release/negrules
 "$NEGRULES" generate --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
   --transactions 300 --seed 11 > /dev/null
