@@ -32,8 +32,9 @@ use negassoc_taxonomy::{ItemId, Taxonomy};
 use negassoc_txdb::block::parallel_map;
 use negassoc_txdb::obs::{metric, Event};
 use negassoc_txdb::partition::partitions;
+use negassoc_txdb::shard::ShardAccess;
 use negassoc_txdb::vertical::TidListIndex;
-use negassoc_txdb::TransactionDb;
+use negassoc_txdb::{TransactionDb, TransactionSource};
 use std::io;
 
 /// Mine all (generalized, when `tax` is given) large itemsets with the
@@ -124,7 +125,108 @@ pub fn partition_mine_ctrl(
         global_candidates.extend(local?);
     }
 
-    // Phase 2: one exact counting pass over the whole database.
+    verify_candidates(
+        db,
+        total,
+        global_minsup,
+        global_candidates,
+        ancestors.as_ref(),
+        backend,
+        parallelism,
+        ctrl,
+        obs,
+    )
+}
+
+/// The Partition algorithm over a *sharded* database: phase 1 mines each
+/// shard one at a time — loaded, mined for its locally large itemsets,
+/// then dropped, so peak memory is bounded by the largest shard no matter
+/// how many the manifest lists — and phase 2 verifies the unioned
+/// candidates with one exact streaming pass over `source`. Quarantined
+/// shards ([`ShardAccess::load_shard`] returning `None`) are skipped in
+/// both phases: the result is exact over the delivered transactions,
+/// identical to mining the healthy shards alone.
+///
+/// `source` and `shards` must be views of the same database (normally a
+/// [`negassoc_txdb::shard::ShardedSource`] and its own
+/// [`TransactionSource::as_shards`] handle); each shard plays the role a
+/// horizontal partition plays in [`partition_mine_ctrl`], so the same
+/// local-fraction correctness argument applies.
+#[allow(clippy::too_many_arguments)]
+pub fn partition_mine_shards<S: TransactionSource + ?Sized>(
+    source: &S,
+    shards: &dyn ShardAccess,
+    tax: Option<&Taxonomy>,
+    min_support: MinSupport,
+    backend: CountingBackend,
+    parallelism: Parallelism,
+    ctrl: Option<&CancelToken>,
+    obs: &Obs,
+) -> io::Result<LargeItemsets> {
+    let total = source.count_transactions()?;
+    let global_minsup = min_support.to_count(total);
+    let frac = if total == 0 {
+        1.0
+    } else {
+        global_minsup as f64 / total as f64
+    };
+    let ancestors = tax.map(AncestorTable::new);
+
+    // Phase 1: shard-local mining, strictly one shard in memory at a time.
+    let mut global_candidates: FxHashSet<Itemset> = FxHashSet::default();
+    for i in 0..shards.shard_count() {
+        if let Some(c) = ctrl {
+            c.check()?;
+        }
+        let Some(db) = shards.load_shard(i)? else {
+            continue; // quarantined
+        };
+        if db.is_empty() {
+            continue;
+        }
+        let index = match tax {
+            Some(t) => TidListIndex::build_generalized(&db, t)?,
+            None => TidListIndex::build(&db)?,
+        };
+        let local_minsup = ((frac * db.len() as f64).ceil() as u64).max(1);
+        local_mine(
+            &index,
+            local_minsup,
+            ancestors.as_ref(),
+            &mut global_candidates,
+        );
+        if let Some(c) = ctrl {
+            c.record_progress(db.len() as u64);
+        }
+    }
+
+    verify_candidates(
+        source,
+        total,
+        global_minsup,
+        global_candidates,
+        ancestors.as_ref(),
+        backend,
+        parallelism,
+        ctrl,
+        obs,
+    )
+}
+
+/// Phase 2 of both partition variants: one exact counting pass over
+/// `source` confirming which unioned local candidates are globally large.
+#[allow(clippy::too_many_arguments)]
+fn verify_candidates<S: TransactionSource + ?Sized>(
+    source: &S,
+    total: u64,
+    global_minsup: u64,
+    global_candidates: FxHashSet<Itemset>,
+    ancestors: Option<&AncestorTable>,
+    backend: CountingBackend,
+    parallelism: Parallelism,
+    ctrl: Option<&CancelToken>,
+    obs: &Obs,
+) -> io::Result<LargeItemsets> {
     let mut large = LargeItemsets::new(total, global_minsup);
     if global_candidates.is_empty() {
         return Ok(large);
@@ -143,15 +245,15 @@ pub fn partition_mine_ctrl(
         candidates: verify_size,
     });
     let verify_started = std::time::Instant::now();
-    let counted = match &ancestors {
+    let counted = match ancestors {
         Some(anc) => {
             let needed = items_of_candidates(&candidates);
             let mapper =
                 |items: &[ItemId], out: &mut Vec<ItemId>| extend_filtered(items, anc, &needed, out);
-            count_mixed_parallel_ctrl(db, candidates, backend, &mapper, parallelism, ctrl, obs)?
+            count_mixed_parallel_ctrl(source, candidates, backend, &mapper, parallelism, ctrl, obs)?
         }
         None => count_mixed_parallel_ctrl(
-            db,
+            source,
             candidates,
             backend,
             &identity_sync_mapper,
@@ -172,6 +274,9 @@ pub fn partition_mine_ctrl(
     });
     obs.bump(metric::PASSES_COMPLETED, 1);
     for (set, count) in counted.counts {
+        if let Some(c) = ctrl {
+            c.check()?;
+        }
         if count >= global_minsup {
             large.insert(set, count);
         }
@@ -318,6 +423,116 @@ mod tests {
             2,
             CountingBackend::HashTree,
             Parallelism::Sequential,
+        )
+        .unwrap();
+        assert_same(&reference, &got);
+    }
+
+    /// In-memory stand-in for a sharded database: `None` = quarantined.
+    struct FakeShards(Vec<Option<TransactionDb>>);
+
+    impl ShardAccess for FakeShards {
+        fn shard_count(&self) -> usize {
+            self.0.len()
+        }
+
+        fn load_shard(&self, index: usize) -> io::Result<Option<TransactionDb>> {
+            Ok(self.0[index].as_ref().map(clone_db))
+        }
+    }
+
+    fn clone_db(db: &TransactionDb) -> TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        db.pass(&mut |t| b.add_with_tid(t.tid(), t.items().iter().copied()))
+            .unwrap();
+        b.build()
+    }
+
+    fn concat(dbs: &[&TransactionDb]) -> TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        for db in dbs {
+            db.pass(&mut |t| b.add_with_tid(t.tid(), t.items().iter().copied()))
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sharded_matches_apriori_and_skips_quarantined_shards() {
+        let mut a = TransactionDbBuilder::new();
+        a.add([ItemId(1), ItemId(3), ItemId(4)]);
+        a.add([ItemId(2), ItemId(3), ItemId(5)]);
+        let a = a.build();
+        let mut b = TransactionDbBuilder::new();
+        b.add([ItemId(1), ItemId(2), ItemId(3), ItemId(5)]);
+        b.add([ItemId(2), ItemId(5)]);
+        let b = b.build();
+
+        // All shards healthy: identical to apriori over the whole database.
+        let whole = concat(&[&a, &b]);
+        let reference = apriori(&whole, MinSupport::Count(2), CountingBackend::HashTree).unwrap();
+        let shards = FakeShards(vec![Some(clone_db(&a)), Some(clone_db(&b))]);
+        let got = partition_mine_shards(
+            &whole,
+            &shards,
+            None,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            Parallelism::Threads(2),
+            None,
+            &Obs::disabled(),
+        )
+        .unwrap();
+        assert_same(&reference, &got);
+
+        // Shard b quarantined: identical to mining shard a alone.
+        let reference = apriori(&a, MinSupport::Count(1), CountingBackend::HashTree).unwrap();
+        let shards = FakeShards(vec![Some(clone_db(&a)), None]);
+        let got = partition_mine_shards(
+            &a,
+            &shards,
+            None,
+            MinSupport::Count(1),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+            None,
+            &Obs::disabled(),
+        )
+        .unwrap();
+        assert_same(&reference, &got);
+    }
+
+    #[test]
+    fn sharded_generalized_matches_cumulate() {
+        let (tax, db, _) = sa95();
+        let reference = cumulate(
+            &db,
+            &tax,
+            MinSupport::Count(2),
+            CountingBackend::HashTree,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        // Split the SA'95 database into three in-memory shards.
+        let n = db.len();
+        let mut parts: Vec<TransactionDbBuilder> =
+            (0..3).map(|_| TransactionDbBuilder::new()).collect();
+        let mut i = 0usize;
+        db.pass(&mut |t| {
+            parts[i * 3 / n].add_with_tid(t.tid(), t.items().iter().copied());
+            i += 1;
+        })
+        .unwrap();
+        let shards = FakeShards(parts.into_iter().map(|p| Some(p.build())).collect());
+        let got = partition_mine_shards(
+            &db,
+            &shards,
+            Some(&tax),
+            MinSupport::Count(2),
+            CountingBackend::SubsetHashMap,
+            Parallelism::Threads(2),
+            None,
+            &Obs::disabled(),
         )
         .unwrap();
         assert_same(&reference, &got);

@@ -16,8 +16,8 @@
 //! qualitative shapes survive scaling; the full size takes minutes).
 
 use negassoc_bench::{
-    counting_bench, ctrl_bench, fig7_series, itemset_counts, obs_bench, secs, short_dataset,
-    tall_dataset, FIG56_SUPPORTS_PCT, FIG7_SUPPORT_PCT,
+    counting_bench, ctrl_bench, fig7_series, itemset_counts, obs_bench, secs,
+    sharded_counting_bench, short_dataset, tall_dataset, FIG56_SUPPORTS_PCT, FIG7_SUPPORT_PCT,
 };
 use std::process::ExitCode;
 
@@ -336,7 +336,8 @@ fn fig7(scale: Option<usize>, support_pct: f64) {
 /// machine-readable result to `BENCH_counting.json`.
 fn counting(scale: Option<usize>) -> std::io::Result<()> {
     let transactions = scale.unwrap_or(4_000);
-    let bench = counting_bench(transactions, &[1, 2, 4]);
+    let mut bench = counting_bench(transactions, &[1, 2, 4]);
+    bench.sharded = sharded_counting_bench(transactions, &[1, 4, 16]);
     println!("== parallel counting: sequential vs worker pool ==");
     println!(
         "{} transactions, available parallelism {}",
@@ -361,6 +362,20 @@ fn counting(scale: Option<usize>) -> std::io::Result<()> {
         if let Some(sp) = bench.speedup(t) {
             println!("speedup x{t}: {sp:.3}");
         }
+    }
+    println!("-- sharded counting (one shard resident at a time) --");
+    println!(
+        "{:>7} {:>14} {:>20} {:>9}",
+        "shards", "largest_shard", "max_pass_candidates", "wall"
+    );
+    for r in &bench.sharded {
+        println!(
+            "{:>7} {:>14} {:>20} {:>8}s",
+            r.shards,
+            r.largest_shard,
+            r.max_pass_candidates,
+            secs(r.wall)
+        );
     }
     std::fs::write("BENCH_counting.json", bench.to_json())?;
     println!("wrote BENCH_counting.json");

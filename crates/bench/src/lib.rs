@@ -321,6 +321,9 @@ pub struct CountingBench {
     /// Every pass of every run, in run order (renumbered `1..=n` per run;
     /// `threads` distinguishes the runs).
     pub rows: Vec<PassStats>,
+    /// Sharded-counting rows (one per shard count), empty unless
+    /// [`sharded_counting_bench`] was run.
+    pub sharded: Vec<ShardedRow>,
 }
 
 impl CountingBench {
@@ -380,7 +383,7 @@ impl CountingBench {
         }
         out.push_str("},\n");
         out.push_str(&format!(
-            "  \"speedup_vs_sequential\": {{{}}}\n",
+            "  \"speedup_vs_sequential\": {{{}}},\n",
             threads
                 .iter()
                 .filter(|&&t| t != 1)
@@ -393,6 +396,19 @@ impl CountingBench {
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
+        out.push_str("  \"sharded\": [\n");
+        for (i, r) in self.sharded.iter().enumerate() {
+            let comma = if i + 1 == self.sharded.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"shards\": {}, \"largest_shard\": {}, \"max_pass_candidates\": {}, \
+                 \"wall_s\": {}}}{comma}\n",
+                r.shards,
+                r.largest_shard,
+                r.max_pass_candidates,
+                json_num(r.wall.as_secs_f64(), 6)
+            ));
+        }
+        out.push_str("  ]\n");
         out.push_str("}\n");
         out
     }
@@ -431,7 +447,83 @@ pub fn counting_bench(transactions: usize, thread_counts: &[usize]) -> CountingB
         transactions,
         available_parallelism: Parallelism::Auto.resolve(),
         rows,
+        sharded: Vec::new(),
     }
+}
+
+/// One row of the sharded-counting benchmark: the same mining job over a
+/// manifest split into `shards` shard files, streamed one shard at a
+/// time (DESIGN.md §13).
+#[derive(Clone, Debug)]
+pub struct ShardedRow {
+    /// Shard files behind the manifest (1 ≈ unsharded).
+    pub shards: usize,
+    /// Transactions in the largest shard — the peak *resident*
+    /// transaction count, since `ShardedSource` streams one shard at a
+    /// time. Shrinks as the shard count grows.
+    pub largest_shard: u64,
+    /// Largest candidate set held by any counting pass — the peak
+    /// candidate memory. The bounded-memory contract is that this does
+    /// not grow with the shard count (`bench.sh` gates on it).
+    pub max_pass_candidates: usize,
+    /// End-to-end mining wall time.
+    pub wall: Duration,
+}
+
+/// Run the sharded-counting benchmark: the counting configuration of
+/// [`counting_bench`] once per shard count, with the dataset written as a
+/// checksummed shard manifest and mined through
+/// [`negassoc_txdb::shard::ShardedSource`]. The peak candidate set per
+/// pass is reconstructed from the run's `pass_end` trace events, like
+/// every other row in `BENCH_counting.json`.
+pub fn sharded_counting_bench(transactions: usize, shard_counts: &[usize]) -> Vec<ShardedRow> {
+    let ds = short_dataset(Some(transactions));
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let dir = std::env::temp_dir().join(format!(
+            "negassoc-bench-sharded-{}-{shards}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("bench shard dir");
+        let manifest_path = dir.join("bench.manifest");
+        negassoc_txdb::shard::write_sharded(&ds.db, &manifest_path, shards)
+            .expect("write bench shards");
+        let source =
+            negassoc_txdb::shard::ShardedSource::open(&manifest_path).expect("open bench manifest");
+        let largest_shard = source
+            .manifest()
+            .entries()
+            .iter()
+            .map(|e| e.tx_count)
+            .max()
+            .unwrap_or(0);
+        let ring = Arc::new(RingBufferSink::new(EVENT_RING_CAPACITY));
+        let ctrl = RunControl::new().with_observer(Obs::disabled().with_sink(ring.clone()));
+        let start = std::time::Instant::now();
+        NegativeMiner::new(MinerConfig {
+            min_support: MinSupport::Fraction(0.015),
+            min_ri: PAPER_MIN_RI,
+            driver: Driver::Improved,
+            max_negative_size: Some(3),
+            ..MinerConfig::default()
+        })
+        .mine_with_controls(&source, &ds.taxonomy, None, None, &ctrl)
+        .expect("sharded counting bench run");
+        let wall = start.elapsed();
+        let max_pass_candidates = pass_rows_from_events(&ring.snapshot())
+            .iter()
+            .map(|r| r.candidates)
+            .max()
+            .unwrap_or(0);
+        std::fs::remove_dir_all(&dir).ok();
+        rows.push(ShardedRow {
+            shards,
+            largest_shard,
+            max_pass_candidates,
+            wall,
+        });
+    }
+    rows
 }
 
 /// The control-plane overhead benchmark: the same improved-driver mining
@@ -782,6 +874,12 @@ mod tests {
                 transactions: 10,
                 threads: 2,
                 wall: Duration::from_micros(500),
+            }],
+            sharded: vec![ShardedRow {
+                shards: 4,
+                largest_shard: 3,
+                max_pass_candidates: 5,
+                wall: Duration::from_micros(250),
             }],
         };
         let doc = counting.to_json();

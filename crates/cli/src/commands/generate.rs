@@ -16,6 +16,7 @@ const KNOWN: &[&str] = &[
     "clusters",
     "avg-len",
     "seed",
+    "shards",
 ];
 
 pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
@@ -50,6 +51,18 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
     override_param!("avg-len", avg_transaction_len, f64);
     override_param!("seed", seed, u64);
 
+    let shards: Option<usize> = match opts.get("shards") {
+        None => None,
+        Some(v) => match v.parse() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                return Err(CliError::Usage(format!(
+                    "invalid --shards {v:?} (a positive shard count)"
+                )))
+            }
+        },
+    };
+
     let ds = generate(&params);
     save_taxonomy(&ds.taxonomy, tax_path)?;
     save_db(&ds.db, data_path)?;
@@ -61,5 +74,18 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
         ds.taxonomy.num_leaves(),
         ds.taxonomy.max_depth()
     );
+    if let Some(n) = shards {
+        // Also emit the sharded layout: N shard files plus the checksummed
+        // manifest, for `negatives --manifest` and the chaos fixtures.
+        let manifest_path = std::path::Path::new(data_path).with_extension("manifest");
+        let manifest = negassoc_datagen::sharding::write_sharded_fixture(&ds.db, &manifest_path, n)
+            .map_err(|e| CliError::Failure(format!("{}: {e}", manifest_path.display())))?;
+        println!(
+            "split into {} shards behind {} ({} transactions per shard ±1)",
+            manifest.len(),
+            manifest_path.display(),
+            manifest.total_transactions() / n as u64
+        );
+    }
     Ok(())
 }

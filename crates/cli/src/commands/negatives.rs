@@ -4,7 +4,7 @@ use crate::commands::{
     itemset_names, parse_parallelism, print_interrupted_pass_stats, print_metrics, print_pass_stats,
 };
 use crate::exit::CliError;
-use crate::io::{load_db_observed, load_taxonomy};
+use crate::io::{load_db_observed, load_manifest_observed, load_taxonomy};
 use crate::opts::{parse_bytes, Opts};
 use crate::signal;
 use negassoc::config::{Driver, GenAlgorithm};
@@ -12,13 +12,15 @@ use negassoc::obs::{JsonLinesSink, Metrics, Obs, RingBufferSink, TraceSink};
 use negassoc::{Deadline, Error, MinerConfig, NegativeMiner, RunControl};
 use negassoc_apriori::MinSupport;
 use negassoc_txdb::fault::{FaultPlan, FaultySource, SourceFault, SourceFaultKind};
-use negassoc_txdb::TransactionSource;
+use negassoc_txdb::shard::ShardedSource;
+use negassoc_txdb::{TransactionDb, TransactionSource};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 const KNOWN: &[&str] = &[
     "data",
+    "manifest",
     "taxonomy",
     "min-support",
     "min-ri",
@@ -145,7 +147,33 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
     }
 
     // Options validated; only now touch the filesystem.
-    let db = load_db_observed(opts.require("data")?, opts.flag("salvage"), &obs)?;
+    let db = match (opts.get("data"), opts.get("manifest")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--data and --manifest are mutually exclusive".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "missing required option --data (or --manifest for a sharded database)".into(),
+            ))
+        }
+        (Some(path), None) => DbSource::Whole(load_db_observed(path, opts.flag("salvage"), &obs)?),
+        (None, Some(path)) => {
+            // Strict unless --salvage; a degraded open salvages what it
+            // can and quarantines the rest, reported here exactly like a
+            // single-file --salvage load.
+            let sharded = load_manifest_observed(path, opts.flag("salvage"), &obs)?;
+            let report = sharded.salvage_report();
+            if !report.is_clean() {
+                eprintln!("{path}: {report}");
+            }
+            if !sharded.quarantine().is_empty() {
+                eprintln!("{path}: {}", sharded.quarantine());
+            }
+            DbSource::Sharded(sharded)
+        }
+    };
     let tax = load_taxonomy(opts.require("taxonomy")?)?;
 
     let config = MinerConfig {
@@ -191,9 +219,9 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
                 at_transaction: 0,
                 kind: SourceFaultKind::PermanentError,
             }]);
-            mine(&FaultySource::new(&db, plan).with_obs(obs.clone()))
+            mine(&FaultySource::new(db.as_dyn(), plan).with_obs(obs.clone()))
         }
-        None => mine(&db),
+        None => mine(db.as_dyn()),
     }
     .map_err(|e| match e {
         Error::Cancelled { .. } => {
@@ -222,18 +250,23 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
     if opts.flag("audit") {
         // Re-derive every reported support and RI from a raw scan;
         // refuses to print uncertified numbers.
-        let audit =
-            negassoc::audit::certify(&db, &tax, &outcome, min_ri).map_err(|e| e.to_string())?;
+        let audit = negassoc::audit::certify(db.as_dyn(), &tax, &outcome, min_ri)
+            .map_err(|e| e.to_string())?;
         println!("{audit}");
     }
 
     let rep = &outcome.report;
     println!(
         "mined {} transactions in {:?} ({} passes)",
-        db.len(),
+        db.transactions(),
         rep.mining_time + rep.rule_time,
         rep.passes
     );
+    if let Some(c) = &rep.completeness {
+        // A degraded run still exits 0: the rules are exact over every
+        // delivered transaction, and the gap is stated rather than fatal.
+        println!("completeness: {c}");
+    }
     println!(
         "large itemsets: {}   negative candidates: {} (of {} generated)   negative itemsets: {}",
         rep.large_itemsets, rep.candidates.unique, rep.candidates.generated, rep.negative_itemsets
@@ -279,6 +312,32 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+/// The mining input: one in-memory database (`--data`) or a sharded
+/// on-disk one (`--manifest`).
+enum DbSource {
+    /// A single file, fully loaded.
+    Whole(TransactionDb),
+    /// A manifest of shards, streamed one shard at a time.
+    Sharded(ShardedSource),
+}
+
+impl DbSource {
+    fn as_dyn(&self) -> &dyn TransactionSource {
+        match self {
+            DbSource::Whole(db) => db,
+            DbSource::Sharded(s) => s,
+        }
+    }
+
+    /// Transactions the source will deliver per pass.
+    fn transactions(&self) -> u64 {
+        match self {
+            DbSource::Whole(db) => db.len() as u64,
+            DbSource::Sharded(s) => s.len_hint().unwrap_or(0),
+        }
+    }
 }
 
 /// Write rules as CSV: `antecedent,consequent,ri,expected,actual` with

@@ -7,7 +7,9 @@
 
 use negassoc_taxonomy::Taxonomy;
 use negassoc_txdb::binfmt::CorruptBlock;
+use negassoc_txdb::fault::RetryPolicy;
 use negassoc_txdb::obs::{Event, Obs};
+use negassoc_txdb::shard::{ShardLoadError, ShardMode, ShardedSource};
 use negassoc_txdb::TransactionDb;
 use std::fs::File;
 use std::io::BufReader;
@@ -75,6 +77,56 @@ fn describe_nadb_error(path: &str, e: &std::io::Error) -> String {
             "{path}: {c} — rerun with `--salvage` to recover the intact \
              blocks (lost TIDs are reported exactly)"
         )
+    }
+}
+
+/// Open a sharded database behind a `--manifest` file. Without `salvage`
+/// the open is strict — any shard failing verification fails the load,
+/// with the hint naming the offending *shard* path. With `salvage`,
+/// failing shards are salvaged when possible and quarantined otherwise;
+/// the caller decides how to report the source's quarantine and salvage
+/// state.
+pub(crate) fn load_manifest_observed(
+    path: &str,
+    salvage: bool,
+    obs: &Obs,
+) -> Result<ShardedSource, String> {
+    let mode = if salvage {
+        ShardMode::Degrade
+    } else {
+        ShardMode::Strict
+    };
+    ShardedSource::open_with(path, mode, RetryPolicy::default(), obs.clone())
+        .map_err(|e| describe_manifest_error(path, &e))
+}
+
+/// Render a strict manifest open failure. A shard-level failure names the
+/// shard file — not just the manifest — so the operator knows *which* of
+/// the N files is damaged, and points at `--salvage` to quarantine it and
+/// mine the rest.
+fn describe_manifest_error(path: &str, e: &std::io::Error) -> String {
+    let Some(sle) = e
+        .get_ref()
+        .and_then(|inner| inner.downcast_ref::<ShardLoadError>())
+    else {
+        return format!("{path}: {e}");
+    };
+    let corrupt = sle
+        .error
+        .get_ref()
+        .and_then(|inner| inner.downcast_ref::<CorruptBlock>());
+    match corrupt {
+        Some(c) => format!(
+            "{path}: shard {} ({}): {c} — rerun with `--salvage` to salvage \
+             or quarantine this shard and mine the remaining shards to \
+             completion",
+            sle.index,
+            sle.path.display()
+        ),
+        None => format!(
+            "{path}: {sle} — rerun with `--salvage` to degrade around the \
+             failing shard instead of stopping"
+        ),
     }
 }
 
@@ -192,6 +244,43 @@ mod tests {
         // but the load itself must not fail).
         let db = load_db_opts(tmp.path(), true).unwrap();
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn strict_manifest_error_names_the_offending_shard() {
+        use negassoc_txdb::shard::write_sharded;
+
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("negrules-io-manifest-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("db.manifest");
+        let mut b = TransactionDbBuilder::new();
+        for i in 0..9 {
+            b.add([ItemId(i), ItemId(i + 1)]);
+        }
+        let written = write_sharded(&b.build(), &manifest, 3).unwrap();
+        // Corrupt a payload byte of shard 1 (past the 13-byte file header
+        // and 32-byte block header).
+        let victim = written.shard_path(1);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let path = manifest.to_string_lossy().into_owned();
+        let err = load_manifest_observed(&path, false, &Obs::disabled()).unwrap_err();
+        // The hint names the shard file, not just the manifest.
+        assert!(err.contains("db-shard-001.nadb"), "{err}");
+        assert!(err.contains("shard 1"), "{err}");
+        assert!(err.contains("--salvage"), "{err}");
+
+        // Degraded open succeeds and quarantines the damaged shard (a
+        // single-block shard salvages to nothing).
+        let src = load_manifest_observed(&path, true, &Obs::disabled()).unwrap();
+        assert_eq!(src.quarantine().shards.len(), 1);
+        assert_eq!(src.quarantine().shards[0].index, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

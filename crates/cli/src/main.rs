@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! negrules generate  --data out.nadb --taxonomy out-tax.txt [--preset short|tall]
-//!                    [--transactions N] [--items N] [--seed S]
+//!                    [--transactions N] [--items N] [--seed S] [--shards N]
 //! negrules stats     --data D [--taxonomy T] [--salvage]
 //! negrules mine      --data D --taxonomy T [--min-support F] [--min-conf F]
 //!                    [--algorithm basic|cumulate|estmerge|partition]
 //!                    [--r-interest R] [--salvage] [--audit]
-//! negrules negatives --data D --taxonomy T [--min-support F] [--min-ri F]
+//! negrules negatives --data D | --manifest M --taxonomy T [--min-support F] [--min-ri F]
 //!                    [--driver naive|improved] [--algorithm basic|cumulate|estmerge]
 //!                    [--max-size K] [--cap N] [--top N] [--out rules.csv]
 //!                    [--checkpoint-dir DIR] [--max-memory BYTES] [--salvage]
@@ -28,6 +28,7 @@ const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
   generate   synthesize a dataset (paper section 3.1 generator)
              --data PATH --taxonomy PATH [--preset short|tall]
              [--transactions N] [--items N] [--seed S]
+             [--shards N]  (also write N shard files + checksummed manifest)
   stats      summarize a transaction file
              --data PATH [--taxonomy PATH] [--salvage]
   mine       positive generalized association rules
@@ -37,7 +38,7 @@ const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
              [--partitions N=4] [--r-interest R] [--threads N|auto]
              [--salvage] [--audit]
   negatives  strong negative association rules (Savasere et al., ICDE '98)
-             --data PATH --taxonomy PATH [--min-support F=0.01]
+             --data PATH | --manifest PATH --taxonomy PATH [--min-support F=0.01]
              [--min-ri F=0.5] [--driver naive|improved]
              [--algorithm basic|cumulate|estmerge] [--max-size K]
              [--cap N] [--top N=20] [--out rules.csv] [--no-compress]
@@ -55,8 +56,15 @@ const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
                                       progress for SECS; exits 3)
              [--max-memory BYTES]    (degrade instead of OOM; K/M/G suffixes)
              [--inject-fail-pass N]  (fault injection for testing recovery)
-             [--salvage]  (skip corrupt .nadb blocks, report exact lost TIDs)
+             [--salvage]  (skip corrupt .nadb blocks, report exact lost TIDs;
+                           with --manifest: salvage or quarantine failing
+                           shards and mine the rest — still exits 0, with
+                           the degraded completeness stated)
              [--audit]    (re-derive every reported number from a raw scan)
+
+With --manifest the database is a checksummed shard manifest (see
+`generate --shards`): shards stream one at a time with bounded memory,
+and each shard is an independent fault domain.
 
 Transaction files: .nadb (binary) or whitespace text, one basket per line.
 Taxonomy files: `name<TAB>parent` per line, `-` for roots.

@@ -117,6 +117,18 @@ impl CheckpointManager {
         self
     }
 
+    /// Mix the source's content digest (e.g. a shard manifest's
+    /// order-invariant CRC digest) into the fingerprint. A resume then
+    /// survives cosmetic source changes (same shards, different manifest
+    /// order) but rejects content drift. `None` leaves the fingerprint
+    /// untouched — non-sharded sources keep their existing checkpoints.
+    pub fn with_source_digest(mut self, digest: Option<u64>) -> Self {
+        if let Some(d) = digest {
+            self.fingerprint ^= d.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        self
+    }
+
     /// The directory checkpoints live in.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -521,6 +533,32 @@ mod tests {
             ..base
         };
         assert_ne!(fingerprint(&other, &t, Some(100)), fp);
+    }
+
+    #[test]
+    fn source_digest_perturbs_the_fingerprint_and_none_is_identity() {
+        let t = tax();
+        let cfg = MinerConfig::default();
+        let dir = TempDir::new("digest");
+        let base = CheckpointManager::new(&dir.0, &cfg, &t, Some(100)).unwrap();
+        let fp = base.fingerprint;
+        let same = CheckpointManager::new(&dir.0, &cfg, &t, Some(100))
+            .unwrap()
+            .with_source_digest(None);
+        assert_eq!(same.fingerprint, fp);
+        let a = CheckpointManager::new(&dir.0, &cfg, &t, Some(100))
+            .unwrap()
+            .with_source_digest(Some(0xABCD));
+        let b = CheckpointManager::new(&dir.0, &cfg, &t, Some(100))
+            .unwrap()
+            .with_source_digest(Some(0xABCE));
+        assert_ne!(a.fingerprint, fp);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        // Same digest → same fingerprint (resume across reordered shards).
+        let a2 = CheckpointManager::new(&dir.0, &cfg, &t, Some(100))
+            .unwrap()
+            .with_source_digest(Some(0xABCD));
+        assert_eq!(a.fingerprint, a2.fingerprint);
     }
 
     fn tax() -> Taxonomy {

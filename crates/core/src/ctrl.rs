@@ -31,8 +31,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// How much durable progress a cancelled run left behind — the
-/// "explicit completeness status" attached to [`Error::Cancelled`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// "explicit completeness status" attached to [`Error::Cancelled`] — or,
+/// for [`Completeness::Degraded`], how much of the *database* a finished
+/// run actually covered.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Completeness {
     /// Nothing durable: no pass completed under a checkpoint manager (or
     /// none was configured). Resuming restarts from scratch — still to
@@ -52,6 +54,13 @@ pub enum Completeness {
         /// Negative candidates awaiting their counting pass.
         candidates: usize,
     },
+    /// The run *finished*, but over a sharded source that had to
+    /// quarantine unreadable shards: the answer is exact over every
+    /// delivered transaction and silent about the quarantined ones.
+    Degraded {
+        /// Display paths of the shards that were quarantined.
+        quarantined_shards: Vec<String>,
+    },
 }
 
 impl fmt::Display for Completeness {
@@ -65,6 +74,12 @@ impl fmt::Display for Completeness {
             Completeness::NegativePending { candidates } => write!(
                 f,
                 "positive phase durable, {candidates} negative candidates await counting"
+            ),
+            Completeness::Degraded { quarantined_shards } => write!(
+                f,
+                "complete except {} quarantined shard(s): {}",
+                quarantined_shards.len(),
+                quarantined_shards.join(", ")
             ),
         }
     }
@@ -209,5 +224,11 @@ mod tests {
         assert!(p.to_string().contains("level 3"));
         let n = Completeness::NegativePending { candidates: 17 };
         assert!(n.to_string().contains("17 negative candidates"));
+        let d = Completeness::Degraded {
+            quarantined_shards: vec!["a-shard-001.nadb".into(), "a-shard-003.nadb".into()],
+        };
+        let s = d.to_string();
+        assert!(s.contains("2 quarantined shard(s)"), "got: {s}");
+        assert!(s.contains("a-shard-003.nadb"), "got: {s}");
     }
 }

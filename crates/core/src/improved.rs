@@ -25,7 +25,7 @@ use negassoc_apriori::levelwise::{
     CandidateBudgetExceeded, GenLevelMiner, GenStrategy, MinerState,
 };
 use negassoc_apriori::parallel::{CancelToken, Obs, PassStats};
-use negassoc_apriori::partition_mine::partition_mine_ctrl;
+use negassoc_apriori::partition_mine::{partition_mine_ctrl, partition_mine_shards};
 use negassoc_apriori::{Itemset, LargeItemsets};
 use negassoc_taxonomy::fxhash::FxHashSet;
 use negassoc_taxonomy::{FilteredTaxonomy, ItemId, Taxonomy};
@@ -192,8 +192,10 @@ fn check_candidate_budget(len: usize, size: usize, cap: Option<usize>) -> Result
 /// non-budget-related) result passes through untouched. When the
 /// level-wise miner tripped its candidate cap, fall back to the Partition
 /// algorithm (two passes, per-partition working sets) if the source is an
-/// in-memory database; otherwise surface a typed [`Error::Budget`] so the
-/// caller can decide, instead of letting the process OOM-abort.
+/// in-memory database, or to its sharded variant (one shard in memory at
+/// a time) if the source exposes shards; otherwise surface a typed
+/// [`Error::Budget`] so the caller can decide, instead of letting the
+/// process OOM-abort.
 fn positive_or_degraded<S: TransactionSource + ?Sized>(
     result: Result<(LargeItemsets, u64, u64, Vec<PassStats>), Error>,
     source: &S,
@@ -210,6 +212,23 @@ fn positive_or_degraded<S: TransactionSource + ?Sized>(
         return Err(err);
     };
     let Some(db) = source.as_db() else {
+        // A sharded source has no whole in-memory database, but its shards
+        // are natural partitions: mine them one at a time under the same
+        // local-fraction argument, bounded by the largest shard.
+        if let Some(shards) = source.as_shards() {
+            let large = partition_mine_shards(
+                source,
+                shards,
+                Some(tax),
+                config.min_support,
+                config.backend,
+                config.parallelism,
+                ctrl,
+                obs,
+            )?;
+            let levels = large.max_level() as u64;
+            return Ok((large, 2, levels, Vec::new()));
+        }
         return Err(Error::Budget(format!(
             "{overflow}; the partitioned fallback needs an in-memory database and this \
              source is streamed — raise the memory budget or lower `max_negative_size`"

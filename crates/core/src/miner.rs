@@ -60,6 +60,10 @@ pub struct MiningReport {
     /// positive mining, the partition fallback) and for passes a resumed
     /// run skipped thanks to a checkpoint.
     pub pass_stats: Vec<PassStats>,
+    /// Degraded-coverage marker: `Some(Completeness::Degraded { .. })`
+    /// when the source quarantined shards (the answer is exact over the
+    /// delivered transactions only), `None` for full-coverage runs.
+    pub completeness: Option<Completeness>,
 }
 
 impl std::fmt::Display for MiningReport {
@@ -93,7 +97,11 @@ impl std::fmt::Display for MiningReport {
             self.positive_time,
             self.negative_time,
             self.rule_time
-        )
+        )?;
+        if let Some(c) = &self.completeness {
+            write!(f, "\ncompleteness: {c}")?;
+        }
+        Ok(())
     }
 }
 
@@ -161,7 +169,8 @@ impl NegativeMiner {
                     .into(),
             ));
         }
-        let manager = CheckpointManager::new(checkpoint_dir, &self.config, tax, source.len_hint())?;
+        let manager = CheckpointManager::new(checkpoint_dir, &self.config, tax, source.len_hint())?
+            .with_source_digest(source.content_digest());
         let outcome = self.mine_inner(
             source,
             tax,
@@ -208,6 +217,7 @@ impl NegativeMiner {
                 }
                 Some(
                     CheckpointManager::new(dir, &self.config, tax, source.len_hint())?
+                        .with_source_digest(source.content_digest())
                         .with_obs(ctrl.obs().clone()),
                 )
             }
@@ -283,6 +293,7 @@ impl NegativeMiner {
             generate_negative_rules(&outcome.negatives, &outcome.large, self.config.min_ri)?;
         let rule_time = rule_start.elapsed();
 
+        let quarantined = source.quarantined_shards();
         let report = MiningReport {
             passes: outcome.passes,
             levels: outcome.levels,
@@ -295,6 +306,13 @@ impl NegativeMiner {
             negative_time: outcome.negative_time,
             rule_time,
             pass_stats: outcome.pass_stats,
+            completeness: if quarantined.is_empty() {
+                None
+            } else {
+                Some(Completeness::Degraded {
+                    quarantined_shards: quarantined,
+                })
+            },
         };
         Ok(MiningOutcome {
             large: outcome.large,

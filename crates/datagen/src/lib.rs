@@ -27,6 +27,7 @@ pub mod nested_logit;
 pub mod params;
 pub mod presets;
 pub mod quest;
+pub mod sharding;
 pub mod taxgen;
 
 pub use generator::{generate, Dataset};

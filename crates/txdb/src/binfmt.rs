@@ -318,6 +318,17 @@ impl SalvageReport {
     pub fn is_clean(&self) -> bool {
         self.lost_blocks.is_empty() && self.lost_tail == 0
     }
+
+    /// Fold `other` into this report, so per-shard (or per-file) salvage
+    /// reports combine into one run-level report. Recovered and tail
+    /// counts add; lost blocks concatenate in merge order (each block
+    /// keeps its within-file index — `Display` groups adjacent runs, so a
+    /// wholly-lost file renders as one line, not one per block).
+    pub fn merge(&mut self, other: SalvageReport) {
+        self.recovered += other.recovered;
+        self.lost_blocks.extend(other.lost_blocks);
+        self.lost_tail += other.lost_tail;
+    }
 }
 
 impl fmt::Display for SalvageReport {
@@ -331,17 +342,39 @@ impl fmt::Display for SalvageReport {
             self.recovered,
             self.lost_transactions()
         )?;
-        for b in &self.lost_blocks {
-            let exact = u64::from(b.tx_count) == b.last_tid - b.first_tid + 1;
-            writeln!(
-                f,
-                "  block {}: lost {} transactions, TIDs {}..={}{}",
-                b.index,
-                b.tx_count,
-                b.first_tid,
-                b.last_tid,
-                if exact { "" } else { " (sparse range)" }
-            )?;
+        // Render maximal runs of adjacent lost blocks (consecutive block
+        // indexes whose TID ranges abut) as one line each, so a burst of
+        // corruption doesn't produce hundreds of single-block lines.
+        let mut i = 0;
+        while i < self.lost_blocks.len() {
+            let mut j = i;
+            while j + 1 < self.lost_blocks.len()
+                && self.lost_blocks[j + 1].index == self.lost_blocks[j].index + 1
+                && self.lost_blocks[j + 1].first_tid == self.lost_blocks[j].last_tid + 1
+            {
+                j += 1;
+            }
+            let (first, last) = (&self.lost_blocks[i], &self.lost_blocks[j]);
+            let lost: u64 = self.lost_blocks[i..=j]
+                .iter()
+                .map(|b| u64::from(b.tx_count))
+                .sum();
+            let exact = lost == last.last_tid - first.first_tid + 1;
+            let sparse = if exact { "" } else { " (sparse range)" };
+            if i == j {
+                writeln!(
+                    f,
+                    "  block {}: lost {} transactions, TIDs {}..={}{}",
+                    first.index, lost, first.first_tid, last.last_tid, sparse
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "  blocks {}..={}: lost {} transactions, TIDs {}..={}{}",
+                    first.index, last.index, lost, first.first_tid, last.last_tid, sparse
+                )?;
+            }
+            i = j + 1;
         }
         if self.lost_tail > 0 {
             writeln!(f, "  tail: {} transactions unrecoverable", self.lost_tail)?;
@@ -552,8 +585,9 @@ fn scan_v2_salvage<R: Read>(
             let mut slice = payload.as_slice();
             // Each encoded transaction is ≥ 2 bytes, so the payload size
             // bounds any honest tx_count; don't trust the claim further.
-            let mut staged: Vec<(u64, Vec<ItemId>)> =
-                Vec::with_capacity((header.tx_count as usize).min(payload.len() / 2 + 1));
+            let staged_cap = (header.tx_count as usize).min(payload.len() / 2 + 1);
+            // negassoc-lint: allow(L012) -- salvage-only staging: one buffer per *corrupt-file* block, never on the certified fast path
+            let mut staged: Vec<(u64, Vec<ItemId>)> = Vec::with_capacity(staged_cap);
             for _ in 0..header.tx_count {
                 match scan_one(&mut slice, &mut items, &mut |t| {
                     staged.push((t.tid(), t.items().to_vec()))
@@ -624,6 +658,30 @@ pub fn load_salvage<P: AsRef<Path>>(path: P) -> io::Result<(crate::TransactionDb
         b.add_with_tid(t.tid(), t.items().iter().copied())
     })?;
     Ok((b.build(), report))
+}
+
+/// One streaming salvage pass over a (v2) file: deliver every
+/// recoverable transaction to `f` in file order, skipping corrupt
+/// blocks, and return the loss report. Memory stays O(one block) — this
+/// is the salvage counterpart of [`FileSource`]'s strict pass, used by
+/// the shard layer to stream a damaged shard without materializing it.
+/// Salvage is deterministic: repeated passes over unchanged bytes
+/// deliver the same transactions and produce an equal report. v1 files
+/// carry no checksums, so salvage refuses them (like [`load_salvage`]).
+pub fn salvage_pass<P: AsRef<Path>>(
+    path: P,
+    f: &mut dyn FnMut(Transaction<'_>),
+) -> io::Result<SalvageReport> {
+    let mut r = BufReader::new(File::open(path)?);
+    let (version, count) = read_header(&mut r)?;
+    if version == VERSION_V1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "salvage needs the checksummed v2 format; this is a v1 file \
+             (rewrite it with `write_db` to upgrade)",
+        ));
+    }
+    scan_v2_salvage(&mut r, count, f)
 }
 
 /// Checksum-verify every block of a v2 file (or byte-decode a v1 file)
@@ -1028,6 +1086,121 @@ mod tests {
         let (version, count) = read_header(&mut r).unwrap();
         assert_eq!(version, VERSION_V1);
         assert!(scan_body(&mut r, count, &mut |_| {}).is_err());
+    }
+
+    #[test]
+    fn salvage_pass_streams_what_load_salvage_materializes() {
+        let db = multi_block_db(1500);
+        let mut buf = Vec::new();
+        write_db(&db, &mut buf).unwrap();
+        flip_payload_byte(&mut buf, 1);
+        let f = TempFile::new("salvage-pass.nadb");
+        std::fs::write(f.path(), &buf).unwrap();
+
+        let (loaded, load_report) = load_salvage(f.path()).unwrap();
+        let mut streamed: Vec<(u64, Vec<ItemId>)> = Vec::new();
+        let stream_report = salvage_pass(f.path(), &mut |t| {
+            streamed.push((t.tid(), t.items().to_vec()));
+        })
+        .unwrap();
+        assert_eq!(stream_report, load_report);
+        assert_eq!(streamed.len() as u64, load_report.recovered);
+        for (got, want) in streamed.iter().zip(loaded.iter()) {
+            assert_eq!(got.0, want.tid());
+            assert_eq!(got.1, want.items());
+        }
+        // Deterministic across passes: same delivery, same report.
+        let again = salvage_pass(f.path(), &mut |_| {}).unwrap();
+        assert_eq!(again, stream_report);
+    }
+
+    #[test]
+    fn salvage_pass_refuses_v1() {
+        let f = TempFile::new("v1-salvage-pass.nadb");
+        save_v1(&sample_db(), f.path()).unwrap();
+        let err = salvage_pass(f.path(), &mut |_| {}).unwrap_err();
+        assert!(err.to_string().contains("v1"));
+    }
+
+    #[test]
+    fn merged_reports_add_up() {
+        let mut a = SalvageReport {
+            recovered: 100,
+            lost_blocks: vec![CorruptBlock {
+                index: 0,
+                first_tid: 0,
+                last_tid: 9,
+                tx_count: 10,
+                header_corrupt: false,
+            }],
+            lost_tail: 3,
+        };
+        let b = SalvageReport {
+            recovered: 50,
+            lost_blocks: vec![CorruptBlock {
+                index: 2,
+                first_tid: 40,
+                last_tid: 49,
+                tx_count: 10,
+                header_corrupt: false,
+            }],
+            lost_tail: 0,
+        };
+        a.merge(b);
+        assert_eq!(a.recovered, 150);
+        assert_eq!(a.lost_tail, 3);
+        assert_eq!(a.lost_blocks.len(), 2);
+        assert_eq!(a.lost_transactions(), 23);
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn display_groups_adjacent_lost_blocks_into_one_range() {
+        // Blocks 3..=6 are one contiguous loss; block 9 stands alone.
+        let mk = |index: u64, first: u64, last: u64| CorruptBlock {
+            index,
+            first_tid: first,
+            last_tid: last,
+            tx_count: (last - first + 1) as u32,
+            header_corrupt: false,
+        };
+        let report = SalvageReport {
+            recovered: 500,
+            lost_blocks: vec![
+                mk(3, 30, 39),
+                mk(4, 40, 49),
+                mk(5, 50, 59),
+                mk(6, 60, 69),
+                mk(9, 90, 99),
+            ],
+            lost_tail: 0,
+        };
+        let shown = report.to_string();
+        assert!(
+            shown.contains("blocks 3..=6: lost 40 transactions, TIDs 30..=69"),
+            "{shown}"
+        );
+        assert!(
+            shown.contains("block 9: lost 10 transactions, TIDs 90..=99"),
+            "{shown}"
+        );
+        // Exactly two loss lines — not five.
+        assert_eq!(
+            shown.lines().filter(|l| l.contains("lost")).count(),
+            3, // headline + 2 grouped lines
+            "{shown}"
+        );
+
+        // A gap in TIDs (even with adjacent indexes) breaks the group and
+        // keeps the sparse marker honest.
+        let sparse = SalvageReport {
+            recovered: 10,
+            lost_blocks: vec![mk(0, 0, 9), mk(1, 20, 29)],
+            lost_tail: 0,
+        };
+        let shown = sparse.to_string();
+        assert!(shown.contains("block 0:"), "{shown}");
+        assert!(shown.contains("block 1:"), "{shown}");
     }
 
     #[test]

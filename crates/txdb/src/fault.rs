@@ -473,6 +473,7 @@ impl<R: Read> Read for FaultyReader<R> {
                 ReadFaultKind::TransientError => {
                     fired[i] = true;
                     // The bytes are discarded; the caller retries the read.
+                    // negassoc-lint: allow(L012) -- fault-trigger path; fires at most once per plan entry, then returns
                     return Err(io::Error::other(format!(
                         "{INJECTED}: read error at byte {}",
                         fault.offset

@@ -28,6 +28,11 @@
 //!   [`obs::TraceSink`]s behind the cheap [`obs::Obs`] handle,
 //! * [`partition`] — horizontal partitioning for memory-bounded or parallel
 //!   counting,
+//! * [`shard`] — sharded on-disk databases behind a checksummed manifest:
+//!   [`shard::ShardedSource`] streams shards one at a time with bounded
+//!   memory, and each shard is its own fault domain (retry → salvage →
+//!   [`shard::ShardQuarantine`]) so one corrupt shard degrades the run
+//!   instead of killing it,
 //! * [`vertical`] — TID-list (inverted) indexes with intersection-based
 //!   support counting, used as an alternative counting backend.
 //!
@@ -55,6 +60,7 @@ pub mod ctrl;
 pub mod fault;
 pub mod obs;
 pub mod partition;
+pub mod shard;
 pub mod stats;
 pub mod textfmt;
 pub mod throttle;

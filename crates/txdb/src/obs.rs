@@ -175,6 +175,30 @@ pub enum Event {
         /// Blocks (or records) dropped as corrupt.
         dropped: u64,
     },
+    /// A sharded pass is about to stream one shard.
+    ShardStart {
+        /// 0-based shard index within the manifest.
+        index: usize,
+        /// The shard's path, as resolved from the manifest.
+        path: String,
+    },
+    /// A sharded pass finished streaming one shard.
+    ShardEnd {
+        /// 0-based shard index within the manifest.
+        index: usize,
+        /// Transactions the shard delivered this pass.
+        transactions: u64,
+    },
+    /// A shard failed strict load *and* salvage; the run continues
+    /// without it (degraded completeness).
+    ShardQuarantined {
+        /// 0-based shard index within the manifest.
+        index: usize,
+        /// The shard's path, as resolved from the manifest.
+        path: String,
+        /// Why the shard was quarantined.
+        error: String,
+    },
     /// One timing sample from a benchmark repetition.
     Sample {
         /// Which configuration the sample measures.
@@ -208,6 +232,9 @@ impl Event {
             Event::CheckpointLoad { .. } => "checkpoint_load",
             Event::Cancelled { .. } => "cancelled",
             Event::Salvage { .. } => "salvage",
+            Event::ShardStart { .. } => "shard_start",
+            Event::ShardEnd { .. } => "shard_end",
+            Event::ShardQuarantined { .. } => "shard_quarantined",
             Event::Sample { .. } => "sample",
             Event::RunEnd { .. } => "run_end",
         }
@@ -301,6 +328,27 @@ impl Event {
             }
             Event::Salvage { kept, dropped } => {
                 s.push_str(&format!(",\"kept\":{kept},\"dropped\":{dropped}"));
+            }
+            Event::ShardStart { index, path } => {
+                s.push_str(&format!(
+                    ",\"index\":{index},\"path\":\"{}\"",
+                    json_escape(path)
+                ));
+            }
+            Event::ShardEnd {
+                index,
+                transactions,
+            } => {
+                s.push_str(&format!(
+                    ",\"index\":{index},\"transactions\":{transactions}"
+                ));
+            }
+            Event::ShardQuarantined { index, path, error } => {
+                s.push_str(&format!(
+                    ",\"index\":{index},\"path\":\"{}\",\"error\":\"{}\"",
+                    json_escape(path),
+                    json_escape(error)
+                ));
             }
             Event::Sample { name, index, wall } => {
                 s.push_str(&format!(

@@ -39,6 +39,33 @@ pub trait TransactionSource {
     fn as_db(&self) -> Option<&crate::TransactionDb> {
         None
     }
+
+    /// Per-shard random access behind this source, when it is sharded
+    /// (see [`crate::shard::ShardedSource`]). The memory-bounded
+    /// partition fallback uses this to mine one shard at a time instead
+    /// of giving up on a streamed source. Wrappers that change pass
+    /// semantics deliberately return `None`, like [`Self::as_db`].
+    fn as_shards(&self) -> Option<&dyn crate::shard::ShardAccess> {
+        None
+    }
+
+    /// A stable digest of the source's *content* identity, when it has
+    /// one (e.g. the shard manifest's CRCs). Checkpoint fingerprints mix
+    /// this in so a resume survives cosmetic changes (same shards,
+    /// different manifest order) but never content drift. `None` means
+    /// "no digest" — the fingerprint falls back to the transaction count
+    /// alone.
+    fn content_digest(&self) -> Option<u64> {
+        None
+    }
+
+    /// Display paths of shards this source had to quarantine (empty for
+    /// non-sharded or fully healthy sources). A successful mine over a
+    /// source with quarantined shards is *degraded*: exact over the
+    /// transactions delivered, silent about the ones quarantined.
+    fn quarantined_shards(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 impl<T: TransactionSource + ?Sized> TransactionSource for &T {
@@ -52,6 +79,18 @@ impl<T: TransactionSource + ?Sized> TransactionSource for &T {
 
     fn as_db(&self) -> Option<&crate::TransactionDb> {
         (**self).as_db()
+    }
+
+    fn as_shards(&self) -> Option<&dyn crate::shard::ShardAccess> {
+        (**self).as_shards()
+    }
+
+    fn content_digest(&self) -> Option<u64> {
+        (**self).content_digest()
+    }
+
+    fn quarantined_shards(&self) -> Vec<String> {
+        (**self).quarantined_shards()
     }
 }
 

@@ -1,0 +1,1054 @@
+//! Sharded transaction databases with per-shard fault domains.
+//!
+//! A *sharded* database is a directory of independent NADB v2 files plus a
+//! checksummed **manifest** recording, per shard, the relative path, whole
+//! file CRC-32, TID range, transaction count and format version. The
+//! [`ShardedSource`] streams shards one at a time — memory stays bounded by
+//! the largest shard, never the whole database — and each shard is its own
+//! fault domain:
+//!
+//! 1. a shard that fails strict verification is retried under the bounded
+//!    [`RetryPolicy`] (transient I/O errors only),
+//! 2. then read in salvage mode (recovering every block whose checksum
+//!    still holds, exactly like `--salvage` on a single file),
+//! 3. and only when salvage recovers nothing is it **quarantined** into the
+//!    typed [`ShardQuarantine`] report — the remaining shards still mine to
+//!    completion and the run reports *degraded* completeness instead of
+//!    dying.
+//!
+//! The manifest's [`ShardManifest::content_digest`] is order-invariant over
+//! shard *content* (CRC, TID range, count) but blind to paths, so a resumed
+//! checkpoint survives "same shards, different order / renamed files" while
+//! any content drift invalidates it.
+
+use crate::binfmt::{self, FileSource, SalvageReport, VERSION_V2};
+use crate::crc32::{crc32, Hasher};
+use crate::fault::{is_transient, RetryPolicy};
+use crate::obs::{metric, Event, Obs};
+use crate::transaction::Transaction;
+use crate::{TransactionDb, TransactionDbBuilder, TransactionSource};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest file magic.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"NAMF";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u8 = 1;
+
+/// One shard's line in the manifest: where it lives and what its content
+/// must look like for a strict load to accept it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Path relative to the manifest's directory.
+    pub path: String,
+    /// CRC-32 of the entire shard file.
+    pub crc: u32,
+    /// Smallest TID stored in the shard (0 when empty).
+    pub first_tid: u64,
+    /// Largest TID stored in the shard (0 when empty).
+    pub last_tid: u64,
+    /// Transactions in the shard.
+    pub tx_count: u64,
+    /// NADB format version of the shard file.
+    pub format: u8,
+}
+
+/// A checksummed list of [`ShardEntry`]s plus the directory they are
+/// relative to. The on-disk layout is `NAMF`, a version byte, a `u32 LE`
+/// entry count, the entries, and a trailing CRC-32 over everything before
+/// it — a truncated or bit-flipped manifest is rejected before any shard
+/// is opened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardManifest {
+    dir: PathBuf,
+    entries: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// A manifest over `entries`, resolving shard paths against `dir`.
+    pub fn new<P: Into<PathBuf>>(dir: P, entries: Vec<ShardEntry>) -> Self {
+        Self {
+            dir: dir.into(),
+            entries,
+        }
+    }
+
+    /// Load and checksum-verify a manifest; shard paths resolve against
+    /// the manifest file's parent directory.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)?;
+        let dir = path
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .to_path_buf();
+        Self::parse(&bytes, dir)
+    }
+
+    fn parse(bytes: &[u8], dir: PathBuf) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if bytes.len() < 4 + 1 + 4 + 4 {
+            return Err(bad("manifest truncated"));
+        }
+        if &bytes[0..4] != MANIFEST_MAGIC {
+            return Err(bad("not a shard manifest (bad magic; expected NAMF)"));
+        }
+        if bytes[4] != MANIFEST_VERSION {
+            return Err(bad("unsupported manifest version"));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let stored = le_u32(&bytes[bytes.len() - 4..]);
+        if crc32(body) != stored {
+            return Err(bad(
+                "manifest checksum mismatch (the manifest itself is corrupt)",
+            ));
+        }
+        let count = le_u32(&bytes[5..9]) as usize;
+        let mut at = 9usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 16));
+        let take = |at: &mut usize, n: usize| -> io::Result<&[u8]> {
+            let end = at
+                .checked_add(n)
+                .filter(|&e| e <= body.len())
+                .ok_or_else(|| bad("manifest entry truncated"))?;
+            let s = &body[*at..end];
+            *at = end;
+            Ok(s)
+        };
+        for _ in 0..count {
+            let path_len = le_u16(take(&mut at, 2)?) as usize;
+            let path = std::str::from_utf8(take(&mut at, path_len)?)
+                .map_err(|_| bad("manifest shard path is not UTF-8"))?
+                .to_string();
+            let crc = le_u32(take(&mut at, 4)?);
+            let first_tid = le_u64(take(&mut at, 8)?);
+            let last_tid = le_u64(take(&mut at, 8)?);
+            let tx_count = le_u64(take(&mut at, 8)?);
+            let format = take(&mut at, 1)?[0];
+            entries.push(ShardEntry {
+                path,
+                crc,
+                first_tid,
+                last_tid,
+                tx_count,
+                format,
+            });
+        }
+        if at != body.len() {
+            return Err(bad("manifest has trailing bytes after the last entry"));
+        }
+        Ok(Self { dir, entries })
+    }
+
+    /// Serialize the manifest (with its trailing checksum) to `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut body = Vec::new();
+        body.extend_from_slice(MANIFEST_MAGIC);
+        body.push(MANIFEST_VERSION);
+        body.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            if e.path.len() > u16::MAX as usize {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "shard path longer than 65535 bytes",
+                ));
+            }
+            body.extend_from_slice(&(e.path.len() as u16).to_le_bytes());
+            body.extend_from_slice(e.path.as_bytes());
+            body.extend_from_slice(&e.crc.to_le_bytes());
+            body.extend_from_slice(&e.first_tid.to_le_bytes());
+            body.extend_from_slice(&e.last_tid.to_le_bytes());
+            body.extend_from_slice(&e.tx_count.to_le_bytes());
+            body.push(e.format);
+        }
+        let crc = crc32(&body);
+        let mut f = File::create(path)?;
+        f.write_all(&body)?;
+        f.write_all(&crc.to_le_bytes())?;
+        f.sync_all()
+    }
+
+    /// The shard entries, in manifest (mining) order.
+    pub fn entries(&self) -> &[ShardEntry] {
+        &self.entries
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the manifest lists no shards.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Absolute(-ish) path of shard `index`, resolved against the
+    /// manifest directory.
+    pub fn shard_path(&self, index: usize) -> PathBuf {
+        self.dir.join(&self.entries[index].path)
+    }
+
+    /// Total transactions across every shard, per the manifest.
+    pub fn total_transactions(&self) -> u64 {
+        self.entries.iter().map(|e| e.tx_count).sum()
+    }
+
+    /// An order-invariant digest of shard *content* (CRC, TID range,
+    /// count — deliberately not paths). Checkpoint fingerprints mix this
+    /// in so a resume survives a reordered or renamed manifest but not
+    /// content drift.
+    pub fn content_digest(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| {
+                let mut h = u64::from(e.crc);
+                h = mix64(h ^ e.tx_count);
+                h = mix64(h ^ e.first_tid);
+                h = mix64(h ^ e.last_tid);
+                mix64(h ^ u64::from(e.format))
+            })
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// Little-endian field readers for [`ShardManifest::parse`]. Callers
+/// guarantee the slice length (via `take`), so plain indexing suffices —
+/// the same idiom `binfmt` uses for its block headers.
+fn le_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// CRC-32 of an entire file, streamed in 64 KiB chunks.
+fn file_crc(path: &Path) -> io::Result<u32> {
+    let mut f = File::open(path)?;
+    let mut h = Hasher::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            return Ok(h.finalize());
+        }
+        h.update(&buf[..n]);
+    }
+}
+
+/// Split `source` into `num_shards` NADB v2 files next to `manifest_path`
+/// (named `{stem}-shard-{i:03}.nadb`), write the checksummed manifest, and
+/// return it. Shard sizes differ by at most one transaction and the
+/// concatenation of shards in manifest order replays `source` exactly
+/// (TIDs preserved).
+pub fn write_sharded<S: TransactionSource + ?Sized, P: AsRef<Path>>(
+    source: &S,
+    manifest_path: P,
+    num_shards: usize,
+) -> io::Result<ShardManifest> {
+    let manifest_path = manifest_path.as_ref();
+    if num_shards == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "cannot split a database into zero shards",
+        ));
+    }
+    let dir = manifest_path
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf();
+    let stem = manifest_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("db")
+        .to_string();
+    let total = source.count_transactions()?;
+    let base = total / num_shards as u64;
+    let extra = (total % num_shards as u64) as usize;
+    let target = |i: usize| base + u64::from(i < extra);
+
+    let mut entries: Vec<ShardEntry> = Vec::with_capacity(num_shards);
+    let mut builder = TransactionDbBuilder::new();
+    let mut shard = 0usize;
+    let mut filled = 0u64;
+    let mut result: io::Result<()> = Ok(());
+    source.pass(&mut |t| {
+        if result.is_err() {
+            return;
+        }
+        builder.add_with_tid(t.tid(), t.items().iter().copied());
+        filled += 1;
+        if shard + 1 < num_shards && filled == target(shard) {
+            result = flush_shard(&dir, &stem, shard, &mut builder).map(|e| entries.push(e));
+            shard += 1;
+            filled = 0;
+        }
+    })?;
+    result?;
+    // The last shard (and, when the source was shorter than the manifest
+    // promised, any remaining empty shards) flush after the pass.
+    while shard < num_shards {
+        entries.push(flush_shard(&dir, &stem, shard, &mut builder)?);
+        shard += 1;
+    }
+    let manifest = ShardManifest::new(dir, entries);
+    manifest.save(manifest_path)?;
+    Ok(manifest)
+}
+
+/// Write the accumulated builder out as shard `index` and describe it.
+fn flush_shard(
+    dir: &Path,
+    stem: &str,
+    index: usize,
+    builder: &mut TransactionDbBuilder,
+) -> io::Result<ShardEntry> {
+    let db = std::mem::replace(builder, TransactionDbBuilder::new()).build();
+    let name = format!("{stem}-shard-{index:03}.nadb");
+    let path = dir.join(&name);
+    binfmt::save(&db, &path)?;
+    let crc = file_crc(&path)?;
+    let mut first = u64::MAX;
+    let mut last = 0u64;
+    for t in db.iter() {
+        first = first.min(t.tid());
+        last = last.max(t.tid());
+    }
+    if db.is_empty() {
+        first = 0;
+    }
+    Ok(ShardEntry {
+        path: name,
+        crc,
+        first_tid: first,
+        last_tid: last,
+        tx_count: db.len() as u64,
+        format: VERSION_V2,
+    })
+}
+
+/// How a [`ShardedSource`] treats a shard that fails strict verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Any failing shard fails the whole open with a [`ShardLoadError`].
+    Strict,
+    /// Failing shards are salvaged when possible and quarantined
+    /// otherwise; the remaining shards still mine to completion.
+    Degrade,
+}
+
+/// Per-shard verdict, decided once when the source opens.
+#[derive(Debug)]
+enum ShardState {
+    /// Strict verification passed; passes stream it with [`FileSource`].
+    Healthy,
+    /// Strict load failed but salvage recovers these blocks; passes
+    /// re-salvage and insist on this exact report (no drift mid-run).
+    Salvaged(SalvageReport),
+    /// Unrecoverable: skipped by every pass, named in the quarantine.
+    Quarantined,
+}
+
+/// One quarantined shard: which, where, why, and how much it cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedShard {
+    /// Index in manifest order.
+    pub index: usize,
+    /// Display path of the shard file.
+    pub path: String,
+    /// Human-readable reason the shard was quarantined.
+    pub reason: String,
+    /// Transactions the manifest says the shard held.
+    pub lost_transactions: u64,
+}
+
+/// The typed run-level report of shards that could not be read at all.
+/// Empty for a healthy run; non-empty means the mine was *degraded* —
+/// exact over the delivered transactions, silent about these.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardQuarantine {
+    /// Quarantined shards in manifest order.
+    pub shards: Vec<QuarantinedShard>,
+}
+
+impl ShardQuarantine {
+    /// `true` when no shard was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Total transactions lost to quarantined shards (per the manifest).
+    pub fn lost_transactions(&self) -> u64 {
+        self.shards.iter().map(|s| s.lost_transactions).sum()
+    }
+}
+
+impl fmt::Display for ShardQuarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "quarantine: empty (all shards healthy)");
+        }
+        writeln!(
+            f,
+            "quarantine: {} shard(s) unreadable, {} transactions lost",
+            self.shards.len(),
+            self.lost_transactions()
+        )?;
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "  shard {} ({}): {} — {} transactions lost",
+                s.index, s.path, s.reason, s.lost_transactions
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A shard failed strict load. Carries which shard and the underlying
+/// error so callers (the CLI hint, tests) can name the offending file
+/// instead of pointing at "the database".
+#[derive(Debug)]
+pub struct ShardLoadError {
+    /// Index in manifest order.
+    pub index: usize,
+    /// Resolved path of the failing shard.
+    pub path: PathBuf,
+    /// What went wrong with it.
+    pub error: io::Error,
+}
+
+impl fmt::Display for ShardLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} ({}) failed strict load: {}",
+            self.index,
+            self.path.display(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for ShardLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<ShardLoadError> for io::Error {
+    fn from(e: ShardLoadError) -> Self {
+        io::Error::new(e.error.kind(), e)
+    }
+}
+
+/// Random access to the shards behind a [`TransactionSource`] — what the
+/// memory-bounded partition fallback needs to mine one shard at a time.
+pub trait ShardAccess {
+    /// Number of shards in manifest order (quarantined ones included).
+    fn shard_count(&self) -> usize;
+
+    /// Load shard `index` into memory. `Ok(None)` means the shard is
+    /// quarantined (skip it); `Err` means a previously readable shard
+    /// changed underfoot.
+    fn load_shard(&self, index: usize) -> io::Result<Option<TransactionDb>>;
+}
+
+/// Streams a sharded database one shard at a time, with each shard its
+/// own fault domain (see the module docs for the retry → salvage →
+/// quarantine ladder). Memory is bounded by one shard regardless of how
+/// many the manifest lists.
+#[derive(Debug)]
+pub struct ShardedSource {
+    manifest: ShardManifest,
+    states: Vec<ShardState>,
+    quarantine: ShardQuarantine,
+    retry: RetryPolicy,
+    delivered: u64,
+    obs: Obs,
+}
+
+impl ShardedSource {
+    /// Open strictly: every shard must verify byte-for-byte against the
+    /// manifest or the open fails with a [`ShardLoadError`].
+    pub fn open<P: AsRef<Path>>(manifest_path: P) -> io::Result<Self> {
+        Self::open_with(
+            manifest_path,
+            ShardMode::Strict,
+            RetryPolicy::default(),
+            Obs::disabled(),
+        )
+    }
+
+    /// Open in degrade mode: failing shards are salvaged or quarantined
+    /// and the rest still stream.
+    pub fn open_degraded<P: AsRef<Path>>(manifest_path: P) -> io::Result<Self> {
+        Self::open_with(
+            manifest_path,
+            ShardMode::Degrade,
+            RetryPolicy::default(),
+            Obs::disabled(),
+        )
+    }
+
+    /// Open with explicit mode, retry policy and observability handle.
+    /// Shard classification (verify → retry → salvage → quarantine)
+    /// happens here, once; passes replay the verdicts.
+    pub fn open_with<P: AsRef<Path>>(
+        manifest_path: P,
+        mode: ShardMode,
+        retry: RetryPolicy,
+        obs: Obs,
+    ) -> io::Result<Self> {
+        let manifest = ShardManifest::load(manifest_path)?;
+        let mut states = Vec::with_capacity(manifest.len());
+        let mut quarantine = ShardQuarantine::default();
+        let mut delivered = 0u64;
+        for (i, entry) in manifest.entries().iter().enumerate() {
+            let path = manifest.shard_path(i);
+            match classify_with_retry(&path, entry, retry, &obs) {
+                Ok(()) => {
+                    delivered += entry.tx_count;
+                    states.push(ShardState::Healthy);
+                }
+                Err(fail) => {
+                    if mode == ShardMode::Strict {
+                        return Err(ShardLoadError {
+                            index: i,
+                            path,
+                            error: fail.error,
+                        }
+                        .into());
+                    }
+                    // Drift (file readable but not the manifest's file) is
+                    // never salvaged: its blocks may decode fine and still
+                    // be the wrong data.
+                    let salvage = if fail.drift {
+                        None
+                    } else {
+                        binfmt::salvage_pass(&path, &mut |_| {}).ok()
+                    };
+                    match salvage {
+                        Some(report) if report.recovered > 0 || entry.tx_count == 0 => {
+                            delivered += report.recovered;
+                            states.push(ShardState::Salvaged(report));
+                        }
+                        _ => {
+                            let display = path.display().to_string();
+                            let reason = fail.error.to_string();
+                            obs.emit(|| Event::ShardQuarantined {
+                                index: i,
+                                path: display.clone(),
+                                error: reason.clone(),
+                            });
+                            quarantine.shards.push(QuarantinedShard {
+                                index: i,
+                                path: display,
+                                reason,
+                                lost_transactions: entry.tx_count,
+                            });
+                            states.push(ShardState::Quarantined);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            manifest,
+            states,
+            quarantine,
+            retry,
+            delivered,
+            obs,
+        })
+    }
+
+    /// The verified manifest.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// The quarantine report (empty for a fully healthy source).
+    pub fn quarantine(&self) -> &ShardQuarantine {
+        &self.quarantine
+    }
+
+    /// Per-shard salvage reports merged into one run-level report.
+    /// Clean (recovered = delivered, nothing lost) when no shard needed
+    /// salvage; quarantined shards appear as `lost_tail` transactions.
+    pub fn salvage_report(&self) -> SalvageReport {
+        let mut merged = SalvageReport {
+            recovered: 0,
+            lost_blocks: Vec::new(),
+            lost_tail: 0,
+        };
+        for (i, state) in self.states.iter().enumerate() {
+            match state {
+                ShardState::Healthy => merged.recovered += self.manifest.entries()[i].tx_count,
+                ShardState::Salvaged(r) => merged.merge(r.clone()),
+                ShardState::Quarantined => {
+                    merged.lost_tail += self.manifest.entries()[i].tx_count;
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// Why a shard failed strict classification. `drift` marks "the file
+/// reads fine but is not the file the manifest describes" — salvage must
+/// not touch those.
+struct ClassifyFailure {
+    error: io::Error,
+    drift: bool,
+}
+
+/// Strict verification of one shard against its manifest entry.
+fn classify(path: &Path, entry: &ShardEntry) -> Result<(), ClassifyFailure> {
+    let n = binfmt::verify(path).map_err(|error| ClassifyFailure {
+        error,
+        drift: false,
+    })?;
+    if n != entry.tx_count {
+        return Err(ClassifyFailure {
+            error: io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "content drift: shard holds {n} transactions, manifest expects {}",
+                    entry.tx_count
+                ),
+            ),
+            drift: true,
+        });
+    }
+    let crc = file_crc(path).map_err(|error| ClassifyFailure {
+        error,
+        drift: false,
+    })?;
+    if crc != entry.crc {
+        return Err(ClassifyFailure {
+            error: io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "content drift: shard file CRC {crc:#010x} != manifest {:#010x}",
+                    entry.crc
+                ),
+            ),
+            drift: true,
+        });
+    }
+    Ok(())
+}
+
+/// [`classify`], retried under `retry` for transient I/O errors only.
+fn classify_with_retry(
+    path: &Path,
+    entry: &ShardEntry,
+    retry: RetryPolicy,
+    obs: &Obs,
+) -> Result<(), ClassifyFailure> {
+    let mut attempt = 0u32;
+    loop {
+        match classify(path, entry) {
+            Ok(()) => return Ok(()),
+            Err(fail) => {
+                if fail.drift || !is_transient(&fail.error) || attempt >= retry.max_retries {
+                    return Err(fail);
+                }
+                obs.bump(metric::RETRIES, 1);
+                retry.sleep(attempt);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+impl TransactionSource for ShardedSource {
+    fn pass(&self, f: &mut dyn FnMut(Transaction<'_>)) -> io::Result<()> {
+        for (i, entry) in self.manifest.entries().iter().enumerate() {
+            let path = self.manifest.shard_path(i);
+            match &self.states[i] {
+                ShardState::Quarantined => continue,
+                ShardState::Healthy => {
+                    self.obs.emit(|| Event::ShardStart {
+                        index: i,
+                        path: path.display().to_string(),
+                    });
+                    let src = FileSource::open(&path)?.with_retry(self.retry);
+                    let mut n = 0u64;
+                    src.pass(&mut |t| {
+                        n += 1;
+                        f(t)
+                    })?;
+                    if n != entry.tx_count {
+                        return Err(shard_changed(i, &path));
+                    }
+                    self.obs.emit(|| Event::ShardEnd {
+                        index: i,
+                        transactions: n,
+                    });
+                }
+                ShardState::Salvaged(expected) => {
+                    self.obs.emit(|| Event::ShardStart {
+                        index: i,
+                        path: path.display().to_string(),
+                    });
+                    let report = binfmt::salvage_pass(&path, f)?;
+                    if report != *expected {
+                        return Err(shard_changed(i, &path));
+                    }
+                    self.obs.emit(|| Event::ShardEnd {
+                        index: i,
+                        transactions: report.recovered,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.delivered)
+    }
+
+    fn as_shards(&self) -> Option<&dyn ShardAccess> {
+        Some(self)
+    }
+
+    fn content_digest(&self) -> Option<u64> {
+        Some(self.manifest.content_digest())
+    }
+
+    fn quarantined_shards(&self) -> Vec<String> {
+        self.quarantine
+            .shards
+            .iter()
+            .map(|s| s.path.clone())
+            .collect()
+    }
+}
+
+/// The every-pass invariant: a shard classified at open must deliver the
+/// same transactions on every later pass.
+fn shard_changed(index: usize, path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!(
+            "shard {index} ({}) changed between passes; rerun to reclassify",
+            path.display()
+        ),
+    )
+}
+
+impl ShardAccess for ShardedSource {
+    fn shard_count(&self) -> usize {
+        self.manifest.len()
+    }
+
+    fn load_shard(&self, index: usize) -> io::Result<Option<TransactionDb>> {
+        let path = self.manifest.shard_path(index);
+        match &self.states[index] {
+            ShardState::Quarantined => Ok(None),
+            ShardState::Healthy => binfmt::load(&path).map(Some),
+            ShardState::Salvaged(expected) => {
+                let (db, report) = binfmt::load_salvage(&path)?;
+                if report != *expected {
+                    return Err(shard_changed(index, &path));
+                }
+                Ok(Some(db))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use negassoc_taxonomy::ItemId;
+    use std::io::{Seek, SeekFrom};
+
+    /// A unique temp directory cleaned up on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("negassoc-shard-{}-{n}-{name}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn sample_db(n: u64) -> TransactionDb {
+        let mut b = TransactionDbBuilder::new();
+        for i in 0..n {
+            b.add_with_tid(i, [ItemId(i as u32 % 50), ItemId(100 + i as u32 % 10)]);
+        }
+        b.build()
+    }
+
+    fn collect(src: &dyn TransactionSource) -> Vec<(u64, Vec<ItemId>)> {
+        let mut out = Vec::new();
+        src.pass(&mut |t| out.push((t.tid(), t.items().to_vec())))
+            .unwrap();
+        out
+    }
+
+    fn corrupt_at(path: &Path, offset: u64, bytes: &[u8]) {
+        let mut f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+        f.seek(SeekFrom::Start(offset)).unwrap();
+        f.write_all(bytes).unwrap();
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_corruption() {
+        let dir = TempDir::new("manifest");
+        let entries = vec![
+            ShardEntry {
+                path: "a.nadb".into(),
+                crc: 0xDEAD_BEEF,
+                first_tid: 0,
+                last_tid: 9,
+                tx_count: 10,
+                format: VERSION_V2,
+            },
+            ShardEntry {
+                path: "b.nadb".into(),
+                crc: 0x1234_5678,
+                first_tid: 10,
+                last_tid: 19,
+                tx_count: 10,
+                format: VERSION_V2,
+            },
+        ];
+        let m = ShardManifest::new(dir.path(), entries.clone());
+        let p = dir.path().join("db.manifest");
+        m.save(&p).unwrap();
+        let loaded = ShardManifest::load(&p).unwrap();
+        assert_eq!(loaded.entries(), entries.as_slice());
+        assert_eq!(loaded.total_transactions(), 20);
+        assert_eq!(loaded.shard_path(1), dir.path().join("b.nadb"));
+
+        // Flip one byte inside an entry: the trailing CRC must catch it.
+        corrupt_at(&p, 12, &[0xFF]);
+        let err = ShardManifest::load(&p).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn write_sharded_splits_evenly_and_pass_matches_unsharded() {
+        let dir = TempDir::new("split");
+        let db = sample_db(10);
+        let p = dir.path().join("db.manifest");
+        let manifest = write_sharded(&db, &p, 3).unwrap();
+        // 10 over 3 shards: 4 + 3 + 3.
+        let counts: Vec<u64> = manifest.entries().iter().map(|e| e.tx_count).collect();
+        assert_eq!(counts, vec![4, 3, 3]);
+        assert_eq!(manifest.entries()[1].first_tid, 4);
+        assert_eq!(manifest.entries()[1].last_tid, 6);
+
+        let src = ShardedSource::open(&p).unwrap();
+        assert_eq!(src.len_hint(), Some(10));
+        assert!(src.quarantine().is_empty());
+        assert!(src.quarantined_shards().is_empty());
+        assert_eq!(collect(&src), collect(&db));
+        // Deterministic across repeated passes.
+        assert_eq!(collect(&src), collect(&src));
+    }
+
+    #[test]
+    fn zero_shards_is_an_input_error_and_excess_shards_come_out_empty() {
+        let dir = TempDir::new("degenerate");
+        let db = sample_db(2);
+        let err = write_sharded(&db, dir.path().join("z.manifest"), 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        let p = dir.path().join("wide.manifest");
+        let manifest = write_sharded(&db, &p, 5).unwrap();
+        let counts: Vec<u64> = manifest.entries().iter().map(|e| e.tx_count).collect();
+        assert_eq!(counts, vec![1, 1, 0, 0, 0]);
+        let src = ShardedSource::open(&p).unwrap();
+        assert_eq!(collect(&src), collect(&db));
+    }
+
+    #[test]
+    fn strict_open_names_the_failing_shard() {
+        let dir = TempDir::new("strict");
+        let db = sample_db(10);
+        let p = dir.path().join("db.manifest");
+        let manifest = write_sharded(&db, &p, 3).unwrap();
+        let victim = manifest.shard_path(1);
+        corrupt_at(&victim, 0, b"XXXX"); // destroy the magic
+
+        let err = match ShardedSource::open(&p) {
+            Ok(_) => panic!("strict open of a corrupt shard should fail"),
+            Err(e) => e,
+        };
+        let sle = err
+            .get_ref()
+            .and_then(|r| r.downcast_ref::<ShardLoadError>())
+            .expect("strict failure should carry a ShardLoadError");
+        assert_eq!(sle.index, 1);
+        assert_eq!(sle.path, victim);
+        assert!(err.to_string().contains("failed strict load"), "got: {err}");
+    }
+
+    #[test]
+    fn degrade_mode_quarantines_an_unreadable_shard_and_streams_the_rest() {
+        let dir = TempDir::new("quarantine");
+        let db = sample_db(10);
+        let p = dir.path().join("db.manifest");
+        let manifest = write_sharded(&db, &p, 3).unwrap();
+        corrupt_at(&manifest.shard_path(1), 0, b"XXXX");
+
+        let src = ShardedSource::open_degraded(&p).unwrap();
+        assert_eq!(src.quarantine().shards.len(), 1);
+        assert_eq!(src.quarantine().shards[0].index, 1);
+        assert_eq!(src.quarantine().lost_transactions(), 3);
+        assert_eq!(src.len_hint(), Some(7));
+        assert_eq!(
+            src.quarantined_shards(),
+            vec![manifest.shard_path(1).display().to_string()]
+        );
+
+        // Delivery equals the healthy shards mined alone, in order.
+        let mut expect = collect(&binfmt::load(manifest.shard_path(0)).unwrap());
+        expect.extend(collect(&binfmt::load(manifest.shard_path(2)).unwrap()));
+        assert_eq!(collect(&src), expect);
+
+        // The merged salvage view books the quarantined shard as lost.
+        let report = src.salvage_report();
+        assert_eq!(report.recovered, 7);
+        assert_eq!(report.lost_transactions(), 3);
+    }
+
+    #[test]
+    fn degrade_mode_salvages_a_partially_corrupt_shard() {
+        let dir = TempDir::new("salvage");
+        // 600 transactions in one shard: blocks of 512 + 88. Corrupting
+        // the first block's payload loses 512 and salvages 88.
+        let db = sample_db(600);
+        let p = dir.path().join("db.manifest");
+        let manifest = write_sharded(&db, &p, 1).unwrap();
+        // First payload byte lives right after the 13-byte file header
+        // and the 32-byte block header.
+        corrupt_at(&manifest.shard_path(0), 13 + 32, &[0xFF]);
+
+        let src = ShardedSource::open_degraded(&p).unwrap();
+        assert!(src.quarantine().is_empty());
+        assert_eq!(src.len_hint(), Some(88));
+        let got = collect(&src);
+        assert_eq!(got.len(), 88);
+        assert_eq!(got[0].0, 512); // delivery resumes at the second block
+        let report = src.salvage_report();
+        assert_eq!(report.recovered, 88);
+        assert_eq!(report.lost_transactions(), 512);
+        // Repeated passes re-verify the same salvage outcome.
+        assert_eq!(collect(&src), got);
+    }
+
+    #[test]
+    fn shard_access_skips_quarantined_and_loads_the_rest() {
+        let dir = TempDir::new("access");
+        let db = sample_db(10);
+        let p = dir.path().join("db.manifest");
+        let manifest = write_sharded(&db, &p, 3).unwrap();
+        corrupt_at(&manifest.shard_path(0), 0, b"XXXX");
+
+        let src = ShardedSource::open_degraded(&p).unwrap();
+        let shards = src.as_shards().unwrap();
+        assert_eq!(shards.shard_count(), 3);
+        assert!(shards.load_shard(0).unwrap().is_none());
+        let one = shards.load_shard(1).unwrap().unwrap();
+        assert_eq!(one.len(), 3);
+        assert_eq!(
+            collect(&one),
+            collect(&binfmt::load(manifest.shard_path(1)).unwrap())
+        );
+    }
+
+    #[test]
+    fn content_digest_ignores_order_and_paths_but_not_content() {
+        let e = |path: &str, crc: u32| ShardEntry {
+            path: path.into(),
+            crc,
+            first_tid: 0,
+            last_tid: 9,
+            tx_count: 10,
+            format: VERSION_V2,
+        };
+        let a = ShardManifest::new("/x", vec![e("a.nadb", 1), e("b.nadb", 2)]);
+        let reordered = ShardManifest::new("/y", vec![e("renamed.nadb", 2), e("a.nadb", 1)]);
+        let drifted = ShardManifest::new("/x", vec![e("a.nadb", 1), e("b.nadb", 3)]);
+        assert_eq!(a.content_digest(), reordered.content_digest());
+        assert_ne!(a.content_digest(), drifted.content_digest());
+    }
+
+    #[test]
+    fn drift_is_quarantined_not_salvaged() {
+        let dir = TempDir::new("drift");
+        let db = sample_db(10);
+        let p = dir.path().join("db.manifest");
+        let manifest = write_sharded(&db, &p, 2).unwrap();
+        // Replace shard 1 with a perfectly valid but *different* file:
+        // every block checksums, yet it is not the manifest's data.
+        binfmt::save(&sample_db(5), manifest.shard_path(1)).unwrap();
+
+        let src = ShardedSource::open_degraded(&p).unwrap();
+        assert_eq!(src.quarantine().shards.len(), 1);
+        assert!(
+            src.quarantine().shards[0].reason.contains("drift"),
+            "got: {}",
+            src.quarantine().shards[0].reason
+        );
+        assert_eq!(src.len_hint(), Some(5));
+    }
+
+    #[test]
+    fn quarantine_display_names_shards() {
+        let q = ShardQuarantine {
+            shards: vec![QuarantinedShard {
+                index: 2,
+                path: "/tmp/db-shard-002.nadb".into(),
+                reason: "checksum mismatch in block 0".into(),
+                lost_transactions: 40,
+            }],
+        };
+        let s = q.to_string();
+        assert!(s.contains("1 shard(s) unreadable"), "got: {s}");
+        assert!(s.contains("db-shard-002.nadb"), "got: {s}");
+        assert!(s.contains("40 transactions lost"), "got: {s}");
+        assert!(ShardQuarantine::default().to_string().contains("empty"));
+    }
+}

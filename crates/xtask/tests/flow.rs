@@ -41,7 +41,10 @@ fn partition_mine_as_written_is_clean() {
 fn deleting_the_token_poll_is_one_l010() {
     let source = real_source(PARTITION_MINE);
     assert!(source.contains("c.check()?;"), "mutation anchor moved");
-    let mutated = source.replace("c.check()?;", "");
+    // The file has one poll per token-carrying loop (`partition_mine_ctrl`
+    // phase 1 first, then the shard and verify loops); delete only the
+    // first so exactly one fn loses its only poll.
+    let mutated = source.replacen("c.check()?;", "", 1);
     assert_eq!(
         flow_findings(PARTITION_MINE, &mutated),
         ["L010"],

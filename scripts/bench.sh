@@ -21,6 +21,21 @@ echo "==> BENCH_counting.json"
 # pool can only add overhead, and the JSON will honestly say so.
 grep -E '"available_parallelism"|"total_wall_s"|"speedup_vs_sequential"' BENCH_counting.json
 
+echo "==> sharded counting: bounded-memory gate"
+# The sharded rows mine the same dataset through a 1/4/16-shard manifest
+# (one shard resident at a time). The bounded-memory bar: the peak
+# candidate set per pass must be *identical* across shard counts —
+# candidate memory is a function of the data, never of how it is sharded
+# — while the largest resident shard must strictly shrink.
+grep '"shards"' BENCH_counting.json
+sed -n 's/.*"max_pass_candidates": \([0-9]*\).*/\1/p' BENCH_counting.json \
+  | awk 'NR == 1 { first = $1 } $1 != first { exit 1 }' \
+  || { echo "bench: peak candidate memory varies with shard count" >&2; exit 1; }
+sed -n 's/.*"largest_shard": \([0-9]*\).*/\1/p' BENCH_counting.json \
+  | awk 'NR > 1 && $1 >= prev { exit 1 } { prev = $1 }' \
+  || { echo "bench: resident shard size did not shrink with shard count" >&2; exit 1; }
+echo "bench: peak candidate memory independent of shard count"
+
 echo "==> run control plane: cancel-token overhead (scale $SCALE)"
 ./target/release/paper ctrl --scale "$SCALE"
 

@@ -104,4 +104,37 @@ grep -q "passes.completed" "$SMOKE/obs.out" \
   || { echo "smoke: --metrics table missing" >&2; exit 1; }
 echo "smoke: trace is valid JSON lines, metrics table present"
 
+echo "==> sharded smoke (manifest mining, shard quarantine, degraded exit 0)"
+# An all-healthy manifest must reproduce the unsharded output bytewise.
+"$NEGRULES" generate --data "$SMOKE/sh.nadb" --taxonomy "$SMOKE/sh-tax.txt" \
+  --transactions 600 --seed 7 --shards 3 > /dev/null
+"$NEGRULES" negatives --data "$SMOKE/sh.nadb" --taxonomy "$SMOKE/sh-tax.txt" \
+  --min-support 0.05 --max-size 2 --out "$SMOKE/sh-whole.csv" > /dev/null
+"$NEGRULES" negatives --manifest "$SMOKE/sh.manifest" --taxonomy "$SMOKE/sh-tax.txt" \
+  --min-support 0.05 --max-size 2 --out "$SMOKE/sh-manifest.csv" > /dev/null
+diff "$SMOKE/sh-whole.csv" "$SMOKE/sh-manifest.csv"
+# Destroy one shard's header. Strict mode must refuse and name the shard;
+# --salvage must quarantine it, mine the rest, and still exit 0 with the
+# degraded completeness stated.
+printf 'XXXX' | dd of="$SMOKE/sh-shard-001.nadb" bs=1 seek=0 conv=notrunc 2> /dev/null
+set +e
+"$NEGRULES" negatives --manifest "$SMOKE/sh.manifest" --taxonomy "$SMOKE/sh-tax.txt" \
+  --min-support 0.05 --max-size 2 > /dev/null 2> "$SMOKE/sh-strict.err"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+  echo "smoke: strict manifest load of a dead shard exited $rc, want 1" >&2
+  exit 1
+fi
+grep -q "sh-shard-001.nadb" "$SMOKE/sh-strict.err" \
+  || { echo "smoke: strict error does not name the offending shard" >&2; exit 1; }
+"$NEGRULES" negatives --manifest "$SMOKE/sh.manifest" --taxonomy "$SMOKE/sh-tax.txt" \
+  --min-support 0.05 --max-size 2 --salvage \
+  > "$SMOKE/sh-degraded.out" 2> "$SMOKE/sh-degraded.err"
+grep -q "quarantine:" "$SMOKE/sh-degraded.err" \
+  || { echo "smoke: degraded run missing quarantine report" >&2; exit 1; }
+grep -q "completeness: complete except 1 quarantined shard" "$SMOKE/sh-degraded.out" \
+  || { echo "smoke: degraded run missing completeness line" >&2; exit 1; }
+echo "smoke: sharded manifest mined; dead shard quarantined with exit 0"
+
 echo "ci: all checks passed"

@@ -89,6 +89,18 @@ impl<S: TransactionSource> TransactionSource for CancelAt<'_, S> {
     fn len_hint(&self) -> Option<u64> {
         self.inner.len_hint()
     }
+
+    // Identity hooks forward: a wrapped sharded source must keep its
+    // checkpoint fingerprint (resume across the wrapper) and its
+    // degraded-completeness report. Pass semantics (`as_db`/`as_shards`)
+    // stay hidden, as for every instrumenting wrapper.
+    fn content_digest(&self) -> Option<u64> {
+        self.inner.content_digest()
+    }
+
+    fn quarantined_shards(&self) -> Vec<String> {
+        self.inner.quarantined_shards()
+    }
 }
 
 fn scenario() -> (Taxonomy, TransactionDb) {
@@ -369,6 +381,124 @@ fn interrupted_run_records_only_completed_passes() {
         events.iter().any(|e| matches!(e, Event::Cancelled { .. })),
         "the cancellation must appear in the trace"
     );
+}
+
+/// The shard corruption matrix: for each shard k of N, corrupt it beyond
+/// salvage and mine the degraded manifest under each thread count — the
+/// rules must be bitwise equal to mining the N−1 healthy shards alone,
+/// the report must name the quarantined shard, and a mid-run cancel +
+/// resume over the degraded source must converge to the same answer.
+/// With nothing corrupted, the sharded mine must equal the unsharded one.
+#[test]
+fn shard_corruption_matrix_degrades_to_the_healthy_shards_exactly() {
+    use negassoc_txdb::binfmt;
+    use negassoc_txdb::shard::{write_sharded, ShardedSource};
+    use negassoc_txdb::TransactionDbBuilder;
+    use std::io::{Seek, SeekFrom, Write};
+
+    const SHARDS: usize = 4;
+    let (tax, db) = scenario();
+
+    // Baseline: all shards healthy ≡ the unsharded database, bitwise.
+    let clean = NegativeMiner::new(config(Parallelism::Sequential))
+        .mine(&db, &tax)
+        .unwrap();
+    {
+        let dir = TmpDir::new("shard-healthy");
+        std::fs::create_dir_all(&dir.0).unwrap();
+        let manifest_path = dir.0.join("db.manifest");
+        write_sharded(&db, &manifest_path, SHARDS).unwrap();
+        let src = ShardedSource::open(&manifest_path).unwrap();
+        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let out = NegativeMiner::new(config(parallelism))
+                .mine(&src, &tax)
+                .unwrap();
+            assert_eq!(outcome_key(&out), outcome_key(&clean), "{parallelism:?}");
+            assert!(out.report.completeness.is_none());
+        }
+    }
+
+    for k in 0..SHARDS {
+        let dir = TmpDir::new("shard-matrix");
+        std::fs::create_dir_all(&dir.0).unwrap();
+        let manifest_path = dir.0.join("db.manifest");
+        let manifest = write_sharded(&db, &manifest_path, SHARDS).unwrap();
+        // Destroy shard k's magic: unreadable, salvage recovers nothing.
+        let victim = manifest.shard_path(k);
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&victim)
+                .unwrap();
+            f.seek(SeekFrom::Start(0)).unwrap();
+            f.write_all(b"XXXX").unwrap();
+        }
+
+        // Reference: the healthy shards concatenated in manifest order,
+        // mined directly.
+        let mut b = TransactionDbBuilder::new();
+        for (i, _) in manifest.entries().iter().enumerate() {
+            if i == k {
+                continue;
+            }
+            binfmt::load(manifest.shard_path(i))
+                .unwrap()
+                .pass(&mut |t| b.add_with_tid(t.tid(), t.items().iter().copied()))
+                .unwrap();
+        }
+        let healthy = b.build();
+        let reference = NegativeMiner::new(config(Parallelism::Sequential))
+            .mine(&healthy, &tax)
+            .unwrap();
+
+        let src = ShardedSource::open_degraded(&manifest_path).unwrap();
+        assert_eq!(src.quarantine().shards.len(), 1);
+        assert_eq!(src.quarantine().shards[0].index, k);
+
+        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let out = NegativeMiner::new(config(parallelism))
+                .mine(&src, &tax)
+                .unwrap();
+            assert_eq!(
+                outcome_key(&out),
+                outcome_key(&reference),
+                "shard {k}, {parallelism:?}"
+            );
+            let Some(Completeness::Degraded { quarantined_shards }) = &out.report.completeness
+            else {
+                panic!("shard {k}: expected degraded completeness");
+            };
+            assert_eq!(
+                quarantined_shards,
+                &vec![victim.display().to_string()],
+                "shard {k}"
+            );
+        }
+
+        // Mid-run cancel over the degraded source, then resume: the
+        // checkpoint fingerprint (content digest through the CancelAt
+        // wrapper) must match and the answer must not move.
+        let ckpt = TmpDir::new("shard-resume");
+        let ctrl = RunControl::new();
+        let err = NegativeMiner::new(config(Parallelism::Threads(4)))
+            .mine_with_controls(
+                &CancelAt::new(&src, ctrl.token().clone(), 1, 0),
+                &tax,
+                None,
+                Some(&ckpt.0),
+                &ctrl,
+            )
+            .unwrap_err();
+        assert_cancellation_shape(&err);
+        let resumed = NegativeMiner::new(config(Parallelism::Sequential))
+            .mine_with_recovery(&src, &tax, None, &ckpt.0)
+            .unwrap();
+        assert_eq!(
+            outcome_key(&resumed),
+            outcome_key(&reference),
+            "shard {k} resume"
+        );
+    }
 }
 
 /// An already-expired deadline cancels before the first pass: typed error,
