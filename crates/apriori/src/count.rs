@@ -13,15 +13,23 @@
 //! * [`CountingBackend::SubsetHashMap`] — a hash map keyed by candidate,
 //!   probed either by enumerating the transaction's k-subsets or by testing
 //!   each candidate, whichever is cheaper per transaction,
+//! * [`CountingBackend::TidBitmap`] — vertical counting: the pass builds
+//!   one packed bitset row per item the candidates mention, then every
+//!   candidate is counted by word-wise AND + popcount (see
+//!   [`negassoc_txdb::vertical`]; DESIGN.md §14),
 //! * [`crate::count::count_with_tidlists`] — vertical counting against a
 //!   prebuilt [`negassoc_txdb::vertical::TidListIndex`] (no database pass at
 //!   all).
+//!
+//! All backends produce identical counts for identical inputs; the choice
+//! only moves wall time and memory.
 
 use crate::hash_tree::HashTree;
 use crate::itemset::Itemset;
 use negassoc_taxonomy::fxhash::{FxHashMap, FxHashSet};
 use negassoc_taxonomy::ItemId;
-use negassoc_txdb::vertical::TidListIndex;
+use negassoc_txdb::block::DEFAULT_BLOCK_SIZE;
+use negassoc_txdb::vertical::{BitmapChunk, TidListIndex};
 use negassoc_txdb::TransactionSource;
 use std::io;
 
@@ -33,6 +41,9 @@ pub enum CountingBackend {
     HashTree,
     /// Candidate hash map with adaptive probing.
     SubsetHashMap,
+    /// Vertical TID-bitmap counting: AND + popcount over per-item bitsets
+    /// built during the pass.
+    TidBitmap,
 }
 
 /// Transforms a transaction's items before counting (e.g. extends them with
@@ -65,6 +76,9 @@ pub fn count_candidates<S: TransactionSource + ?Sized>(
         candidates.iter().all(|c| c.len() == k),
         "count_candidates requires uniform candidate size"
     );
+    if backend == CountingBackend::TidBitmap {
+        return count_bitmap(source, candidates, mapper);
+    }
     let mut counter = Counter::build(k, candidates, backend);
     let mut buf: Vec<ItemId> = Vec::new();
     source.pass(&mut |t| {
@@ -84,6 +98,9 @@ pub fn count_mixed<S: TransactionSource + ?Sized>(
 ) -> io::Result<Vec<(Itemset, u64)>> {
     if candidates.is_empty() {
         return Ok(Vec::new());
+    }
+    if backend == CountingBackend::TidBitmap {
+        return count_bitmap(source, candidates, mapper);
     }
     let mut by_size: FxHashMap<usize, Vec<Itemset>> = FxHashMap::default();
     for c in candidates {
@@ -131,6 +148,132 @@ pub(crate) fn items_of(candidates: &[Itemset]) -> FxHashSet<ItemId> {
     s
 }
 
+/// The bitmap backend's pass-independent setup, shared by the sequential
+/// path here and the worker pool in [`crate::parallel`]: a dense row per
+/// item the candidates mention (categories included — the mapper already
+/// surfaces them per transaction, so a category row *is* the union of its
+/// descendants' occurrences) and each candidate pre-resolved to its rows.
+pub(crate) struct BitmapPlan {
+    /// Item → dense bitmap row.
+    pub(crate) row_of: FxHashMap<ItemId, u32>,
+    /// Per candidate (input order), the rows to AND.
+    pub(crate) cand_rows: Vec<Vec<u32>>,
+    /// Number of rows (distinct items mentioned).
+    pub(crate) rows: usize,
+}
+
+impl BitmapPlan {
+    pub(crate) fn new(candidates: &[Itemset]) -> Self {
+        let mut needed: Vec<ItemId> = items_of(candidates).into_iter().collect();
+        // Sorted assignment keeps row numbering independent of hash order;
+        // counts don't care, debuggability does.
+        needed.sort_unstable();
+        let row_of: FxHashMap<ItemId, u32> = needed
+            .iter()
+            .enumerate()
+            .map(|(i, &item)| (item, i as u32))
+            .collect();
+        let cand_rows: Vec<Vec<u32>> = candidates
+            .iter()
+            .map(|c| c.items().iter().map(|i| row_of[i]).collect())
+            .collect();
+        Self {
+            row_of,
+            cand_rows,
+            rows: needed.len(),
+        }
+    }
+}
+
+/// One counting unit's bitmap state: chunks of packed presence bits filled
+/// one transaction at a time. Each scanned transaction takes exactly one
+/// bit slot, so chunk popcounts sum to exact supports no matter how the
+/// pass was sliced across workers.
+pub(crate) struct BitmapWorker {
+    chunks: Vec<BitmapChunk>,
+    rows: usize,
+    /// Free transaction slots in the last chunk.
+    room: usize,
+}
+
+impl BitmapWorker {
+    pub(crate) fn new(rows: usize) -> Self {
+        Self {
+            chunks: Vec::new(),
+            rows,
+            room: 0,
+        }
+    }
+
+    /// Record one mapped transaction: set the bit for every item that has
+    /// a row. Items outside the plan (not mentioned by any candidate) are
+    /// simply ignored.
+    pub(crate) fn add(&mut self, items: &[ItemId], row_of: &FxHashMap<ItemId, u32>) {
+        if self.room == 0 {
+            self.chunks
+                .push(BitmapChunk::new(self.rows, DEFAULT_BLOCK_SIZE));
+            self.room = DEFAULT_BLOCK_SIZE;
+        }
+        let offset = DEFAULT_BLOCK_SIZE - self.room;
+        if let Some(chunk) = self.chunks.last_mut() {
+            for item in items {
+                if let Some(&row) = row_of.get(item) {
+                    chunk.set(row, offset);
+                }
+            }
+        }
+        self.room -= 1;
+    }
+
+    /// Transactions seen by this worker containing all of `rows`, with the
+    /// words visited added to `words_anded`. An empty `rows` slice counts
+    /// 0 (the horizontal paths never report the empty itemset either).
+    pub(crate) fn count_tracked(&self, rows: &[u32], words_anded: &mut u64) -> u64 {
+        if rows.is_empty() {
+            return 0;
+        }
+        let mut total = 0u64;
+        for chunk in &self.chunks {
+            *words_anded += (chunk.words_per_row() * rows.len()) as u64;
+            total += chunk.count(rows);
+        }
+        total
+    }
+
+    /// Total `u64` words this worker's chunks hold.
+    pub(crate) fn words_built(&self) -> u64 {
+        self.chunks.iter().map(BitmapChunk::total_words).sum()
+    }
+}
+
+/// The sequential TID-bitmap pass behind [`count_candidates`] and
+/// [`count_mixed`] with [`CountingBackend::TidBitmap`]: one streaming pass
+/// fills the bitmaps, then every candidate is an AND + popcount. Matching
+/// [`count_mixed`], zero-size candidates are dropped from the output.
+fn count_bitmap<S: TransactionSource + ?Sized>(
+    source: &S,
+    candidates: Vec<Itemset>,
+    mapper: &mut Mapper<'_>,
+) -> io::Result<Vec<(Itemset, u64)>> {
+    let plan = BitmapPlan::new(&candidates);
+    let mut worker = BitmapWorker::new(plan.rows);
+    let mut buf: Vec<ItemId> = Vec::new();
+    source.pass(&mut |t| {
+        mapper(t.items(), &mut buf);
+        worker.add(&buf, &plan.row_of);
+    })?;
+    let mut anded = 0u64;
+    Ok(candidates
+        .into_iter()
+        .zip(plan.cand_rows.iter())
+        .filter(|(c, _)| !c.is_empty())
+        .map(|(c, rows)| {
+            let n = worker.count_tracked(rows, &mut anded);
+            (c, n)
+        })
+        .collect())
+}
+
 /// One size's counting structure (shared with the parallel counting layer,
 /// where every worker owns one per candidate size).
 pub(crate) enum Counter {
@@ -144,7 +287,13 @@ pub(crate) enum Counter {
 impl Counter {
     pub(crate) fn build(k: usize, candidates: Vec<Itemset>, backend: CountingBackend) -> Self {
         match backend {
-            CountingBackend::HashTree => Counter::Tree(HashTree::build(k, candidates)),
+            // The bitmap backend is dispatched to its vertical path before
+            // any Counter exists; if a call site ever misses that dispatch
+            // the hash tree still produces exact counts (slower, never
+            // wrong).
+            CountingBackend::HashTree | CountingBackend::TidBitmap => {
+                Counter::Tree(HashTree::build(k, candidates))
+            }
             CountingBackend::SubsetHashMap => {
                 let map = candidates.into_iter().map(|c| (c, 0)).collect();
                 Counter::Map { k, map }

@@ -118,22 +118,8 @@ impl HashTree {
                 Node::Leaf { entries, .. } => {
                     entries.push((candidate, 0));
                     if entries.len() > self.leaf_cap && depth < self.k {
-                        // Split: redistribute by the item at `depth`.
                         let moved = std::mem::take(entries);
-                        let mut children: Vec<Node> = (0..self.branch)
-                            .map(|_| Node::Leaf {
-                                entries: Vec::new(),
-                                last_visit: 0,
-                            })
-                            .collect();
-                        for (set, count) in moved {
-                            let b = set.items()[depth].0 as usize % self.branch;
-                            // `children` was built as all-leaves just above.
-                            if let Node::Leaf { entries: v, .. } = &mut children[b] {
-                                v.push((set, count));
-                            }
-                        }
-                        *node = Node::Interior(children);
+                        *node = split_leaf(moved, depth, self.branch);
                         // Note: a freshly split child may itself exceed the
                         // cap when many candidates share a hash path; it
                         // will split lazily on the next insert that lands
@@ -176,6 +162,25 @@ impl HashTree {
         collect(self.root, &mut out);
         out
     }
+}
+
+/// Split an overfull leaf's entries into a fresh interior node,
+/// redistributing every entry by the hash of its item at `depth`.
+fn split_leaf(moved: Vec<(Itemset, u64)>, depth: usize, branch: usize) -> Node {
+    let mut children: Vec<Node> = (0..branch)
+        .map(|_| Node::Leaf {
+            entries: Vec::new(),
+            last_visit: 0,
+        })
+        .collect();
+    for (set, count) in moved {
+        let b = set.items()[depth].0 as usize % branch;
+        // `children` was built as all-leaves just above.
+        if let Node::Leaf { entries: v, .. } = &mut children[b] {
+            v.push((set, count));
+        }
+    }
+    Node::Interior(children)
 }
 
 fn collect(node: Node, out: &mut Vec<(Itemset, u64)>) {

@@ -20,11 +20,12 @@
 //!
 //! [`HashTree`]: crate::hash_tree::HashTree
 
-use crate::count::{items_of, Counter, CountingBackend};
+use crate::count::{items_of, BitmapPlan, BitmapWorker, Counter, CountingBackend};
 use crate::itemset::Itemset;
 use negassoc_taxonomy::fxhash::{FxHashMap, FxHashSet};
 use negassoc_taxonomy::ItemId;
 use negassoc_txdb::block::{parallel_pass_ctrl, DEFAULT_BLOCK_SIZE};
+use negassoc_txdb::obs::{metric, Event};
 use negassoc_txdb::TransactionSource;
 use std::io;
 
@@ -108,6 +109,9 @@ pub fn count_mixed_parallel_ctrl<S: TransactionSource + ?Sized>(
             transactions: 0,
             threads,
         });
+    }
+    if backend == CountingBackend::TidBitmap {
+        return count_mixed_parallel_bitmap(source, candidates, mapper, threads, ctrl, obs);
     }
 
     // Group by size once; workers clone the per-size candidate lists to
@@ -195,6 +199,92 @@ pub fn count_mixed_parallel_ctrl<S: TransactionSource + ?Sized>(
         merged.is_empty(),
         "counting produced itemsets outside the candidate set"
     );
+    Ok(PassRun {
+        counts,
+        transactions,
+        threads,
+    })
+}
+
+/// The TID-bitmap arm of [`count_mixed_parallel_ctrl`]: build and count in
+/// the *same* single pass. Each worker packs the transactions it is dealt
+/// into private [`BitmapChunk`] row-ranges (one bit slot per transaction,
+/// rows only for items the candidates mention), then answers every
+/// candidate with word-wise AND + popcount over its own chunks. Workers
+/// cover disjoint transaction slices, so the per-candidate partials merge
+/// by plain `u64` addition — order-invariant, like a
+/// [`negassoc_txdb::obs::MetricsShard`] absorb — and the result is exact
+/// and identical to the horizontal backends for every thread count.
+///
+/// [`BitmapChunk`]: negassoc_txdb::vertical::BitmapChunk
+// negassoc-lint: allow(L010) -- parallel_pass_ctrl polls at block boundaries; the loops here are plan setup, worker-closure bit-setting over dispatched blocks, and the in-memory partial-count merge
+fn count_mixed_parallel_bitmap<S: TransactionSource + ?Sized>(
+    source: &S,
+    candidates: Vec<Itemset>,
+    mapper: &SyncMapper<'_>,
+    threads: usize,
+    ctrl: Option<&CancelToken>,
+    obs: &Obs,
+) -> io::Result<PassRun> {
+    let plan = BitmapPlan::new(&candidates);
+    let plan = &plan;
+
+    let (parts, transactions) = parallel_pass_ctrl(
+        source,
+        threads,
+        DEFAULT_BLOCK_SIZE,
+        ctrl,
+        obs,
+        || (BitmapWorker::new(plan.rows), Vec::<ItemId>::new()),
+        |(w, buf), block| {
+            for t in block.iter() {
+                mapper(t.items(), buf);
+                w.add(buf, &plan.row_of);
+            }
+        },
+        |(w, _)| -> (Vec<u64>, u64, u64) {
+            let mut anded = 0u64;
+            let partials: Vec<u64> = plan
+                .cand_rows
+                .iter()
+                .map(|rows| w.count_tracked(rows, &mut anded))
+                .collect();
+            (partials, w.words_built(), anded)
+        },
+    )?;
+
+    // Order-invariant absorb: per-candidate partials sum element-wise, so
+    // every candidate appears exactly once, in input order, and the total
+    // is independent of worker completion order.
+    let mut totals = vec![0u64; candidates.len()];
+    let mut words_built = 0u64;
+    let mut words_anded = 0u64;
+    for (partials, built, anded) in parts {
+        for (t, p) in totals.iter_mut().zip(partials) {
+            *t += p;
+        }
+        words_built += built;
+        words_anded += anded;
+    }
+    let ones: u64 = totals.iter().sum();
+    let rows = plan.rows;
+    let n_candidates = totals.len();
+    obs.emit(|| Event::BackendBuild {
+        backend: "bitmap".to_string(),
+        items: rows,
+        words: words_built,
+    });
+    obs.emit(|| Event::BackendCount {
+        backend: "bitmap".to_string(),
+        candidates: n_candidates,
+        words: words_anded,
+        ones,
+    });
+    obs.bump(metric::BITMAP_WORDS_BUILT, words_built);
+    obs.bump(metric::BITMAP_WORDS_ANDED, words_anded);
+    obs.bump(metric::BITMAP_ONES, ones);
+
+    let counts: Vec<(Itemset, u64)> = candidates.into_iter().zip(totals).collect();
     Ok(PassRun {
         counts,
         transactions,

@@ -33,9 +33,67 @@ use negassoc_txdb::block::parallel_map;
 use negassoc_txdb::obs::{metric, Event};
 use negassoc_txdb::partition::partitions;
 use negassoc_txdb::shard::ShardAccess;
-use negassoc_txdb::vertical::TidListIndex;
+use negassoc_txdb::vertical::{TidBitmap, TidListIndex};
 use negassoc_txdb::{TransactionDb, TransactionSource};
 use std::io;
+
+/// What phase-1 local mining needs from a vertical index, satisfied by
+/// both the TID-list and the TID-bitmap representation. The backend
+/// selects which one each partition/shard builds; both answer exact local
+/// supports, so the unioned candidate set — and everything downstream —
+/// is identical.
+trait LocalIndex {
+    /// One past the largest item id with an index slot.
+    fn max_item_bound(&self) -> u32;
+    /// Support of a single item.
+    fn support_1(&self, item: ItemId) -> u64;
+    /// Support of an itemset.
+    fn support(&self, itemset: &[ItemId]) -> u64;
+}
+
+impl LocalIndex for TidListIndex {
+    fn max_item_bound(&self) -> u32 {
+        TidListIndex::max_item_bound(self)
+    }
+
+    fn support_1(&self, item: ItemId) -> u64 {
+        TidListIndex::support_1(self, item)
+    }
+
+    fn support(&self, itemset: &[ItemId]) -> u64 {
+        TidListIndex::support(self, itemset)
+    }
+}
+
+impl LocalIndex for TidBitmap {
+    fn max_item_bound(&self) -> u32 {
+        TidBitmap::max_item_bound(self)
+    }
+
+    fn support_1(&self, item: ItemId) -> u64 {
+        TidBitmap::support_1(self, item)
+    }
+
+    fn support(&self, itemset: &[ItemId]) -> u64 {
+        TidBitmap::support(self, itemset)
+    }
+}
+
+/// Build the backend-selected vertical index over one partition/shard.
+/// The bitmap build does its category unions once after the pass; the
+/// TID-list build extends every transaction during it. Same answers.
+fn build_local_index<S: TransactionSource>(
+    part: &S,
+    tax: Option<&Taxonomy>,
+    backend: CountingBackend,
+) -> io::Result<Box<dyn LocalIndex>> {
+    Ok(match (backend, tax) {
+        (CountingBackend::TidBitmap, Some(t)) => Box::new(TidBitmap::build_generalized(part, t)?),
+        (CountingBackend::TidBitmap, None) => Box::new(TidBitmap::build(part)?),
+        (_, Some(t)) => Box::new(TidListIndex::build_generalized(part, t)?),
+        (_, None) => Box::new(TidListIndex::build(part)?),
+    })
+}
 
 /// Mine all (generalized, when `tax` is given) large itemsets with the
 /// Partition algorithm over `num_partitions` partitions.
@@ -108,13 +166,10 @@ pub fn partition_mine_ctrl(
         if let Some(c) = ctrl {
             c.check()?;
         }
-        let index = match tax {
-            Some(t) => TidListIndex::build_generalized(&part, t)?,
-            None => TidListIndex::build(&part)?,
-        };
+        let index = build_local_index(&part, tax, backend)?;
         let local_minsup = ((frac * part.len() as f64).ceil() as u64).max(1);
         let mut local: FxHashSet<Itemset> = FxHashSet::default();
-        local_mine(&index, local_minsup, ancestors_ref, &mut local);
+        local_mine(index.as_ref(), local_minsup, ancestors_ref, &mut local);
         if let Some(c) = ctrl {
             c.record_progress(part.len() as u64);
         }
@@ -184,13 +239,10 @@ pub fn partition_mine_shards<S: TransactionSource + ?Sized>(
         if db.is_empty() {
             continue;
         }
-        let index = match tax {
-            Some(t) => TidListIndex::build_generalized(&db, t)?,
-            None => TidListIndex::build(&db)?,
-        };
+        let index = build_local_index(&db, tax, backend)?;
         let local_minsup = ((frac * db.len() as f64).ceil() as u64).max(1);
         local_mine(
-            &index,
+            index.as_ref(),
             local_minsup,
             ancestors.as_ref(),
             &mut global_candidates,
@@ -284,9 +336,10 @@ fn verify_candidates<S: TransactionSource + ?Sized>(
     Ok(large)
 }
 
-/// Levelwise local mining against a partition's TID-list index.
+/// Levelwise local mining against a partition's vertical index (TID-list
+/// or TID-bitmap, per the selected backend).
 fn local_mine(
-    index: &TidListIndex,
+    index: &dyn LocalIndex,
     local_minsup: u64,
     ancestors: Option<&AncestorTable>,
     out: &mut FxHashSet<Itemset>,

@@ -46,19 +46,35 @@ fn flat_taxonomy() -> Taxonomy {
 }
 
 proptest! {
-    /// In-memory source: 1/2/4/8 worker threads and both backends all
-    /// reproduce the sequential counts in the sequential order.
+    /// In-memory source: 1/2/4/8 worker threads and all three backends
+    /// reproduce the flat sequential counts in the sequential order. The
+    /// flat subset-hash-map is the reference because it is the most
+    /// literal transcription of "count every candidate in every
+    /// transaction".
     #[test]
     fn every_thread_count_matches_sequential(
         db in arb_db(),
         candidates in arb_candidates(),
     ) {
-        for backend in [CountingBackend::HashTree, CountingBackend::SubsetHashMap] {
-            // The sequential entry point emits per-size groups in hash
-            // order; sort both sides to compare the (itemset, count) sets.
+        // The sequential entry point emits per-size groups in hash
+        // order; sort both sides to compare the (itemset, count) sets.
+        let mut reference = count_mixed(
+            &db,
+            candidates.clone(),
+            CountingBackend::SubsetHashMap,
+            &mut identity_mapper,
+        )
+        .unwrap();
+        reference.sort();
+        for backend in [
+            CountingBackend::HashTree,
+            CountingBackend::SubsetHashMap,
+            CountingBackend::TidBitmap,
+        ] {
             let mut sequential =
                 count_mixed(&db, candidates.clone(), backend, &mut identity_mapper).unwrap();
             sequential.sort();
+            prop_assert_eq!(&sequential, &reference, "sequential {:?}", backend);
             for threads in THREAD_COUNTS {
                 let run = count_mixed_parallel(
                     &db,
@@ -80,36 +96,42 @@ proptest! {
 
     /// Streamed source healing injected transient faults mid-pass: the
     /// retry layer's exactly-once delivery keeps parallel counts exact at
-    /// every thread count.
+    /// every thread count, for every backend.
     #[test]
     fn faulty_retrying_stream_matches_sequential(
         db in arb_db(),
         candidates in arb_candidates(),
         seed in any::<u64>(),
     ) {
-        let backend = CountingBackend::HashTree;
-        let mut sequential =
-            count_mixed(&db, candidates.clone(), backend, &mut identity_mapper).unwrap();
+        let mut sequential = count_mixed(
+            &db,
+            candidates.clone(),
+            CountingBackend::SubsetHashMap,
+            &mut identity_mapper,
+        )
+        .unwrap();
         sequential.sort();
-        for threads in THREAD_COUNTS {
-            // A fresh faulty stream per run: the pass counter advances on
-            // every attempt, so reuse would shift which pass faults.
-            let faulty = FaultySource::new(
-                &db,
-                FaultPlan::seeded_transient(seed, 2, db.len() as u64, 3),
-            );
-            let healed = RetryingSource::new(faulty, RetryPolicy::new(8, Duration::ZERO));
-            let run = count_mixed_parallel(
-                &healed,
-                candidates.clone(),
-                backend,
-                &identity_sync_mapper,
-                Parallelism::Threads(threads),
-            )
-            .unwrap();
-            let mut parallel = run.counts;
-            parallel.sort();
-            prop_assert_eq!(&parallel, &sequential, "x{}", threads);
+        for backend in [CountingBackend::HashTree, CountingBackend::TidBitmap] {
+            for threads in THREAD_COUNTS {
+                // A fresh faulty stream per run: the pass counter advances
+                // on every attempt, so reuse would shift which pass faults.
+                let faulty = FaultySource::new(
+                    &db,
+                    FaultPlan::seeded_transient(seed, 2, db.len() as u64, 3),
+                );
+                let healed = RetryingSource::new(faulty, RetryPolicy::new(8, Duration::ZERO));
+                let run = count_mixed_parallel(
+                    &healed,
+                    candidates.clone(),
+                    backend,
+                    &identity_sync_mapper,
+                    Parallelism::Threads(threads),
+                )
+                .unwrap();
+                let mut parallel = run.counts;
+                parallel.sort();
+                prop_assert_eq!(&parallel, &sequential, "{:?} x{}", backend, threads);
+            }
         }
     }
 
@@ -165,7 +187,7 @@ proptest! {
     }
 
     /// The whole miner, not just one pass: Basic over a flat taxonomy is
-    /// identical for every parallelism policy.
+    /// identical for every parallelism policy and every backend.
     #[test]
     fn miner_output_is_thread_count_invariant(db in arb_db(), minsup in 1u64..5) {
         let tax = flat_taxonomy();
@@ -177,18 +199,20 @@ proptest! {
             Parallelism::Sequential,
         )
         .unwrap();
-        for threads in THREAD_COUNTS {
-            let parallel = basic(
-                &db,
-                &tax,
-                MinSupport::Count(minsup),
-                CountingBackend::SubsetHashMap,
-                Parallelism::Threads(threads),
-            )
-            .unwrap();
-            prop_assert_eq!(parallel.total(), reference.total());
-            for (set, sup) in reference.iter() {
-                prop_assert_eq!(parallel.support_of_set(set), Some(sup));
+        for backend in [CountingBackend::SubsetHashMap, CountingBackend::TidBitmap] {
+            for threads in THREAD_COUNTS {
+                let parallel = basic(
+                    &db,
+                    &tax,
+                    MinSupport::Count(minsup),
+                    backend,
+                    Parallelism::Threads(threads),
+                )
+                .unwrap();
+                prop_assert_eq!(parallel.total(), reference.total());
+                for (set, sup) in reference.iter() {
+                    prop_assert_eq!(parallel.support_of_set(set), Some(sup), "{:?}", backend);
+                }
             }
         }
     }

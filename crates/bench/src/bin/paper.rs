@@ -16,8 +16,9 @@
 //! qualitative shapes survive scaling; the full size takes minutes).
 
 use negassoc_bench::{
-    counting_bench, ctrl_bench, fig7_series, itemset_counts, obs_bench, secs,
-    sharded_counting_bench, short_dataset, tall_dataset, FIG56_SUPPORTS_PCT, FIG7_SUPPORT_PCT,
+    counting_scale, ctrl_bench, fig7_series, itemset_counts, obs_bench, secs,
+    sharded_counting_bench, short_dataset, tall_dataset, CountingBench, FIG56_SUPPORTS_PCT,
+    FIG7_SUPPORT_PCT,
 };
 use std::process::ExitCode;
 
@@ -331,51 +332,73 @@ fn fig7(scale: Option<usize>, support_pct: f64) {
     println!("  (paper: normalized candidates grow with size; fanout 9 > fanout 3)");
 }
 
-/// The parallel-counting benchmark: run the same mining job sequentially
-/// and with 2/4 worker threads, print the per-pass table, and write the
-/// machine-readable result to `BENCH_counting.json`.
+/// The counting-backend benchmark: run the same mining job under every
+/// backend (flat subset-hash-map, hash tree, TID bitmap) at 1/2/4 worker
+/// threads, print the per-pass tables, and write the machine-readable
+/// result to `BENCH_counting.json`. Alongside the primary `--scale`, a
+/// 100,000-transaction scale always runs (at 1/4 threads to keep the
+/// matrix affordable) so the artifact records behavior past toy sizes.
 fn counting(scale: Option<usize>) -> std::io::Result<()> {
     let transactions = scale.unwrap_or(4_000);
-    let mut bench = counting_bench(transactions, &[1, 2, 4]);
-    bench.sharded = sharded_counting_bench(transactions, &[1, 4, 16]);
-    println!("== parallel counting: sequential vs worker pool ==");
-    println!(
-        "{} transactions, available parallelism {}",
-        bench.transactions, bench.available_parallelism
-    );
-    println!(
-        "{:>7} {:>5} {:<9} {:>10} {:>12} {:>9}",
-        "threads", "pass", "label", "candidates", "transactions", "wall"
-    );
-    for r in &bench.rows {
-        println!(
-            "{:>7} {:>5} {:<9} {:>10} {:>12} {:>8}s",
-            r.threads,
-            r.pass,
-            r.label,
-            r.candidates,
-            r.transactions,
-            secs(r.wall)
-        );
+    let mut scales = vec![counting_scale(transactions, &[1, 2, 4])];
+    scales[0].sharded = sharded_counting_bench(transactions, &[1, 4, 16]);
+    if transactions != 100_000 {
+        println!("(running the fixed 100,000-transaction scale too; backends x 1/4 threads)");
+        scales.push(counting_scale(100_000, &[1, 4]));
     }
-    for t in [2usize, 4] {
-        if let Some(sp) = bench.speedup(t) {
-            println!("speedup x{t}: {sp:.3}");
+    let bench = CountingBench {
+        available_parallelism: negassoc_apriori::parallel::Parallelism::Auto.resolve(),
+        scales,
+    };
+    println!("== counting backends: flat vs hash tree vs TID bitmap ==");
+    println!("available parallelism {}", bench.available_parallelism);
+    for scale in &bench.scales {
+        println!("-- {} transactions --", scale.transactions);
+        println!(
+            "{:>9} {:>7} {:>5} {:<9} {:>10} {:>12} {:>9}",
+            "backend", "threads", "pass", "label", "candidates", "transactions", "wall"
+        );
+        for run in &scale.runs {
+            for r in &run.rows {
+                println!(
+                    "{:>9} {:>7} {:>5} {:<9} {:>10} {:>12} {:>8}s",
+                    run.backend,
+                    run.threads,
+                    r.pass,
+                    r.label,
+                    r.candidates,
+                    r.transactions,
+                    secs(r.wall)
+                );
+            }
         }
-    }
-    println!("-- sharded counting (one shard resident at a time) --");
-    println!(
-        "{:>7} {:>14} {:>20} {:>9}",
-        "shards", "largest_shard", "max_pass_candidates", "wall"
-    );
-    for r in &bench.sharded {
+        for run in &scale.runs {
+            if run.threads != 1 {
+                if let Some(sp) = scale.speedup(run.backend, run.threads) {
+                    println!("{} speedup x{}: {sp:.3}", run.backend, run.threads);
+                }
+            }
+        }
+        if let Some(sp) = scale.l2_speedup_bitmap_vs_flat() {
+            println!("L2 speedup, bitmap vs flat (sequential): {sp:.3}");
+        }
+        if scale.sharded.is_empty() {
+            continue;
+        }
+        println!("-- sharded counting (one shard resident at a time) --");
         println!(
-            "{:>7} {:>14} {:>20} {:>8}s",
-            r.shards,
-            r.largest_shard,
-            r.max_pass_candidates,
-            secs(r.wall)
+            "{:>7} {:>14} {:>20} {:>9}",
+            "shards", "largest_shard", "max_pass_candidates", "wall"
         );
+        for r in &scale.sharded {
+            println!(
+                "{:>7} {:>14} {:>20} {:>8}s",
+                r.shards,
+                r.largest_shard,
+                r.max_pass_candidates,
+                secs(r.wall)
+            );
+        }
     }
     std::fs::write("BENCH_counting.json", bench.to_json())?;
     println!("wrote BENCH_counting.json");

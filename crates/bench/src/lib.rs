@@ -306,101 +306,165 @@ fn samples_from_events(events: &[Event], which: &str) -> Vec<f64> {
     samples.into_iter().map(|(_, w)| w).collect()
 }
 
-/// The parallel-counting benchmark: end-to-end negative mining on the
-/// paper's synthetic generator, once per thread policy, reporting every
-/// counting pass's wall time. Rows are the workspace-wide [`PassStats`]
-/// telemetry type, reconstructed from each run's recorded `pass_end`
-/// trace events (DESIGN.md §11) — the bench consumes the observability
-/// layer instead of keeping a private duplicate of it.
+/// The counting backends the benchmark compares, with their CLI names
+/// (`--backend flat|hashtree|bitmap`).
+pub const BENCH_BACKENDS: &[(&str, CountingBackend)] = &[
+    ("flat", CountingBackend::SubsetHashMap),
+    ("hashtree", CountingBackend::HashTree),
+    ("bitmap", CountingBackend::TidBitmap),
+];
+
+/// One run of the counting benchmark: one backend at one thread count,
+/// reporting every counting pass's wall time.
 #[derive(Clone, Debug)]
-pub struct CountingBench {
+pub struct BackendRun {
+    /// CLI name of the counting backend (`flat`, `hashtree`, `bitmap`).
+    pub backend: &'static str,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+    /// Per-pass telemetry, renumbered `1..=n`.
+    pub rows: Vec<PassStats>,
+}
+
+impl BackendRun {
+    /// Total counting wall time of the run.
+    pub fn total_wall(&self) -> Duration {
+        self.rows.iter().map(|r| r.wall).sum()
+    }
+
+    /// Wall seconds of the L2 pass — the dominant pass of the whole mine
+    /// (the largest candidate set) and the one the bitmap backend's
+    /// acceptance bar is stated against.
+    pub fn l2_wall_s(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label == "L2")
+            .map(|r| r.wall.as_secs_f64())
+    }
+}
+
+/// The counting benchmark at one dataset scale: every backend crossed
+/// with every thread count, plus the sharded bounded-memory rows.
+#[derive(Clone, Debug)]
+pub struct CountingScale {
     /// Transactions in the generated dataset.
     pub transactions: usize,
-    /// What `Parallelism::Auto` resolves to on this machine.
-    pub available_parallelism: usize,
-    /// Every pass of every run, in run order (renumbered `1..=n` per run;
-    /// `threads` distinguishes the runs).
-    pub rows: Vec<PassStats>,
+    /// One entry per backend × thread count, in run order.
+    pub runs: Vec<BackendRun>,
     /// Sharded-counting rows (one per shard count), empty unless
-    /// [`sharded_counting_bench`] was run.
+    /// [`sharded_counting_bench`] was run for this scale.
     pub sharded: Vec<ShardedRow>,
 }
 
-impl CountingBench {
-    /// Total counting wall time of one thread policy's run.
-    pub fn total_wall(&self, threads: usize) -> Duration {
-        self.rows
+impl CountingScale {
+    /// The run for one backend at one thread count, if present.
+    pub fn run(&self, backend: &str, threads: usize) -> Option<&BackendRun> {
+        self.runs
             .iter()
-            .filter(|r| r.threads == threads)
-            .map(|r| r.wall)
-            .sum()
+            .find(|r| r.backend == backend && r.threads == threads)
     }
 
-    /// Sequential wall time divided by the `threads`-worker wall time
-    /// (> 1 means the workers won). `None` when either run is missing.
-    pub fn speedup(&self, threads: usize) -> Option<f64> {
-        let seq = self.total_wall(1).as_secs_f64();
-        let par = self.total_wall(threads).as_secs_f64();
+    /// Sequential wall time divided by the `threads`-worker wall time for
+    /// one backend (> 1 means the workers won). `None` when either run is
+    /// missing.
+    pub fn speedup(&self, backend: &str, threads: usize) -> Option<f64> {
+        let seq = self.run(backend, 1)?.total_wall().as_secs_f64();
+        let par = self.run(backend, threads)?.total_wall().as_secs_f64();
         (seq > 0.0 && par > 0.0).then(|| seq / par)
     }
 
-    /// Render as a JSON document (hand-rolled; the workspace carries no
-    /// serializer dependency). Every float routes through
-    /// [`json_num`], so a non-finite value (e.g. an undefined speedup)
-    /// emits `null`, never the illegal bare `NaN`/`inf`.
-    pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"transactions\": {},\n", self.transactions));
+    /// The tentpole headline: sequential L2 pass wall time of the flat
+    /// subset-hash-map backend divided by the bitmap backend's
+    /// (`bench.sh` gates this at ≥ 3).
+    pub fn l2_speedup_bitmap_vs_flat(&self) -> Option<f64> {
+        let flat = self.run("flat", 1)?.l2_wall_s()?;
+        let bitmap = self.run("bitmap", 1)?.l2_wall_s()?;
+        (flat > 0.0 && bitmap > 0.0).then(|| flat / bitmap)
+    }
+
+    /// Thread-scaling headline: the bitmap backend's speedup at 4 worker
+    /// threads (`bench.sh` gates this at > 1 on machines with ≥ 2 cores).
+    pub fn bitmap_speedup_x4(&self) -> Option<f64> {
+        self.speedup("bitmap", 4)
+    }
+
+    fn json_fragment(&self, indent: &str) -> String {
+        let mut out = format!("{indent}{{\n");
         out.push_str(&format!(
-            "  \"available_parallelism\": {},\n",
-            self.available_parallelism
+            "{indent}  \"transactions\": {},\n",
+            self.transactions
         ));
-        out.push_str("  \"passes\": [\n");
-        for (i, r) in self.rows.iter().enumerate() {
-            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+        out.push_str(&format!("{indent}  \"runs\": [\n"));
+        for (i, run) in self.runs.iter().enumerate() {
+            let comma = if i + 1 == self.runs.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"threads\": {}, \"pass\": {}, \"label\": \"{}\", \"candidates\": {}, \
-                 \"transactions\": {}, \"wall_s\": {}}}{comma}\n",
-                r.threads,
-                r.pass,
-                r.label,
-                r.candidates,
-                r.transactions,
-                json_num(r.wall.as_secs_f64(), 6)
+                "{indent}    {{\"backend\": \"{}\", \"threads\": {}, \"total_wall_s\": {}, \
+                 \"passes\": [\n",
+                run.backend,
+                run.threads,
+                json_num(run.total_wall().as_secs_f64(), 6)
             ));
+            for (j, r) in run.rows.iter().enumerate() {
+                let comma = if j + 1 == run.rows.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "{indent}      {{\"pass\": {}, \"label\": \"{}\", \"candidates\": {}, \
+                     \"transactions\": {}, \"wall_s\": {}}}{comma}\n",
+                    r.pass,
+                    r.label,
+                    r.candidates,
+                    r.transactions,
+                    json_num(r.wall.as_secs_f64(), 6)
+                ));
+            }
+            out.push_str(&format!("{indent}    ]}}{comma}\n"));
         }
-        out.push_str("  ],\n");
-        out.push_str("  \"total_wall_s\": {");
-        let mut threads: Vec<usize> = self.rows.iter().map(|r| r.threads).collect();
+        out.push_str(&format!("{indent}  ],\n"));
+        let mut threads: Vec<usize> = self.runs.iter().map(|r| r.threads).collect();
         threads.sort_unstable();
         threads.dedup();
-        for (i, &t) in threads.iter().enumerate() {
-            let comma = if i + 1 == threads.len() { "" } else { ", " };
-            out.push_str(&format!(
-                "\"{t}\": {}{comma}",
-                json_num(self.total_wall(t).as_secs_f64(), 6)
-            ));
-        }
-        out.push_str("},\n");
+        let backends: Vec<&str> = {
+            let mut seen = Vec::new();
+            for r in &self.runs {
+                if !seen.contains(&r.backend) {
+                    seen.push(r.backend);
+                }
+            }
+            seen
+        };
         out.push_str(&format!(
-            "  \"speedup_vs_sequential\": {{{}}},\n",
-            threads
+            "{indent}  \"speedup_vs_sequential\": {{{}}},\n",
+            backends
                 .iter()
-                .filter(|&&t| t != 1)
-                .map(|&t| {
-                    format!(
-                        "\"{t}\": {}",
-                        json_num(self.speedup(t).unwrap_or(f64::NAN), 3)
-                    )
+                .map(|&b| {
+                    let per_thread = threads
+                        .iter()
+                        .filter(|&&t| t != 1)
+                        .map(|&t| {
+                            format!(
+                                "\"{t}\": {}",
+                                json_num(self.speedup(b, t).unwrap_or(f64::NAN), 3)
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("\"{b}\": {{{per_thread}}}")
                 })
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
-        out.push_str("  \"sharded\": [\n");
+        out.push_str(&format!(
+            "{indent}  \"l2_speedup_bitmap_vs_flat\": {},\n",
+            json_num(self.l2_speedup_bitmap_vs_flat().unwrap_or(f64::NAN), 3)
+        ));
+        out.push_str(&format!(
+            "{indent}  \"bitmap_speedup_x4\": {},\n",
+            json_num(self.bitmap_speedup_x4().unwrap_or(f64::NAN), 3)
+        ));
+        out.push_str(&format!("{indent}  \"sharded\": [\n"));
         for (i, r) in self.sharded.iter().enumerate() {
             let comma = if i + 1 == self.sharded.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"shards\": {}, \"largest_shard\": {}, \"max_pass_candidates\": {}, \
+                "{indent}    {{\"shards\": {}, \"largest_shard\": {}, \"max_pass_candidates\": {}, \
                  \"wall_s\": {}}}{comma}\n",
                 r.shards,
                 r.largest_shard,
@@ -408,45 +472,91 @@ impl CountingBench {
                 json_num(r.wall.as_secs_f64(), 6)
             ));
         }
+        out.push_str(&format!("{indent}  ]\n"));
+        out.push_str(&format!("{indent}}}"));
+        out
+    }
+}
+
+/// The parallel-counting benchmark: end-to-end negative mining on the
+/// paper's synthetic generator, once per backend × thread policy ×
+/// dataset scale. Rows are the workspace-wide [`PassStats`] telemetry
+/// type, reconstructed from each run's recorded `pass_end` trace events
+/// (DESIGN.md §11) — the bench consumes the observability layer instead
+/// of keeping a private duplicate of it.
+#[derive(Clone, Debug)]
+pub struct CountingBench {
+    /// What `Parallelism::Auto` resolves to on this machine.
+    pub available_parallelism: usize,
+    /// One entry per dataset scale, primary scale first.
+    pub scales: Vec<CountingScale>,
+}
+
+impl CountingBench {
+    /// Render as a JSON document (hand-rolled; the workspace carries no
+    /// serializer dependency). Every float routes through
+    /// [`json_num`], so a non-finite value (e.g. an undefined speedup)
+    /// emits `null`, never the illegal bare `NaN`/`inf`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        out.push_str("  \"scales\": [\n");
+        for (i, scale) in self.scales.iter().enumerate() {
+            let comma = if i + 1 == self.scales.len() { "" } else { "," };
+            out.push_str(&scale.json_fragment("    "));
+            out.push_str(comma);
+            out.push('\n');
+        }
         out.push_str("  ]\n");
         out.push_str("}\n");
         out
     }
 }
 
-/// Run the counting benchmark: the same mining configuration once per
-/// thread policy in `thread_counts` (1 = sequential), on the "Short"
-/// dataset scaled to `transactions`.
-pub fn counting_bench(transactions: usize, thread_counts: &[usize]) -> CountingBench {
+/// Run the counting benchmark at one scale: the same mining configuration
+/// once per backend in [`BENCH_BACKENDS`] per thread policy in
+/// `thread_counts` (1 = sequential), on the "Short" dataset scaled to
+/// `transactions`.
+pub fn counting_scale(transactions: usize, thread_counts: &[usize]) -> CountingScale {
     let ds = short_dataset(Some(transactions));
-    let mut rows = Vec::new();
-    for &threads in thread_counts {
-        let parallelism = if threads <= 1 {
-            Parallelism::Sequential
-        } else {
-            Parallelism::Threads(threads)
-        };
-        // Record the run's trace events and rebuild the rows from them:
-        // the JSON artifact derives from the same telemetry stream every
-        // other consumer sees, not from a privileged side channel.
-        let ring = Arc::new(RingBufferSink::new(EVENT_RING_CAPACITY));
-        let ctrl = RunControl::new().with_observer(Obs::disabled().with_sink(ring.clone()));
-        NegativeMiner::new(MinerConfig {
-            min_support: MinSupport::Fraction(0.015),
-            min_ri: PAPER_MIN_RI,
-            driver: Driver::Improved,
-            max_negative_size: Some(3),
-            parallelism,
-            ..MinerConfig::default()
-        })
-        .mine_with_controls(&ds.db, &ds.taxonomy, None, None, &ctrl)
-        .expect("counting bench run");
-        rows.extend(pass_rows_from_events(&ring.snapshot()));
+    let mut runs = Vec::new();
+    for &(name, backend) in BENCH_BACKENDS {
+        for &threads in thread_counts {
+            let parallelism = if threads <= 1 {
+                Parallelism::Sequential
+            } else {
+                Parallelism::Threads(threads)
+            };
+            // Record the run's trace events and rebuild the rows from
+            // them: the JSON artifact derives from the same telemetry
+            // stream every other consumer sees, not from a privileged
+            // side channel.
+            let ring = Arc::new(RingBufferSink::new(EVENT_RING_CAPACITY));
+            let ctrl = RunControl::new().with_observer(Obs::disabled().with_sink(ring.clone()));
+            NegativeMiner::new(MinerConfig {
+                min_support: MinSupport::Fraction(0.015),
+                min_ri: PAPER_MIN_RI,
+                driver: Driver::Improved,
+                max_negative_size: Some(3),
+                parallelism,
+                backend,
+                ..MinerConfig::default()
+            })
+            .mine_with_controls(&ds.db, &ds.taxonomy, None, None, &ctrl)
+            .expect("counting bench run");
+            runs.push(BackendRun {
+                backend: name,
+                threads,
+                rows: pass_rows_from_events(&ring.snapshot()),
+            });
+        }
     }
-    CountingBench {
+    CountingScale {
         transactions,
-        available_parallelism: Parallelism::Auto.resolve(),
-        rows,
+        runs,
         sharded: Vec::new(),
     }
 }
@@ -862,31 +972,40 @@ mod tests {
 
     #[test]
     fn bench_json_documents_parse_and_are_nonfinite_safe() {
-        // A bench with no sequential run has an undefined speedup; the
+        // A bench with no sequential run has an undefined speedup, and a
+        // bench with no bitmap run has an undefined headline; the
         // document must say `null`, not `NaN`, and still parse.
         let counting = CountingBench {
-            transactions: 10,
             available_parallelism: 1,
-            rows: vec![PassStats {
-                pass: 1,
-                label: "L1".to_owned(),
-                candidates: 5,
+            scales: vec![CountingScale {
                 transactions: 10,
-                threads: 2,
-                wall: Duration::from_micros(500),
-            }],
-            sharded: vec![ShardedRow {
-                shards: 4,
-                largest_shard: 3,
-                max_pass_candidates: 5,
-                wall: Duration::from_micros(250),
+                runs: vec![BackendRun {
+                    backend: "flat",
+                    threads: 2,
+                    rows: vec![PassStats {
+                        pass: 1,
+                        label: "L1".to_owned(),
+                        candidates: 5,
+                        transactions: 10,
+                        threads: 2,
+                        wall: Duration::from_micros(500),
+                    }],
+                }],
+                sharded: vec![ShardedRow {
+                    shards: 4,
+                    largest_shard: 3,
+                    max_pass_candidates: 5,
+                    wall: Duration::from_micros(250),
+                }],
             }],
         };
         let doc = counting.to_json();
         assert!(
-            doc.contains("\"speedup_vs_sequential\": {\"2\": null}"),
+            doc.contains("\"speedup_vs_sequential\": {\"flat\": {\"2\": null}}"),
             "{doc}"
         );
+        assert!(doc.contains("\"l2_speedup_bitmap_vs_flat\": null"), "{doc}");
+        assert!(doc.contains("\"bitmap_speedup_x4\": null"), "{doc}");
         xtask::json::parse(&doc).expect("counting json parses");
 
         let ctrl = CtrlBench {

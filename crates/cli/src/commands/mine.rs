@@ -1,11 +1,10 @@
 //! `negrules mine` — positive generalized association rules (Cumulate +
 //! ap-genrules), the baseline view negative mining builds on.
 
-use crate::commands::{itemset_names, parse_parallelism};
+use crate::commands::{itemset_names, parse_backend, parse_parallelism};
 use crate::exit::CliError;
 use crate::io::{load_db_opts, load_taxonomy};
 use crate::opts::Opts;
-use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::rules::generate_rules;
 use negassoc_apriori::MinSupport;
 
@@ -19,6 +18,7 @@ const KNOWN: &[&str] = &[
     "partitions",
     "r-interest",
     "threads",
+    "backend",
     "salvage!",
     "audit!",
 ];
@@ -33,26 +33,19 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
 
     let min_support = MinSupport::Fraction(min_support);
     let parallelism = parse_parallelism(&opts).map_err(CliError::Usage)?;
+    let backend = parse_backend(&opts).map_err(CliError::Usage)?;
     let large = match opts.get("algorithm") {
-        None | Some("cumulate") => negassoc_apriori::cumulate::cumulate(
-            &db,
-            &tax,
-            min_support,
-            CountingBackend::HashTree,
-            parallelism,
-        ),
-        Some("basic") => negassoc_apriori::basic::basic(
-            &db,
-            &tax,
-            min_support,
-            CountingBackend::HashTree,
-            parallelism,
-        ),
+        None | Some("cumulate") => {
+            negassoc_apriori::cumulate::cumulate(&db, &tax, min_support, backend, parallelism)
+        }
+        Some("basic") => {
+            negassoc_apriori::basic::basic(&db, &tax, min_support, backend, parallelism)
+        }
         Some("estmerge") => negassoc_apriori::est_merge::est_merge(
             &db,
             &tax,
             min_support,
-            CountingBackend::HashTree,
+            backend,
             Default::default(),
             parallelism,
         )
@@ -64,7 +57,7 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
                 Some(&tax),
                 min_support,
                 parts,
-                CountingBackend::HashTree,
+                backend,
                 parallelism,
             )
         }

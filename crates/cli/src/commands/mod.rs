@@ -6,6 +6,7 @@ pub(crate) mod negatives;
 pub(crate) mod stats;
 
 use crate::opts::Opts;
+use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::parallel::{Parallelism, PassStats};
 use negassoc_apriori::Itemset;
 use negassoc_taxonomy::Taxonomy;
@@ -40,6 +41,20 @@ pub(crate) fn parse_parallelism(opts: &Opts) -> Result<Parallelism, String> {
                 "invalid --threads {v:?} (a positive count, or `auto`)"
             )),
         },
+    }
+}
+
+/// Resolve `--backend flat|hashtree|bitmap` into a [`CountingBackend`].
+/// Absent means the hash-tree default; every backend produces the same
+/// counts, only wall time and memory differ.
+pub(crate) fn parse_backend(opts: &Opts) -> Result<CountingBackend, String> {
+    match opts.get("backend") {
+        None | Some("hashtree") => Ok(CountingBackend::HashTree),
+        Some("flat") => Ok(CountingBackend::SubsetHashMap),
+        Some("bitmap") => Ok(CountingBackend::TidBitmap),
+        Some(v) => Err(format!(
+            "invalid --backend {v:?} (expected `flat`, `hashtree`, or `bitmap`)"
+        )),
     }
 }
 

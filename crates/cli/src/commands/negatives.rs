@@ -1,7 +1,8 @@
 //! `negrules negatives` — the paper's negative association rules.
 
 use crate::commands::{
-    itemset_names, parse_parallelism, print_interrupted_pass_stats, print_metrics, print_pass_stats,
+    itemset_names, parse_backend, parse_parallelism, print_interrupted_pass_stats, print_metrics,
+    print_pass_stats,
 };
 use crate::exit::CliError;
 use crate::io::{load_db_observed, load_manifest_observed, load_taxonomy};
@@ -36,6 +37,7 @@ const KNOWN: &[&str] = &[
     "max-memory",
     "inject-fail-pass",
     "threads",
+    "backend",
     "trace",
     "salvage!",
     "no-compress!",
@@ -186,6 +188,7 @@ pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
         memory_budget,
         compress_taxonomy: !opts.flag("no-compress"),
         parallelism: parse_parallelism(&opts).map_err(CliError::Usage)?,
+        backend: parse_backend(&opts).map_err(CliError::Usage)?,
         ..MinerConfig::default()
     };
     let miner = NegativeMiner::new(config);

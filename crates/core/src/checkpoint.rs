@@ -296,9 +296,11 @@ impl CheckpointManager {
 /// config knobs, the taxonomy's shape, and the database size. Two runs
 /// with equal fingerprints produce interchangeable checkpoints.
 ///
-/// [`MinerConfig::parallelism`] is deliberately *not* hashed: worker
-/// counts change wall time, never counts, so a checkpoint written by a
-/// sequential run must resume under `--threads N` (and vice versa).
+/// [`MinerConfig::parallelism`] and [`MinerConfig::backend`] are
+/// deliberately *not* hashed: worker counts and counting strategy change
+/// wall time, never counts, so a checkpoint written by a sequential
+/// hash-tree run must resume under `--threads N --backend bitmap` (and
+/// vice versa).
 fn fingerprint(config: &MinerConfig, tax: &Taxonomy, num_transactions: Option<u64>) -> u64 {
     let mut buf = Vec::new();
     match config.min_support {
@@ -533,6 +535,24 @@ mod tests {
             ..base
         };
         assert_ne!(fingerprint(&other, &t, Some(100)), fp);
+    }
+
+    /// All counting backends produce identical counts, so a checkpoint
+    /// written under one backend must resume cleanly under another.
+    #[test]
+    fn fingerprint_ignores_backend() {
+        use negassoc_apriori::count::CountingBackend;
+        let t = tax();
+        let base = MinerConfig::default();
+        let fp = fingerprint(&base, &t, Some(100));
+        for backend in [
+            CountingBackend::HashTree,
+            CountingBackend::SubsetHashMap,
+            CountingBackend::TidBitmap,
+        ] {
+            let cfg = MinerConfig { backend, ..base };
+            assert_eq!(fingerprint(&cfg, &t, Some(100)), fp, "{backend:?}");
+        }
     }
 
     #[test]

@@ -199,6 +199,27 @@ pub enum Event {
         /// Why the shard was quarantined.
         error: String,
     },
+    /// A counting backend finished building its pass-local structures
+    /// (e.g. the TID-bitmap rows for one pass).
+    BackendBuild {
+        /// Backend name (`"bitmap"`, …).
+        backend: String,
+        /// Item rows (or structures) built.
+        items: usize,
+        /// Packed `u64` words allocated across all workers.
+        words: u64,
+    },
+    /// A counting backend answered a pass's candidate supports.
+    BackendCount {
+        /// Backend name (`"bitmap"`, …).
+        backend: String,
+        /// Candidates counted.
+        candidates: usize,
+        /// `u64` words visited by AND loops across all workers.
+        words: u64,
+        /// Total popcount over all candidates (the sum of supports).
+        ones: u64,
+    },
     /// One timing sample from a benchmark repetition.
     Sample {
         /// Which configuration the sample measures.
@@ -235,6 +256,8 @@ impl Event {
             Event::ShardStart { .. } => "shard_start",
             Event::ShardEnd { .. } => "shard_end",
             Event::ShardQuarantined { .. } => "shard_quarantined",
+            Event::BackendBuild { .. } => "backend_build",
+            Event::BackendCount { .. } => "backend_count",
             Event::Sample { .. } => "sample",
             Event::RunEnd { .. } => "run_end",
         }
@@ -348,6 +371,27 @@ impl Event {
                     ",\"index\":{index},\"path\":\"{}\",\"error\":\"{}\"",
                     json_escape(path),
                     json_escape(error)
+                ));
+            }
+            Event::BackendBuild {
+                backend,
+                items,
+                words,
+            } => {
+                s.push_str(&format!(
+                    ",\"backend\":\"{}\",\"items\":{items},\"words\":{words}",
+                    json_escape(backend)
+                ));
+            }
+            Event::BackendCount {
+                backend,
+                candidates,
+                words,
+                ones,
+            } => {
+                s.push_str(&format!(
+                    ",\"backend\":\"{}\",\"candidates\":{candidates},\"words\":{words},\"ones\":{ones}",
+                    json_escape(backend)
                 ));
             }
             Event::Sample { name, index, wall } => {
@@ -667,6 +711,12 @@ pub mod metric {
     pub const CHECKPOINTS_LOADED: &str = "checkpoints.loaded";
     /// Gauge: candidates counted by the most recent pass.
     pub const LAST_PASS_CANDIDATES: &str = "last_pass.candidates";
+    /// Packed `u64` words allocated by the bitmap backend's builds.
+    pub const BITMAP_WORDS_BUILT: &str = "bitmap.words.built";
+    /// `u64` words visited by the bitmap backend's AND loops.
+    pub const BITMAP_WORDS_ANDED: &str = "bitmap.words.anded";
+    /// Total popcount the bitmap backend reported (sum of supports).
+    pub const BITMAP_ONES: &str = "bitmap.ones";
 }
 
 /// The handle the pipeline threads around: an optional sink plus an

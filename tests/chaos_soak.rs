@@ -1,7 +1,7 @@
 //! Chaos soak for the run control plane: seeded random schedules that
 //! combine source fault injection, cooperative cancellation at arbitrary
-//! pass/transaction positions, thread-count changes between attempts, and
-//! checkpoint resume. However a run is battered, the finally-completed
+//! pass/transaction positions, thread-count and counting-backend changes
+//! between attempts, and checkpoint resume. However a run is battered, the finally-completed
 //! rule set must be *bitwise* identical to an uninterrupted sequential
 //! run — cancellation may cost passes, never correctness.
 
@@ -10,6 +10,7 @@ use negassoc::{
     CancelReason, CancelToken, Completeness, Deadline, Error, MiningOutcome, NegativeMiner,
     Parallelism, RunControl,
 };
+use negassoc_apriori::count::CountingBackend;
 use negassoc_apriori::MinSupport;
 use negassoc_datagen::{generate, presets};
 use negassoc_taxonomy::{ItemId, Taxonomy};
@@ -108,13 +109,24 @@ fn scenario() -> (Taxonomy, TransactionDb) {
     (ds.taxonomy, ds.db)
 }
 
-fn config(parallelism: Parallelism) -> MinerConfig {
+fn config(parallelism: Parallelism, backend: CountingBackend) -> MinerConfig {
     MinerConfig {
         min_support: MinSupport::Fraction(0.04),
         min_ri: 0.4,
         max_negative_size: Some(2),
         parallelism,
+        backend,
         ..MinerConfig::default()
+    }
+}
+
+/// Deal a counting backend from the chaos schedule: like thread counts,
+/// backends may change freely between attempts without moving the answer.
+fn pick_backend(rng: &mut u64) -> CountingBackend {
+    match splitmix64(rng) % 3 {
+        0 => CountingBackend::HashTree,
+        1 => CountingBackend::SubsetHashMap,
+        _ => CountingBackend::TidBitmap,
     }
 }
 
@@ -158,12 +170,13 @@ fn assert_cancellation_shape(err: &Error) {
 }
 
 /// One seeded soak: batter a checkpointed run with random interrupts,
-/// transient source faults, and thread-count flips until it completes,
-/// then demand the answer match the clean sequential run bit for bit.
+/// transient source faults, and thread-count and backend flips until it
+/// completes, then demand the answer match the clean sequential run bit
+/// for bit.
 fn soak(seed: u64) {
     let (tax, db) = scenario();
     let total = db.len() as u64;
-    let clean = NegativeMiner::new(config(Parallelism::Sequential))
+    let clean = NegativeMiner::new(config(Parallelism::Sequential, CountingBackend::HashTree))
         .mine(&db, &tax)
         .unwrap();
 
@@ -180,10 +193,11 @@ fn soak(seed: u64) {
         } else {
             Parallelism::Threads(4)
         };
+        let backend = pick_backend(&mut rng);
         let with_fault = splitmix64(&mut rng) % 3 == 0;
 
         let ctrl = RunControl::new();
-        let miner = NegativeMiner::new(config(parallelism));
+        let miner = NegativeMiner::new(config(parallelism, backend));
         let run = |source: &dyn TransactionSource| {
             miner.mine_with_controls(source, &tax, None, Some(&dir.0), &ctrl)
         };
@@ -227,8 +241,11 @@ fn soak(seed: u64) {
     let out = match completed {
         Some(out) => out,
         None => {
+            // The final attempt deliberately mines with the bitmap
+            // backend: whatever backend wrote the surviving checkpoints,
+            // the resume must cross over cleanly.
             let ctrl = RunControl::new();
-            NegativeMiner::new(config(Parallelism::Threads(4)))
+            NegativeMiner::new(config(Parallelism::Threads(4), CountingBackend::TidBitmap))
                 .mine_with_controls(&db, &tax, None, Some(&dir.0), &ctrl)
                 .unwrap()
         }
@@ -267,12 +284,13 @@ fn chaos_seed_4_converges_to_the_uninterrupted_answer() {
 }
 
 /// The satellite property: cancelling at *every* pass boundary in turn,
-/// then resuming — under the same or a different thread count — must
-/// reproduce the uninterrupted rule set exactly, every time.
+/// then resuming — under a different thread count *and* a different
+/// counting backend — must reproduce the uninterrupted rule set exactly,
+/// every time. Backends share checkpoint fingerprints by design.
 #[test]
 fn cancelling_at_every_pass_boundary_then_resuming_is_exact() {
     let (tax, db) = scenario();
-    let clean = NegativeMiner::new(config(Parallelism::Sequential))
+    let clean = NegativeMiner::new(config(Parallelism::Sequential, CountingBackend::HashTree))
         .mine(&db, &tax)
         .unwrap();
     let passes = clean.report.passes;
@@ -286,8 +304,13 @@ fn cancelling_at_every_pass_boundary_then_resuming_is_exact() {
         } else {
             (Parallelism::Threads(4), Parallelism::Sequential)
         };
+        let (cancel_be, resume_be) = match boundary % 3 {
+            0 => (CountingBackend::HashTree, CountingBackend::TidBitmap),
+            1 => (CountingBackend::TidBitmap, CountingBackend::SubsetHashMap),
+            _ => (CountingBackend::SubsetHashMap, CountingBackend::HashTree),
+        };
         let ctrl = RunControl::new();
-        let err = NegativeMiner::new(config(cancel_par))
+        let err = NegativeMiner::new(config(cancel_par, cancel_be))
             .mine_with_controls(
                 &CancelAt::new(&db, ctrl.token().clone(), boundary, 0),
                 &tax,
@@ -298,13 +321,13 @@ fn cancelling_at_every_pass_boundary_then_resuming_is_exact() {
             .unwrap_err();
         assert_cancellation_shape(&err);
 
-        let resumed = NegativeMiner::new(config(resume_par))
+        let resumed = NegativeMiner::new(config(resume_par, resume_be))
             .mine_with_recovery(&db, &tax, None, &dir.0)
             .unwrap();
         assert_eq!(
             outcome_key(&resumed),
             outcome_key(&clean),
-            "boundary {boundary} ({cancel_par:?} -> {resume_par:?})"
+            "boundary {boundary} ({cancel_par:?}/{cancel_be:?} -> {resume_par:?}/{resume_be:?})"
         );
     }
 }
@@ -323,7 +346,7 @@ fn interrupted_run_records_only_completed_passes() {
 
     let (tax, db) = scenario();
     let total = db.len() as u64;
-    let clean = NegativeMiner::new(config(Parallelism::Sequential))
+    let clean = NegativeMiner::new(config(Parallelism::Sequential, CountingBackend::HashTree))
         .mine(&db, &tax)
         .unwrap();
     assert!(
@@ -336,7 +359,7 @@ fn interrupted_run_records_only_completed_passes() {
     let dir = TmpDir::new("obs");
     let ring = Arc::new(RingBufferSink::new(4096));
     let ctrl = RunControl::new().with_observer(Obs::disabled().with_sink(ring.clone()));
-    let err = NegativeMiner::new(config(Parallelism::Threads(4)))
+    let err = NegativeMiner::new(config(Parallelism::Threads(4), CountingBackend::TidBitmap))
         .mine_with_controls(
             &CancelAt::new(&db, ctrl.token().clone(), 0, 0),
             &tax,
@@ -400,7 +423,7 @@ fn shard_corruption_matrix_degrades_to_the_healthy_shards_exactly() {
     let (tax, db) = scenario();
 
     // Baseline: all shards healthy ≡ the unsharded database, bitwise.
-    let clean = NegativeMiner::new(config(Parallelism::Sequential))
+    let clean = NegativeMiner::new(config(Parallelism::Sequential, CountingBackend::HashTree))
         .mine(&db, &tax)
         .unwrap();
     {
@@ -409,11 +432,18 @@ fn shard_corruption_matrix_degrades_to_the_healthy_shards_exactly() {
         let manifest_path = dir.0.join("db.manifest");
         write_sharded(&db, &manifest_path, SHARDS).unwrap();
         let src = ShardedSource::open(&manifest_path).unwrap();
-        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
-            let out = NegativeMiner::new(config(parallelism))
+        for (parallelism, backend) in [
+            (Parallelism::Sequential, CountingBackend::HashTree),
+            (Parallelism::Threads(4), CountingBackend::TidBitmap),
+        ] {
+            let out = NegativeMiner::new(config(parallelism, backend))
                 .mine(&src, &tax)
                 .unwrap();
-            assert_eq!(outcome_key(&out), outcome_key(&clean), "{parallelism:?}");
+            assert_eq!(
+                outcome_key(&out),
+                outcome_key(&clean),
+                "{parallelism:?}/{backend:?}"
+            );
             assert!(out.report.completeness.is_none());
         }
     }
@@ -447,22 +477,26 @@ fn shard_corruption_matrix_degrades_to_the_healthy_shards_exactly() {
                 .unwrap();
         }
         let healthy = b.build();
-        let reference = NegativeMiner::new(config(Parallelism::Sequential))
-            .mine(&healthy, &tax)
-            .unwrap();
+        let reference =
+            NegativeMiner::new(config(Parallelism::Sequential, CountingBackend::HashTree))
+                .mine(&healthy, &tax)
+                .unwrap();
 
         let src = ShardedSource::open_degraded(&manifest_path).unwrap();
         assert_eq!(src.quarantine().shards.len(), 1);
         assert_eq!(src.quarantine().shards[0].index, k);
 
-        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
-            let out = NegativeMiner::new(config(parallelism))
+        for (parallelism, backend) in [
+            (Parallelism::Sequential, CountingBackend::HashTree),
+            (Parallelism::Threads(4), CountingBackend::TidBitmap),
+        ] {
+            let out = NegativeMiner::new(config(parallelism, backend))
                 .mine(&src, &tax)
                 .unwrap();
             assert_eq!(
                 outcome_key(&out),
                 outcome_key(&reference),
-                "shard {k}, {parallelism:?}"
+                "shard {k}, {parallelism:?}/{backend:?}"
             );
             let Some(Completeness::Degraded { quarantined_shards }) = &out.report.completeness
             else {
@@ -480,7 +514,7 @@ fn shard_corruption_matrix_degrades_to_the_healthy_shards_exactly() {
         // wrapper) must match and the answer must not move.
         let ckpt = TmpDir::new("shard-resume");
         let ctrl = RunControl::new();
-        let err = NegativeMiner::new(config(Parallelism::Threads(4)))
+        let err = NegativeMiner::new(config(Parallelism::Threads(4), CountingBackend::TidBitmap))
             .mine_with_controls(
                 &CancelAt::new(&src, ctrl.token().clone(), 1, 0),
                 &tax,
@@ -490,9 +524,10 @@ fn shard_corruption_matrix_degrades_to_the_healthy_shards_exactly() {
             )
             .unwrap_err();
         assert_cancellation_shape(&err);
-        let resumed = NegativeMiner::new(config(Parallelism::Sequential))
-            .mine_with_recovery(&src, &tax, None, &ckpt.0)
-            .unwrap();
+        let resumed =
+            NegativeMiner::new(config(Parallelism::Sequential, CountingBackend::HashTree))
+                .mine_with_recovery(&src, &tax, None, &ckpt.0)
+                .unwrap();
         assert_eq!(
             outcome_key(&resumed),
             outcome_key(&reference),
@@ -509,7 +544,7 @@ fn expired_deadline_cancels_before_any_pass() {
     let pc = negassoc_txdb::PassCounter::new(db);
     let ctrl = RunControl::new().with_deadline(Deadline::after(Duration::ZERO));
     let dir = TmpDir::new("deadline");
-    let err = NegativeMiner::new(config(Parallelism::Sequential))
+    let err = NegativeMiner::new(config(Parallelism::Sequential, CountingBackend::HashTree))
         .mine_with_controls(&pc, &tax, None, Some(&dir.0), &ctrl)
         .unwrap_err();
     match err {
