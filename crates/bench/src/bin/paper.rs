@@ -10,13 +10,15 @@
 //! 1–2), `counts` (§3.2 itemset counts), `fig5`, `fig6`, `fig7`, `all`,
 //! `counting` (sequential-vs-threaded pass timings, written to
 //! `BENCH_counting.json`), `ctrl` (cancel-token overhead, written to
-//! `BENCH_ctrl.json`), and `obs` (trace-emission overhead with a no-op
-//! sink, written to `BENCH_obs.json`).
+//! `BENCH_ctrl.json`), `obs` (trace-emission overhead with a no-op
+//! sink, written to `BENCH_obs.json`), and `serve` (rule-serving
+//! throughput with oracle and hot-swap checks, written to
+//! `BENCH_serve.json`).
 //! `--scale N` runs on N transactions instead of the full 50,000 (the
 //! qualitative shapes survive scaling; the full size takes minutes).
 
 use negassoc_bench::{
-    counting_scale, ctrl_bench, fig7_series, itemset_counts, obs_bench, secs,
+    counting_scale, ctrl_bench, fig7_series, itemset_counts, obs_bench, secs, serve_bench,
     sharded_counting_bench, short_dataset, tall_dataset, CountingBench, FIG56_SUPPORTS_PCT,
     FIG7_SUPPORT_PCT,
 };
@@ -85,6 +87,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         }
+        "serve" => {
+            if let Err(e) = serve(scale) {
+                eprintln!("serve bench: {e}");
+                return ExitCode::from(1);
+            }
+        }
         "all" => {
             params();
             tables();
@@ -96,7 +104,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown command {other:?} \
-                 (params|tables|counts|fig5|fig6|fig7|counting|ctrl|obs|all)"
+                 (params|tables|counts|fig5|fig6|fig7|counting|ctrl|obs|serve|all)"
             );
             return ExitCode::from(2);
         }
@@ -448,5 +456,31 @@ fn obs(scale: Option<usize>) -> std::io::Result<()> {
     );
     std::fs::write("BENCH_obs.json", bench.to_json())?;
     println!("wrote BENCH_obs.json");
+    Ok(())
+}
+
+/// The rule-serving benchmark: queries/sec through the server's answer
+/// path on a snapshot mined from the 4,000-transaction "Short" dataset,
+/// with oracle agreement and a mid-batch hot-swap checked in the same
+/// run; written to `BENCH_serve.json`. The serving layer's acceptance bar
+/// is ≥ 10,000 queries/sec with both contract flags true.
+fn serve(scale: Option<usize>) -> std::io::Result<()> {
+    let transactions = scale.unwrap_or(4_000);
+    let bench = serve_bench(transactions, 1_000, 0.015);
+    println!("== rule serving: basket-match throughput ==");
+    println!(
+        "{} transactions, {} queries, {} positive + {} negative rules",
+        bench.transactions, bench.queries, bench.positive_rules, bench.negative_rules
+    );
+    println!(
+        "batch wall {:.4}s, {:.0} queries/sec, {} answers matched rules",
+        bench.wall_s, bench.queries_per_sec, bench.matched_answers
+    );
+    println!(
+        "oracle agreement: {}; hot-swap mid-batch survived: {}",
+        bench.oracle_agreement, bench.hot_swap_survived
+    );
+    std::fs::write("BENCH_serve.json", bench.to_json())?;
+    println!("wrote BENCH_serve.json");
     Ok(())
 }

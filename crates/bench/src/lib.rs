@@ -915,6 +915,181 @@ pub fn obs_bench(transactions: usize, repetitions: usize) -> ObsBench {
     ObsBench::from_events(transactions, &ring.snapshot())
 }
 
+/// The rule-serving benchmark: a snapshot mined from the "Short"
+/// (T10.I4-shaped) dataset answered at interactive rates, with the two
+/// ROADMAP-item-1 correctness contracts checked in the same run:
+///
+/// * every answer of the query batch is byte-identical to the offline
+///   full-scan oracle over the same rule list, and
+/// * a snapshot hot-swap lands mid-batch and every response is still
+///   internally consistent with exactly one snapshot version.
+///
+/// `bench.sh` gates `queries_per_sec` at ≥ 10,000 on the 4,000-transaction
+/// snapshot and fails on either contract flag being false.
+#[derive(Clone, Debug)]
+pub struct ServeBench {
+    /// Transactions in the mined dataset.
+    pub transactions: usize,
+    /// Basket queries in the timed batch.
+    pub queries: usize,
+    /// Positive rules in the snapshot.
+    pub positive_rules: usize,
+    /// Negative rules in the snapshot.
+    pub negative_rules: usize,
+    /// Answers that matched at least one rule (the batch is seeded with
+    /// rule antecedents, so this must be nonzero when rules exist).
+    pub matched_answers: usize,
+    /// Wall seconds of the timed batch (hot-swap included).
+    pub wall_s: f64,
+    /// The headline: `queries / wall_s`.
+    pub queries_per_sec: f64,
+    /// Indexed matcher agreed with the full-scan oracle on every basket.
+    pub oracle_agreement: bool,
+    /// Every mid-swap response matched exactly one snapshot's expected
+    /// bytes — no torn reads.
+    pub hot_swap_survived: bool,
+}
+
+impl ServeBench {
+    /// Render as a JSON document; floats route through [`json_num`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"transactions\": {},\n", self.transactions));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"positive_rules\": {},\n", self.positive_rules));
+        out.push_str(&format!("  \"negative_rules\": {},\n", self.negative_rules));
+        out.push_str(&format!(
+            "  \"matched_answers\": {},\n",
+            self.matched_answers
+        ));
+        out.push_str(&format!("  \"wall_s\": {},\n", json_num(self.wall_s, 6)));
+        out.push_str(&format!(
+            "  \"queries_per_sec\": {},\n",
+            json_num(self.queries_per_sec, 1)
+        ));
+        out.push_str(&format!(
+            "  \"oracle_agreement\": {},\n",
+            self.oracle_agreement
+        ));
+        out.push_str(&format!(
+            "  \"hot_swap_survived\": {}\n",
+            self.hot_swap_survived
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Run the serving benchmark: mine the "Short" dataset scaled to
+/// `transactions` at `min_support`, snapshot the rules, and answer a
+/// deterministic `queries`-basket batch through
+/// [`negassoc_serve::ServeState::answer`] (the server's own query path
+/// minus the socket) with a hot-swap to an equal-content version-2
+/// snapshot injected halfway through. The support knob matters: the
+/// artifact run uses the paper-scale 1.5%, but small test datasets need
+/// a higher floor or the absolute threshold collapses toward 1 and the
+/// candidate space explodes.
+pub fn serve_bench(transactions: usize, queries: usize, min_support: f64) -> ServeBench {
+    use negassoc_serve::{answer_basket_line, ServeState, Snapshot};
+
+    let ds = short_dataset(Some(transactions));
+    let outcome = NegativeMiner::new(MinerConfig {
+        min_support: MinSupport::Fraction(min_support),
+        min_ri: PAPER_MIN_RI,
+        driver: Driver::Improved,
+        max_negative_size: Some(3),
+        ..MinerConfig::default()
+    })
+    .mine(&ds.db, &ds.taxonomy)
+    .expect("serve bench mine");
+    let export = outcome.rule_export(&ds.taxonomy, 0.6, PAPER_MIN_RI);
+    let tax = &ds.taxonomy;
+    let snap1 = Arc::new(Snapshot::from_export(&export, tax, 1).expect("snapshot v1"));
+    let snap2 = Arc::new(Snapshot::from_export(&export, tax, 2).expect("snapshot v2"));
+
+    // A deterministic batch: leaf-item triples, with every fourth basket
+    // seeded from a mined rule's antecedent so the matched path (posting
+    // lists, antecedent verification, rendering) is actually exercised.
+    let leaves: Vec<&str> = (0..tax.len() as u32)
+        .map(negassoc_taxonomy::ItemId)
+        .filter(|&i| tax.is_leaf(i))
+        .map(|i| tax.name(i))
+        .collect();
+    let antecedents: Vec<String> = export
+        .positive
+        .iter()
+        .map(|r| &r.antecedent)
+        .chain(export.negative.iter().map(|r| &r.antecedent))
+        .map(|a| {
+            a.items()
+                .iter()
+                .map(|&i| tax.name(i))
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .collect();
+    let baskets: Vec<String> = (0..queries)
+        .map(|i| {
+            if i % 4 == 0 && !antecedents.is_empty() {
+                antecedents[(i / 4) % antecedents.len()].clone()
+            } else {
+                let pick = |j: usize| leaves[(i * 31 + j * 17) % leaves.len()];
+                format!("{}, {}, {}", pick(1), pick(2), pick(3))
+            }
+        })
+        .collect();
+
+    // Contract 1 (untimed): the indexed matcher is byte-identical to the
+    // full-scan oracle on every basket of the batch.
+    let expected1: Vec<String> = baskets
+        .iter()
+        .map(|b| answer_basket_line(tax, &snap1, b, true))
+        .collect();
+    let oracle_agreement = baskets
+        .iter()
+        .zip(&expected1)
+        .all(|(b, want)| answer_basket_line(tax, &snap1, b, false) == *want);
+
+    // Timed batch through the server's own answer path, with the v2 swap
+    // landing halfway — contract 2 is checked after the clock stops.
+    let state = ServeState::new(tax.clone(), Arc::clone(&snap1)).expect("serve state");
+    let mut answers = Vec::with_capacity(queries);
+    let start = std::time::Instant::now();
+    for (i, basket) in baskets.iter().enumerate() {
+        if i == queries / 2 {
+            state.install(Arc::clone(&snap2)).expect("hot swap");
+        }
+        answers.push(state.answer(basket));
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let expected2: Vec<String> = baskets
+        .iter()
+        .map(|b| answer_basket_line(tax, &snap2, b, false))
+        .collect();
+    let hot_swap_survived = answers
+        .iter()
+        .enumerate()
+        .all(|(i, got)| *got == expected1[i] || *got == expected2[i]);
+    let matched_answers = answers.iter().filter(|a| a.lines().count() > 1).count();
+
+    ServeBench {
+        transactions,
+        queries,
+        positive_rules: export.positive.len(),
+        negative_rules: export.negative.len(),
+        matched_answers,
+        wall_s,
+        queries_per_sec: if wall_s > 0.0 {
+            queries as f64 / wall_s
+        } else {
+            f64::NAN
+        },
+        oracle_agreement,
+        hot_swap_survived,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1057,6 +1232,25 @@ mod tests {
         assert_eq!(bench.repetitions, 2);
         assert_eq!(bench.baseline_s, vec![0.010, 0.030]);
         assert_eq!(bench.controlled_s, vec![0.020, 0.040]);
+    }
+
+    #[test]
+    fn serve_bench_contracts_hold_at_small_scale() {
+        let bench = serve_bench(400, 60, 0.05);
+        assert_eq!(bench.queries, 60);
+        assert!(bench.oracle_agreement, "indexed/oracle divergence");
+        assert!(bench.hot_swap_survived, "torn read under hot swap");
+        assert!(bench.wall_s >= 0.0);
+        assert!(bench.queries_per_sec > 0.0);
+        if bench.positive_rules + bench.negative_rules > 0 {
+            assert!(
+                bench.matched_answers > 0,
+                "antecedent-seeded baskets must match rules"
+            );
+        }
+        let doc = bench.to_json();
+        xtask::json::parse(&doc).expect("serve json parses");
+        assert!(doc.contains("\"queries_per_sec\""), "{doc}");
     }
 
     #[test]

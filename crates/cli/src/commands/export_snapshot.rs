@@ -1,0 +1,72 @@
+//! `negrules export-snapshot` — mine a database and persist the rule set
+//! as an immutable NARS snapshot for the serving layer.
+
+use crate::exit::CliError;
+use crate::io::{load_db_opts, load_taxonomy};
+use crate::opts::Opts;
+use crate::signal;
+use negassoc::{Error, MinerConfig, NegativeMiner, RunControl};
+use negassoc_apriori::MinSupport;
+use negassoc_serve::export_snapshot;
+
+const KNOWN: &[&str] = &[
+    "data",
+    "taxonomy",
+    "out",
+    "min-support",
+    "min-ri",
+    "min-conf",
+    "snapshot-version",
+    "salvage!",
+];
+
+pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
+    let opts = Opts::parse(args, KNOWN)?;
+    let min_support: f64 = opts.parse_or("min-support", 0.01)?;
+    let min_ri: f64 = opts.parse_or("min-ri", 0.5)?;
+    let min_conf: f64 = opts.parse_or("min-conf", 0.6)?;
+    let snapshot_version: u64 = opts.parse_or("snapshot-version", 1)?;
+    if !(0.0..=1.0).contains(&min_conf) {
+        return Err(CliError::Usage(format!(
+            "invalid --min-conf {min_conf} (a fraction in [0, 1])"
+        )));
+    }
+    let out = opts.require("out")?;
+    let data = opts.require("data")?;
+    let tax = load_taxonomy(opts.require("taxonomy")?)?;
+    let db = load_db_opts(data, opts.flag("salvage"))?;
+
+    let config = MinerConfig {
+        min_support: MinSupport::Fraction(min_support),
+        min_ri,
+        ..MinerConfig::default()
+    };
+    let miner = NegativeMiner::new(config);
+
+    // Ctrl-C cancels cooperatively through the shared token; an
+    // interrupted mine exits 3 and writes no snapshot.
+    let mut ctrl = RunControl::new();
+    if let Some(flag) = signal::interrupt_flag() {
+        ctrl = ctrl.with_interrupt_flag(flag);
+    }
+    let outcome = miner
+        .mine_with_controls(&db, &tax, None, None, &ctrl)
+        .map_err(|e| match e {
+            Error::Cancelled { .. } => CliError::Interrupted(e.to_string()),
+            other => CliError::Failure(other.to_string()),
+        })?;
+
+    let export = outcome.rule_export(&tax, min_conf, min_ri);
+    export_snapshot(out, &export, &tax, snapshot_version)
+        .map_err(|e| CliError::Failure(format!("{out}: {e}")))?;
+    println!(
+        "exported snapshot version {snapshot_version} to {out}: \
+         {} positive, {} negative rules over {} transactions \
+         (taxonomy digest {:#018x})",
+        export.positive.len(),
+        export.negative.len(),
+        export.num_transactions,
+        export.taxonomy_digest
+    );
+    Ok(())
+}

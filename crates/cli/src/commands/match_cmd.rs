@@ -1,0 +1,46 @@
+//! `negrules match` — the offline basket-matching oracle.
+//!
+//! Answers a basket batch directly from a snapshot file with the
+//! deliberately index-free full-scan matcher, producing exactly the
+//! bytes the server would send for the same baskets. The CI smoke stage
+//! diffs the two outputs: any divergence is an antecedent-index bug
+//! surfacing as a failed diff instead of a silently wrong answer.
+
+use crate::exit::CliError;
+use crate::io::load_taxonomy;
+use crate::opts::Opts;
+use negassoc_serve::{answer_basket_line, Snapshot};
+
+const KNOWN: &[&str] = &["snapshot", "taxonomy", "baskets", "out", "indexed!"];
+
+pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
+    let opts = Opts::parse(args, KNOWN)?;
+    let snapshot_path = opts.require("snapshot")?;
+    let baskets = opts.require("baskets")?;
+    let tax = load_taxonomy(opts.require("taxonomy")?)?;
+    let snapshot = Snapshot::load(snapshot_path, &tax)
+        .map_err(|e| CliError::Failure(format!("{snapshot_path}: {e}")))?;
+
+    let input = std::fs::read_to_string(baskets).map_err(|e| format!("{baskets}: {e}"))?;
+    // Full-scan oracle by default; --indexed exercises the production
+    // matcher instead (both must agree on every basket).
+    let oracle = !opts.flag("indexed");
+    let mut answers = String::new();
+    let mut lines = 0usize;
+    for line in input.lines() {
+        answers.push_str(&answer_basket_line(&tax, &snapshot, line, oracle));
+        lines += 1;
+    }
+    match opts.get("out") {
+        Some(out) => {
+            std::fs::write(out, &answers).map_err(|e| format!("{out}: {e}"))?;
+            println!("wrote {lines} answers to {out}");
+        }
+        None => {
+            use std::io::Write;
+            print!("{answers}");
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}

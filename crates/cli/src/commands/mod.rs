@@ -1,8 +1,12 @@
-//! The four `negrules` subcommands.
+//! The `negrules` subcommands.
 
+pub(crate) mod export_snapshot;
 pub(crate) mod generate;
+pub(crate) mod match_cmd;
 pub(crate) mod mine;
 pub(crate) mod negatives;
+pub(crate) mod query;
+pub(crate) mod serve;
 pub(crate) mod stats;
 
 use crate::opts::Opts;

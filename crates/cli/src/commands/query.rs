@@ -1,0 +1,67 @@
+//! `negrules query` — the TCP client side of the serving protocol:
+//! basket batches, hot-swap requests, and liveness pings.
+
+use crate::exit::CliError;
+use crate::opts::Opts;
+use negassoc_serve::request;
+use negassoc_serve::server::{TAG_PING, TAG_QUERY, TAG_SWAP};
+use std::io::Write;
+use std::net::TcpStream;
+
+const KNOWN: &[&str] = &["addr", "baskets", "out", "swap", "ping!"];
+
+pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
+    let opts = Opts::parse(args, KNOWN)?;
+    let addr = opts.require("addr")?;
+    if !opts.flag("ping") && opts.get("swap").is_none() && opts.get("baskets").is_none() {
+        return Err(CliError::Usage(
+            "nothing to do: give --baskets FILE, --swap SNAPSHOT, or --ping".into(),
+        ));
+    }
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| CliError::Failure(format!("connect {addr}: {e}")))?;
+
+    if opts.flag("ping") {
+        let (ok, body) = request(&mut stream, TAG_PING, b"")
+            .map_err(|e| CliError::Failure(format!("{addr}: {e}")))?;
+        print!("{body}");
+        if !ok {
+            return Err(CliError::Failure("ping failed".into()));
+        }
+    }
+
+    if let Some(path) = opts.get("swap") {
+        let (ok, body) = request(&mut stream, TAG_SWAP, path.as_bytes())
+            .map_err(|e| CliError::Failure(format!("{addr}: {e}")))?;
+        print!("{body}");
+        if !ok {
+            return Err(CliError::Failure(format!("swap to {path} refused")));
+        }
+    }
+
+    if let Some(baskets) = opts.get("baskets") {
+        let input = std::fs::read_to_string(baskets).map_err(|e| format!("{baskets}: {e}"))?;
+        // One keep-alive connection for the whole batch; bodies are
+        // emitted verbatim so the CI stage can diff them byte-for-byte
+        // against the offline `match` oracle over the same basket file.
+        let mut answers = String::new();
+        let mut lines = 0usize;
+        for line in input.lines() {
+            let (_ok, body) = request(&mut stream, TAG_QUERY, line.as_bytes())
+                .map_err(|e| CliError::Failure(format!("{addr}: {e}")))?;
+            answers.push_str(&body);
+            lines += 1;
+        }
+        match opts.get("out") {
+            Some(out) => {
+                std::fs::write(out, &answers).map_err(|e| format!("{out}: {e}"))?;
+                println!("wrote {lines} answers to {out}");
+            }
+            None => {
+                print!("{answers}");
+                std::io::stdout().flush().map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! `negrules serve` — the long-running rule server over a NARS snapshot.
+
+use crate::commands::print_metrics;
+use crate::exit::CliError;
+use crate::io::load_taxonomy;
+use crate::opts::Opts;
+use crate::signal;
+use negassoc::obs::{Metrics, Obs};
+use negassoc::RunControl;
+use negassoc_serve::{serve, ServeState, Snapshot};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+const KNOWN: &[&str] = &["snapshot", "taxonomy", "addr", "workers", "metrics!"];
+
+/// Worker threads when `--workers` is absent: enough to keep a query
+/// batch moving without oversubscribing small CI machines.
+const DEFAULT_WORKERS: usize = 4;
+
+pub(crate) fn run(args: Vec<String>) -> Result<(), CliError> {
+    let opts = Opts::parse(args, KNOWN)?;
+    let workers: usize = opts.parse_or("workers", DEFAULT_WORKERS)?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:0");
+    let snapshot_path = opts.require("snapshot")?;
+    let tax = load_taxonomy(opts.require("taxonomy")?)?;
+    let snapshot = Snapshot::load(snapshot_path, &tax)
+        .map_err(|e| CliError::Failure(format!("{snapshot_path}: {e}")))?;
+    let meta = *snapshot.meta();
+    let num_rules = snapshot.num_rules();
+    let state = ServeState::new(tax, Arc::new(snapshot)).map_err(|e| e.to_string())?;
+
+    let mut obs = Obs::disabled();
+    let metrics = Arc::new(Metrics::new());
+    if opts.flag("metrics") {
+        obs = obs.with_metrics(metrics.clone());
+    }
+
+    let listener =
+        TcpListener::bind(addr).map_err(|e| CliError::Failure(format!("bind {addr}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::Failure(e.to_string()))?;
+    // The readiness line the CI smoke stage greps for the actual port
+    // (stdout is line-buffered, so this is visible before serving starts).
+    println!(
+        "listening on {local} (snapshot version {}, {num_rules} rules)",
+        meta.snapshot_version
+    );
+
+    // SIGINT is the server's *normal* shutdown: the watchdog trips the
+    // token, the accept loop stops, workers drain in-flight requests and
+    // join, and the command exits 0 — unlike mining commands, where an
+    // interrupt cuts a run short (exit 3).
+    let mut ctrl = RunControl::new();
+    if let Some(flag) = signal::interrupt_flag() {
+        ctrl = ctrl.with_interrupt_flag(flag);
+    }
+    let watchdog = ctrl.arm();
+    let stats = serve(listener, &state, workers, ctrl.token(), &obs)
+        .map_err(|e| CliError::Failure(e.to_string()))?;
+    drop(watchdog);
+
+    println!("{stats}");
+    if opts.flag("metrics") {
+        print_metrics(&metrics);
+    }
+    Ok(())
+}

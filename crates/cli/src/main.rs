@@ -12,6 +12,14 @@
 //!                    [--max-size K] [--cap N] [--top N] [--out rules.csv]
 //!                    [--checkpoint-dir DIR] [--max-memory BYTES] [--salvage]
 //!                    [--audit] [--trace FILE] [--metrics] [--pass-stats]
+//! negrules export-snapshot --data D --taxonomy T --out S.nars [--min-support F]
+//!                    [--min-ri F] [--min-conf F] [--snapshot-version N] [--salvage]
+//! negrules serve     --snapshot S.nars --taxonomy T [--addr HOST:PORT]
+//!                    [--workers N] [--metrics]
+//! negrules query     --addr HOST:PORT [--baskets FILE] [--out FILE]
+//!                    [--swap S.nars] [--ping]
+//! negrules match     --snapshot S.nars --taxonomy T --baskets FILE
+//!                    [--out FILE] [--indexed]
 //! ```
 
 mod commands;
@@ -23,7 +31,8 @@ mod signal;
 use exit::CliError;
 use std::process::ExitCode;
 
-const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
+const USAGE: &str =
+    "negrules <generate|stats|mine|negatives|export-snapshot|serve|query|match> [options]
 
   generate   synthesize a dataset (paper section 3.1 generator)
              --data PATH --taxonomy PATH [--preset short|tall]
@@ -61,6 +70,29 @@ const USAGE: &str = "negrules <generate|stats|mine|negatives> [options]
                            shards and mine the rest — still exits 0, with
                            the degraded completeness stated)
              [--audit]    (re-derive every reported number from a raw scan)
+  export-snapshot  mine and persist the rule set as an immutable,
+             versioned NARS snapshot for the serving layer
+             --data PATH --taxonomy PATH --out S.nars
+             [--min-support F=0.01] [--min-ri F=0.5] [--min-conf F=0.6]
+             [--snapshot-version N=1] [--salvage]
+  serve      serve basket-match queries from a snapshot over TCP
+             --snapshot S.nars --taxonomy PATH
+             [--addr HOST:PORT=127.0.0.1:0]  (port 0 picks a free port;
+                                      the chosen address is printed first)
+             [--workers N=4] [--metrics]
+             SIGINT drains gracefully and exits 0; hot-swap snapshots
+             with `query --swap`
+  query      TCP client: answer a basket batch, swap snapshots, or ping
+             --addr HOST:PORT [--baskets FILE] [--out FILE]
+             [--swap S.nars]  (server-side hot-swap to that snapshot)
+             [--ping]
+  match      offline oracle: answer a basket batch straight from the
+             snapshot with the index-free full-scan matcher; its output
+             is byte-identical to served answers for the same baskets
+             --snapshot S.nars --taxonomy PATH --baskets FILE
+             [--out FILE] [--indexed]
+
+Basket files: one basket per line, comma-separated item names.
 
 With --manifest the database is a checksummed shard manifest (see
 `generate --shards`): shards stream one at a time with bounded memory,
@@ -85,6 +117,10 @@ fn main() -> ExitCode {
         "stats" => commands::stats::run(rest),
         "mine" => commands::mine::run(rest),
         "negatives" => commands::negatives::run(rest),
+        "export-snapshot" => commands::export_snapshot::run(rest),
+        "serve" => commands::serve::run(rest),
+        "query" => commands::query::run(rest),
+        "match" => commands::match_cmd::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

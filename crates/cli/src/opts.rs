@@ -24,6 +24,8 @@ pub(crate) enum OptError {
     Required(String),
     /// A value failed to parse.
     Invalid { key: String, value: String },
+    /// The same option appeared more than once.
+    Duplicate(String),
 }
 
 impl std::fmt::Display for OptError {
@@ -36,6 +38,7 @@ impl std::fmt::Display for OptError {
             OptError::Invalid { key, value } => {
                 write!(f, "invalid value {value:?} for --{key}")
             }
+            OptError::Duplicate(k) => write!(f, "option --{k} given more than once"),
         }
     }
 }
@@ -57,12 +60,17 @@ impl Opts {
             };
             let is_flag = known.iter().any(|k| k.strip_suffix('!') == Some(key));
             if is_flag {
+                if opts.flag(key) {
+                    return Err(OptError::Duplicate(key.to_owned()));
+                }
                 opts.flags.push(key.to_owned());
             } else if known.iter().any(|k| *k == key) {
                 let value = iter
                     .next()
                     .ok_or_else(|| OptError::MissingValue(key.to_owned()))?;
-                opts.map.insert(key.to_owned(), value);
+                if opts.map.insert(key.to_owned(), value).is_some() {
+                    return Err(OptError::Duplicate(key.to_owned()));
+                }
             } else {
                 return Err(OptError::Unknown(key.to_owned()));
             }
@@ -160,6 +168,23 @@ mod tests {
             o.parse_or::<f64>("data", 0.0),
             Err(OptError::Invalid { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_duplicate_options() {
+        // Last-wins would silently mine with 8 threads here; the contract
+        // is a Usage error instead (exit 2 through `CliError`).
+        assert_eq!(
+            Opts::parse(args("--min-support 0.02 --min-support 0.08"), KNOWN),
+            Err(OptError::Duplicate("min-support".into()))
+        );
+        assert_eq!(
+            Opts::parse(args("--verbose --data x --verbose"), KNOWN),
+            Err(OptError::Duplicate("verbose".into()))
+        );
+        assert!(OptError::Duplicate("threads".into())
+            .to_string()
+            .contains("--threads"));
     }
 
     #[test]

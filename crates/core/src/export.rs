@@ -1,0 +1,139 @@
+//! Snapshot export assembly: turn a [`MiningOutcome`] into the
+//! deterministic, taxonomy-pinned rule bundle the serving layer
+//! (`negassoc-serve`) persists as an immutable snapshot.
+//!
+//! Export happens here — next to the miner — so the bundle can capture
+//! provenance the raw rule lists do not carry: the digest of the taxonomy
+//! the ids were minted under, the database size, and the thresholds. The
+//! digest is what lets every later consumer (snapshot writer, loader,
+//! server hot-swap) refuse a rule set replayed against a different
+//! hierarchy instead of silently mis-expanding categories.
+
+use crate::miner::MiningOutcome;
+use crate::rules::NegativeRule;
+use negassoc_apriori::rules::{generate_rules, Rule};
+use negassoc_taxonomy::Taxonomy;
+
+/// A deterministic, self-describing bundle of mined rules ready for
+/// snapshot serialization. Rule order is canonical (sorted by antecedent,
+/// then consequent), so two exports of the same mine are byte-identical
+/// downstream.
+#[derive(Clone, Debug)]
+pub struct RuleSetExport {
+    /// Digest of the taxonomy the rules' item ids refer to
+    /// ([`Taxonomy::digest`]).
+    pub taxonomy_digest: u64,
+    /// Transactions in the mined database.
+    pub num_transactions: u64,
+    /// Absolute minimum support count used by the mine.
+    pub min_support_count: u64,
+    /// The MinRI threshold the negative rules cleared.
+    pub min_ri: f64,
+    /// The minimum confidence the positive rules cleared.
+    pub min_confidence: f64,
+    /// Positive rules, canonically ordered.
+    pub positive: Vec<Rule>,
+    /// Negative rules, canonically ordered.
+    pub negative: Vec<NegativeRule>,
+}
+
+impl MiningOutcome {
+    /// Assemble the export bundle: positive rules generated from the
+    /// large itemsets at `min_confidence`, the run's negative rules, and
+    /// the provenance header pinning both to `tax`.
+    ///
+    /// `min_ri` is recorded as provenance only — the negative rules were
+    /// already filtered by it during mining.
+    ///
+    /// # Panics
+    /// Panics if `min_confidence` is outside `[0, 1]` (same contract as
+    /// [`generate_rules`]); validate user input before calling.
+    pub fn rule_export(&self, tax: &Taxonomy, min_confidence: f64, min_ri: f64) -> RuleSetExport {
+        let mut positive = generate_rules(&self.large, min_confidence);
+        positive.sort_by(|a, b| {
+            a.antecedent
+                .cmp(&b.antecedent)
+                .then_with(|| a.consequent.cmp(&b.consequent))
+        });
+        let mut negative = self.rules.clone();
+        negative.sort_by(|a, b| {
+            a.antecedent
+                .cmp(&b.antecedent)
+                .then_with(|| a.consequent.cmp(&b.consequent))
+        });
+        RuleSetExport {
+            taxonomy_digest: tax.digest(),
+            num_transactions: self.large.num_transactions(),
+            min_support_count: self.large.min_support_count(),
+            min_ri,
+            min_confidence,
+            positive,
+            negative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MinerConfig, NegativeMiner};
+    use negassoc_apriori::MinSupport;
+    use negassoc_taxonomy::TaxonomyBuilder;
+    use negassoc_txdb::TransactionDbBuilder;
+
+    #[test]
+    fn export_is_canonical_and_pins_the_taxonomy() {
+        let mut tb = TaxonomyBuilder::new();
+        let drinks = tb.add_root("soft drinks");
+        let coke = tb.add_child(drinks, "Coke").unwrap();
+        let pepsi = tb.add_child(drinks, "Pepsi").unwrap();
+        let snacks = tb.add_root("snacks");
+        let ruffles = tb.add_child(snacks, "Ruffles").unwrap();
+        let tax = tb.build();
+
+        let mut db = TransactionDbBuilder::new();
+        for i in 0..100u32 {
+            if i % 2 == 0 {
+                db.add([coke, ruffles]);
+            } else if i % 3 == 0 {
+                db.add([pepsi]);
+            } else {
+                db.add([coke]);
+            }
+        }
+        let db = db.build();
+
+        let config = MinerConfig {
+            min_support: MinSupport::Fraction(0.2),
+            min_ri: 0.3,
+            ..MinerConfig::default()
+        };
+        let outcome = NegativeMiner::new(config).mine(&db, &tax).expect("mine");
+        let export = outcome.rule_export(&tax, 0.6, 0.3);
+
+        assert_eq!(export.taxonomy_digest, tax.digest());
+        assert_eq!(export.num_transactions, 100);
+        assert_eq!(export.min_confidence, 0.6);
+        assert_eq!(export.min_ri, 0.3);
+        assert!(
+            !export.positive.is_empty(),
+            "coke+ruffles co-occurrence should yield positive rules"
+        );
+        // Canonical order: sorted by antecedent then consequent.
+        for w in export.positive.windows(2) {
+            assert!(
+                (&w[0].antecedent, &w[0].consequent) <= (&w[1].antecedent, &w[1].consequent),
+                "positive rules out of canonical order"
+            );
+        }
+        for w in export.negative.windows(2) {
+            assert!(
+                (&w[0].antecedent, &w[0].consequent) <= (&w[1].antecedent, &w[1].consequent),
+                "negative rules out of canonical order"
+            );
+        }
+        // Two exports of the same outcome agree exactly.
+        let again = outcome.rule_export(&tax, 0.6, 0.3);
+        assert_eq!(export.positive, again.positive);
+        assert_eq!(again.negative.len(), export.negative.len());
+    }
+}

@@ -81,6 +81,7 @@ pub mod config;
 pub mod ctrl;
 pub mod error;
 pub mod expected;
+pub mod export;
 pub mod improved;
 pub mod miner;
 pub mod naive;
@@ -95,6 +96,7 @@ pub use candidates::{CandidateStats, NegativeCandidate, NegativeItemset};
 pub use config::{GenAlgorithm, MinerConfig};
 pub use ctrl::{CancelReason, CancelToken, Completeness, Deadline, RunControl, Watchdog};
 pub use error::{Error, NegAssocError};
+pub use export::RuleSetExport;
 pub use miner::{MiningOutcome, MiningReport, NegativeMiner};
 pub use negassoc_apriori::parallel::{Parallelism, PassStats};
 pub use rules::NegativeRule;

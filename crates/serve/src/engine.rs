@@ -1,0 +1,207 @@
+//! The query engine: basket in, matched rules out.
+//!
+//! A rule applies to a basket when its antecedent is a subset of the
+//! basket's ancestor-expanded item set
+//! ([`Taxonomy::expand_with_ancestors`]) — the same closure the paper's
+//! extended-transaction counting uses at mine time, so a basket holding
+//! `Evian` matches rules written over `bottled water` or `beverages`.
+//!
+//! Two matchers exist on purpose:
+//!
+//! * [`Snapshot::match_expanded`] — production path: union the
+//!   antecedent-index posting lists anchored at the expanded items, then
+//!   verify each candidate's full antecedent.
+//! * [`Snapshot::match_expanded_oracle`] — a deliberately naive full
+//!   scan of every rule, sharing no candidate logic with the index path.
+//!   CI diffs the two byte-for-byte over served query batches; any index
+//!   bug shows up as a divergence, not a silently wrong answer.
+//!
+//! Both return rule ids in ascending canonical order, and both feed one
+//! renderer, so equal matches imply equal bytes on the wire.
+
+use crate::snapshot::Snapshot;
+use negassoc_taxonomy::{ItemId, Taxonomy};
+use std::fmt::Write as _;
+
+/// Rules matched against one basket, as indexes into the snapshot's
+/// canonical rule lists (ascending).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Matches {
+    /// Indexes into [`Snapshot::positive`].
+    pub positive: Vec<u32>,
+    /// Indexes into [`Snapshot::negative`].
+    pub negative: Vec<u32>,
+}
+
+impl Snapshot {
+    /// Match via the antecedent index: collect the posting lists of
+    /// every expanded item, then verify each candidate rule's full
+    /// antecedent against the expansion. `expanded` must be sorted
+    /// (as [`Taxonomy::expand_with_ancestors`] returns it).
+    pub fn match_expanded(&self, expanded: &[ItemId]) -> Matches {
+        let n_pos = self.positive().len() as u32;
+        let mut candidates: Vec<u32> = Vec::new();
+        let index = self.index();
+        for &item in expanded {
+            if let Ok(i) = index.binary_search_by_key(&item, |e| e.0) {
+                candidates.extend_from_slice(&index[i].1);
+            }
+        }
+        // Each rule is posted exactly once (under its smallest
+        // antecedent item), so the union is duplicate-free; sorting
+        // restores canonical answer order across posting lists.
+        candidates.sort_unstable();
+        let mut matches = Matches::default();
+        for rid in candidates {
+            let antecedent = if rid < n_pos {
+                &self.positive()[rid as usize].antecedent
+            } else {
+                &self.negative()[(rid - n_pos) as usize].antecedent
+            };
+            if is_subset(antecedent.items(), expanded) {
+                if rid < n_pos {
+                    matches.positive.push(rid);
+                } else {
+                    matches.negative.push(rid - n_pos);
+                }
+            }
+        }
+        matches
+    }
+
+    /// The offline oracle: scan every rule and test its antecedent
+    /// directly, no index involved. Must agree with
+    /// [`Snapshot::match_expanded`] on every basket.
+    pub fn match_expanded_oracle(&self, expanded: &[ItemId]) -> Matches {
+        let mut matches = Matches::default();
+        for (i, rule) in self.positive().iter().enumerate() {
+            if rule
+                .antecedent
+                .items()
+                .iter()
+                .all(|item| expanded.contains(item))
+            {
+                matches.positive.push(i as u32);
+            }
+        }
+        for (i, rule) in self.negative().iter().enumerate() {
+            if rule
+                .antecedent
+                .items()
+                .iter()
+                .all(|item| expanded.contains(item))
+            {
+                matches.negative.push(i as u32);
+            }
+        }
+        matches
+    }
+}
+
+/// Subset test over two sorted id slices (merge walk).
+fn is_subset(needle: &[ItemId], haystack: &[ItemId]) -> bool {
+    let mut h = haystack.iter();
+    'outer: for want in needle {
+        for have in h.by_ref() {
+            if have == want {
+                continue 'outer;
+            }
+            if have > want {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Answer one basket line end to end: parse, resolve, expand, match
+/// (indexed or oracle), render. This is the single render path shared by
+/// the server's query handler and the offline `match` oracle, so equal
+/// rule matches are equal bytes.
+///
+/// A basket line is comma-separated item names (names may contain
+/// spaces); unknown names and empty baskets render as `error:` bodies
+/// rather than failing the connection, so a batch diff sees them too.
+pub fn answer_basket_line(tax: &Taxonomy, snapshot: &Snapshot, line: &str, oracle: bool) -> String {
+    let mut items: Vec<ItemId> = Vec::new();
+    for name in line.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        match tax.id_of(name) {
+            Some(id) => items.push(id),
+            None => return format!("error: unknown item {name:?}\n"),
+        }
+    }
+    if items.is_empty() {
+        return "error: empty basket\n".to_owned();
+    }
+    let expanded = tax.expand_with_ancestors(items.iter().copied());
+    let matches = if oracle {
+        snapshot.match_expanded_oracle(&expanded)
+    } else {
+        snapshot.match_expanded(&expanded)
+    };
+    render_matches(tax, snapshot, &items, &matches)
+}
+
+/// Render one basket's answer. First line names the snapshot version —
+/// the hot-swap soak test asserts every body is internally consistent
+/// with exactly the version on this line.
+pub fn render_matches(
+    tax: &Taxonomy,
+    snapshot: &Snapshot,
+    basket: &[ItemId],
+    matches: &Matches,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "snapshot {} basket [{}] matched {} positive, {} negative",
+        snapshot.meta().snapshot_version,
+        names(tax, basket),
+        matches.positive.len(),
+        matches.negative.len()
+    );
+    for &i in &matches.positive {
+        let rule = &snapshot.positive()[i as usize];
+        let _ = writeln!(
+            out,
+            "P {} => {} sup {} conf {:.4}",
+            names(tax, rule.antecedent.items()),
+            names(tax, rule.consequent.items()),
+            rule.support,
+            rule.confidence
+        );
+    }
+    for &i in &matches.negative {
+        let rule = &snapshot.negative()[i as usize];
+        let _ = writeln!(
+            out,
+            "N {} =/=> {} ri {:.4} expected {:.3} actual {}",
+            names(tax, rule.antecedent.items()),
+            names(tax, rule.consequent.items()),
+            rule.ri,
+            rule.expected,
+            rule.actual
+        );
+    }
+    out
+}
+
+fn names(tax: &Taxonomy, items: &[ItemId]) -> String {
+    let mut out = String::new();
+    for (i, &item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" + ");
+        }
+        if item.index() < tax.len() {
+            out.push_str(tax.name(item));
+        } else {
+            let _ = write!(out, "#{}", item.0);
+        }
+    }
+    out
+}

@@ -1,0 +1,55 @@
+//! Typed errors of the snapshot and serving layer.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong writing, loading, or serving a rule-set
+/// snapshot.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying I/O failure (file or socket).
+    Io(io::Error),
+    /// The bytes are not a valid NARS snapshot (bad magic, checksum
+    /// mismatch, truncation, or inconsistent internal structure).
+    Format(String),
+    /// The snapshot's rules were mined under a different taxonomy than
+    /// the one loaded: its baked-in item ids would silently mis-expand
+    /// categories at query time, so both the export and the load path
+    /// refuse the pairing outright.
+    SnapshotTaxonomyMismatch {
+        /// Digest recorded in the snapshot (the mine-time hierarchy).
+        snapshot: u64,
+        /// Digest of the taxonomy presented now.
+        taxonomy: u64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "{e}"),
+            ServeError::Format(detail) => write!(f, "invalid snapshot: {detail}"),
+            ServeError::SnapshotTaxonomyMismatch { snapshot, taxonomy } => write!(
+                f,
+                "snapshot taxonomy mismatch: rules were mined under taxonomy \
+                 digest {snapshot:#018x}, but the loaded taxonomy has digest \
+                 {taxonomy:#018x}; re-mine or load the matching taxonomy"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -158,6 +158,57 @@ impl Taxonomy {
             stack: vec![item],
         }
     }
+
+    /// `items` closed under ancestry: every input id plus all its proper
+    /// ancestors, sorted and deduplicated. This is the query-time
+    /// expansion of a basket — a basket containing an item matches rules
+    /// written over any of the item's ancestor categories, the same
+    /// closure the paper's extended-transaction counting uses at mine
+    /// time.
+    ///
+    /// Out-of-range ids are passed through unexpanded (no ancestors are
+    /// known for them); callers that need strict validation check ids
+    /// against [`Taxonomy::len`] first.
+    pub fn expand_with_ancestors<I: IntoIterator<Item = ItemId>>(&self, items: I) -> Vec<ItemId> {
+        let mut out: Vec<ItemId> = Vec::new();
+        for item in items {
+            out.push(item);
+            if item.index() < self.len() {
+                out.extend(self.ancestors(item));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// A stable 64-bit digest of the taxonomy's structure: every name and
+    /// parent edge, in id order (FNV-1a). Two taxonomies share a digest
+    /// exactly when they assign the same names the same ids under the
+    /// same hierarchy, so artifacts that bake in item ids (rule-set
+    /// snapshots, checkpoints) can detect being replayed against a
+    /// different hierarchy.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.len() as u64).to_le_bytes());
+        for item in self.items() {
+            eat(self.name(item).as_bytes());
+            // 0xFF cannot appear in UTF-8, so it unambiguously ends the
+            // name before the fixed-width parent id.
+            eat(&[0xFF]);
+            let parent = self.parent(item).map_or(u32::MAX, |p| p.0);
+            eat(&parent.to_le_bytes());
+        }
+        h
+    }
 }
 
 /// Iterator over proper ancestors, nearest first. See [`Taxonomy::ancestors`].
@@ -264,6 +315,48 @@ mod tests {
         assert_eq!(t.leaves().count(), 6);
         assert_eq!(t.categories().count(), 4);
         let _ = bryers;
+    }
+
+    #[test]
+    fn expand_with_ancestors_closes_sorts_and_dedups() {
+        let (t, ids) = paper_fig2();
+        let [bev, water, evian, perrier, _juice, _des, yog, bryers, _hc, _ice]: [_; 10] =
+            ids.clone().try_into().unwrap();
+        // Two leaves under different roots, given out of order, with a
+        // duplicate: expansion is the sorted union of each ancestor chain.
+        let got = t.expand_with_ancestors([bryers, evian, evian]);
+        let mut want = vec![bryers, evian, water, bev, yog, ids[5]];
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // A category expands to itself plus its own ancestors only.
+        assert_eq!(t.expand_with_ancestors([water]), vec![bev, water]);
+        // Empty in, empty out; out-of-range ids pass through unexpanded.
+        assert_eq!(t.expand_with_ancestors([]), Vec::<crate::ItemId>::new());
+        let stray = crate::ItemId(999);
+        assert_eq!(t.expand_with_ancestors([stray]), vec![stray]);
+        let _ = perrier;
+    }
+
+    #[test]
+    fn digest_is_stable_and_structure_sensitive() {
+        let (a, _) = paper_fig2();
+        let (b, _) = paper_fig2();
+        // Same structure, same digest — across independent builds.
+        assert_eq!(a.digest(), b.digest());
+        // Renaming one item moves the digest.
+        let mut renamed = TaxonomyBuilder::new();
+        let bev = renamed.add_root("beverages");
+        renamed.add_child(bev, "bottled WATER").unwrap();
+        let mut same_names = TaxonomyBuilder::new();
+        let bev2 = same_names.add_root("beverages");
+        same_names.add_child(bev2, "bottled water").unwrap();
+        let same_names = same_names.build();
+        assert_ne!(renamed.build().digest(), same_names.digest());
+        // Same names under a different hierarchy also move the digest.
+        let mut flat = TaxonomyBuilder::new();
+        flat.add_root("beverages");
+        flat.add_root("bottled water");
+        assert_ne!(flat.build().digest(), same_names.digest());
     }
 
     #[test]

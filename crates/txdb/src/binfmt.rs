@@ -350,7 +350,8 @@ impl fmt::Display for SalvageReport {
             let mut j = i;
             while j + 1 < self.lost_blocks.len()
                 && self.lost_blocks[j + 1].index == self.lost_blocks[j].index + 1
-                && self.lost_blocks[j + 1].first_tid == self.lost_blocks[j].last_tid + 1
+                && Some(self.lost_blocks[j + 1].first_tid)
+                    == self.lost_blocks[j].last_tid.checked_add(1)
             {
                 j += 1;
             }
@@ -359,7 +360,14 @@ impl fmt::Display for SalvageReport {
                 .iter()
                 .map(|b| u64::from(b.tx_count))
                 .sum();
-            let exact = lost == last.last_tid - first.first_tid + 1;
+            // A corrupt payload's CRC-valid header can still carry garbage
+            // TIDs (e.g. last < first from a zeroed range); the span math
+            // must degrade to "sparse range", never underflow.
+            let exact = last
+                .last_tid
+                .checked_sub(first.first_tid)
+                .and_then(|span| span.checked_add(1))
+                == Some(lost);
             let sparse = if exact { "" } else { " (sparse range)" };
             if i == j {
                 writeln!(
@@ -833,6 +841,51 @@ mod tests {
         fn drop(&mut self) {
             std::fs::remove_file(&self.0).ok();
         }
+    }
+
+    #[test]
+    fn salvage_display_survives_garbage_tid_ranges() {
+        // A CRC-valid header over garbage can carry last_tid < first_tid
+        // or last_tid == u64::MAX; the range report must render as a
+        // sparse range instead of underflowing/overflowing the span math.
+        let inverted = SalvageReport {
+            recovered: 1,
+            lost_blocks: vec![CorruptBlock {
+                index: 0,
+                first_tid: 10,
+                last_tid: 3,
+                tx_count: 4,
+                header_corrupt: false,
+            }],
+            lost_tail: 0,
+        };
+        let text = inverted.to_string();
+        assert!(text.contains("TIDs 10..=3 (sparse range)"), "got: {text}");
+
+        let saturated = SalvageReport {
+            recovered: 0,
+            lost_blocks: vec![
+                CorruptBlock {
+                    index: 0,
+                    first_tid: 0,
+                    last_tid: u64::MAX,
+                    tx_count: 1,
+                    header_corrupt: false,
+                },
+                CorruptBlock {
+                    index: 1,
+                    first_tid: 0,
+                    last_tid: 0,
+                    tx_count: 1,
+                    header_corrupt: false,
+                },
+            ],
+            lost_tail: 0,
+        };
+        // Adjacent-run grouping must not wrap past u64::MAX either.
+        let text = saturated.to_string();
+        assert!(text.contains("block 0"), "got: {text}");
+        assert!(text.contains("(sparse range)"), "got: {text}");
     }
 
     #[test]

@@ -547,13 +547,22 @@ impl ShardedSource {
                         binfmt::salvage_pass(&path, &mut |_| {}).ok()
                     };
                     match salvage {
-                        Some(report) if report.recovered > 0 || entry.tx_count == 0 => {
+                        Some(report) if report.recovered > 0 => {
                             delivered += report.recovered;
                             states.push(ShardState::Salvaged(report));
                         }
-                        _ => {
+                        // A salvage that recovered nothing proves nothing
+                        // about the shard: keeping it as an empty source
+                        // would silently shrink the database under the
+                        // manifest's promise and skew pass-1 supports, so
+                        // zero-recovery shards quarantine like unreadable
+                        // ones — even when the manifest expected 0 tx.
+                        salvage => {
                             let display = path.display().to_string();
-                            let reason = fail.error.to_string();
+                            let mut reason = fail.error.to_string();
+                            if salvage.is_some() {
+                                reason.push_str("; salvage recovered 0 transactions");
+                            }
                             obs.emit(|| Event::ShardQuarantined {
                                 index: i,
                                 path: display.clone(),
@@ -951,6 +960,45 @@ mod tests {
         let report = src.salvage_report();
         assert_eq!(report.recovered, 7);
         assert_eq!(report.lost_transactions(), 3);
+    }
+
+    #[test]
+    fn empty_recovery_shard_is_quarantined_not_kept_as_empty_source() {
+        // A manifest with a promised-empty shard (2 tx over 5 shards
+        // leaves shards 2..4 empty). Overwrite the empty shard with a
+        // file that *claims* transactions but salvages to exactly 0: it
+        // must land in quarantine with the zero-recovery stated, never
+        // silently stream as an empty source.
+        let dir = TempDir::new("empty-recovery");
+        let db = sample_db(2);
+        let p = dir.path().join("wide.manifest");
+        let manifest = write_sharded(&db, &p, 5).unwrap();
+        assert_eq!(manifest.entries()[2].tx_count, 0);
+
+        // Donor: a single-block shard whose payload byte-flip fails the
+        // payload CRC, so salvage recovers 0 of its 3 transactions.
+        let donor_dir = TempDir::new("empty-recovery-donor");
+        let donor = write_sharded(&sample_db(3), donor_dir.path().join("d.manifest"), 1).unwrap();
+        corrupt_at(&donor.shard_path(0), 13 + 32, &[0xFF]);
+        std::fs::copy(donor.shard_path(0), manifest.shard_path(2)).unwrap();
+
+        let src = ShardedSource::open_degraded(&p).unwrap();
+        assert_eq!(src.quarantine().shards.len(), 1);
+        let q = &src.quarantine().shards[0];
+        assert_eq!(q.index, 2);
+        assert!(
+            q.reason.contains("salvage recovered 0 transactions"),
+            "reason should state the empty recovery, got: {}",
+            q.reason
+        );
+        // The manifest promised nothing from this shard, so nothing is
+        // booked as lost — and healthy delivery is untouched.
+        assert_eq!(q.lost_transactions, 0);
+        assert_eq!(src.len_hint(), Some(2));
+        assert_eq!(collect(&src), collect(&db));
+        let report = src.salvage_report();
+        assert_eq!(report.recovered, 2);
+        assert_eq!(report.lost_transactions(), 0);
     }
 
     #[test]

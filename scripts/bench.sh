@@ -91,4 +91,25 @@ awk -v p="$opct" 'BEGIN { exit !(p < 2.0) }' \
   || { echo "bench: no-op-sink overhead ${opct}% >= 2% bar" >&2; exit 1; }
 echo "bench: observability overhead ${opct}% (< 2% bar)"
 
+echo "==> rule serving: basket-match throughput (scale $SCALE)"
+./target/release/paper serve --scale "$SCALE"
+
+echo "==> BENCH_serve.json"
+cargo run -q --release -p xtask -- validate-json BENCH_serve.json
+grep -E '"queries_per_sec"|"oracle_agreement"|"hot_swap_survived"' BENCH_serve.json
+# The serving layer's correctness contracts are recorded in the artifact
+# and enforced here: the indexed matcher must agree with the full-scan
+# oracle on every basket, and the mid-batch hot swap must not tear.
+grep -q '"oracle_agreement": true' BENCH_serve.json \
+  || { echo "bench: indexed matcher diverged from the oracle" >&2; exit 1; }
+grep -q '"hot_swap_survived": true' BENCH_serve.json \
+  || { echo "bench: hot swap tore a response mid-batch" >&2; exit 1; }
+# The throughput bar: >= 10,000 queries/sec on the 4,000-transaction
+# snapshot (interactive latency with plenty of headroom).
+qps="$(sed -n 's/.*"queries_per_sec": \([0-9.]*\).*/\1/p' BENCH_serve.json)"
+[ -n "$qps" ] || { echo "bench: no queries_per_sec headline" >&2; exit 1; }
+awk -v q="$qps" 'BEGIN { exit !(q >= 10000.0) }' \
+  || { echo "bench: serving throughput ${qps} queries/sec < 10k bar" >&2; exit 1; }
+echo "bench: serving throughput ${qps} queries/sec (>= 10k bar)"
+
 echo "bench: artifacts written"

@@ -169,4 +169,65 @@ diff "$SMOKE/clean.csv" "$SMOKE/backend-bitmap-t4.csv"
 diff "$SMOKE/sh-whole.csv" "$SMOKE/backend-bitmap-sharded.csv"
 echo "smoke: all backends byte-identical, incl. threaded and sharded bitmap"
 
+echo "==> serve smoke (snapshot export, server vs offline oracle, SIGINT drain)"
+# Mine a small dataset into a versioned snapshot, serve it, answer a
+# scripted basket batch over TCP, and diff the served bytes against the
+# offline full-scan oracle — any antecedent-index bug fails the diff. A
+# mid-batch hot-swap and a SIGINT drain (clean exit 0) ride along.
+"$NEGRULES" export-snapshot --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --out "$SMOKE/rules-v1.nars" --min-support 0.05 --min-ri 0.3 \
+  --snapshot-version 1 > /dev/null
+"$NEGRULES" export-snapshot --data "$SMOKE/d.nadb" --taxonomy "$SMOKE/t.txt" \
+  --out "$SMOKE/rules-v2.nars" --min-support 0.05 --min-ri 0.5 \
+  --snapshot-version 2 > /dev/null
+# Basket batch: every taxonomy root and leaf as a singleton, some pairs,
+# plus malformed lines (unknown item, empty) that must render as error
+# bodies identically on both paths.
+awk -F'\t' '{ print $1 } NR % 3 == 0 && prev != "" { print prev ", " $1 } { prev = $1 }' \
+  "$SMOKE/t.txt" > "$SMOKE/baskets.txt"
+printf 'no-such-item\n   \n' >> "$SMOKE/baskets.txt"
+"$NEGRULES" match --snapshot "$SMOKE/rules-v1.nars" --taxonomy "$SMOKE/t.txt" \
+  --baskets "$SMOKE/baskets.txt" --out "$SMOKE/oracle-v1.txt" > /dev/null
+"$NEGRULES" match --snapshot "$SMOKE/rules-v2.nars" --taxonomy "$SMOKE/t.txt" \
+  --baskets "$SMOKE/baskets.txt" --out "$SMOKE/oracle-v2.txt" > /dev/null
+"$NEGRULES" serve --snapshot "$SMOKE/rules-v1.nars" --taxonomy "$SMOKE/t.txt" \
+  --workers 2 > "$SMOKE/serve.out" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SMOKE/serve.out")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "smoke: server never became ready" >&2; cat "$SMOKE/serve.out" >&2; exit 1; }
+"$NEGRULES" query --addr "$ADDR" --ping | grep -q "pong snapshot 1" \
+  || { echo "smoke: bad ping" >&2; exit 1; }
+"$NEGRULES" query --addr "$ADDR" --baskets "$SMOKE/baskets.txt" \
+  --out "$SMOKE/served-v1.txt" > /dev/null
+diff "$SMOKE/oracle-v1.txt" "$SMOKE/served-v1.txt"
+# Hot-swap to snapshot v2 over the wire; served answers must now match
+# the v2 oracle byte-for-byte.
+"$NEGRULES" query --addr "$ADDR" --swap "$SMOKE/rules-v2.nars" \
+  | grep -q "swapped snapshot version 1 -> 2" \
+  || { echo "smoke: hot swap failed" >&2; exit 1; }
+"$NEGRULES" query --addr "$ADDR" --baskets "$SMOKE/baskets.txt" \
+  --out "$SMOKE/served-v2.txt" > /dev/null
+diff "$SMOKE/oracle-v2.txt" "$SMOKE/served-v2.txt"
+# SIGINT is the server's normal shutdown: graceful drain, exit 0.
+kill -INT "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+rc=$?
+set -e
+if [ "$rc" -ne 0 ]; then
+  echo "smoke: server exited $rc on SIGINT, want 0" >&2
+  cat "$SMOKE/serve.out" >&2
+  exit 1
+fi
+grep -q "served .* requests" "$SMOKE/serve.out" \
+  || { echo "smoke: server drain stats missing" >&2; exit 1; }
+# The committed serving-bench artifact must stay valid JSON.
+cargo run -q --release -p xtask -- validate-json BENCH_serve.json
+echo "smoke: served answers byte-identical to the oracle; SIGINT drained exit 0"
+
 echo "ci: all checks passed"
